@@ -1,0 +1,82 @@
+"""The paper's published numbers, used as reference points in every bench.
+
+Sources: the figure captions, running text, and Tables 1–3 of
+arXiv:1701.06207.  Benchmarks compare *shapes and ratios* against these —
+the simulation runs at roughly 1/12 of the real dataset's volume, so
+absolute counts are not expected to match.
+"""
+
+# §3.1 — daily load variation (post Jan 2015).
+LOAD_MEDIAN_DAILY = 30_000
+LOAD_BUSIEST_OVER_MEDIAN = 30.0
+LOAD_LIGHTEST_OVER_MEDIAN = 0.0004
+WEEKDAY_OVER_WEEKEND = 2.0  # "up to 2x"
+
+# §3.3 — cluster structure.
+MEDIAN_TASKS_PER_CLUSTER = 400
+
+# §4.1 — latency decomposition: pickup dominates by orders of magnitude.
+PICKUP_DOMINANCE_MIN = 10.0
+
+# Tables 1–3: (feature, metric) -> (median_low_bin, median_high_bin).
+TABLE1_DISAGREEMENT = {
+    "num_words": (0.147, 0.108),
+    "num_items": (0.169, 0.086),
+    "num_text_boxes": (0.102, 0.160),
+    "num_examples": (0.128, 0.101),
+}
+TABLE2_TASK_TIME = {
+    "num_items": (230.0, 136.0),
+    "num_text_boxes": (119.0, 285.7),
+    "num_images": (183.6, 129.0),
+}
+TABLE3_PICKUP_TIME = {
+    "num_items": (4521.0, 8132.0),
+    "num_examples": (6303.0, 1353.0),
+    "num_images": (7838.0, 2431.0),
+}
+
+# §4.9 — prediction accuracies.
+PREDICTION_RANGE_EXACT = {
+    "disagreement": 0.39,
+    "task_time": 0.95,
+    "pickup_time": 0.98,
+}
+PREDICTION_RANGE_WITHIN_ONE_DISAGREEMENT = 0.62
+PREDICTION_PERCENTILE_EXACT = {
+    "disagreement": 0.20,
+    "task_time": 0.16,
+    "pickup_time": 0.15,
+}
+PREDICTION_PERCENTILE_WITHIN_ONE = {
+    "disagreement": 0.44,
+    "task_time": 0.40,
+    "pickup_time": 0.39,
+}
+
+# §5.1 — sources.
+NUM_SOURCES = 139
+TOP10_SOURCE_TASK_SHARE = 0.95
+TOP10_SOURCE_WORKER_SHARE = 0.86
+AMT_TRUST = 0.75
+AMT_RELATIVE_TIME_MIN = 5.0
+INTERNAL_TASK_SHARE = 0.02
+
+# §5.1 — geography.
+NUM_COUNTRIES = 148
+TOP5_COUNTRY_SHARE = 0.50
+TOP5_COUNTRIES = ["United States", "Venezuela", "Great Britain", "India", "Canada"]
+
+# §5.2–5.4 — workers.
+TOP10_WORKER_TASK_SHARE = 0.80
+ONE_DAY_WORKER_FRACTION = 0.527
+ONE_DAY_TASK_SHARE = 0.024
+ACTIVE_TASK_SHARE = 0.83  # workers with > 10 working days
+UNDER_ONE_HOUR_FRACTION = 0.90
+ACTIVE_TRUST_MIN = 0.84
+
+
+def ratio_line(name: str, paper: float, measured: float) -> str:
+    """One comparison line: paper value, measured value, measured/paper."""
+    ratio = measured / paper if paper else float("nan")
+    return f"{name:42s} paper {paper:>10.4g}   measured {measured:>10.4g}   x{ratio:.2f}"

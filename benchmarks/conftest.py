@@ -1,0 +1,52 @@
+"""Benchmark fixtures: one medium-scale study shared across all benches.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+of the paper at the ``medium`` scale (≈2.3M released instances) and writes a
+paper-vs-measured report to ``bench_report.txt`` in the repository root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import build_study
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
+
+#: The scale and seed every figure/table is regenerated at.
+BENCH_SCALE = "medium"
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def study():
+    return build_study(BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def figures(study):
+    return study.figures
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_report():
+    REPORT_PATH.write_text(
+        f"Paper-vs-measured report (scale={BENCH_SCALE}, seed={BENCH_SEED})\n"
+        f"{'=' * 66}\n"
+    )
+    yield
+
+
+@pytest.fixture()
+def report():
+    """Append a titled block to the report file (and echo to stdout)."""
+
+    def _write(title: str, body: str) -> None:
+        block = f"\n## {title}\n{body}\n"
+        with REPORT_PATH.open("a") as handle:
+            handle.write(block)
+        print(block)
+
+    return _write

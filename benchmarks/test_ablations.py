@@ -1,0 +1,161 @@
+"""Ablations of the paper's methodology choices (DESIGN.md §5).
+
+These benches re-run an analysis under a variant of a §4 design decision and
+show why the paper's choice is the right one.
+"""
+
+import numpy as np
+
+from repro.analysis import taskdesign as td
+from repro.enrichment.clustering import cluster_batches
+from repro.reporting import render_table
+from repro.stats.ttest import welch_t_test
+from repro.tables import Table
+
+
+def test_ablation_disagreement_prune_rule(figures, benchmark, report):
+    """§4.1: prune disagreement > 0.5 vs keeping everything.
+
+    Without the prune, subjective free-text clusters (disagreement near 1)
+    pile into the text-box bin and wildly exaggerate the text-box effect.
+    """
+
+    def run():
+        ct = figures.enriched.cluster_table
+        labeled = np.array([g is not None and g != "" for g in ct["goals"]])
+        finite = ~np.isnan(ct["disagreement"])
+        base = ct.filter(labeled & finite)
+        pruned = base.filter(~(base["disagreement"] > 0.5))
+        return base, pruned
+
+    base, pruned = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def effect(clusters: Table) -> tuple[float, float]:
+        has_tb = clusters["num_text_boxes"] > 0
+        return (
+            float(np.median(clusters["disagreement"][~has_tb])),
+            float(np.median(clusters["disagreement"][has_tb])),
+        )
+
+    lo_raw, hi_raw = effect(base)
+    lo_pruned, hi_pruned = effect(pruned)
+    # The raw effect is inflated relative to the pruned one.
+    assert (hi_raw - lo_raw) > (hi_pruned - lo_pruned)
+
+    report(
+        "Ablation — disagreement prune rule (>0.5)",
+        render_table(
+            [
+                {"variant": "no prune", "median_no_tb": lo_raw,
+                 "median_tb": hi_raw, "effect": hi_raw - lo_raw},
+                {"variant": "paper prune", "median_no_tb": lo_pruned,
+                 "median_tb": hi_pruned, "effect": hi_pruned - lo_pruned},
+            ]
+        )
+        + "\nwithout pruning, subjective free-text tasks exaggerate the "
+        "text-box penalty",
+    )
+
+
+def test_ablation_latency_metric(figures, benchmark, report):
+    """§4.1: pickup-time vs end-to-end time as the latency metric.
+
+    End-to-end time inherits task-size effects (it contains task time);
+    pickup time isolates the marketplace's responsiveness.  We show the two
+    metrics rank batches almost identically (pickup dominates), so the
+    simpler, confound-free metric is justified.
+    """
+
+    def run():
+        d = td.latency_decomposition(figures.enriched)
+        rank_pickup = np.argsort(np.argsort(d.pickup_time))
+        rank_end = np.argsort(np.argsort(d.end_to_end))
+        n = len(rank_pickup)
+        spearman = 1 - 6 * np.sum((rank_pickup - rank_end) ** 2.0) / (n * (n**2 - 1))
+        return d, float(spearman)
+
+    d, spearman = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert spearman > 0.95
+
+    report(
+        "Ablation — latency metric choice",
+        f"Spearman rank correlation between pickup-time and end-to-end time "
+        f"across batches: {spearman:.3f}\n"
+        f"pickup dominates end-to-end by {d.pickup_dominance_ratio:.0f}x, so "
+        "the two metrics agree and pickup-time is the cleaner choice.",
+    )
+
+
+def test_ablation_cluster_dedup(figures, benchmark, report):
+    """§4.2: median-per-cluster vs per-batch analysis (heavy-hitter bias).
+
+    Per-batch analysis lets heavy-hitter tasks vote once per batch; the
+    paper's cluster-then-median step weights each distinct task once.
+    """
+
+    def run():
+        bt = figures.enriched.batch_table
+        finite = ~np.isnan(bt["disagreement"])
+        pruned = finite & ~(bt["disagreement"] > 0.5)
+        batches = bt.filter(pruned)
+
+        # Per-batch (biased) experiment.
+        has_tb = batches["num_text_boxes"] > 0
+        per_batch = welch_t_test(
+            batches["disagreement"][~has_tb], batches["disagreement"][has_tb]
+        )
+
+        # Cluster-level (paper) experiment.
+        clusters = td.analysis_clusters(figures.enriched, metric="disagreement")
+        per_cluster = td.bin_comparison(clusters, "num_text_boxes", "disagreement")
+        return batches, per_batch, per_cluster
+
+    batches, per_batch, per_cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Heavy hitters inflate the per-batch sample size substantially.
+    assert batches.num_rows > 2 * (per_cluster.count_low + per_cluster.count_high)
+
+    report(
+        "Ablation — cluster dedup (per-batch vs per-cluster)",
+        f"per-batch sample: {batches.num_rows} rows, t-test p={per_batch.p_value:.2g}\n"
+        f"per-cluster sample: {per_cluster.count_low + per_cluster.count_high} "
+        f"rows, t-test p={per_cluster.t_test.p_value:.2g}\n"
+        "per-batch analysis lets the few heavy-hitter tasks dominate the "
+        "sample; the paper's dedup weights each distinct task once.",
+    )
+
+
+def test_ablation_clustering_threshold(figures, benchmark, report):
+    """§3.3: sensitivity of batch clustering to the Jaccard threshold."""
+    html = figures.released.batch_html
+    subset_ids = sorted(html)[:600]
+    subset = {b: html[b] for b in subset_ids}
+    truth = len(
+        {int(figures.state.batches.task_idx[b]) for b in subset_ids}
+    )
+
+    results = {}
+    for threshold in (0.3, 0.6, 0.9):
+        results[threshold] = len(
+            set(cluster_batches(subset, threshold=threshold).values())
+        )
+
+    def run():
+        return cluster_batches(subset, threshold=0.6)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The paper "tuned the threshold of a match": mid thresholds recover the
+    # truth; extreme thresholds under- or over-split.
+    assert results[0.6] == truth
+    assert results[0.3] <= results[0.6] <= results[0.9]
+
+    report(
+        "Ablation — clustering threshold sensitivity",
+        render_table(
+            [
+                {"threshold": t, "clusters": n, "truth": truth}
+                for t, n in sorted(results.items())
+            ]
+        ),
+    )

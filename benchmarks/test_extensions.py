@@ -1,0 +1,160 @@
+"""Extension benches: §3.2 internal/external overlay, §4.1 completion
+profile, §7 future-work A/B testing, and worker-learning recovery."""
+
+import numpy as np
+
+from repro.abtest import TaskDesign, run_ab_test
+from repro.analysis.learning import learning_curve
+from repro.analysis.marketplace import internal_external_split, weekly_backlog
+from repro.analysis.taskdesign import batch_completion_profile
+from repro.analysis.workers import session_statistics
+from repro.reporting import format_count, format_seconds, render_table
+
+
+def test_internal_external_overlay(figures, benchmark, report):
+    """§3.2: "the internal workers account for a very small fraction"."""
+
+    def run():
+        return internal_external_split(
+            figures.released, num_weeks=figures.num_weeks
+        )
+
+    internal, external = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = internal.sum() + external.sum()
+    share = internal.sum() / total
+    assert share < 0.05  # paper: ~2%
+    assert external.std() > 10 * internal.std()
+
+    report(
+        "§3.2 extension — internal vs external workload",
+        f"internal pool share of tasks: {share:.2%} (paper: ~2%)\n"
+        f"weekly flux (std): external {external.std():,.0f} vs internal "
+        f"{internal.std():,.0f} — external labor absorbs the variation",
+    )
+
+
+def test_batch_completion_profile(figures, benchmark, report):
+    """Requester-facing turnaround is pickup-dominated at every quantile."""
+    profile = benchmark.pedantic(
+        lambda: batch_completion_profile(figures.released), rounds=1, iterations=1
+    )
+    medians = profile.medians()
+    median_task_time = float(np.median(figures.enriched.batch_table["task_time"]))
+    assert medians["time_to_half"] > 5 * median_task_time
+
+    report(
+        "§4.1 extension — batch completion profile",
+        "\n".join(
+            [
+                f"median time to 50% complete: {format_seconds(medians['time_to_half'])}",
+                f"median time to 90% complete: {format_seconds(medians['time_to_90'])}",
+                f"median time to 100% complete: {format_seconds(medians['time_to_full'])}",
+                f"median per-instance task time: {format_seconds(median_task_time)}",
+            ]
+        ),
+    )
+
+
+def test_ab_testing_confirms_section4(benchmark, report):
+    """§7 future work: causal confirmation of the §4.8 recommendations."""
+
+    def run():
+        base = TaskDesign(num_examples=0, num_text_boxes=2)
+        results = {
+            "add examples": run_ab_test(
+                base, base.varied(num_examples=2), num_batches=50, seed=17
+            ),
+            "drop text boxes": run_ab_test(
+                base, base.varied(num_text_boxes=0), num_batches=50, seed=17
+            ),
+        }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    examples = results["add examples"]
+    assert examples["pickup_time"].significant
+    assert examples["pickup_time"].median_b < examples["pickup_time"].median_a
+
+    text_boxes = results["drop text boxes"]
+    assert text_boxes["task_time"].significant
+    assert text_boxes["task_time"].median_b < text_boxes["task_time"].median_a
+    assert text_boxes["disagreement"].median_b < text_boxes["disagreement"].median_a
+
+    rows = []
+    for name, result in results.items():
+        for comparison in result.comparisons.values():
+            rows.append(
+                {
+                    "experiment": name,
+                    "metric": comparison.metric,
+                    "A": f"{comparison.median_a:.3g}",
+                    "B": f"{comparison.median_b:.3g}",
+                    "change": f"{comparison.relative_change:+.0%}",
+                    "p": f"{comparison.t_test.p_value:.2g}",
+                }
+            )
+    report("§7 future work — A/B tests of §4.8 recommendations", render_table(rows))
+
+
+def test_weekly_backlog(figures, benchmark, report):
+    """§3.1 extension: the open-work backlog the push mechanism clears."""
+
+    def run():
+        return weekly_backlog(
+            figures.released, figures.enriched, num_weeks=figures.num_weeks
+        )
+
+    backlog = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert backlog.min() >= -1e-6
+    assert backlog[-1] == 0.0
+    peak_week = int(np.argmax(backlog))
+    assert peak_week >= figures.regime_week  # backlog peaks post-switch
+
+    report(
+        "§3.1 extension — weekly open-work backlog",
+        f"peak backlog {format_count(backlog.max())} instances at week "
+        f"{peak_week}; fully drained by the calendar horizon.",
+    )
+
+
+def test_attention_spans(figures, benchmark, report):
+    """§1/§2.5 goal: worker attention spans, as work sessions."""
+    stats = benchmark.pedantic(
+        lambda: session_statistics(figures.released), rounds=1, iterations=1
+    )
+    assert stats.num_sessions > 0
+    # Most sessions are short (paper §5.4: most workers < 1h per day).
+    assert stats.median_session_minutes() < 90
+
+    report(
+        "§1 goal — worker attention spans (sessions, 30-min gap)",
+        "\n".join(
+            [
+                f"sessions: {stats.num_sessions:,}",
+                f"median session length: {stats.median_session_minutes():.1f} min",
+                f"median tasks per session: {stats.median_tasks_per_session():.0f}",
+                f"p90 session length: "
+                f"{np.percentile(stats.session_lengths_seconds, 90) / 60:.0f} min",
+            ]
+        ),
+    )
+
+
+def test_worker_learning_recovery(figures, benchmark, report):
+    """§7 future work: the within-batch learning curve is recoverable."""
+    curve = benchmark.pedantic(
+        lambda: learning_curve(figures.released), rounds=1, iterations=1
+    )
+    truth = figures.state.config.calibration.within_batch_learning_exponent
+    assert abs(curve.learning_exponent - truth) < 0.03
+
+    speedups = ", ".join(
+        f"#{rank + 1}: {value:.0%}" for rank, value in curve.speedup_at.items()
+    )
+    report(
+        "§7 future work — worker learning curve",
+        f"fitted exponent {curve.learning_exponent:.3f} "
+        f"(generative truth {truth})\n"
+        f"duration relative to a worker's first instance of a batch: {speedups}",
+    )

@@ -1,0 +1,72 @@
+"""Figure 2 + §3.1 headline: task-instance arrivals, pickup, load variation."""
+
+import numpy as np
+
+import _paper as paper
+
+from repro.reporting import render_series
+
+
+def test_fig02_arrivals(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig02_arrivals, rounds=2, iterations=1)
+    switch = figures.regime_week
+
+    issued = out["instances_issued"]
+    # Regime switch: sparse before Jan 2015, heavy after (Figure 2a).
+    assert issued[switch:].sum() > 10 * issued[:switch].sum()
+
+    # Batches and distinct tasks fluctuate along with instances (Figure 2b).
+    post_issued = issued[switch:]
+    post_batches = out["batches_issued"][switch:]
+    active = (post_issued > 0) & (post_batches > 0)
+    correlation = np.corrcoef(
+        np.log1p(post_issued[active]), np.log1p(post_batches[active])
+    )[0, 1]
+    assert correlation > 0.3
+
+    # Pickup time moves inversely with load (Figure 2a red line).
+    pickup = out["median_pickup_time"][switch:]
+    ok = active & ~np.isnan(pickup)
+    pickup_corr = np.corrcoef(
+        np.log1p(post_issued[ok]), np.log1p(pickup[ok])
+    )[0, 1]
+    assert pickup_corr < 0.05
+
+    report(
+        "Figure 2 — weekly arrivals vs pickup time",
+        render_series(issued, title="instances issued per week")
+        + f"\nlog-log corr(instances, batches) = {correlation:.2f} (positive)"
+        + f"\nlog-log corr(instances, median pickup) = {pickup_corr:.2f} "
+        "(paper: negative — busy weeks move faster)",
+    )
+
+
+def test_headline_load_variation(figures, benchmark, report):
+    out = benchmark.pedantic(
+        figures.headline_load_variation, rounds=2, iterations=1
+    )
+    assert out["busiest_over_median"] > 10
+    assert out["lightest_over_median"] < 0.05
+
+    report(
+        "§3.1 takeaway — daily load variation (post regime switch)",
+        "\n".join(
+            [
+                paper.ratio_line(
+                    "median daily instances",
+                    paper.LOAD_MEDIAN_DAILY,
+                    out["median_daily_instances"],
+                ),
+                paper.ratio_line(
+                    "busiest day / median",
+                    paper.LOAD_BUSIEST_OVER_MEDIAN,
+                    out["busiest_over_median"],
+                ),
+                paper.ratio_line(
+                    "lightest day / median",
+                    paper.LOAD_LIGHTEST_OVER_MEDIAN,
+                    out["lightest_over_median"],
+                ),
+            ]
+        ),
+    )

@@ -1,0 +1,26 @@
+"""Figure 3: distribution of issued instances over days of the week."""
+
+import _paper as paper
+
+from repro.reporting import render_bar_chart
+
+
+def test_fig03_weekday(figures, benchmark, report):
+    out = benchmark(figures.fig03_weekday)
+    totals = out["instances"]
+
+    # Shape: weekdays beat the weekend, Monday is the peak, declining week.
+    assert out["weekday_weekend_ratio"] > 1.3
+    assert totals[0] == max(totals)
+    assert totals[0] > totals[4]
+
+    report(
+        "Figure 3 — day-of-week load",
+        render_bar_chart(dict(zip(out["days"], totals)), sort=False)
+        + "\n"
+        + paper.ratio_line(
+            "weekday/weekend ratio",
+            paper.WEEKDAY_OVER_WEEKEND,
+            out["weekday_weekend_ratio"],
+        ),
+    )

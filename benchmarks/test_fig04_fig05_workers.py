@@ -1,0 +1,54 @@
+"""Figures 4 and 5: worker availability and top-10% engagement."""
+
+import numpy as np
+
+from repro.reporting import format_seconds, render_series
+
+
+def test_fig04_worker_availability(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig04_workers, rounds=2, iterations=1)
+    switch = figures.regime_week
+    workers = out["active_workers"][switch:]
+    issued = figures.arrivals().instances_issued[switch:]
+    active = workers > 0
+
+    # Worker availability varies far less than load (§3.2 takeaway).
+    cv_workers = workers[active].std() / workers[active].mean()
+    cv_load = issued[active].std() / issued[active].mean()
+    assert cv_workers < 0.6 * cv_load
+
+    report(
+        "Figure 4 — distinct active workers per week",
+        render_series(out["active_workers"], title="active workers per week")
+        + f"\ncoeff. of variation: workers {cv_workers:.2f} vs load {cv_load:.2f}"
+        " (paper: availability is much steadier than load)",
+    )
+
+
+def test_fig05_engagement_split(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig05_engagement, rounds=1, iterations=1)
+    switch = figures.regime_week
+
+    top = out["tasks_top10"][switch:]
+    bottom = out["tasks_bottom90"][switch:]
+
+    # The top-10% handles most of the volume and most of the flux.
+    assert top.sum() > 2 * bottom.sum()
+    active = (top + bottom) > 0
+    assert top[active].std() > bottom[active].std()
+
+    # And they spend far more active time per week.
+    att = out["active_time_top10"][switch:]
+    atb = out["active_time_bottom90"][switch:]
+    both = (att > 0) & (atb > 0)
+    assert np.median(att[both]) > 1.5 * np.median(atb[both])
+
+    report(
+        "Figure 5 — top-10% vs bottom-90% workers (post regime)",
+        f"tasks by top-10%: {int(top.sum()):,} vs bottom-90%: {int(bottom.sum()):,}\n"
+        f"weekly flux (std): top {top[active].std():,.0f} vs bottom "
+        f"{bottom[active].std():,.0f}\n"
+        f"median active time per worker-week: top "
+        f"{format_seconds(float(np.median(att[both])))} vs bottom "
+        f"{format_seconds(float(np.median(atb[both])))}",
+    )

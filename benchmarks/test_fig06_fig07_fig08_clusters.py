@@ -1,0 +1,76 @@
+"""Figures 6–8: cluster sizes, tasks per cluster, heavy hitters."""
+
+import numpy as np
+
+import _paper as paper
+
+from repro.reporting import format_count, render_table
+
+
+def test_fig06_cluster_sizes(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig06_cluster_sizes, rounds=2, iterations=1)
+    sizes = out["cluster_sizes"]
+
+    # Power-law shape: most tasks are one-off, a few span 100+ batches.
+    assert np.median(sizes) <= 10
+    assert out["clusters_over_100_batches"] >= 1
+
+    report(
+        "Figure 6 — batches per cluster (log-binned)",
+        render_table(
+            [{"bin_lower_edge": e, "clusters": c} for e, c in out["histogram"]]
+        )
+        + f"\nclusters with >100 batches: {out['clusters_over_100_batches']} "
+        "(paper: >10 at ~6x our task count)",
+    )
+
+
+def test_fig07_tasks_per_cluster(figures, benchmark, report):
+    out = benchmark.pedantic(
+        figures.fig07_tasks_per_cluster, rounds=2, iterations=1
+    )
+    counts = out["instances_per_cluster"]
+
+    # Wide variation: small one-off clusters coexist with bulky ones
+    # (paper: 204 clusters < 10 tasks, 3 clusters > 1M, median 400).
+    assert out["clusters_under_10_instances"] >= 1
+    assert counts.max() > 100 * np.median(counts)
+
+    report(
+        "Figure 7 — instances per cluster (log-binned)",
+        render_table(
+            [{"bin_lower_edge": e, "clusters": c} for e, c in out["histogram"]]
+        )
+        + "\n"
+        + paper.ratio_line(
+            "median instances per cluster",
+            paper.MEDIAN_TASKS_PER_CLUSTER,
+            out["median_instances_per_cluster"],
+        )
+        + f"\nlargest cluster: {format_count(counts.max())} instances",
+    )
+
+
+def test_fig08_heavy_hitters(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig08_heavy_hitters, rounds=2, iterations=1)
+    curves = out["curves"]
+    assert len(curves) >= 3
+
+    lines = []
+    steady = bursty = 0
+    for cluster, series in curves.items():
+        active_weeks = int(np.sum(np.diff(np.r_[0.0, series]) > 0))
+        total = series[-1]
+        kind = "burst" if active_weeks <= 8 else "steady"
+        if kind == "burst":
+            bursty += 1
+        else:
+            steady += 1
+        lines.append(
+            f"cluster {cluster}: {format_count(total)} instances over "
+            f"{active_weeks} active weeks ({kind})"
+        )
+    # Paper: heavy hitters show both uniform and bursty availability.
+    assert steady >= 1 and bursty >= 1
+
+    report("Figure 8 — heavy-hitter cumulative curves", "\n".join(lines))

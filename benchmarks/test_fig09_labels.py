@@ -1,0 +1,44 @@
+"""Figure 9: label distributions over goals, data types, operators."""
+
+import _paper as paper
+
+from repro.reporting import render_bar_chart
+
+
+def test_fig09_label_distributions(figures, benchmark, report):
+    out = benchmark.pedantic(
+        figures.fig09_label_distributions, rounds=2, iterations=1
+    )
+    goals = out["goals"]
+    data = out["data_types"]
+    operators = out["operators"]
+
+    total_goal = sum(goals.values())
+    # Complex understanding goals are very common: LU ~17%, T ~13% (Fig 9a).
+    # LU leads or nearly leads (heavy-hitter weighting adds variance).
+    assert goals.get("LU", 0) / total_goal > 0.10
+    assert goals.get("T", 0) / total_goal > 0.07
+    assert goals["LU"] >= 0.85 * max(goals.values())
+
+    total_data = sum(data.values())
+    # Text ~40% and image ~26% dominate (Fig 9b); Text leads or nearly
+    # leads under heavy-hitter variance.
+    assert data.get("Text", 0) >= 0.8 * max(data.values())
+    assert data.get("Text", 0) / total_data > 0.22
+    assert data.get("Image", 0) / total_data > 0.12
+
+    total_ops = sum(operators.values())
+    # Filter ~33% and rate ~13% dominate (Fig 9c).  Instance weighting under
+    # a handful of heavy-hitter clusters adds variance, so allow Filter to
+    # trail the leader slightly.
+    assert operators.get("Filt", 0) >= 0.8 * max(operators.values())
+    assert operators.get("Filt", 0) / total_ops > 0.18
+
+    report(
+        "Figure 9 — instance-weighted label distributions",
+        "Goals:\n" + render_bar_chart(goals)
+        + "\n\nData types:\n" + render_bar_chart(data)
+        + "\n\nOperators:\n" + render_bar_chart(operators)
+        + "\n\npaper: LU 17% / T 13% of goals; Text 40% / Image 26% of data;"
+        " Filt 33% / Rate 13% of operators",
+    )

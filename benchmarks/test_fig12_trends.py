@@ -1,0 +1,34 @@
+"""Figure 12: cumulative simple-vs-complex cluster trends."""
+
+from repro.reporting import render_table
+
+
+def test_fig12_simple_complex_trends(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig12_trends, rounds=2, iterations=1)
+
+    goals = out["goals"]
+    operators = out["operators"]
+    data = out["data_types"]
+
+    # Complex goals far outnumber simple goals (paper: 620 vs 80 by Jan'16).
+    assert goals["complex"][-1] > 2 * goals["simple"][-1]
+    # Non-text data outnumbers text (paper: 510 vs 240).
+    assert data["complex"][-1] > data["simple"][-1]
+    # Operators are comparable (paper: 410 complex vs 340 simple).
+    ratio = operators["complex"][-1] / max(operators["simple"][-1], 1)
+    assert 0.5 <= ratio <= 2.5
+
+    rows = [
+        {
+            "category": name,
+            "simple_final": int(series["simple"][-1]),
+            "complex_final": int(series["complex"][-1]),
+            "paper": reference,
+        }
+        for name, series, reference in (
+            ("goals", goals, "80 vs 620"),
+            ("operators", operators, "340 vs 410"),
+            ("data_types", data, "240 vs 510"),
+        )
+    ]
+    report("Figure 12 — cumulative simple vs complex clusters", render_table(rows))

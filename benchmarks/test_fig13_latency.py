@@ -1,0 +1,28 @@
+"""Figure 13: pickup time dominates end-to-end latency."""
+
+import numpy as np
+
+import _paper as paper
+
+from repro.reporting import format_seconds
+
+
+def test_fig13_latency_decomposition(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig13_latency, rounds=2, iterations=1)
+
+    assert out["pickup_dominance_ratio"] > paper.PICKUP_DOMINANCE_MIN
+
+    # Pickup tracks end-to-end time; task time is a small additive term.
+    end_to_end = out["end_to_end"]
+    pickup = out["pickup_time"]
+    share = pickup / np.maximum(end_to_end, 1e-9)
+    assert np.median(share) > 0.8
+
+    report(
+        "Figure 13 — latency decomposition (batch level)",
+        f"median pickup time    {format_seconds(out['median_pickup'])}\n"
+        f"median task time      {format_seconds(out['median_task_time'])}\n"
+        f"dominance ratio       {out['pickup_dominance_ratio']:.1f}x "
+        "(paper: orders of magnitude)\n"
+        f"median pickup share of end-to-end: {np.median(share):.0%}",
+    )

@@ -1,0 +1,93 @@
+"""Figure 14 + Tables 1–3: the feature-metric correlation experiments."""
+
+import _paper as paper
+
+from repro.reporting import render_comparison_rows
+from repro.stats.cdf import cdf_dominates
+
+#: (feature, metric) -> paper's (median_low, median_high).
+_PAPER_MEDIANS = {
+    **{(f, "disagreement"): v for f, v in paper.TABLE1_DISAGREEMENT.items()},
+    **{(f, "task_time"): v for f, v in paper.TABLE2_TASK_TIME.items()},
+    **{(f, "pickup_time"): v for f, v in paper.TABLE3_PICKUP_TIME.items()},
+}
+
+
+def test_fig14_cdf_experiments(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig14_feature_cdfs, rounds=1, iterations=1)
+
+    lines = []
+    for entry in out:
+        key = (entry["feature"], entry["metric"])
+        reference = _PAPER_MEDIANS.get(key)
+        if reference is None:
+            continue
+        paper_low, paper_high = reference
+        paper_direction = "high_better" if paper_high < paper_low else "low_better"
+        agrees = entry["direction"] == paper_direction
+        lines.append(
+            f"{entry['feature']:15s} {entry['metric']:13s} "
+            f"paper {paper_low:>8.3g}/{paper_high:<8.3g} "
+            f"measured {entry['median_low']:>8.3g}/{entry['median_high']:<8.3g} "
+            f"direction {'OK' if agrees else 'MISMATCH'} p={entry['p_value']:.2g}"
+        )
+        # Every direction the paper reports must reproduce.
+        assert agrees, f"direction mismatch for {key}"
+
+    report("Figure 14 — feature-metric effects vs paper", "\n".join(lines))
+
+
+def test_tables_1_2_3(figures, benchmark, report):
+    tables = benchmark.pedantic(figures.tables_123, rounds=1, iterations=1)
+
+    body = []
+    for metric, title in (
+        ("disagreement", "Table 1 — disagreement"),
+        ("task_time", "Table 2 — median task time"),
+        ("pickup_time", "Table 3 — median pickup time"),
+    ):
+        rows = tables[metric]
+        body.append(f"{title}\n{render_comparison_rows(rows)}")
+
+    # The paper's strongest effects must reach significance at this scale.
+    significant = {
+        (row["feature"], metric)
+        for metric, rows in tables.items()
+        for row in rows
+    }
+    for expected in (
+        ("num_words", "disagreement"),
+        ("num_items", "disagreement"),
+        ("num_text_boxes", "disagreement"),
+        ("num_items", "task_time"),
+        ("num_text_boxes", "task_time"),
+        ("num_images", "task_time"),
+        ("num_examples", "pickup_time"),
+        ("num_images", "pickup_time"),
+    ):
+        assert expected in significant, f"{expected} lost significance"
+
+    report("Tables 1–3 — significant design effects", "\n\n".join(body))
+
+
+def test_fig14_cdf_dominance(figures, benchmark, report):
+    """The winning bin's CDF visibly dominates, as in the paper's plots."""
+    from repro.analysis import taskdesign as td
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    checks = []
+    for feature, metric in (
+        ("num_words", "disagreement"),
+        ("num_text_boxes", "task_time"),
+        ("num_images", "pickup_time"),
+    ):
+        clusters = td.analysis_clusters(figures.enriched, metric=metric)
+        c = td.bin_comparison(clusters, feature, metric)
+        if c.direction == "high_better":
+            dominated = cdf_dominates(c.cdf_high, c.cdf_low, slack=0.08)
+        else:
+            dominated = cdf_dominates(c.cdf_low, c.cdf_high, slack=0.08)
+        checks.append(f"{feature}/{metric}: winner CDF dominates = {dominated}")
+        assert dominated
+
+    report("Figure 14 — CDF dominance checks", "\n".join(checks))

@@ -1,0 +1,45 @@
+"""Figure 25: feature-metric drill-downs within label categories."""
+
+from repro.reporting import render_table
+
+
+def test_fig25_drilldowns(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig25_drilldowns, rounds=1, iterations=1)
+
+    rows = []
+    ok = 0
+    for entry in out:
+        row = {
+            "feature": entry["feature"],
+            "metric": entry["metric"],
+            "label": f"{entry['category']}={entry['label']}",
+            "status": entry["status"],
+        }
+        if entry["status"] == "ok":
+            ok += 1
+            row["medians"] = f"{entry['median_low']:.3g} / {entry['median_high']:.3g}"
+            row["p"] = f"{entry['p_value']:.2g}"
+        rows.append(row)
+
+    # At medium scale nearly all drill-downs have enough labeled clusters.
+    assert ok >= 6
+
+    # The paper's headline drill-down: for gather tasks, more items cut
+    # disagreement sharply (Figure 25e).
+    gather_items = next(
+        e for e in out
+        if e["feature"] == "num_items" and e["label"] == "Gat"
+        and e["metric"] == "disagreement"
+    )
+    if gather_items["status"] == "ok":
+        assert gather_items["median_high"] < gather_items["median_low"]
+
+    # Images accelerate pickup within the extract-operator subset (Fig 25g).
+    extract_images = next(
+        e for e in out
+        if e["feature"] == "num_images" and e["label"] == "Ext"
+    )
+    if extract_images["status"] == "ok":
+        assert extract_images["median_high"] < extract_images["median_low"]
+
+    report("Figure 25 — label drill-downs", render_table(rows))

@@ -1,0 +1,99 @@
+"""Figures 26 & 27 + Table 4: labor sources, their load and quality."""
+
+import numpy as np
+
+import _paper as paper
+
+from repro.reporting import render_table
+
+
+def test_fig26_source_loads(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig26_sources, rounds=1, iterations=1)
+
+    tasks_per_worker = out["tasks_per_worker"]
+    # Dedicated vs on-demand spread: orders of magnitude (Figure 26a).
+    assert tasks_per_worker.max() > 50 * np.median(tasks_per_worker)
+
+    # Active source count is steady while load swings (Figure 26b).
+    switch = figures.regime_week
+    sources = out["active_sources_per_week"][switch:]
+    load = out["instances_issued"][switch:]
+    active = sources > 0
+    cv_sources = sources[active].std() / sources[active].mean()
+    cv_load = load[active].std() / load[active].mean()
+    assert cv_sources < 0.5 * cv_load
+
+    report(
+        "Figure 26 — source loads",
+        f"tasks/worker spread: median {np.median(tasks_per_worker):.0f}, "
+        f"max {tasks_per_worker.max():.0f} (paper: some sources >10k, 40% <=20)\n"
+        f"active sources/week CV {cv_sources:.2f} vs load CV {cv_load:.2f}",
+    )
+
+
+def test_fig27_source_quality(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig27_source_quality, rounds=1, iterations=1)
+
+    # Top-10 sources dominate (paper: 95% of tasks, 86% of workers).
+    assert out["top10_task_share"] > 0.80
+    assert out["top10_worker_share"] > 0.70
+
+    trust = out["mean_trust_all"]
+    rel_time = out["mean_relative_time_all"]
+    # ~10% of sources below 0.8 trust; some slower than 3x; a few 10x+.
+    low_trust_fraction = float((trust < 0.8).mean())
+    assert 0.02 <= low_trust_fraction <= 0.3
+    assert (rel_time >= 3).sum() >= 1
+
+    # amt is poor on both dimensions when sampled.
+    rows = {r["source"]: r for r in out["top_by_workers"].to_rows()}
+    amt_note = "amt not in top-10 by workers at this seed"
+    if "amt" in rows:
+        amt = rows["amt"]
+        assert amt["mean_trust"] < 0.85
+        assert amt["mean_relative_task_time"] > 2.0
+        amt_note = (
+            f"amt: trust {amt['mean_trust']:.2f} (paper {paper.AMT_TRUST}), "
+            f"relative time {amt['mean_relative_task_time']:.1f} "
+            f"(paper > {paper.AMT_RELATIVE_TIME_MIN})"
+        )
+
+    display = [
+        {
+            "source": r["source"],
+            "workers": r["num_workers"],
+            "tasks": r["num_tasks"],
+            "trust": round(r["mean_trust"], 3),
+            "rel_time": round(r["mean_relative_task_time"], 2),
+        }
+        for r in out["top_by_workers"].to_rows()
+    ]
+    report(
+        "Figure 27 — top sources and quality",
+        render_table(display)
+        + "\n"
+        + paper.ratio_line(
+            "top-10 task share", paper.TOP10_SOURCE_TASK_SHARE, out["top10_task_share"]
+        )
+        + "\n"
+        + paper.ratio_line(
+            "top-10 worker share",
+            paper.TOP10_SOURCE_WORKER_SHARE,
+            out["top10_worker_share"],
+        )
+        + f"\nsources with mean trust < 0.8: {low_trust_fraction:.0%} (paper ~10%)\n"
+        + amt_note,
+    )
+
+
+def test_table4_sources(figures, benchmark, report):
+    out = benchmark.pedantic(figures.table4_sources, rounds=2, iterations=1)
+    assert out["num_sources"] == paper.NUM_SOURCES
+    # Nearly every source appears in the medium-scale sample.
+    assert out["num_observed"] > 100
+
+    report(
+        "Table 4 — labor sources",
+        f"{out['num_sources']} sources defined (paper: 139); "
+        f"{out['num_observed']} observed in the released sample.",
+    )

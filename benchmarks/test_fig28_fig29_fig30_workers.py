@@ -1,0 +1,93 @@
+"""Figures 28–30: geography, workloads, lifetimes and engagement."""
+
+import numpy as np
+
+import _paper as paper
+
+from repro.reporting import render_bar_chart
+
+
+def test_fig28_geography(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig28_geography, rounds=1, iterations=1)
+
+    assert out["num_countries"] > 60  # paper: 148 (at 6x our worker count)
+    assert 0.35 <= out["top5_share"] <= 0.70  # paper: ~0.50
+    top_names = [r["country"] for r in out["top5"]]
+    assert top_names[0] == "United States"
+    assert set(top_names) & set(paper.TOP5_COUNTRIES)
+
+    top12 = {
+        r["country"]: r["num_workers"]
+        for r in out["countries"].head(12).to_rows()
+    }
+    report(
+        "Figure 28 — worker geography",
+        render_bar_chart(top12)
+        + "\n"
+        + paper.ratio_line("top-5 country share", paper.TOP5_COUNTRY_SHARE,
+                           out["top5_share"])
+        + f"\ncountries observed: {out['num_countries']} (paper: 148)",
+    )
+
+
+def test_fig29_workload(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig29_workload, rounds=1, iterations=1)
+
+    assert out["top10_task_share"] > paper.TOP10_WORKER_TASK_SHARE
+    assert out["fraction_under_1h_per_day"] > 0.75  # paper: > 0.90
+
+    curve = out["rank_curve"]
+    # Rank curve spans orders of magnitude (Figure 29a, log-log).
+    assert curve[0] > 100 * np.median(curve)
+
+    report(
+        "Figure 29 — workload distribution",
+        paper.ratio_line(
+            "top-10% worker task share",
+            paper.TOP10_WORKER_TASK_SHARE,
+            out["top10_task_share"],
+        )
+        + "\n"
+        + paper.ratio_line(
+            "workers under 1h per working day",
+            paper.UNDER_ONE_HOUR_FRACTION,
+            out["fraction_under_1h_per_day"],
+        )
+        + f"\nbusiest worker: {int(curve[0]):,} tasks; median worker: "
+        f"{int(np.median(curve))} tasks",
+    )
+
+
+def test_fig30_lifetimes(figures, benchmark, report):
+    out = benchmark.pedantic(figures.fig30_lifetimes, rounds=1, iterations=1)
+
+    assert 0.40 <= out["one_day_worker_fraction"] <= 0.70  # paper: 0.527
+    assert out["one_day_task_share"] < 0.06  # paper: 0.024
+    assert out["active_task_share"] > paper.ACTIVE_TASK_SHARE
+    assert out["mean_trust_active"] > paper.ACTIVE_TRUST_MIN
+
+    report(
+        "Figure 30 — worker lifetimes and engagement",
+        "\n".join(
+            [
+                paper.ratio_line(
+                    "one-day worker fraction",
+                    paper.ONE_DAY_WORKER_FRACTION,
+                    out["one_day_worker_fraction"],
+                ),
+                paper.ratio_line(
+                    "one-day workers' task share",
+                    paper.ONE_DAY_TASK_SHARE,
+                    out["one_day_task_share"],
+                ),
+                paper.ratio_line(
+                    "active (>10 working days) task share",
+                    paper.ACTIVE_TASK_SHARE,
+                    out["active_task_share"],
+                ),
+                paper.ratio_line(
+                    "mean trust of active workers", 0.91, out["mean_trust_active"]
+                ),
+            ]
+        ),
+    )

@@ -1,0 +1,76 @@
+"""§4.9: decision-tree bucket prediction, range and percentile bucketizations."""
+
+import _paper as paper
+
+from repro.reporting import render_table
+
+
+def test_prediction_study(figures, benchmark, report):
+    out = benchmark.pedantic(figures.prediction_study, rounds=1, iterations=1)
+
+    by_key = {(e["metric"], e["strategy"]): e for e in out}
+
+    rows = []
+    for (metric, strategy), entry in sorted(by_key.items()):
+        if strategy == "range":
+            paper_exact = paper.PREDICTION_RANGE_EXACT[metric]
+            paper_within = (
+                paper.PREDICTION_RANGE_WITHIN_ONE_DISAGREEMENT
+                if metric == "disagreement"
+                else None
+            )
+        else:
+            paper_exact = paper.PREDICTION_PERCENTILE_EXACT[metric]
+            paper_within = paper.PREDICTION_PERCENTILE_WITHIN_ONE[metric]
+        rows.append(
+            {
+                "metric": metric,
+                "strategy": strategy,
+                "exact": f"{entry['exact_accuracy']:.2f}",
+                "paper_exact": paper_exact,
+                "within_1": f"{entry['within_one_accuracy']:.2f}",
+                "paper_within_1": paper_within if paper_within else "-",
+            }
+        )
+
+    # Shape assertions from §4.9:
+    # 1. Range bucketization on the skewed time metrics is near-trivial.
+    assert by_key[("task_time", "range")]["exact_accuracy"] > 0.80
+    assert by_key[("pickup_time", "range")]["exact_accuracy"] > 0.80
+    # 2. Disagreement is much harder exactly, decent within one bucket.
+    disagreement_range = by_key[("disagreement", "range")]
+    assert disagreement_range["exact_accuracy"] < 0.9
+    assert (
+        disagreement_range["within_one_accuracy"]
+        > disagreement_range["exact_accuracy"]
+    )
+    # 3. Percentile bucketization is much harder than range for time metrics.
+    for metric in ("task_time", "pickup_time"):
+        assert (
+            by_key[(metric, "percentile")]["exact_accuracy"]
+            < by_key[(metric, "range")]["exact_accuracy"]
+        )
+    # 4. Percentile predictions still beat uniform guessing (0.1 exact).
+    for metric in ("disagreement", "task_time", "pickup_time"):
+        assert by_key[(metric, "percentile")]["exact_accuracy"] > 0.10
+
+    report("§4.9 — prediction accuracies vs paper", render_table(rows))
+
+
+def test_prediction_bucket_distributions(figures, benchmark, report):
+    """The range bucketization's skew matches the paper's reported counts."""
+    out = benchmark.pedantic(figures.prediction_study, rounds=1, iterations=1)
+    lines = []
+    for entry in out:
+        counts = entry["bucket_counts"]
+        lines.append(
+            f"{entry['metric']:13s} {entry['strategy']:10s} "
+            f"counts={list(counts)}"
+        )
+        if entry["strategy"] == "range" and entry["metric"] != "disagreement":
+            # Paper: [2842, 120, 8, ...] — bucket 0 holds almost everything.
+            assert counts[0] / counts.sum() > 0.8
+        if entry["strategy"] == "percentile":
+            # Paper: ~equal counts per bucket.
+            assert counts.min() > 0.5 * counts.mean()
+    report("§4.9 — bucket distributions", "\n".join(lines))

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate layers (table engine, minhash, tree).
+
+These are honest performance benches (pytest-benchmark timings), not paper
+reproductions — they document the cost structure of the library.
+"""
+
+import numpy as np
+
+from repro.enrichment.clustering import minhash_signature, shingles
+from repro.ml import DecisionTreeClassifier
+from repro.tables import Table, group_by, hash_join
+
+
+def _synthetic_table(n: int, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "key": rng.integers(0, n // 100 + 1, size=n),
+            "value": rng.normal(size=n),
+            "weight": rng.exponential(size=n),
+        },
+        copy=False,
+    )
+
+
+def test_perf_group_by_median(benchmark):
+    table = _synthetic_table(200_000)
+
+    def run():
+        return group_by(table, "key").agg(
+            {"med": ("value", "median"), "total": ("weight", "sum")}
+        )
+
+    out = benchmark(run)
+    assert out.num_rows == len(set(table["key"]))
+
+
+def test_perf_hash_join(benchmark):
+    left = _synthetic_table(50_000, seed=1)
+    right = group_by(_synthetic_table(50_000, seed=2), "key").agg(
+        {"right_total": ("weight", "sum")}
+    )
+
+    def run():
+        return hash_join(left, right, on="key")
+
+    out = benchmark(run)
+    assert out.num_rows > 0
+
+
+def test_perf_table_filter(benchmark):
+    table = _synthetic_table(500_000)
+
+    def run():
+        return table.filter(table["value"] > 0.5)
+
+    out = benchmark(run)
+    assert 0 < out.num_rows < table.num_rows
+
+
+def test_perf_minhash_signature(benchmark):
+    tokens = " ".join(f"tok{i % 997}" for i in range(3_000))
+    shingle_set = shingles(f"<div>{tokens}</div>")
+
+    def run():
+        return minhash_signature(shingle_set)
+
+    signature = benchmark(run)
+    assert len(signature) == 64
+
+
+def test_perf_decision_tree_fit(benchmark):
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(4_000, 4))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+
+    def run():
+        return DecisionTreeClassifier(max_depth=8).fit(X, y)
+
+    model = benchmark(run)
+    assert (model.predict(X[:100]) == y[:100]).mean() > 0.8

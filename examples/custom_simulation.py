@@ -1,0 +1,70 @@
+"""Counterfactual simulation: what if examples did NOT help?
+
+Run:  python examples/custom_simulation.py
+
+The generative model exposes every paper effect as a calibration constant.
+This example runs the enrichment + analysis pipeline twice — once with the
+paper's calibration and once with the example/pickup and example/
+disagreement effects switched off — and shows that the §4 analysis detects
+the effect exactly when it exists.  This is the library's "ablation" mode:
+the analysis layer is validated against worlds where the ground truth is
+known by construction.
+"""
+
+import dataclasses
+
+from repro.analysis.taskdesign import analysis_clusters, bin_comparison
+from repro.dataset.release import release_dataset
+from repro.enrichment.pipeline import enrich_dataset
+from repro.simulator.config import Calibration, SimulationConfig
+from repro.simulator.engine import simulate_marketplace
+
+
+def run_world(name: str, calibration: Calibration) -> None:
+    config = dataclasses.replace(
+        SimulationConfig.preset("small", seed=11), calibration=calibration
+    )
+    state = simulate_marketplace(config)
+    released = release_dataset(state, config)
+    enriched = enrich_dataset(released, config)
+
+    print(f"\n=== {name} ===")
+    clusters = analysis_clusters(enriched, metric="pickup_time")
+    c = bin_comparison(clusters, "num_examples", "pickup_time")
+    print(
+        f"pickup_time   examples=0: {c.median_low:8.0f}s   examples>0: "
+        f"{c.median_high:8.0f}s   p={c.t_test.p_value:.3g}   "
+        f"significant={c.significant}"
+    )
+    clusters = analysis_clusters(enriched, metric="disagreement")
+    c = bin_comparison(clusters, "num_examples", "disagreement")
+    print(
+        f"disagreement  examples=0: {c.median_low:8.3f}    examples>0: "
+        f"{c.median_high:8.3f}    p={c.t_test.p_value:.3g}   "
+        f"significant={c.significant}"
+    )
+
+
+def main() -> None:
+    # Boost example prevalence (5% -> 30%) so both worlds have enough
+    # example clusters for a powered comparison at the "small" scale; the
+    # *effect sizes* stay at the paper's calibration.
+    paper_world = Calibration(example_prevalence=0.30)
+    run_world("Paper calibration (examples help)", paper_world)
+
+    no_example_effect = dataclasses.replace(
+        paper_world,
+        pickup_example_factor=1.0,
+        disagreement_example_bonus=0.0,
+    )
+    run_world("Counterfactual (example effects off)", no_example_effect)
+
+    print(
+        "\nIn the paper-calibrated world the median-split analysis finds the "
+        "example effect; in the counterfactual world it (correctly) finds "
+        "nothing — the analysis pipeline does not hallucinate effects."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Marketplace-administrator dashboard (the paper's Section 3 view).
+
+Run:  python examples/marketplace_monitor.py [tiny|small|medium]
+
+Prints weekly load and worker-availability sparklines, the day-of-week
+profile, the cluster/heavy-hitter structure, and the label landscape —
+everything a marketplace operator would watch.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import build_study
+from repro.reporting import (
+    format_count,
+    format_seconds,
+    render_bar_chart,
+    render_series,
+)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    study = build_study(scale, seed=7)
+    figures = study.figures
+
+    arrivals = figures.fig02_arrivals()
+    print(render_series(
+        arrivals["instances_issued"], title="Task instances issued per week"
+    ))
+    print()
+    print(render_series(
+        figures.fig04_workers()["active_workers"],
+        title="Distinct active workers per week",
+    ))
+
+    print("\nDay-of-week load profile (paper Figure 3):")
+    weekday = figures.fig03_weekday()
+    print(render_bar_chart(
+        dict(zip(weekday["days"], weekday["instances"])), sort=False
+    ))
+
+    load = figures.headline_load_variation()
+    print(
+        f"\nLoad variation: median day {format_count(load['median_daily_instances'])}"
+        f" instances; busiest {load['busiest_over_median']:.0f}x median,"
+        f" lightest {load['lightest_over_median']:.2g}x."
+    )
+
+    pickup = arrivals["median_pickup_time"]
+    active = ~np.isnan(pickup)
+    print(
+        f"Median weekly pickup time ranges "
+        f"{format_seconds(float(np.nanmin(pickup[active])))} – "
+        f"{format_seconds(float(np.nanmax(pickup[active])))}; "
+        "high-load weeks move faster (§3.2)."
+    )
+
+    clusters = figures.fig06_cluster_sizes()
+    tasks = figures.fig07_tasks_per_cluster()
+    print(
+        f"\nCluster structure: {clusters['num_clusters']} distinct tasks; "
+        f"{clusters['clusters_over_100_batches']} heavy hitters span >100 "
+        f"batches; median {format_count(tasks['median_instances_per_cluster'])} "
+        "instances per cluster."
+    )
+
+    print("\nWhat requesters ask for (instance-weighted, paper Figure 9):")
+    labels = figures.fig09_label_distributions()
+    print("\nGoals:")
+    print(render_bar_chart(labels["goals"]))
+    print("\nOperators:")
+    print(render_bar_chart(labels["operators"]))
+    print("\nData types:")
+    print(render_bar_chart(labels["data_types"]))
+
+    print("\nSimple vs complex trend (cumulative clusters, paper Figure 12):")
+    trends = figures.fig12_trends()
+    for category, series in trends.items():
+        print(
+            f"  {category:11s} simple {int(series['simple'][-1]):4d} vs "
+            f"complex {int(series['complex'][-1]):4d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Marketplace-policy experiments (the paper's §3 administrator questions).
+
+Run:  python examples/policy_experiments.py
+
+§3.2 concludes that "attracting more 'active' workers can allow marketplaces
+to handle fluctuating workloads better", and §2.1 suggests incentive
+programs for engaged workers.  This example simulates those policies and
+compares the operational metrics an administrator watches.
+"""
+
+from repro.policy import run_policy_experiment
+from repro.reporting import render_table
+from repro.simulator.config import SimulationConfig
+
+POLICIES = {
+    # §2.1's incentive program: convert casual workers into dedicated ones.
+    "incentivize engagement (2x power pool)": {
+        "engagement_mix": (0.44, 0.36, 0.08, 0.12),
+    },
+    # Route more volume through the casual pool (pull-heavy marketplace).
+    "pull-heavy routing (2x casual share)": {
+        "casual_share_target": 0.45,
+        "casual_volume_cap": 0.80,
+    },
+    # Starve the casual pool (push-everything marketplace).
+    "push-heavy routing (casual share -> 5%)": {
+        "casual_share_target": 0.05,
+        "casual_volume_cap": 0.15,
+    },
+}
+
+
+def main() -> None:
+    base = SimulationConfig.preset("small", seed=7)
+    print("Simulating policies on the 'small' marketplace (same seed each)...")
+    outcomes = run_policy_experiment(POLICIES, base=base)
+    print()
+    print(render_table([o.as_dict() for o in outcomes]))
+    print(
+        "\nReading: incentivizing engagement grows the weekly active pool "
+        "and spreads work (lower top-10% share); pull-heavy routing shifts "
+        "volume to casual labor; push-heavy routing concentrates almost "
+        "everything on the dedicated core.  Pickup latency is identical "
+        "across policies by construction — in this generative model pickup "
+        "is driven by demand and task design, not pool composition (a "
+        "documented model limitation; see repro.policy)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: build a study and reproduce the paper's headline findings.
+
+Run:  python examples/quickstart.py [tiny|small|medium]
+
+Builds the synthetic marketplace at the chosen scale, runs the §2.4
+enrichment pipeline, and prints one headline result from each section of the
+paper.
+"""
+
+import sys
+
+from repro import build_study
+from repro.reporting import format_count, format_seconds, render_comparison_rows
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    print(f"Building the '{scale}' study (simulate -> release -> enrich)...")
+    study = build_study(scale, seed=7)
+    figures = study.figures
+
+    released = study.released
+    print(
+        f"\nDataset: {released.instances.num_rows:,} task instances in "
+        f"{released.num_sampled_batches:,} sampled batches, "
+        f"{study.enriched.num_clusters} distinct tasks (clusters), "
+        f"{len(set(released.instances['worker_id'])):,} workers."
+    )
+
+    print("\n--- Marketplace dynamics (Section 3) ---")
+    load = figures.headline_load_variation()
+    print(
+        f"Median daily load {format_count(load['median_daily_instances'])} instances; "
+        f"busiest day {load['busiest_over_median']:.0f}x the median, "
+        f"lightest {load['lightest_over_median']:.2g}x."
+    )
+    weekday = figures.fig03_weekday()
+    print(
+        f"Weekdays carry {weekday['weekday_weekend_ratio']:.1f}x the weekend volume "
+        "(Monday peaks, declining across the week)."
+    )
+
+    print("\n--- Task design (Section 4) ---")
+    latency = figures.fig13_latency()
+    print(
+        f"Median pickup time {format_seconds(latency['median_pickup'])} vs "
+        f"median task time {format_seconds(latency['median_task_time'])} — "
+        f"latency is {latency['pickup_dominance_ratio']:.0f}x dominated by pickup."
+    )
+    tables = figures.tables_123()
+    print("\nSignificant design effects on disagreement (paper Table 1):")
+    print(render_comparison_rows(tables["disagreement"]))
+
+    print("\n--- Workers (Section 5) ---")
+    lifetimes = figures.fig30_lifetimes()
+    workload = figures.fig29_workload()
+    print(
+        f"{lifetimes['one_day_worker_fraction']:.0%} of workers are active on a "
+        f"single day yet complete only "
+        f"{lifetimes['one_day_task_share']:.1%} of tasks; the top-10% of workers "
+        f"complete {workload['top10_task_share']:.0%} of all tasks."
+    )
+    geo = figures.fig28_geography()
+    top5 = ", ".join(r["country"] for r in geo["top5"])
+    print(
+        f"Workers come from {geo['num_countries']} countries; the top five "
+        f"({top5}) hold {geo['top5_share']:.0%} of the workforce."
+    )
+
+
+if __name__ == "__main__":
+    main()

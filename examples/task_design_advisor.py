@@ -1,0 +1,140 @@
+"""Task-design advisor: score a task interface against the §4 findings.
+
+Run:  python examples/task_design_advisor.py [path/to/interface.html]
+
+Given a task interface (a built-in demo interface is used when no path is
+supplied), the advisor:
+
+1. extracts the §4 design parameters from the raw HTML;
+2. trains the §4.9 decision trees on a freshly simulated marketplace;
+3. predicts which disagreement / task-time / pickup-time bucket the task
+   falls into; and
+4. emits the paper's §4.8 recommendations that apply to this design.
+
+This is the "requester-facing" use of the library: the same pipeline the
+reproduction uses for Figure 14 doubles as a design linter.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_study
+from repro.analysis.prediction import FEATURE_SETS, NUM_BUCKETS
+from repro.analysis.taskdesign import analysis_clusters
+from repro.html import extract_features
+from repro.ml import DecisionTreeClassifier, bucketize_by_percentile
+
+DEMO_INTERFACE = """
+<html><head><title>Find business websites</title></head><body>
+<h1>Find business websites</h1>
+<div class="instructions"><h2>Instructions</h2>
+<p>Search the web for each business below and paste the URL of its official
+homepage. Prefer the canonical domain over social profiles.</p></div>
+<div class="task-unit">
+  <blockquote class="item-text">Blue Bottle Coffee, Oakland CA</blockquote>
+  <p>Find the requested information on the web and enter it:</p>
+  <input type="text" name="url" placeholder="type here">
+</div>
+<button type="submit">Submit</button>
+</body></html>
+"""
+
+RECOMMENDATIONS = {
+    "add_words": (
+        "Add detailed instructions: tasks with more words in their interface "
+        "show lower worker disagreement (paper Table 1: 0.147 vs 0.108)."
+    ),
+    "add_examples": (
+        "Add a prominently displayed example: examples cut disagreement "
+        "(0.128 vs 0.101) and reduce pickup time ~4.7x (6303s vs 1353s)."
+    ),
+    "avoid_text_boxes": (
+        "Replace free-form text boxes with multiple choice where possible: "
+        "text boxes raise disagreement (0.102 vs 0.160) and more than double "
+        "task time (119s vs 286s)."
+    ),
+    "add_images": (
+        "Add images: tasks with images are picked up ~3x faster (7838s vs "
+        "2431s) and completed faster (184s vs 129s)."
+    ),
+    "batch_more_items": (
+        "Issue more items per batch: larger batches attract experienced "
+        "workers, halving disagreement (0.169 vs 0.086) and reducing task "
+        "time (230s vs 136s) — at the cost of higher pickup time."
+    ),
+}
+
+
+def advise(html: str) -> None:
+    features = extract_features(html)
+    print("Extracted design parameters:")
+    for key, value in features.as_dict().items():
+        print(f"  {key:18s} {value}")
+
+    print("\nTraining §4.9 predictors on a simulated marketplace (small scale)...")
+    study = build_study("small", seed=7)
+
+    feature_row = {
+        "num_items": 25.0,  # assume a modest batch; not derivable from HTML
+        "num_words": float(features.num_words),
+        "num_text_boxes": float(features.num_text_boxes),
+        "has_example": float(features.num_examples > 0),
+        "has_image": float(features.num_images > 0),
+    }
+
+    print("\nPredicted outcome buckets (percentile bucketization, 10 buckets):")
+    for metric, names in FEATURE_SETS.items():
+        clusters = analysis_clusters(study.enriched, metric=metric)
+        values = clusters[metric].astype(np.float64)
+        bucketization = bucketize_by_percentile(values, num_buckets=NUM_BUCKETS)
+        matrix = np.column_stack(
+            [
+                (clusters["num_examples"] > 0).astype(float)
+                if n == "has_example"
+                else (clusters["num_images"] > 0).astype(float)
+                if n == "has_image"
+                else clusters[n].astype(float)
+                for n in names
+            ]
+        )
+        model = DecisionTreeClassifier(max_depth=10, min_samples_split=5)
+        model.fit(matrix, bucketization.labels)
+        x = np.array([[feature_row[n] for n in names]])
+        bucket = int(model.predict(x)[0])
+        upper = bucketization.upper_bounds
+        lo = 0.0 if bucket == 0 else float(upper[bucket - 1])
+        hi = float(upper[bucket])
+        print(
+            f"  {metric:13s} -> bucket {bucket}/{NUM_BUCKETS - 1} "
+            f"(expected value in [{lo:.3g}, {hi:.3g}])"
+        )
+
+    print("\nRecommendations from the paper's findings (Section 4.8):")
+    fired = []
+    if features.num_words < 466:
+        fired.append("add_words")
+    if features.num_examples == 0:
+        fired.append("add_examples")
+    if features.num_text_boxes > 0:
+        fired.append("avoid_text_boxes")
+    if features.num_images == 0:
+        fired.append("add_images")
+    fired.append("batch_more_items")
+    for key in fired:
+        print(f"  * {RECOMMENDATIONS[key]}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        html = Path(sys.argv[1]).read_text()
+        print(f"Analyzing {sys.argv[1]}...")
+    else:
+        html = DEMO_INTERFACE
+        print("Analyzing the built-in demo interface (a web-gather task)...")
+    advise(html)
+
+
+if __name__ == "__main__":
+    main()

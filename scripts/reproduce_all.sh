@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, figures, benchmarks, validation.
+#
+# Usage: scripts/reproduce_all.sh [output_dir]
+#
+# Produces, under the output directory (default: ./reproduction_output):
+#   test_output.txt    - full unit/integration/property test run
+#   bench_output.txt   - per-figure benchmark run (paper shapes asserted)
+#   bench_report.txt   - the paper-vs-measured report (copied from repo root)
+#   validation.txt     - the calibration checklist at small scale
+#   figures/           - every paper figure as SVG
+#   dataset/           - an exported released dataset (small scale)
+#   workload.json      - the derived crowdsourcing workload
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-reproduction_output}"
+mkdir -p "$OUT"
+
+echo "== 1/6 tests =="
+python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
+
+echo "== 2/6 benchmarks (medium scale, regenerates every table & figure) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
+cp bench_report.txt "$OUT/bench_report.txt"
+
+echo "== 3/6 validation checklist =="
+python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
+
+echo "== 4/6 SVG figures =="
+python -m repro figures --scale small --seed 7 --out "$OUT/figures"
+
+echo "== 5/6 dataset export =="
+python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
+
+echo "== 6/6 workload derivation =="
+python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
+
+echo "done: $OUT"

@@ -1,0 +1,6 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e .` falls back to this legacy path (`setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

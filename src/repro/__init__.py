@@ -1,0 +1,36 @@
+"""repro — a full reproduction of the VLDB 2017 crowdsourcing-marketplace study.
+
+The package reproduces *"Understanding Workers, Developing Effective Tasks,
+and Enhancing Marketplace Dynamics: A Study of a Large Crowdsourcing
+Marketplace"* (Jain, Das Sarma, Parameswaran, Widom).  The paper analyzed a
+proprietary dump of a commercial marketplace; this package substitutes a
+seeded generative simulator for that dataset and re-implements every analysis
+in the paper on top of it.
+
+Layered architecture (each layer only sees the ones below it):
+
+1. Substrates — :mod:`repro.tables` (columnar engine), :mod:`repro.stats`
+   (statistics), :mod:`repro.html` (HTML parsing/feature extraction),
+   :mod:`repro.ml` (decision tree + CV), :mod:`repro.taxonomy` (label space).
+2. Data generation — :mod:`repro.htmlgen` (task interface generator),
+   :mod:`repro.simulator` (the marketplace model), :mod:`repro.dataset`
+   (the released-data schema and sampling).
+3. Enrichment — :mod:`repro.enrichment` (clustering, design parameters,
+   performance metrics, simulated labeling).
+4. Analyses — :mod:`repro.analysis` (marketplace, task design, prediction,
+   workers) and :mod:`repro.figures` (one entry point per paper
+   figure/table).
+
+Quickstart::
+
+    from repro import build_study
+
+    study = build_study(scale="tiny", seed=7)
+    fig3 = study.figures.fig03_weekday()
+"""
+
+from repro.study import Study, build_study
+
+__version__ = "1.0.0"
+
+__all__ = ["Study", "build_study", "__version__"]

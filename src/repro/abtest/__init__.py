@@ -1,0 +1,18 @@
+"""Controlled A/B experiments over the simulated marketplace.
+
+The paper's §7 closes with: *"with full-fledged A/B testing, we may be able
+to solidify our correlation and predictive claims with further
+causation-based evidence."*  This subpackage supplies that harness: two
+task designs are issued as matched batch sets to the *same* simulated
+worker pool over the same calendar window, and the three §4.1 metrics are
+compared arm-against-arm with Welch t-tests.
+
+Because both arms share workers, calendar, and allocation machinery — and
+the design targets are composed noise-free — any metric difference is
+*caused* by the design change, turning §4's correlational findings into
+causal estimates (inside the model).
+"""
+
+from repro.abtest.harness import ABTestResult, MetricComparison, TaskDesign, run_ab_test
+
+__all__ = ["ABTestResult", "MetricComparison", "TaskDesign", "run_ab_test"]

@@ -1,0 +1,306 @@
+"""The A/B experiment harness: matched batches, shared workers, t-tested arms."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.enrichment.metrics import compute_batch_metrics
+from repro.dataset.release import ReleasedDataset
+from repro.simulator.arrivals import BatchSchedule
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import simulate_instances
+from repro.simulator.rng import StreamFactory
+from repro.simulator.sources import generate_sources
+from repro.simulator.tasks import (
+    TEXT_RESPONSE_OPERATORS,
+    TaskPopulation,
+    compose_disagreement_target,
+    compose_pickup_base,
+    compose_task_time_base,
+)
+from repro.simulator.workers import generate_workers
+from repro.stats.timeseries import DAY_SECONDS, WEEK_SECONDS
+from repro.stats.ttest import TTestResult, welch_t_test
+from repro.tables import Table
+from repro.taxonomy.labels import DataType, Goal, Operator
+
+
+@dataclass(frozen=True)
+class TaskDesign:
+    """A concrete task design — the treatment unit of an A/B test."""
+
+    goal: Goal = Goal.LANGUAGE_UNDERSTANDING
+    operators: tuple[Operator, ...] = (Operator.FILTER,)
+    data_types: tuple[DataType, ...] = (DataType.TEXT,)
+    num_words: int = 466
+    num_text_boxes: int = 0
+    num_examples: int = 0
+    num_images: int = 0
+    num_items: int = 40
+    num_choices: int = 3
+    redundancy: int = 3
+    subjective: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError("a design needs at least one operator")
+        if self.num_items < 1 or self.redundancy < 1:
+            raise ValueError("num_items and redundancy must be positive")
+        if self.num_choices < 2:
+            raise ValueError("need at least 2 answer choices")
+
+    def varied(self, **changes) -> "TaskDesign":
+        """A copy with the given fields changed (the 'B' arm builder)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's arm-vs-arm outcome."""
+
+    metric: str
+    median_a: float
+    median_b: float
+    t_test: TTestResult
+
+    @property
+    def significant(self) -> bool:
+        return self.t_test.significant()
+
+    @property
+    def relative_change(self) -> float:
+        """(B - A) / A on the medians; negative means B improved the cost."""
+        if self.median_a == 0:
+            return float("nan")
+        return (self.median_b - self.median_a) / self.median_a
+
+
+@dataclass(frozen=True)
+class ABTestResult:
+    """A full experiment outcome: one comparison per §4.1 metric."""
+
+    design_a: TaskDesign
+    design_b: TaskDesign
+    num_batches_per_arm: int
+    comparisons: dict[str, MetricComparison] = field(repr=False)
+
+    def __getitem__(self, metric: str) -> MetricComparison:
+        return self.comparisons[metric]
+
+    def summary(self) -> str:
+        lines = [
+            f"A/B test: {self.num_batches_per_arm} batches per arm",
+        ]
+        for comparison in self.comparisons.values():
+            verdict = "SIGNIFICANT" if comparison.significant else "no effect"
+            lines.append(
+                f"  {comparison.metric:13s} A={comparison.median_a:10.3g} "
+                f"B={comparison.median_b:10.3g} "
+                f"({comparison.relative_change:+.0%}, p={comparison.t_test.p_value:.2g}) "
+                f"{verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _design_population(
+    config: SimulationConfig, designs: tuple[TaskDesign, TaskDesign]
+) -> TaskPopulation:
+    """A two-task population, one per arm, with noise-free targets."""
+    num_words = np.array([d.num_words for d in designs], dtype=np.int64)
+    text_boxes = np.array([d.num_text_boxes for d in designs], dtype=np.int64)
+    examples = np.array([d.num_examples for d in designs], dtype=np.int64)
+    images = np.array([d.num_images for d in designs], dtype=np.int64)
+    items = np.array([float(d.num_items) for d in designs])
+
+    target_disagreement = np.array(
+        [
+            compose_disagreement_target(
+                config,
+                operator=d.operators[0],
+                num_words=d.num_words,
+                num_text_boxes=d.num_text_boxes,
+                num_examples=d.num_examples,
+                items_median=float(d.num_items),
+                subjective=d.subjective,
+            )
+            for d in designs
+        ]
+    )
+    base_task_time = np.array(
+        [
+            compose_task_time_base(
+                config,
+                operator=d.operators[0],
+                num_text_boxes=d.num_text_boxes,
+                num_images=d.num_images,
+                items_median=float(d.num_items),
+            )
+            for d in designs
+        ]
+    )
+    base_pickup = np.array(
+        [
+            compose_pickup_base(
+                config,
+                num_examples=d.num_examples,
+                num_images=d.num_images,
+                items_median=float(d.num_items),
+            )
+            for d in designs
+        ]
+    )
+
+    subjective = np.array(
+        [
+            d.subjective and d.operators[0] in TEXT_RESPONSE_OPERATORS
+            and d.num_text_boxes > 0
+            for d in designs
+        ]
+    )
+
+    return TaskPopulation(
+        goal=np.array([d.goal for d in designs], dtype=object),
+        goals=[(d.goal,) for d in designs],
+        operators=[d.operators for d in designs],
+        data_types=[d.data_types for d in designs],
+        title=np.array(["arm A", "arm B"], dtype=object),
+        num_words=num_words,
+        num_text_boxes=text_boxes,
+        num_examples=examples,
+        num_images=images,
+        items_median=items,
+        cluster_size=np.array([1, 1], dtype=np.int64),  # unused by the engine
+        start_week=np.zeros(2, dtype=np.int64),
+        duration_weeks=np.ones(2, dtype=np.int64),
+        burst=np.zeros(2, dtype=bool),
+        subjective=subjective,
+        num_choices=np.array([d.num_choices for d in designs], dtype=np.int64),
+        redundancy=np.array([d.redundancy for d in designs], dtype=np.int64),
+        target_disagreement=target_disagreement,
+        base_task_time=base_task_time,
+        base_pickup_time=base_pickup,
+        template_salt=np.array([11, 22], dtype=np.int64),
+    )
+
+
+def _matched_batches(
+    config: SimulationConfig,
+    designs: tuple[TaskDesign, TaskDesign],
+    num_batches: int,
+    rng: np.random.Generator,
+) -> BatchSchedule:
+    """Interleaved batch schedule: both arms posted into the same window."""
+    window_start = config.regime_switch_week + 10
+    window_weeks = 8
+    n = 2 * num_batches
+    task_idx = np.tile(np.array([0, 1], dtype=np.int64), num_batches)
+    weeks = window_start + rng.integers(0, window_weeks, size=n)
+    offsets = rng.integers(8 * 3600, 20 * 3600, size=n) + rng.integers(
+        0, 5, size=n
+    ) * DAY_SECONDS
+    start_time = weeks * WEEK_SECONDS + offsets
+
+    items = np.array(
+        [
+            max(1, int(round(designs[t].num_items * float(np.exp(rng.normal(0, 0.1))))))
+            for t in task_idx
+        ],
+        dtype=np.int64,
+    )
+    redundancy = np.array([designs[t].redundancy for t in task_idx], dtype=np.int64)
+
+    order = np.argsort(start_time, kind="stable")
+    return BatchSchedule(
+        task_idx=task_idx[order],
+        start_time=start_time[order].astype(np.int64),
+        num_items=items[order],
+        redundancy=redundancy[order],
+        num_instances=(items * redundancy)[order],
+    )
+
+
+def run_ab_test(
+    design_a: TaskDesign,
+    design_b: TaskDesign,
+    *,
+    num_batches: int = 40,
+    seed: int = 0,
+    config: SimulationConfig | None = None,
+) -> ABTestResult:
+    """Run a matched A/B experiment and compare the §4.1 metrics.
+
+    Both arms are issued as ``num_batches`` batches each, interleaved over
+    the same calendar window and served by the same simulated worker pool.
+    Returns per-metric medians, Welch t-tests, and relative changes.
+    """
+    if num_batches < 5:
+        raise ValueError("need at least 5 batches per arm for a t-test")
+    config = config or SimulationConfig(
+        seed=seed, num_distinct_tasks=2, num_workers=1500, instance_scale=0.5
+    )
+    streams = StreamFactory(seed ^ 0x5EED)
+    rng = streams.stream("batches")
+
+    designs = (design_a, design_b)
+    tasks = _design_population(config, designs)
+    batches = _matched_batches(config, designs, num_batches, rng)
+    sources = generate_sources(streams)
+    envelope = np.ones(config.num_weeks)
+    workers = generate_workers(config, sources, envelope, streams)
+
+    log = simulate_instances(config, tasks, batches, workers, streams)
+
+    catalog = Table(
+        {
+            "batch_id": np.arange(batches.num_batches, dtype=np.int64),
+            "title": np.array(
+                ["arm A" if t == 0 else "arm B" for t in batches.task_idx],
+                dtype=object,
+            ),
+            "created_at": batches.start_time,
+            "sampled": np.ones(batches.num_batches, dtype=bool),
+        },
+        copy=False,
+    )
+    instances = Table(
+        {
+            "batch_id": log.batch_idx,
+            "item_id": log.item_id,
+            "worker_id": log.worker_id,
+            "start_time": log.start_time,
+            "end_time": log.end_time,
+            "trust": log.trust,
+            "response": log.response,
+        },
+        copy=False,
+    )
+    released = ReleasedDataset(
+        batch_catalog=catalog, batch_html={}, instances=instances
+    )
+    metrics = compute_batch_metrics(released)
+
+    arm_of_batch = batches.task_idx[metrics["batch_id"]]
+    comparisons: dict[str, MetricComparison] = {}
+    for metric in ("disagreement", "task_time", "pickup_time"):
+        values = metrics[metric]
+        a = values[arm_of_batch == 0]
+        b = values[arm_of_batch == 1]
+        a = a[~np.isnan(a)]
+        b = b[~np.isnan(b)]
+        if a.size < 2 or b.size < 2:
+            continue
+        comparisons[metric] = MetricComparison(
+            metric=metric,
+            median_a=float(np.median(a)),
+            median_b=float(np.median(b)),
+            t_test=welch_t_test(a, b),
+        )
+    return ABTestResult(
+        design_a=design_a,
+        design_b=design_b,
+        num_batches_per_arm=num_batches,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,11 @@
+"""Analyses reproducing the paper's Sections 3 (marketplace), 4 (task
+design), 4.9 (prediction), and 5 (workers).
+
+Each module exposes plain functions from released/enriched data to
+structured results; :mod:`repro.figures` maps them onto the paper's figure
+and table numbering.
+"""
+
+from repro.analysis import learning, marketplace, prediction, taskdesign, workers
+
+__all__ = ["learning", "marketplace", "prediction", "taskdesign", "workers"]

@@ -1,0 +1,100 @@
+"""Worker-learning analysis (the paper's §7 future-work direction).
+
+§4.5 hypothesizes that "workers get better with experience (both faster and
+more accurate)" to explain the #items effect.  This module measures the
+*within-batch learning curve* directly from the released instance log: for
+each (batch, worker) pair, instances are ranked by start time, each
+duration is normalized by its batch's median duration, and the normalized
+durations are averaged per rank.
+
+If workers speed up with practice, the curve decays; a log-log least-squares
+fit of the curve estimates the learning exponent (the generative ground
+truth is ``Calibration.within_batch_learning_exponent``, which the tests
+verify this analysis recovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.release import ReleasedDataset
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Duration relative to the worker's own first instance, per rank."""
+
+    ranks: np.ndarray  # experience ranks (>= 1) with enough support
+    mean_relative_duration: np.ndarray  # geometric mean of dur_k / dur_0
+    counts: np.ndarray  # observations per rank
+    learning_exponent: float  # fitted: duration ~ (1 + rank) ** -exponent
+
+    @property
+    def speedup_at(self) -> dict[int, float]:
+        """Relative duration at a few reference ranks (read-friendly)."""
+        out = {}
+        for rank in (1, 4, 9, 19):
+            idx = np.flatnonzero(self.ranks == rank)
+            if idx.size:
+                out[rank] = float(self.mean_relative_duration[idx[0]])
+        return out
+
+
+def learning_curve(
+    released: ReleasedDataset,
+    *,
+    max_rank: int = 30,
+    min_observations: int = 30,
+) -> LearningCurve:
+    """Estimate the within-batch learning curve from raw instances."""
+    instances = released.instances
+    batch = instances["batch_id"]
+    worker = instances["worker_id"]
+    start = instances["start_time"]
+    duration = (instances["end_time"] - start).astype(np.float64)
+
+    # Experience rank within (batch, worker), by start time.
+    order = np.lexsort((start, worker, batch))
+    sb, sw = batch[order], worker[order]
+    new_run = np.r_[True, (sb[1:] != sb[:-1]) | (sw[1:] != sw[:-1])]
+    run_id = np.cumsum(new_run) - 1
+    position = np.arange(len(order))
+    run_starts = position[new_run]
+    rank = position - run_starts[run_id]
+
+    # Within-run differencing: compare each duration to the SAME worker's
+    # first duration in the SAME batch.  This cancels worker speed, task
+    # difficulty, and pool-composition effects (naive per-rank averages are
+    # badly biased: high ranks only contain high-volume workers).
+    log_duration = np.log(np.maximum(duration[order], 1e-9))
+    base = log_duration[run_starts][run_id]
+    log_ratio = log_duration - base
+
+    keep = (rank >= 1) & (rank <= max_rank)
+    kept_rank = rank[keep]
+    kept_ratio = log_ratio[keep]
+
+    sums = np.bincount(kept_rank, weights=kept_ratio, minlength=max_rank + 1)
+    counts = np.bincount(kept_rank, minlength=max_rank + 1)
+    supported = counts >= min_observations
+    supported[0] = False  # rank 0 is the reference point
+    ranks = np.flatnonzero(supported)
+    if ranks.size < 3:
+        raise ValueError(
+            "not enough repeated (batch, worker) sequences to fit a learning "
+            f"curve (ranks with support: {ranks.size})"
+        )
+    mean_log_ratio = sums[ranks] / counts[ranks]
+    means = np.exp(mean_log_ratio)
+
+    # Fit duration ~ (1 + rank) ** -gamma: log ratio = -gamma * log1p(rank).
+    x = np.log1p(ranks.astype(np.float64))
+    slope = float(np.sum(x * mean_log_ratio) / np.sum(x * x))
+    return LearningCurve(
+        ranks=ranks,
+        mean_relative_duration=means,
+        counts=counts[ranks],
+        learning_exponent=-slope,
+    )

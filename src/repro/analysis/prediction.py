@@ -1,0 +1,113 @@
+"""The §4.9 predictive setting: bucket each metric, predict with a tree.
+
+For each metric the paper uses a small feature set:
+
+- disagreement: ``{#items, has-example, #words, #text-boxes}``
+- task-time:    ``{#items, has-image, #text-boxes}``
+- pickup-time:  ``{#items, has-example, has-image}``
+
+and two bucketizations of the metric into 10 classes (by range and by
+percentiles), evaluated with 5-fold cross-validation on exact-bucket and
+within-one-bucket accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.taskdesign import analysis_clusters
+from repro.enrichment.pipeline import EnrichedDataset
+from repro.ml import (
+    Bucketization,
+    CrossValResult,
+    DecisionTreeClassifier,
+    bucketize_by_percentile,
+    bucketize_by_range,
+    cross_validate,
+)
+
+#: Feature sets per metric, straight from §4.9.
+FEATURE_SETS: dict[str, tuple[str, ...]] = {
+    "disagreement": ("num_items", "has_example", "num_words", "num_text_boxes"),
+    "task_time": ("num_items", "has_image", "num_text_boxes"),
+    "pickup_time": ("num_items", "has_example", "has_image"),
+}
+
+NUM_BUCKETS = 10
+NUM_FOLDS = 5
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """One metric × bucketization result."""
+
+    metric: str
+    strategy: str  # "range" or "percentile"
+    bucketization: Bucketization
+    cross_val: CrossValResult
+
+    @property
+    def exact_accuracy(self) -> float:
+        return self.cross_val.exact_accuracy
+
+    @property
+    def within_one_accuracy(self) -> float:
+        return self.cross_val.within_one_accuracy
+
+
+def _feature_matrix(clusters, names: tuple[str, ...]) -> np.ndarray:
+    columns = []
+    for name in names:
+        if name == "has_example":
+            columns.append((clusters["num_examples"] > 0).astype(np.float64))
+        elif name == "has_image":
+            columns.append((clusters["num_images"] > 0).astype(np.float64))
+        else:
+            columns.append(clusters[name].astype(np.float64))
+    return np.column_stack(columns)
+
+
+def run_prediction_study(
+    enriched: EnrichedDataset,
+    *,
+    seed: int = 0,
+    max_depth: int = 10,
+    min_samples_split: int = 5,
+) -> list[PredictionOutcome]:
+    """All six §4.9 experiments (3 metrics × 2 bucketizations)."""
+    outcomes = []
+    rng = np.random.default_rng(seed)
+    for metric, feature_names in FEATURE_SETS.items():
+        clusters = analysis_clusters(enriched, metric=metric)
+        if clusters.num_rows < NUM_FOLDS * 2:
+            raise ValueError(
+                f"too few clusters ({clusters.num_rows}) to cross-validate {metric}"
+            )
+        features = _feature_matrix(clusters, feature_names)
+        values = clusters[metric].astype(np.float64)
+        for strategy, bucketizer in (
+            ("range", bucketize_by_range),
+            ("percentile", bucketize_by_percentile),
+        ):
+            bucketization = bucketizer(values, num_buckets=NUM_BUCKETS)
+            result = cross_validate(
+                lambda: DecisionTreeClassifier(
+                    max_depth=max_depth, min_samples_split=min_samples_split
+                ),
+                features,
+                bucketization.labels,
+                k=NUM_FOLDS,
+                tolerance=1,
+                rng=rng,
+            )
+            outcomes.append(
+                PredictionOutcome(
+                    metric=metric,
+                    strategy=strategy,
+                    bucketization=bucketization,
+                    cross_val=result,
+                )
+            )
+    return outcomes

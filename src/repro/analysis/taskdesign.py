@@ -1,0 +1,282 @@
+"""Task-design analyses: the §4.2 correlation methodology and its outputs.
+
+The methodology, verbatim from the paper:
+
+1. **Cluster** — operate on labeled clusters, taking the median of metric
+   and feature values across each cluster's batches (done upstream in
+   :mod:`repro.enrichment.pipeline`).
+2. **Binning** — split clusters at the global median feature value into
+   Bin-1 (low) and Bin-2 (high); features with a natural zero (examples,
+   text boxes, images) split at =0 vs >0.
+3. **Statistical significance** — Welch t-test between the bins' metric
+   values, significant at p < 0.01.
+4. **Visualization** — empirical CDFs of the metric per bin.
+
+For disagreement analyses the paper prunes clusters with disagreement > 0.5
+(subjective free-text tasks); :func:`analysis_clusters` applies the same
+rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.enrichment.labels import split_labels
+from repro.enrichment.pipeline import EnrichedDataset
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.ttest import TTestResult, welch_t_test
+from repro.tables import Table
+
+#: The paper's §4.1 prune threshold for subjective tasks.
+DISAGREEMENT_PRUNE_THRESHOLD = 0.5
+
+#: The three metrics and their table columns.
+METRICS = ("disagreement", "task_time", "pickup_time")
+
+#: The features §4.3–4.7 analyze, with their binning mode.
+FEATURES = {
+    "num_words": "median",
+    "num_items": "median",
+    "num_text_boxes": "zero",
+    "num_examples": "zero",
+    "num_images": "zero",
+}
+
+
+@dataclass(frozen=True)
+class BinComparison:
+    """One {feature, metric} correlation experiment (§4.2)."""
+
+    feature: str
+    metric: str
+    split_description: str
+    threshold: float
+    count_low: int
+    count_high: int
+    median_low: float
+    median_high: float
+    t_test: TTestResult
+    cdf_low: EmpiricalCDF
+    cdf_high: EmpiricalCDF
+
+    @property
+    def significant(self) -> bool:
+        return self.t_test.significant()
+
+    @property
+    def direction(self) -> str:
+        """``"high_better"`` when the high-feature bin has the lower
+        (better) median metric value, else ``"low_better"``."""
+        return "high_better" if self.median_high < self.median_low else "low_better"
+
+
+def analysis_clusters(enriched: EnrichedDataset, *, metric: str) -> Table:
+    """The cluster set used for a given metric's correlation analyses.
+
+    Keeps labeled clusters with a finite metric value; for disagreement,
+    additionally prunes values above :data:`DISAGREEMENT_PRUNE_THRESHOLD`.
+    """
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+    ct = enriched.cluster_table
+    values = ct[metric]
+    keep = ~np.isnan(values)
+    labeled = np.array([g is not None and g != "" for g in ct["goals"]])
+    keep &= labeled
+    if metric == "disagreement":
+        keep &= ~(values > DISAGREEMENT_PRUNE_THRESHOLD)
+    return ct.filter(keep)
+
+
+def bin_comparison(clusters: Table, feature: str, metric: str) -> BinComparison:
+    """Run the §4.2 binning + t-test + CDF experiment for one pair."""
+    if feature not in FEATURES:
+        raise ValueError(f"unknown feature {feature!r}; expected one of {list(FEATURES)}")
+    feature_values = clusters[feature].astype(np.float64)
+    metric_values = clusters[metric].astype(np.float64)
+
+    mode = FEATURES[feature]
+    if mode == "zero":
+        threshold = 0.0
+        low_mask = feature_values == 0
+        split_description = f"{feature} = 0 vs > 0"
+    else:
+        threshold = float(np.median(feature_values))
+        low_mask = feature_values <= threshold
+        # Keep bins as balanced as possible when many values tie the median.
+        if low_mask.sum() > len(feature_values) - low_mask.sum():
+            strictly_low = feature_values < threshold
+            if strictly_low.sum() > 0 and abs(
+                2 * strictly_low.sum() - len(feature_values)
+            ) < abs(2 * low_mask.sum() - len(feature_values)):
+                low_mask = strictly_low
+        split_description = f"{feature} <= {threshold:g} vs > {threshold:g}"
+
+    low = metric_values[low_mask]
+    high = metric_values[~low_mask]
+    if low.size < 2 or high.size < 2:
+        raise ValueError(
+            f"degenerate split for {feature}/{metric}: {low.size} vs {high.size}"
+        )
+    return BinComparison(
+        feature=feature,
+        metric=metric,
+        split_description=split_description,
+        threshold=threshold,
+        count_low=int(low.size),
+        count_high=int(high.size),
+        median_low=float(np.median(low)),
+        median_high=float(np.median(high)),
+        t_test=welch_t_test(low, high),
+        cdf_low=EmpiricalCDF.from_sample(low),
+        cdf_high=EmpiricalCDF.from_sample(high),
+    )
+
+
+def run_all_experiments(enriched: EnrichedDataset) -> list[BinComparison]:
+    """Every {feature, metric} experiment (up to 15 pairs), as §4.8 surveys.
+
+    Pairs whose split degenerates (e.g. almost no cluster has examples in a
+    small sample) are skipped.
+    """
+    out = []
+    for metric in METRICS:
+        clusters = analysis_clusters(enriched, metric=metric)
+        for feature in FEATURES:
+            try:
+                out.append(bin_comparison(clusters, feature, metric))
+            except ValueError:
+                continue
+    return out
+
+
+def drilldown(
+    enriched: EnrichedDataset,
+    *,
+    feature: str,
+    metric: str,
+    category: str,
+    label: str,
+) -> BinComparison:
+    """A Figure-25-style experiment restricted to clusters with a label.
+
+    ``category`` is ``goals``/``operators``/``data_types``; ``label`` the
+    code (e.g. ``"Gat"`` for gather, ``"LU"``).
+    """
+    clusters = analysis_clusters(enriched, metric=metric)
+    mask = np.array(
+        [
+            joined is not None and label in split_labels(joined)
+            for joined in clusters[category]
+        ]
+    )
+    subset = clusters.filter(mask)
+    if subset.num_rows < 4:
+        raise ValueError(
+            f"too few clusters ({subset.num_rows}) labeled {label!r} for a drilldown"
+        )
+    return bin_comparison(subset, feature, metric)
+
+
+@dataclass(frozen=True)
+class LatencyDecomposition:
+    """Figure 13: pickup-time dominates end-to-end turnaround."""
+
+    end_to_end: np.ndarray
+    pickup_time: np.ndarray
+    task_time: np.ndarray
+    median_pickup: float
+    median_task_time: float
+    pickup_dominance_ratio: float  # median pickup / median task time
+
+
+def latency_decomposition(enriched: EnrichedDataset) -> LatencyDecomposition:
+    """Batch-level latency decomposition (Figure 13a)."""
+    bt = enriched.batch_table
+    pickup = bt["pickup_time"].astype(np.float64)
+    task_time = bt["task_time"].astype(np.float64)
+    end_to_end = pickup + task_time
+    median_pickup = float(np.median(pickup))
+    median_task = float(np.median(task_time))
+    return LatencyDecomposition(
+        end_to_end=end_to_end,
+        pickup_time=pickup,
+        task_time=task_time,
+        median_pickup=median_pickup,
+        median_task_time=median_task,
+        pickup_dominance_ratio=median_pickup / max(median_task, 1e-9),
+    )
+
+
+@dataclass(frozen=True)
+class CompletionProfile:
+    """Batch completion-time quantiles (requester-facing turnaround).
+
+    ``time_to_half`` / ``time_to_90`` / ``time_to_full`` are, per batch, the
+    seconds from batch creation until 50% / 90% / 100% of its instances have
+    *completed* — the quantity a requester actually waits for.  The paper's
+    §4.1 argues pickup dominates this; the profile quantifies it.
+    """
+
+    batch_id: np.ndarray
+    time_to_half: np.ndarray
+    time_to_90: np.ndarray
+    time_to_full: np.ndarray
+
+    def medians(self) -> dict[str, float]:
+        return {
+            "time_to_half": float(np.median(self.time_to_half)),
+            "time_to_90": float(np.median(self.time_to_90)),
+            "time_to_full": float(np.median(self.time_to_full)),
+        }
+
+
+def batch_completion_profile(released) -> CompletionProfile:
+    """Compute per-batch completion quantiles from the released instances."""
+    instances = released.instances
+    batch = instances["batch_id"]
+    end = instances["end_time"].astype(np.float64)
+
+    catalog = released.batch_catalog
+    created = np.zeros(int(catalog["batch_id"].max()) + 1)
+    created[catalog["batch_id"]] = catalog["created_at"]
+
+    order = np.argsort(batch, kind="stable")
+    sorted_batch = batch[order]
+    starts = np.flatnonzero(np.r_[True, sorted_batch[1:] != sorted_batch[:-1]])
+    ends = np.r_[starts[1:], len(sorted_batch)]
+    ids = sorted_batch[starts]
+    half = np.empty(len(starts))
+    p90 = np.empty(len(starts))
+    full = np.empty(len(starts))
+    ordered_end = end[order]
+    for i, (s, e) in enumerate(zip(starts, ends)):
+        segment = np.sort(ordered_end[s:e]) - created[ids[i]]
+        half[i] = segment[int(0.5 * (len(segment) - 1))]
+        p90[i] = segment[int(0.9 * (len(segment) - 1))]
+        full[i] = segment[-1]
+    return CompletionProfile(
+        batch_id=ids.astype(np.int64),
+        time_to_half=half,
+        time_to_90=p90,
+        time_to_full=full,
+    )
+
+
+def summary_table(enriched: EnrichedDataset, metric: str) -> list[BinComparison]:
+    """The rows of paper Table 1/2/3: significant features for ``metric``.
+
+    Degenerate splits are skipped (they cannot be significant).
+    """
+    clusters = analysis_clusters(enriched, metric=metric)
+    rows = []
+    for feature in FEATURES:
+        try:
+            comparison = bin_comparison(clusters, feature, metric)
+        except ValueError:
+            continue
+        if comparison.significant:
+            rows.append(comparison)
+    return rows

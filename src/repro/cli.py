@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Build a study and export the released dataset to a directory
+    (CSV + HTML files, loadable with :func:`repro.dataset.load_dataset`).
+``report``
+    Build a study and print the headline findings of every paper section.
+``abtest``
+    Run a task-design A/B experiment on the simulator (vary one feature).
+``learning``
+    Estimate the within-batch worker learning curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+SCALES = ("tiny", "small", "medium")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=SCALES, default="tiny",
+        help="simulation scale preset (default: tiny)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="simulation seed (default: 7)"
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.dataset import save_dataset
+
+    study = build_study(args.scale, seed=args.seed)
+    path = save_dataset(study.released, args.out)
+    print(
+        f"wrote {study.released.instances.num_rows:,} instances across "
+        f"{study.released.num_sampled_batches:,} sampled batches to {path}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.reporting import (
+        format_count,
+        format_seconds,
+        render_comparison_rows,
+    )
+
+    study = build_study(args.scale, seed=args.seed)
+    figures = study.figures
+
+    load = figures.headline_load_variation()
+    print("== Section 3: marketplace dynamics ==")
+    print(
+        f"median daily load {format_count(load['median_daily_instances'])}; "
+        f"busiest {load['busiest_over_median']:.0f}x median; "
+        f"lightest {load['lightest_over_median']:.2g}x"
+    )
+    weekday = figures.fig03_weekday()
+    print(f"weekday/weekend load ratio {weekday['weekday_weekend_ratio']:.2f}")
+
+    print("\n== Section 4: task design ==")
+    latency = figures.fig13_latency()
+    print(
+        f"median pickup {format_seconds(latency['median_pickup'])} vs task "
+        f"time {format_seconds(latency['median_task_time'])} "
+        f"({latency['pickup_dominance_ratio']:.0f}x)"
+    )
+    for metric, title in (
+        ("disagreement", "Table 1 (disagreement)"),
+        ("task_time", "Table 2 (task time)"),
+        ("pickup_time", "Table 3 (pickup time)"),
+    ):
+        rows = figures.tables_123()[metric]
+        print(f"\n{title}:")
+        print(render_comparison_rows(rows) if rows else "(none significant)")
+
+    print("\n== Section 5: workers ==")
+    lifetimes = figures.fig30_lifetimes()
+    workload = figures.fig29_workload()
+    geo = figures.fig28_geography()
+    print(
+        f"one-day workers {lifetimes['one_day_worker_fraction']:.0%} "
+        f"(task share {lifetimes['one_day_task_share']:.1%}); "
+        f"top-10% of workers do {workload['top10_task_share']:.0%} of tasks; "
+        f"{geo['num_countries']} countries, top-5 share {geo['top5_share']:.0%}"
+    )
+    return 0
+
+
+def _cmd_abtest(args: argparse.Namespace) -> int:
+    from repro.abtest import TaskDesign, run_ab_test
+
+    base = TaskDesign()
+    if not hasattr(base, args.feature):
+        print(f"unknown design feature {args.feature!r}", file=sys.stderr)
+        return 2
+    variant = base.varied(**{args.feature: args.value})
+    result = run_ab_test(
+        base, variant, num_batches=args.batches, seed=args.seed
+    )
+    print(
+        f"A = default design; B = default with {args.feature}={args.value}"
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.workloads import derive_workload
+
+    study = build_study(args.scale, seed=args.seed)
+    spec = derive_workload(study.enriched, min_support=args.min_support)
+    if args.out:
+        spec.save(args.out)
+        print(f"wrote {spec.num_archetypes} archetypes to {args.out}")
+    else:
+        print(spec.to_json())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.validation import validate_study
+
+    study = build_study(args.scale, seed=args.seed)
+    report = validate_study(study)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.figures.render_svg import render_all_figures
+
+    study = build_study(args.scale, seed=args.seed)
+    paths = render_all_figures(study.figures, args.out)
+    print(f"wrote {len(paths)} SVG figures to {args.out}")
+    return 0
+
+
+def _cmd_learning(args: argparse.Namespace) -> int:
+    from repro import build_study
+    from repro.analysis.learning import learning_curve
+
+    study = build_study(args.scale, seed=args.seed)
+    curve = learning_curve(study.released)
+    print(
+        f"fitted within-batch learning exponent: {curve.learning_exponent:.3f}"
+    )
+    for rank, value in curve.speedup_at.items():
+        print(f"  instance #{rank + 1} of a batch takes {value:.0%} of the first")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the VLDB'17 crowdsourcing-marketplace study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="export a released dataset")
+    _add_common(simulate)
+    simulate.add_argument("--out", required=True, help="output directory")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    report = sub.add_parser("report", help="print headline findings")
+    _add_common(report)
+    report.set_defaults(func=_cmd_report)
+
+    abtest = sub.add_parser("abtest", help="run a design A/B experiment")
+    abtest.add_argument(
+        "--feature", default="num_examples",
+        help="TaskDesign field to vary (default: num_examples)",
+    )
+    abtest.add_argument(
+        "--value", type=int, default=2, help="variant value (default: 2)"
+    )
+    abtest.add_argument(
+        "--batches", type=int, default=40, help="batches per arm (default: 40)"
+    )
+    abtest.add_argument("--seed", type=int, default=7)
+    abtest.set_defaults(func=_cmd_abtest)
+
+    learning = sub.add_parser("learning", help="estimate worker learning")
+    _add_common(learning)
+    learning.set_defaults(func=_cmd_learning)
+
+    figures = sub.add_parser("figures", help="render all paper figures as SVG")
+    _add_common(figures)
+    figures.add_argument("--out", required=True, help="output directory")
+    figures.set_defaults(func=_cmd_figures)
+
+    validate = sub.add_parser(
+        "validate", help="check a simulated world against the paper's claims"
+    )
+    _add_common(validate)
+    validate.set_defaults(func=_cmd_validate)
+
+    workload = sub.add_parser(
+        "workload", help="derive a crowdsourcing benchmark workload (JSON)"
+    )
+    _add_common(workload)
+    workload.add_argument("--out", default=None, help="write JSON here")
+    workload.add_argument(
+        "--min-support", type=int, default=2,
+        help="minimum clusters behind an archetype (default: 2)",
+    )
+    workload.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

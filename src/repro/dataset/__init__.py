@@ -1,0 +1,21 @@
+"""The released-data layer: what the marketplace actually handed over (§2).
+
+The simulator produces full ground truth; the paper's authors received only
+(1) a catalog of *all* batches with title and creation date, (2) full
+metadata plus one sample-task HTML for a ~21% batch sample, and (3) the
+instance-level log (worker, item, times, trust, response) for sampled
+batches.  :func:`~repro.dataset.release.release_dataset` applies exactly
+that lens, and everything downstream (enrichment, analyses, figures)
+consumes only the release.
+"""
+
+from repro.dataset.release import ReleasedDataset, release_dataset
+from repro.dataset.store import StoreError, load_dataset, save_dataset
+
+__all__ = [
+    "ReleasedDataset",
+    "StoreError",
+    "load_dataset",
+    "release_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,128 @@
+"""Construct the released dataset from simulator ground truth (paper §2.2–2.3).
+
+The release deliberately *omits* everything the paper says was missing:
+requester ids, distinct-task ids (clustering must re-derive them), ground
+truth answers, test questions, and payments.  Worker attributes are carried
+per instance (worker id, source, country) exactly as §2.3 lists them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.htmlgen import render_task_html
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import MarketplaceState
+from repro.tables import Table
+
+
+@dataclass
+class ReleasedDataset:
+    """What the analysis layer is allowed to see.
+
+    Attributes
+    ----------
+    batch_catalog:
+        One row per batch in the *entire* marketplace: ``batch_id``,
+        ``title``, ``created_at``, ``sampled``.  Mirrors the paper's
+        "minimal data about the remaining [batches], consisting only of the
+        title of the task and the creation date".
+    batch_html:
+        ``batch_id -> sample task HTML`` for sampled batches only.
+    instances:
+        Instance-level log for sampled batches: ``instance_id``,
+        ``batch_id``, ``item_id``, ``worker_id``, ``source``, ``country``,
+        ``start_time``, ``end_time``, ``trust``, ``response``.
+    """
+
+    batch_catalog: Table
+    batch_html: dict[int, str]
+    instances: Table
+
+    @property
+    def num_sampled_batches(self) -> int:
+        return len(self.batch_html)
+
+
+def _render_batch_html(
+    state: MarketplaceState, batch_ids: np.ndarray, rng: np.random.Generator
+) -> dict[int, str]:
+    tasks = state.tasks
+    html: dict[int, str] = {}
+    for batch_id in batch_ids:
+        t = int(state.batches.task_idx[batch_id])
+        item_token = f"unit-{int(rng.integers(10**8)):08d}"
+        rendered = render_task_html(
+            title=str(tasks.title[t]),
+            goals=tasks.goals[t],
+            operators=tasks.operators[t],
+            data_types=tasks.data_types[t],
+            num_words=int(tasks.num_words[t]),
+            num_text_boxes=int(tasks.num_text_boxes[t]),
+            num_examples=int(tasks.num_examples[t]),
+            num_images=int(tasks.num_images[t]),
+            num_choices=int(tasks.num_choices[t]),
+            template_salt=int(tasks.template_salt[t]),
+            item_token=item_token,
+        )
+        # Mild per-batch template drift (requesters tweak footers between
+        # re-issues) so clustering must genuinely match near-duplicates.
+        if rng.random() < 0.15:
+            footer = f"<p>batch revision {int(rng.integers(100))} posted</p>"
+            rendered = rendered.replace("</body>", footer + "</body>")
+        html[int(batch_id)] = rendered
+    return html
+
+
+def release_dataset(
+    state: MarketplaceState, config: SimulationConfig
+) -> ReleasedDataset:
+    """Apply the §2.2 sampling lens to the simulated marketplace."""
+    from repro.simulator.rng import StreamFactory
+
+    rng = StreamFactory(config.seed).stream("release")
+    num_batches = state.batches.num_batches
+
+    sampled = rng.random(num_batches) < config.batch_sample_prob
+    if not sampled.any():
+        sampled[rng.integers(num_batches)] = True
+    sampled_ids = np.flatnonzero(sampled)
+
+    batch_catalog = Table(
+        {
+            "batch_id": np.arange(num_batches, dtype=np.int64),
+            "title": state.tasks.title[state.batches.task_idx],
+            "created_at": state.batches.start_time,
+            "sampled": sampled,
+        },
+        copy=False,
+    )
+
+    batch_html = _render_batch_html(state, sampled_ids, rng)
+
+    log = state.instances
+    keep = sampled[log.batch_idx]
+    worker = log.worker_id[keep]
+    source_names = np.array(state.sources.names, dtype=object)
+    instances = Table(
+        {
+            "instance_id": np.flatnonzero(keep).astype(np.int64),
+            "batch_id": log.batch_idx[keep],
+            "item_id": log.item_id[keep],
+            "worker_id": worker,
+            "source": source_names[state.workers.source_idx[worker]],
+            "country": state.workers.country[worker],
+            "start_time": log.start_time[keep],
+            "end_time": log.end_time[keep],
+            "trust": log.trust[keep],
+            "response": log.response[keep],
+        },
+        copy=False,
+    )
+    return ReleasedDataset(
+        batch_catalog=batch_catalog,
+        batch_html=batch_html,
+        instances=instances,
+    )

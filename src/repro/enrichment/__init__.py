@@ -1,0 +1,35 @@
+"""The paper's §2.4 enrichment pipeline.
+
+Four stages, all operating on the *released* dataset only:
+
+1. :mod:`~repro.enrichment.clustering` — group batches into distinct-task
+   clusters by HTML similarity (shingling + minhash/LSH + union-find);
+2. :mod:`~repro.enrichment.design` — extract the §4 design parameters from
+   each sampled batch's HTML;
+3. :mod:`~repro.enrichment.metrics` — compute per-batch performance metrics:
+   disagreement (with the >0.5 prune rule applied later, at analysis time),
+   median task-time, median pickup-time;
+4. :mod:`~repro.enrichment.labels` — simulate the two-annotator labeling of
+   one representative interface per cluster (goal / operators / data types).
+
+:func:`~repro.enrichment.pipeline.enrich_dataset` runs all four and bundles
+the result as an :class:`~repro.enrichment.pipeline.EnrichedDataset`.
+"""
+
+from repro.enrichment.clustering import cluster_batches, jaccard, minhash_signature, shingles
+from repro.enrichment.design import extract_design_parameters
+from repro.enrichment.labels import annotate_clusters
+from repro.enrichment.metrics import compute_batch_metrics
+from repro.enrichment.pipeline import EnrichedDataset, enrich_dataset
+
+__all__ = [
+    "EnrichedDataset",
+    "annotate_clusters",
+    "cluster_batches",
+    "compute_batch_metrics",
+    "enrich_dataset",
+    "extract_design_parameters",
+    "jaccard",
+    "minhash_signature",
+    "shingles",
+]

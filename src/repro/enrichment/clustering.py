@@ -1,0 +1,172 @@
+"""Batch clustering by HTML similarity (paper §3.3).
+
+"We first clustered the batches in our dataset based on metadata from the
+extracted HTML source ... and tuned the threshold of a match to ensure that
+the tasks that on inspection look very similar ... are actually clustered
+together."
+
+Pipeline: token shingles → 64-permutation minhash signatures → LSH banding
+to find candidate pairs → exact Jaccard verification at ``threshold`` →
+union-find to form clusters.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Iterable, Mapping
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"<[^>]+>|[^\s<>]+")
+
+#: Attribute noise that varies between batches of the same task (the sample
+#: item token); stripped before shingling.
+_UNIT_RE = re.compile(r'(data-unit="[^"]*"|unit-\d+(-\d+)?(\.\w+)?)')
+
+_MERSENNE = np.uint64((1 << 61) - 1)
+
+
+def _tokens(html: str) -> list[str]:
+    cleaned = _UNIT_RE.sub("", html)
+    return _TOKEN_RE.findall(cleaned)
+
+
+#: Polynomial base for combining token hashes into shingle hashes.  Python's
+#: builtin ``hash`` is process-salted and would make clustering vary across
+#: runs; CRC32 token hashes keep the whole pipeline deterministic.
+_POLY_BASE = 1_000_003
+
+
+def _shingle_hash(token_hashes: list[int]) -> int:
+    acc = 0
+    for h in token_hashes:
+        acc = (acc * _POLY_BASE + h) & 0x1FFFFFFFFFFFFFFF  # mod 2^61
+    return acc
+
+
+def shingles(html: str, *, k: int = 4) -> set[int]:
+    """Stably hashed k-token shingles of the HTML token stream."""
+    token_hashes = [zlib.crc32(t.encode()) for t in _tokens(html)]
+    if len(token_hashes) < k:
+        return {_shingle_hash(token_hashes)}
+    return {
+        _shingle_hash(token_hashes[i:i + k])
+        for i in range(len(token_hashes) - k + 1)
+    }
+
+
+def jaccard(a: set[int], b: set[int]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def _permutation_params(num_perm: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, int(_MERSENNE), size=num_perm, dtype=np.uint64)
+    b = rng.integers(0, int(_MERSENNE), size=num_perm, dtype=np.uint64)
+    return a, b
+
+
+def minhash_signature(
+    shingle_set: Iterable[int], *, num_perm: int = 64, seed: int = 1234
+) -> np.ndarray:
+    """Minhash signature (length ``num_perm``) of a shingle set."""
+    values = np.fromiter(
+        (np.uint64(s & 0xFFFFFFFFFFFFFFFF) for s in shingle_set), dtype=np.uint64
+    )
+    if values.size == 0:
+        return np.full(num_perm, np.iinfo(np.uint64).max, dtype=np.uint64)
+    a, b = _permutation_params(num_perm, seed)
+    # (a * x + b) mod p for each permutation; rows = permutations.
+    with np.errstate(over="ignore"):
+        hashed = (values[None, :] * a[:, None] + b[:, None]) % _MERSENNE
+    return hashed.min(axis=1)
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[ry] = rx
+
+
+def cluster_batches(
+    html_by_batch: Mapping[int, str],
+    *,
+    threshold: float = 0.60,
+    num_perm: int = 64,
+    bands: int = 16,
+    seed: int = 1234,
+) -> dict[int, int]:
+    """Cluster batches by HTML similarity.
+
+    Returns ``batch_id -> cluster_id`` with cluster ids dense from 0,
+    numbered by order of first appearance.  ``threshold`` is the exact
+    Jaccard similarity required to merge a verified candidate pair.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if num_perm % bands != 0:
+        raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
+
+    batch_ids = sorted(html_by_batch)
+    all_sets = [shingles(html_by_batch[b]) for b in batch_ids]
+
+    # Batches of one task often have byte-identical templates; dedupe exact
+    # shingle sets so minhash/LSH only runs on distinct interfaces.
+    rep_of_key: dict[frozenset, int] = {}
+    rep_index = np.empty(len(batch_ids), dtype=np.int64)
+    for i, s in enumerate(all_sets):
+        key = frozenset(s)
+        rep_index[i] = rep_of_key.setdefault(key, len(rep_of_key))
+    reps = sorted(rep_of_key.items(), key=lambda kv: kv[1])
+    shingle_sets = [set(key) for key, _ in reps]
+    signatures = [
+        minhash_signature(s, num_perm=num_perm, seed=seed) for s in shingle_sets
+    ]
+
+    rows = num_perm // bands
+    uf = _UnionFind(len(shingle_sets))
+    verified: set[tuple[int, int]] = set()
+    for band in range(bands):
+        buckets: dict[bytes, list[int]] = {}
+        lo, hi = band * rows, (band + 1) * rows
+        for i, sig in enumerate(signatures):
+            buckets.setdefault(sig[lo:hi].tobytes(), []).append(i)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            anchor = members[0]
+            for other in members[1:]:
+                pair = (anchor, other)
+                if pair in verified or uf.find(anchor) == uf.find(other):
+                    continue
+                verified.add(pair)
+                if jaccard(shingle_sets[anchor], shingle_sets[other]) >= threshold:
+                    uf.union(anchor, other)
+
+    cluster_of_root: dict[int, int] = {}
+    result: dict[int, int] = {}
+    for i, batch_id in enumerate(batch_ids):
+        root = uf.find(int(rep_index[i]))
+        if root not in cluster_of_root:
+            cluster_of_root[root] = len(cluster_of_root)
+        result[batch_id] = cluster_of_root[root]
+    return result

@@ -1,0 +1,38 @@
+"""Per-batch design parameters extracted from the sample-task HTML (§2.4)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.html import extract_features
+from repro.tables import Table
+
+
+def extract_design_parameters(batch_html: Mapping[int, str]) -> Table:
+    """Extract design features for every sampled batch.
+
+    Returns one row per batch: ``batch_id``, ``num_words``,
+    ``num_text_boxes``, ``num_examples``, ``num_images``,
+    ``num_input_fields``, ``has_instructions``.
+    """
+    batch_ids = sorted(batch_html)
+    rows = {
+        "batch_id": np.asarray(batch_ids, dtype=np.int64),
+        "num_words": np.empty(len(batch_ids), dtype=np.int64),
+        "num_text_boxes": np.empty(len(batch_ids), dtype=np.int64),
+        "num_examples": np.empty(len(batch_ids), dtype=np.int64),
+        "num_images": np.empty(len(batch_ids), dtype=np.int64),
+        "num_input_fields": np.empty(len(batch_ids), dtype=np.int64),
+        "has_instructions": np.empty(len(batch_ids), dtype=bool),
+    }
+    for i, batch_id in enumerate(batch_ids):
+        features = extract_features(batch_html[batch_id])
+        rows["num_words"][i] = features.num_words
+        rows["num_text_boxes"][i] = features.num_text_boxes
+        rows["num_examples"][i] = features.num_examples
+        rows["num_images"][i] = features.num_images
+        rows["num_input_fields"][i] = features.num_input_fields
+        rows["has_instructions"][i] = features.has_instructions
+    return Table(rows, copy=False)

@@ -1,0 +1,128 @@
+"""Per-batch performance metrics (paper §4.1).
+
+- **Disagreement score** (error proxy): for every item, all pairs of worker
+  answers are compared — 1 if different, 0 if equal — and averaged; the
+  batch's score averages its items.  Items with a single answer contribute
+  nothing.  Computed combinatorially: with ``n`` answers on an item of which
+  ``c_r`` gave response ``r``, the agreeing pairs are ``sum c_r (c_r - 1) / 2``
+  of ``n (n - 1) / 2`` total.
+- **Median task time** (cost proxy): median of ``end - start`` over the
+  batch's instances.
+- **Median pickup time** (latency proxy): median of ``start - batch
+  creation``.  The batch creation timestamp is the catalog's ``created_at``
+  (the paper uses the earliest activity as a proxy; our released catalog
+  carries the creation time directly, which is the same quantity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.release import ReleasedDataset
+from repro.tables import Table
+from repro.tables.column import factorize
+
+
+def _pair_disagreement_by_item(
+    item_id: np.ndarray, response: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(unique item ids, per-item average pairwise disagreement).
+
+    Items with fewer than two answers get NaN.
+    """
+    response_codes, _ = factorize(response)
+    order = np.lexsort((response_codes, item_id))
+    items_sorted = item_id[order]
+    codes_sorted = response_codes[order]
+
+    # Per-item totals.
+    item_change = np.r_[True, items_sorted[1:] != items_sorted[:-1]]
+    item_starts = np.flatnonzero(item_change)
+    item_ends = np.r_[item_starts[1:], len(items_sorted)]
+    n_per_item = (item_ends - item_starts).astype(np.float64)
+
+    # Per-(item, response) run lengths within the sorted order.
+    run_change = item_change | np.r_[True, codes_sorted[1:] != codes_sorted[:-1]]
+    run_starts = np.flatnonzero(run_change)
+    run_ends = np.r_[run_starts[1:], len(items_sorted)]
+    run_lengths = (run_ends - run_starts).astype(np.float64)
+    # Sum c*(c-1) per item: map each run to its item slot.
+    run_item_slot = np.searchsorted(item_starts, run_starts, side="right") - 1
+    same_pairs = np.zeros(len(item_starts))
+    np.add.at(same_pairs, run_item_slot, run_lengths * (run_lengths - 1.0))
+
+    total_pairs = n_per_item * (n_per_item - 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        disagreement = 1.0 - same_pairs / total_pairs
+    disagreement[total_pairs == 0] = np.nan
+    return items_sorted[item_starts], disagreement
+
+
+def compute_batch_metrics(released: ReleasedDataset) -> Table:
+    """Metrics for every sampled batch.
+
+    Returns columns: ``batch_id``, ``disagreement`` (NaN when no item has 2+
+    answers), ``task_time``, ``pickup_time``, ``num_items``,
+    ``num_instances``.
+    """
+    instances = released.instances
+    batch_id = instances["batch_id"]
+    item_id = instances["item_id"]
+    start = instances["start_time"].astype(np.float64)
+    end = instances["end_time"].astype(np.float64)
+
+    catalog = released.batch_catalog
+    created_at = np.zeros(int(catalog["batch_id"].max()) + 1, dtype=np.float64)
+    created_at[catalog["batch_id"]] = catalog["created_at"]
+
+    # Per-item disagreement, then averaged per batch.
+    unique_items, item_disagreement = _pair_disagreement_by_item(
+        item_id, instances["response"]
+    )
+    # Each item belongs to exactly one batch: take the batch of its first
+    # instance occurrence.
+    first_occurrence = np.zeros(int(item_id.max()) + 1, dtype=np.int64)
+    first_occurrence[item_id[::-1]] = np.arange(len(item_id))[::-1]
+    item_batch = batch_id[first_occurrence[unique_items]]
+
+    order = np.argsort(batch_id, kind="stable")
+    sorted_batches = batch_id[order]
+    starts = np.flatnonzero(np.r_[True, sorted_batches[1:] != sorted_batches[:-1]])
+    ends = np.r_[starts[1:], len(sorted_batches)]
+    out_batch = sorted_batches[starts]
+
+    task_time = np.empty(len(out_batch))
+    pickup_time = np.empty(len(out_batch))
+    num_items = np.empty(len(out_batch), dtype=np.int64)
+    num_instances = (ends - starts).astype(np.int64)
+    duration = (end - start)[order]
+    pickup = (start - created_at[batch_id])[order]
+    items_ordered = item_id[order]
+    for slot, (s, e) in enumerate(zip(starts, ends)):
+        task_time[slot] = np.median(duration[s:e])
+        pickup_time[slot] = np.median(pickup[s:e])
+        num_items[slot] = len(np.unique(items_ordered[s:e]))
+
+    # Average item disagreement per batch (NaN-aware).  ``out_batch`` is
+    # sorted, so slots resolve by binary search.
+    dis_sum = np.zeros(len(out_batch))
+    dis_count = np.zeros(len(out_batch))
+    valid = ~np.isnan(item_disagreement)
+    slots = np.searchsorted(out_batch, item_batch[valid])
+    np.add.at(dis_sum, slots, item_disagreement[valid])
+    np.add.at(dis_count, slots, 1.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        disagreement = dis_sum / dis_count
+    disagreement[dis_count == 0] = np.nan
+
+    return Table(
+        {
+            "batch_id": out_batch.astype(np.int64),
+            "disagreement": disagreement,
+            "task_time": task_time,
+            "pickup_time": np.maximum(pickup_time, 0.0),
+            "num_items": num_items,
+            "num_instances": num_instances,
+        },
+        copy=False,
+    )

@@ -1,0 +1,97 @@
+"""Glue: run clustering, design extraction, metrics, and labeling (§2.4).
+
+The output :class:`EnrichedDataset` is what every §3–§5 analysis consumes:
+
+``batch_table``
+    One row per *sampled* batch: cluster id, creation time, design
+    parameters, performance metrics.
+``cluster_table``
+    One row per cluster: batch/instance counts, the **median across
+    batches** of every design parameter and metric (the paper's §4.2
+    cluster-then-median methodology), first activity time, and labels.
+``labels``
+    The raw annotation table (multi-labels ``+``-joined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.release import ReleasedDataset
+from repro.enrichment.clustering import cluster_batches
+from repro.enrichment.design import extract_design_parameters
+from repro.enrichment.labels import annotate_clusters
+from repro.enrichment.metrics import compute_batch_metrics
+from repro.simulator.config import SimulationConfig
+from repro.simulator.rng import StreamFactory
+from repro.tables import Table, group_by, hash_join
+
+
+@dataclass
+class EnrichedDataset:
+    """The released dataset plus everything §2.4 derives from it."""
+
+    cluster_of_batch: dict[int, int]
+    batch_table: Table
+    cluster_table: Table
+    labels: Table
+
+    @property
+    def num_clusters(self) -> int:
+        return self.cluster_table.num_rows
+
+
+def _nanmedian(segment: np.ndarray) -> float:
+    values = segment[~np.isnan(segment)]
+    if values.size == 0:
+        return float("nan")
+    return float(np.median(values))
+
+
+def enrich_dataset(
+    released: ReleasedDataset, config: SimulationConfig
+) -> EnrichedDataset:
+    """Run the full §2.4 enrichment pipeline on a released dataset."""
+    cluster_of_batch = cluster_batches(released.batch_html)
+
+    design = extract_design_parameters(released.batch_html)
+    metrics = compute_batch_metrics(released)
+
+    batch_table = hash_join(design, metrics, on="batch_id", how="left")
+    cluster_ids = np.array(
+        [cluster_of_batch[int(b)] for b in batch_table["batch_id"]], dtype=np.int64
+    )
+    batch_table = batch_table.with_column("cluster_id", cluster_ids)
+
+    catalog = released.batch_catalog.select(["batch_id", "created_at"])
+    batch_table = hash_join(batch_table, catalog, on="batch_id", how="left")
+
+    grouped = group_by(batch_table, "cluster_id")
+    cluster_table = grouped.agg(
+        {
+            "num_batches": ("batch_id", "count"),
+            "num_instances": ("num_instances", "sum"),
+            "num_words": ("num_words", "median"),
+            "num_text_boxes": ("num_text_boxes", "median"),
+            "num_examples": ("num_examples", "median"),
+            "num_images": ("num_images", "median"),
+            "num_items": ("num_items", "median"),
+            "disagreement": ("disagreement", _nanmedian),
+            "task_time": ("task_time", _nanmedian),
+            "pickup_time": ("pickup_time", _nanmedian),
+            "first_time": ("created_at", "min"),
+        }
+    )
+
+    label_rng = StreamFactory(config.seed).stream("labels")
+    labels = annotate_clusters(cluster_of_batch, released.batch_html, label_rng)
+    cluster_table = hash_join(cluster_table, labels, on="cluster_id", how="left")
+
+    return EnrichedDataset(
+        cluster_of_batch=cluster_of_batch,
+        batch_table=batch_table,
+        cluster_table=cluster_table,
+        labels=labels,
+    )

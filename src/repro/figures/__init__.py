@@ -1,0 +1,12 @@
+"""One entry point per paper figure and table.
+
+:class:`~repro.figures.suite.FigureSuite` binds the released + enriched data
+and exposes ``fig01_sampling()`` ... ``fig30_lifetimes()``, ``tables_123()``,
+``table4_sources()``, and ``prediction_study()``.  Every method returns
+plain dictionaries of numbers/arrays — the benchmark harness prints them,
+and EXPERIMENTS.md records the comparison against the paper.
+"""
+
+from repro.figures.suite import FigureSuite
+
+__all__ = ["FigureSuite"]

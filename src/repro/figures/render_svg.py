@@ -1,0 +1,327 @@
+"""Render every paper figure as a standalone SVG file.
+
+``render_all_figures(figure_suite, out_dir)`` regenerates the paper's plots
+as vector images (no plotting library exists in this environment; see
+:mod:`repro.reporting.svg`).  File names follow the paper's numbering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.figures.suite import FigureSuite
+from repro.reporting.svg import (
+    bar_chart,
+    cdf_chart,
+    line_chart,
+    scatter_log_log,
+    stacked_bar_chart,
+)
+
+
+def _write(out_dir: Path, name: str, svg: str, written: list[Path]) -> None:
+    path = out_dir / f"{name}.svg"
+    path.write_text(svg)
+    written.append(path)
+
+
+def render_all_figures(figures: FigureSuite, out_dir: str | Path) -> list[Path]:
+    """Write every figure's SVG under ``out_dir``; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    weeks = np.arange(figures.num_weeks)
+    switch = float(figures.regime_week)
+
+    # Figure 1 — sampling coverage.
+    fig01 = figures.fig01_sampling()
+    _write(out_dir, "fig01_sampling", line_chart(
+        {"all": (weeks, fig01["all"]), "sampled": (weeks, fig01["sampled"])},
+        title="Figure 1: distinct tasks sampled vs all (weekly)",
+        x_label="week", y_label="# distinct tasks",
+        marker_x=switch, marker_label="Jan 2015",
+    ), written)
+
+    # Figure 2 — arrivals and pickup time.
+    fig02 = figures.fig02_arrivals()
+    _write(out_dir, "fig02a_arrivals", line_chart(
+        {
+            "instances issued": (weeks, fig02["instances_issued"]),
+            "instances completed": (weeks, fig02["instances_completed"]),
+        },
+        title="Figure 2a: task-instance arrivals and completions",
+        x_label="week", y_label="# instances",
+        marker_x=switch, marker_label="Jan 2015",
+    ), written)
+    _write(out_dir, "fig02a_pickup", line_chart(
+        {"median pickup time": (weeks, fig02["median_pickup_time"])},
+        title="Figure 2a (overlay): median pickup time per week",
+        x_label="week", y_label="seconds", y_log=True,
+        marker_x=switch, marker_label="Jan 2015",
+    ), written)
+    _write(out_dir, "fig02b_batches", line_chart(
+        {
+            "batches issued": (weeks, fig02["batches_issued"]),
+            "distinct tasks": (weeks, fig02["distinct_tasks_issued"]),
+        },
+        title="Figure 2b: batch and distinct-task arrivals",
+        x_label="week", y_label="count",
+        marker_x=switch, marker_label="Jan 2015",
+    ), written)
+
+    # Figure 3 — weekday distribution.
+    fig03 = figures.fig03_weekday()
+    _write(out_dir, "fig03_weekday", bar_chart(
+        dict(zip(fig03["days"], fig03["instances"])),
+        title="Figure 3: instances issued by day of week",
+        y_label="# instances",
+    ), written)
+
+    # Figure 4 — worker availability.
+    fig04 = figures.fig04_workers()
+    _write(out_dir, "fig04_workers", line_chart(
+        {"active workers": (weeks, fig04["active_workers"])},
+        title="Figure 4: distinct workers performing tasks per week",
+        x_label="week", y_label="# workers",
+        marker_x=switch, marker_label="Jan 2015",
+    ), written)
+
+    # Figure 5 — engagement split.
+    fig05 = figures.fig05_engagement()
+    _write(out_dir, "fig05_tasks_split", line_chart(
+        {
+            "top-10% workers": (weeks, fig05["tasks_top10"]),
+            "bottom-90% workers": (weeks, fig05["tasks_bottom90"]),
+        },
+        title="Figure 5b: weekly tasks by worker tier",
+        x_label="week", y_label="# tasks",
+    ), written)
+    _write(out_dir, "fig05_active_time", line_chart(
+        {
+            "top-10% workers": (weeks, fig05["active_time_top10"]),
+            "bottom-90% workers": (weeks, fig05["active_time_bottom90"]),
+        },
+        title="Figure 5b: mean active time per worker-week",
+        x_label="week", y_label="seconds",
+    ), written)
+
+    # Figures 6 & 7 — cluster distributions (log-log).
+    fig06 = figures.fig06_cluster_sizes()
+    pairs6 = [(e, c) for e, c in fig06["histogram"] if c > 0]
+    _write(out_dir, "fig06_cluster_sizes", scatter_log_log(
+        [e for e, _ in pairs6], [c for _, c in pairs6],
+        title="Figure 6: distribution of cluster sizes",
+        x_label="cluster size (batches)", y_label="# clusters",
+    ), written)
+    fig07 = figures.fig07_tasks_per_cluster()
+    pairs7 = [(e, c) for e, c in fig07["histogram"] if c > 0]
+    _write(out_dir, "fig07_tasks_per_cluster", scatter_log_log(
+        [e for e, _ in pairs7], [c for _, c in pairs7],
+        title="Figure 7: distribution of tasks across clusters",
+        x_label="# instances in cluster", y_label="# clusters",
+    ), written)
+
+    # Figure 8 — heavy hitters.
+    fig08 = figures.fig08_heavy_hitters()
+    series = {
+        f"cluster {cluster}": (weeks, np.maximum(curve, 1e-3))
+        for cluster, curve in fig08["curves"].items()
+    }
+    _write(out_dir, "fig08_heavy_hitters", line_chart(
+        series,
+        title="Figure 8: heavy-hitter cumulative instances",
+        x_label="week", y_label="cumulative instances", y_log=True,
+    ), written)
+
+    # Figure 9 — label distributions.
+    fig09 = figures.fig09_label_distributions()
+    for key, letter in (("goals", "a"), ("data_types", "b"), ("operators", "c")):
+        ordered = dict(
+            sorted(fig09[key].items(), key=lambda kv: kv[1], reverse=True)
+        )
+        _write(out_dir, f"fig09{letter}_{key}", bar_chart(
+            ordered,
+            title=f"Figure 9{letter}: popular {key.replace('_', ' ')}",
+            y_label="# instances",
+        ), written)
+
+    # Figures 10 & 11 — label co-occurrence (100%-stacked bars).
+    fig10 = figures.fig10_correlations()
+    fig11 = figures.fig11_correlations()
+    for name, letter_map in (
+        (fig10, (("data_given_goal", "10a"), ("operator_given_goal", "10b"),
+                 ("operator_given_data", "10c"))),
+        (fig11, (("goal_given_data", "11a"), ("goal_given_operator", "11b"),
+                 ("data_given_operator", "11c"))),
+    ):
+        for key, number in letter_map:
+            _write(out_dir, f"fig{number}_{key}", stacked_bar_chart(
+                name[key],
+                title=f"Figure {number}: {key.replace('_', ' ')}",
+            ), written)
+
+    # Figure 12 — simple vs complex trends.
+    fig12 = figures.fig12_trends()
+    for key, letter in (("goals", "a"), ("operators", "b"), ("data_types", "c")):
+        _write(out_dir, f"fig12{letter}_{key}", line_chart(
+            {
+                "simple": (weeks, fig12[key]["simple"]),
+                "complex": (weeks, fig12[key]["complex"]),
+            },
+            title=f"Figure 12{letter}: cumulative simple vs complex ({key})",
+            x_label="week", y_label="# clusters",
+        ), written)
+
+    # Figure 13 — latency decomposition.
+    fig13 = figures.fig13_latency()
+    order = np.argsort(fig13["end_to_end"])
+    sample = order[:: max(1, len(order) // 400)]
+    e2e = fig13["end_to_end"][sample]
+    chart = cdf_chart(
+        {
+            "pickup time": (e2e, fig13["pickup_time"][sample] / np.maximum(e2e, 1e-9)),
+            "task time": (e2e, fig13["task_time"][sample] / np.maximum(e2e, 1e-9)),
+        },
+        title="Figure 13: share of end-to-end time (batch level)",
+        x_label="end-to-end time (s)", x_log=True,
+    )
+    _write(out_dir, "fig13_latency", chart, written)
+
+    # Figure 14 — feature-metric CDFs.
+    for entry in figures.fig14_feature_cdfs():
+        if entry.get("status") != "ok":
+            continue
+        name = f"fig14_{entry['feature']}_{entry['metric']}"
+        low_x, low_y = entry["cdf_low"]
+        high_x, high_y = entry["cdf_high"]
+        use_log = entry["metric"] in ("task_time", "pickup_time")
+        _write(out_dir, name, cdf_chart(
+            {
+                f"low {entry['feature']}": (low_x, low_y),
+                f"high {entry['feature']}": (high_x, high_y),
+            },
+            title=f"Figure 14: {entry['feature']} vs {entry['metric']}",
+            x_label=entry["metric"],
+            x_log=use_log,
+        ), written)
+
+    # Figure 25 — drill-down CDFs.
+    for entry in figures.fig25_drilldowns():
+        if entry.get("status") != "ok":
+            continue
+        name = (
+            f"fig25_{entry['feature']}_{entry['metric']}_{entry['label']}"
+        )
+        low_x, low_y = entry["cdf_low"]
+        high_x, high_y = entry["cdf_high"]
+        _write(out_dir, name, cdf_chart(
+            {
+                f"low {entry['feature']}": (low_x, low_y),
+                f"high {entry['feature']}": (high_x, high_y),
+            },
+            title=(
+                f"Figure 25: {entry['feature']} vs {entry['metric']} "
+                f"({entry['category']}={entry['label']})"
+            ),
+            x_label=entry["metric"],
+            x_log=entry["metric"] in ("task_time", "pickup_time"),
+        ), written)
+
+    # Figure 26a — tasks per worker by source.
+    fig26 = figures.fig26_sources()
+    stats = fig26["source_stats"].sort_by("tasks_per_worker", descending=True)
+    ranks = np.arange(1, stats.num_rows + 1, dtype=float)
+    _write(out_dir, "fig26a_source_loads", scatter_log_log(
+        ranks, np.maximum(stats["tasks_per_worker"], 1e-3),
+        title="Figure 26a: avg tasks per worker, by source (ranked)",
+        x_label="source rank", y_label="tasks per worker",
+    ), written)
+    _write(out_dir, "fig26b_active_sources", line_chart(
+        {"active sources": (weeks, fig26["active_sources_per_week"])},
+        title="Figure 26b: active sources per week",
+        x_label="week", y_label="# sources",
+    ), written)
+
+    # Figure 27 — source quality.
+    fig27 = figures.fig27_source_quality()
+    top = fig27["top_by_workers"]
+    _write(out_dir, "fig27b_trust", bar_chart(
+        {r["source"]: r["mean_trust"] for r in top.to_rows()},
+        title="Figure 27b: mean trust of top sources",
+        y_label="mean trust",
+    ), written)
+    _write(out_dir, "fig27e_relative_time", bar_chart(
+        {r["source"]: r["mean_relative_task_time"] for r in top.to_rows()},
+        title="Figure 27e: mean relative task time of top sources",
+        y_label="relative task time",
+    ), written)
+
+    # Figures 27c/27f — quality distributions over ALL sources.
+    trust_sorted = np.sort(fig27["mean_trust_all"])[::-1]
+    _write(out_dir, "fig27c_trust_all", line_chart(
+        {"mean trust": (np.arange(1, len(trust_sorted) + 1), trust_sorted)},
+        title="Figure 27c: mean trust across all sources (ranked)",
+        x_label="source rank", y_label="mean trust",
+    ), written)
+    rel_sorted = np.sort(fig27["mean_relative_time_all"])[::-1]
+    _write(out_dir, "fig27f_relative_time_all", line_chart(
+        {"relative task time": (np.arange(1, len(rel_sorted) + 1),
+                                np.maximum(rel_sorted, 1e-2))},
+        title="Figure 27f: mean relative task time across all sources (ranked)",
+        x_label="source rank", y_label="relative task time", y_log=True,
+    ), written)
+
+    # Figure 28 — geography.
+    fig28 = figures.fig28_geography()
+    top_countries = {
+        r["country"]: r["num_workers"]
+        for r in fig28["countries"].head(15).to_rows()
+    }
+    _write(out_dir, "fig28_geography", bar_chart(
+        top_countries,
+        title="Figure 28: workers by country (top 15)",
+        y_label="# workers",
+    ), written)
+
+    # Figure 29 — workload.
+    fig29 = figures.fig29_workload()
+    curve = fig29["rank_curve"]
+    ranks = np.arange(1, len(curve) + 1, dtype=float)
+    sample = np.unique(np.geomspace(1, len(curve), 300).astype(int)) - 1
+    _write(out_dir, "fig29a_workload", scatter_log_log(
+        ranks[sample], np.maximum(curve[sample], 1e-3),
+        title="Figure 29a: tasks by individual workers (ranked)",
+        x_label="worker rank", y_label="# tasks",
+    ), written)
+    _write(out_dir, "fig29b_hours", bar_chart(
+        {f"{int(e)}": c for e, c in fig29["total_hours_histogram"][:20]},
+        title="Figure 29b: total hours spent in lifetime",
+        y_label="# workers",
+    ), written)
+    _write(out_dir, "fig29c_hours_per_day", bar_chart(
+        {f"{e:.1f}": c for e, c in fig29["hours_per_working_day_histogram"][:20]},
+        title="Figure 29c: hours per working day",
+        y_label="# workers",
+    ), written)
+
+    # Figure 30 — lifetimes.
+    fig30 = figures.fig30_lifetimes()
+    _write(out_dir, "fig30a_lifetimes", bar_chart(
+        {f"{int(e)}": c for e, c in fig30["lifetime_histogram"][:20]},
+        title="Figure 30a: worker lifetimes (days)",
+        y_label="# workers",
+    ), written)
+    _write(out_dir, "fig30b_working_days", bar_chart(
+        {f"{int(e)}": c for e, c in fig30["working_days_histogram"][:20]},
+        title="Figure 30b: working days of multi-day workers",
+        y_label="# workers",
+    ), written)
+    _write(out_dir, "fig30c_lifetime_fraction", bar_chart(
+        {f"{e:.2f}": c for e, c in fig30["lifetime_fraction_histogram"][:20]},
+        title="Figure 30c: fraction of lifetime active",
+        y_label="# workers",
+    ), written)
+
+    return written

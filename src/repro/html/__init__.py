@@ -1,0 +1,20 @@
+"""Minimal HTML tokenizer, DOM, and task-interface feature extraction.
+
+The marketplace released one sample task interface (raw HTML) per batch; the
+paper derives its §4 *design parameters* (``#words``, ``#text-box``,
+``#examples``, ``#images``) from that source.  This subpackage implements the
+parsing and extraction from scratch — no external HTML libraries exist in
+this environment.
+"""
+
+from repro.html.features import InterfaceFeatures, extract_features
+from repro.html.parser import Element, TextNode, parse_html, tokenize
+
+__all__ = [
+    "Element",
+    "InterfaceFeatures",
+    "TextNode",
+    "extract_features",
+    "parse_html",
+    "tokenize",
+]

@@ -1,0 +1,145 @@
+"""Design-parameter extraction from task-interface HTML (paper §2.4, §4).
+
+The features mirror the paper's definitions:
+
+``num_words``
+    Number of whitespace-separated words in the rendered text of the page
+    ("the number of words in the HTML page").
+``num_text_boxes``
+    Count of free-form text inputs: ``<textarea>`` plus ``<input>`` whose
+    ``type`` is ``text`` (or missing, the HTML default).
+``num_examples``
+    The paper counts occurrences of the word "example" *wrapped in a tag of
+    its own*, i.e. prominently displayed — not mentions buried inside longer
+    prose.  We count elements whose own text, stripped, is exactly the word
+    "example"/"examples" (case-insensitive, optional trailing colon or
+    numbering such as "Example 1:").
+``num_images``
+    Count of ``<img>`` tags.
+``num_input_fields``
+    All worker-facing inputs: text boxes, radios, checkboxes, selects.
+``num_radio_buttons`` / ``num_checkboxes`` / ``num_selects``
+    Individual input-mechanism counts.
+``has_instructions``
+    True when an element carries an ``instructions`` class/id or an
+    ``<h1>–<h6>`` heading announcing instructions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.html.parser import Element, parse_html
+
+_EXAMPLE_RE = re.compile(r"^examples?(\s+\d+)?\s*:?\s*$", re.IGNORECASE)
+_INSTRUCTIONS_RE = re.compile(r"instruction", re.IGNORECASE)
+_WORD_RE = re.compile(r"\S+")
+
+#: Tags whose text is not shown to workers and is excluded from word counts.
+_NON_RENDERED_TAGS = frozenset({"script", "style", "head", "title"})
+
+
+@dataclass(frozen=True)
+class InterfaceFeatures:
+    """Design parameters of one task interface."""
+
+    num_words: int
+    num_text_boxes: int
+    num_examples: int
+    num_images: int
+    num_radio_buttons: int
+    num_checkboxes: int
+    num_selects: int
+    num_input_fields: int
+    has_instructions: bool
+
+    def as_dict(self) -> dict[str, int | bool]:
+        return {
+            "num_words": self.num_words,
+            "num_text_boxes": self.num_text_boxes,
+            "num_examples": self.num_examples,
+            "num_images": self.num_images,
+            "num_radio_buttons": self.num_radio_buttons,
+            "num_checkboxes": self.num_checkboxes,
+            "num_selects": self.num_selects,
+            "num_input_fields": self.num_input_fields,
+            "has_instructions": self.has_instructions,
+        }
+
+
+def _rendered_text(element: Element) -> str:
+    if element.tag in _NON_RENDERED_TAGS:
+        return ""
+    parts: list[str] = []
+    for child in element.children:
+        if isinstance(child, Element):
+            parts.append(_rendered_text(child))
+        else:
+            parts.append(child.text)
+    return " ".join(parts)
+
+
+def _count_words(root: Element) -> int:
+    return len(_WORD_RE.findall(_rendered_text(root)))
+
+
+def _is_example_marker(element: Element) -> bool:
+    own = element.own_text().strip()
+    return bool(own) and _EXAMPLE_RE.match(own) is not None
+
+
+def _announces_instructions(element: Element) -> bool:
+    if _INSTRUCTIONS_RE.search(element.attr("class")) or _INSTRUCTIONS_RE.search(
+        element.attr("id")
+    ):
+        return True
+    if element.tag in ("h1", "h2", "h3", "h4", "h5", "h6"):
+        return _INSTRUCTIONS_RE.search(element.own_text()) is not None
+    return False
+
+
+def extract_features(html: str | Element) -> InterfaceFeatures:
+    """Extract :class:`InterfaceFeatures` from HTML source or a parsed tree."""
+    root = parse_html(html) if isinstance(html, str) else html
+
+    num_text_boxes = 0
+    num_radio = 0
+    num_checkbox = 0
+    num_select = 0
+    num_images = 0
+    num_examples = 0
+    has_instructions = False
+
+    for element in root.iter_elements():
+        tag = element.tag
+        if tag == "textarea":
+            num_text_boxes += 1
+        elif tag == "input":
+            input_type = element.attr("type", "text").lower()
+            if input_type in ("text", "", "search", "email", "url"):
+                num_text_boxes += 1
+            elif input_type == "radio":
+                num_radio += 1
+            elif input_type == "checkbox":
+                num_checkbox += 1
+        elif tag == "select":
+            num_select += 1
+        elif tag == "img":
+            num_images += 1
+        if _is_example_marker(element):
+            num_examples += 1
+        if not has_instructions and _announces_instructions(element):
+            has_instructions = True
+
+    return InterfaceFeatures(
+        num_words=_count_words(root),
+        num_text_boxes=num_text_boxes,
+        num_examples=num_examples,
+        num_images=num_images,
+        num_radio_buttons=num_radio,
+        num_checkboxes=num_checkbox,
+        num_selects=num_select,
+        num_input_fields=num_text_boxes + num_radio + num_checkbox + num_select,
+        has_instructions=has_instructions,
+    )

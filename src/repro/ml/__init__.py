@@ -1,0 +1,26 @@
+"""Machine-learning substrate for the §4.9 predictive study.
+
+No sklearn exists in this environment, so this subpackage supplies the three
+pieces the paper's "simple decision tree classifier" experiment needs:
+
+- :class:`~repro.ml.decision_tree.DecisionTreeClassifier` — CART with Gini
+  impurity on numeric features;
+- :mod:`~repro.ml.bucketize` — metric bucketization by range and by
+  percentiles (the two strategies of §4.9);
+- :mod:`~repro.ml.crossval` — k-fold cross-validation with exact and
+  within-``k``-buckets accuracy.
+"""
+
+from repro.ml.bucketize import Bucketization, bucketize_by_percentile, bucketize_by_range
+from repro.ml.crossval import CrossValResult, cross_validate, kfold_indices
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+__all__ = [
+    "Bucketization",
+    "CrossValResult",
+    "DecisionTreeClassifier",
+    "bucketize_by_percentile",
+    "bucketize_by_range",
+    "cross_validate",
+    "kfold_indices",
+]

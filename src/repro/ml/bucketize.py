@@ -1,0 +1,87 @@
+"""Metric bucketization for the §4.9 predictive setting.
+
+The paper converts each continuous metric into a 10-class label two ways:
+
+- *by range*: the metric's value range is split into equal-width buckets
+  (highly skewed class sizes — most clusters land in bucket 0);
+- *by percentiles*: bucket edges are value percentiles, so each bucket holds
+  roughly the same number of clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bucketization:
+    """A fitted bucketization: upper bounds per bucket and assigned labels."""
+
+    upper_bounds: np.ndarray = field(repr=False)
+    labels: np.ndarray = field(repr=False)
+    strategy: str = "range"
+
+    @property
+    def num_buckets(self) -> int:
+        return int(self.upper_bounds.size)
+
+    def bucket_counts(self) -> np.ndarray:
+        """Number of observations assigned to each bucket."""
+        return np.bincount(self.labels, minlength=self.num_buckets)
+
+    def assign(self, values) -> np.ndarray:
+        """Bucket labels for new values using the fitted bounds."""
+        values = np.asarray(values, dtype=np.float64)
+        labels = np.searchsorted(self.upper_bounds, values, side="left")
+        return np.minimum(labels, self.num_buckets - 1).astype(np.int64)
+
+
+def _validated(values) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    array = array[~np.isnan(array)] if np.isnan(array).any() else array
+    if array.size == 0:
+        raise ValueError("cannot bucketize an empty sample")
+    return np.asarray(values, dtype=np.float64)
+
+
+def bucketize_by_range(values, *, num_buckets: int = 10) -> Bucketization:
+    """Equal-width buckets over [min, max]; labels for the input values."""
+    if num_buckets < 2:
+        raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
+    array = _validated(values)
+    finite = array[~np.isnan(array)]
+    lo, hi = float(finite.min()), float(finite.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, num_buckets + 1)
+    upper = edges[1:]
+    labels = np.clip(
+        np.searchsorted(upper, array, side="left"), 0, num_buckets - 1
+    ).astype(np.int64)
+    return Bucketization(upper_bounds=upper, labels=labels, strategy="range")
+
+
+def bucketize_by_percentile(values, *, num_buckets: int = 10) -> Bucketization:
+    """Equal-population buckets with percentile upper bounds.
+
+    When the value distribution has heavy ties (e.g. many zero disagreement
+    clusters), adjacent percentile edges can coincide; duplicate edges are
+    nudged so the bucketization stays total, at the cost of imbalance — the
+    same thing happens in the paper's skewed metrics.
+    """
+    if num_buckets < 2:
+        raise ValueError(f"num_buckets must be >= 2, got {num_buckets}")
+    array = _validated(values)
+    finite = array[~np.isnan(array)]
+    qs = np.linspace(0, 100, num_buckets + 1)[1:]
+    upper = np.percentile(finite, qs)
+    # Break ties between duplicate edges so searchsorted is well-defined.
+    for i in range(1, upper.size):
+        if upper[i] <= upper[i - 1]:
+            upper[i] = np.nextafter(upper[i - 1], np.inf)
+    labels = np.clip(
+        np.searchsorted(upper, array, side="left"), 0, num_buckets - 1
+    ).astype(np.int64)
+    return Bucketization(upper_bounds=upper, labels=labels, strategy="percentile")

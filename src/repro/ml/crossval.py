@@ -1,0 +1,87 @@
+"""k-fold cross-validation with the paper's two accuracy notions.
+
+§4.9 reports both exact-bucket accuracy and accuracy "within a tolerance of
+1 bucket"; :func:`cross_validate` computes both across the folds of a 5-fold
+(by default) split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Mean accuracies across folds."""
+
+    exact_accuracy: float
+    within_one_accuracy: float
+    fold_exact: tuple[float, ...]
+    fold_within_one: tuple[float, ...]
+
+    @property
+    def num_folds(self) -> int:
+        return len(self.fold_exact)
+
+
+def kfold_indices(
+    n: int, *, k: int = 5, rng: np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, test_idx) pairs covering ``range(n)``."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    features,
+    labels,
+    *,
+    k: int = 5,
+    tolerance: int = 1,
+    rng: np.random.Generator | None = None,
+) -> CrossValResult:
+    """k-fold CV of any fit/predict classifier on integer labels.
+
+    ``model_factory`` must return a fresh model exposing ``fit(X, y)`` and
+    ``predict(X)``.  Returns mean exact accuracy and mean within-``tolerance``
+    accuracy (|predicted - true| <= tolerance), matching §4.9's "tolerance of
+    1 bucket" metric.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"features ({X.shape[0]}) and labels ({y.shape[0]}) disagree on n"
+        )
+    fold_exact: list[float] = []
+    fold_within: list[float] = []
+    for train_idx, test_idx in kfold_indices(X.shape[0], k=k, rng=rng):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        predictions = np.asarray(model.predict(X[test_idx]))
+        truth = y[test_idx]
+        fold_exact.append(float(np.mean(predictions == truth)))
+        fold_within.append(
+            float(np.mean(np.abs(predictions - truth) <= tolerance))
+        )
+    return CrossValResult(
+        exact_accuracy=float(np.mean(fold_exact)),
+        within_one_accuracy=float(np.mean(fold_within)),
+        fold_exact=tuple(fold_exact),
+        fold_within_one=tuple(fold_within),
+    )

@@ -1,0 +1,19 @@
+"""Plain-text rendering of analysis results for benches and examples."""
+
+from repro.reporting.render import (
+    format_count,
+    format_seconds,
+    render_bar_chart,
+    render_comparison_rows,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "format_count",
+    "format_seconds",
+    "render_bar_chart",
+    "render_comparison_rows",
+    "render_series",
+    "render_table",
+]

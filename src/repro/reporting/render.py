@@ -1,0 +1,139 @@
+"""ASCII renderers: tables, bar charts, weekly series.
+
+The benchmark harness prints each figure with these so the terminal output
+reads like the paper's plots; nothing here is load-bearing for the analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+def format_count(value: float) -> str:
+    """1234567 -> '1.2M', 45300 -> '45.3k'."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def format_seconds(value: float) -> str:
+    """Render a duration with a sensible unit."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if value < 120:
+        return f"{value:.0f}s"
+    if value < 7200:
+        return f"{value / 60:.1f}min"
+    if value < 2 * 86400:
+        return f"{value / 3600:.1f}h"
+    return f"{value / 86400:.1f}d"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None
+) -> str:
+    """Fixed-width table from dict rows."""
+    if not rows:
+        return "(empty)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [
+        [_cell(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if abs(value) >= 1000:
+            return format_count(value)
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_bar_chart(
+    values: Mapping[str, float], *, width: int = 40, sort: bool = True
+) -> str:
+    """Horizontal ASCII bar chart of label -> value."""
+    if not values:
+        return "(empty)"
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: kv[1], reverse=True)
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(k) for k, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {format_count(value)}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 10,
+    title: str = "",
+) -> str:
+    """Downsampled ASCII sparkline grid of a weekly series."""
+    values = np.asarray(series, dtype=np.float64)
+    values = np.where(np.isnan(values), 0.0, values)
+    if values.size == 0:
+        return "(empty series)"
+    if values.size > width:
+        # Average-pool into `width` buckets.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[s:e].mean() if e > s else 0.0 for s, e in zip(edges, edges[1:])]
+        )
+    peak = values.max() or 1.0
+    levels = np.round(values / peak * (height - 1)).astype(int)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        rows.append("".join("#" if l >= level and v > 0 else " "
+                            for l, v in zip(levels, values)))
+    out = "\n".join(rows)
+    if title:
+        out = f"{title} (peak {format_count(peak)})\n{out}"
+    return out
+
+
+def render_comparison_rows(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render Table 1/2/3-style feature-bin comparisons."""
+    display = []
+    for row in rows:
+        display.append(
+            {
+                "feature": row["feature"],
+                "split": row["split"],
+                "n_lo": row["count_low"],
+                "n_hi": row["count_high"],
+                "median_lo": row["median_low"],
+                "median_hi": row["median_high"],
+                "p": f"{row['p_value']:.2g}",
+            }
+        )
+    return render_table(display)

@@ -1,0 +1,442 @@
+"""Dependency-free SVG chart rendering.
+
+matplotlib is unavailable in this environment, so the figure regeneration
+pipeline emits standalone SVG documents built from primitives: line charts
+(weekly series, CDFs, cumulative curves), bar charts (label distributions),
+and log-log scatter plots (cluster-size distributions, rank curves).
+
+The goal is faithful *shapes* — axes are linear or log10, series are
+polylines, and everything is deterministic text output (snapshot-testable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: A small categorical palette (colorblind-safe-ish).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+           "#aa3377", "#bbbbbb", "#222222", "#999933", "#882255")
+
+_MARGIN_LEFT = 62.0
+_MARGIN_RIGHT = 16.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 42.0
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:g}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:g}k"
+    if magnitude >= 1:
+        return f"{value:g}"
+    return f"{value:.3g}"
+
+
+@dataclass
+class _Frame:
+    """Plot geometry: data ranges mapped onto pixel coordinates."""
+
+    width: float
+    height: float
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    x_log: bool = False
+    y_log: bool = False
+
+    def _tx(self, x: float) -> float:
+        lo, hi = self.x_min, self.x_max
+        if self.x_log:
+            x, lo, hi = math.log10(max(x, 1e-12)), math.log10(max(lo, 1e-12)), math.log10(max(hi, 1e-12))
+        span = (hi - lo) or 1.0
+        inner = self.width - _MARGIN_LEFT - _MARGIN_RIGHT
+        return _MARGIN_LEFT + (x - lo) / span * inner
+
+    def _ty(self, y: float) -> float:
+        lo, hi = self.y_min, self.y_max
+        if self.y_log:
+            y, lo, hi = math.log10(max(y, 1e-12)), math.log10(max(lo, 1e-12)), math.log10(max(hi, 1e-12))
+        span = (hi - lo) or 1.0
+        inner = self.height - _MARGIN_TOP - _MARGIN_BOTTOM
+        return self.height - _MARGIN_BOTTOM - (y - lo) / span * inner
+
+    def _axis_ticks(self, lo: float, hi: float, log: bool) -> list[float]:
+        if log:
+            lo_exp = math.floor(math.log10(max(lo, 1e-12)))
+            hi_exp = math.ceil(math.log10(max(hi, 1e-12)))
+            return [10.0**e for e in range(int(lo_exp), int(hi_exp) + 1)]
+        if hi <= lo:
+            return [lo]
+        raw_step = (hi - lo) / 5
+        magnitude = 10 ** math.floor(math.log10(raw_step))
+        for mult in (1, 2, 5, 10):
+            step = mult * magnitude
+            if (hi - lo) / step <= 6:
+                break
+        first = math.ceil(lo / step) * step
+        ticks = []
+        value = first
+        while value <= hi + 1e-9 * step:
+            ticks.append(round(value, 12))
+            value += step
+        return ticks
+
+
+class SvgChart:
+    """Incremental SVG document builder around a :class:`_Frame`."""
+
+    def __init__(
+        self,
+        *,
+        title: str,
+        width: int = 640,
+        height: int = 360,
+        x_min: float,
+        x_max: float,
+        y_min: float,
+        y_max: float,
+        x_log: bool = False,
+        y_log: bool = False,
+        x_label: str = "",
+        y_label: str = "",
+    ) -> None:
+        if x_log and x_min <= 0:
+            x_min = max(x_min, 1e-3)
+        if y_log and y_min <= 0:
+            y_min = max(y_min, 1e-3)
+        self.frame = _Frame(
+            width=float(width), height=float(height),
+            x_min=x_min, x_max=x_max, y_min=y_min, y_max=y_max,
+            x_log=x_log, y_log=y_log,
+        )
+        self._title = title
+        self._x_label = x_label
+        self._y_label = y_label
+        self._body: list[str] = []
+        self._legend: list[tuple[str, str]] = []
+
+    # ----------------------------------------------------------------- #
+
+    def add_line(
+        self, xs: Sequence[float], ys: Sequence[float], *,
+        color: str = PALETTE[0], label: str = "", dashed: bool = False,
+    ) -> None:
+        """Add a polyline series (NaN gaps are broken into segments)."""
+        points: list[str] = []
+        segments: list[list[str]] = [points]
+        for x, y in zip(xs, ys):
+            if y is None or (isinstance(y, float) and math.isnan(y)) or (
+                np.isscalar(y) and np.isnan(y)
+            ):
+                if points:
+                    points = []
+                    segments.append(points)
+                continue
+            points.append(f"{self.frame._tx(float(x)):.1f},{self.frame._ty(float(y)):.1f}")
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        for segment in segments:
+            if len(segment) >= 2:
+                self._body.append(
+                    f'<polyline fill="none" stroke="{color}" stroke-width="1.6"'
+                    f'{dash} points="{" ".join(segment)}"/>'
+                )
+        if label:
+            self._legend.append((label, color))
+
+    def add_points(
+        self, xs: Sequence[float], ys: Sequence[float], *,
+        color: str = PALETTE[1], label: str = "", radius: float = 2.2,
+    ) -> None:
+        for x, y in zip(xs, ys):
+            if isinstance(y, float) and math.isnan(y):
+                continue
+            self._body.append(
+                f'<circle cx="{self.frame._tx(float(x)):.1f}" '
+                f'cy="{self.frame._ty(float(y)):.1f}" r="{radius}" '
+                f'fill="{color}" fill-opacity="0.75"/>'
+            )
+        if label:
+            self._legend.append((label, color))
+
+    def add_vertical_marker(self, x: float, *, color: str = "#888888",
+                            label: str = "") -> None:
+        px = self.frame._tx(x)
+        top, bottom = _MARGIN_TOP, self.frame.height - _MARGIN_BOTTOM
+        self._body.append(
+            f'<line x1="{px:.1f}" y1="{top:.1f}" x2="{px:.1f}" y2="{bottom:.1f}" '
+            f'stroke="{color}" stroke-dasharray="3,3"/>'
+        )
+        if label:
+            self._body.append(
+                f'<text x="{px + 4:.1f}" y="{top + 12:.1f}" font-size="10" '
+                f'fill="{color}">{_escape(label)}</text>'
+            )
+
+    # ----------------------------------------------------------------- #
+
+    def _render_axes(self) -> list[str]:
+        f = self.frame
+        left, right = _MARGIN_LEFT, f.width - _MARGIN_RIGHT
+        top, bottom = _MARGIN_TOP, f.height - _MARGIN_BOTTOM
+        parts = [
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#cccccc"/>'
+        ]
+        for tick in f._axis_ticks(f.x_min, f.x_max, f.x_log):
+            if not f.x_min <= tick <= f.x_max:
+                continue
+            px = f._tx(tick)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{bottom}" x2="{px:.1f}" '
+                f'y2="{bottom + 4}" stroke="#888888"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{bottom + 16}" font-size="10" '
+                f'text-anchor="middle" fill="#444444">{_format_tick(tick)}</text>'
+            )
+        for tick in f._axis_ticks(f.y_min, f.y_max, f.y_log):
+            if not f.y_min <= tick <= f.y_max:
+                continue
+            py = f._ty(tick)
+            parts.append(
+                f'<line x1="{left - 4}" y1="{py:.1f}" x2="{left}" '
+                f'y2="{py:.1f}" stroke="#888888"/>'
+            )
+            parts.append(
+                f'<text x="{left - 8}" y="{py + 3:.1f}" font-size="10" '
+                f'text-anchor="end" fill="#444444">{_format_tick(tick)}</text>'
+            )
+        if self._x_label:
+            parts.append(
+                f'<text x="{(left + right) / 2:.1f}" y="{f.height - 8}" '
+                f'font-size="11" text-anchor="middle" fill="#222222">'
+                f"{_escape(self._x_label)}</text>"
+            )
+        if self._y_label:
+            parts.append(
+                f'<text x="14" y="{(top + bottom) / 2:.1f}" font-size="11" '
+                f'text-anchor="middle" fill="#222222" '
+                f'transform="rotate(-90 14 {(top + bottom) / 2:.1f})">'
+                f"{_escape(self._y_label)}</text>"
+            )
+        return parts
+
+    def _render_legend(self) -> list[str]:
+        parts = []
+        x = _MARGIN_LEFT + 8
+        y = _MARGIN_TOP + 6
+        for i, (label, color) in enumerate(self._legend):
+            parts.append(
+                f'<rect x="{x}" y="{y + i * 15}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + 14}" y="{y + 9 + i * 15}" font-size="10" '
+                f'fill="#222222">{_escape(label)}</text>'
+            )
+        return parts
+
+    def render(self) -> str:
+        f = self.frame
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{f.width:.0f}" '
+            f'height="{f.height:.0f}" viewBox="0 0 {f.width:.0f} {f.height:.0f}">',
+            f'<rect width="{f.width:.0f}" height="{f.height:.0f}" fill="white"/>',
+            f'<text x="{f.width / 2:.1f}" y="20" font-size="13" '
+            f'text-anchor="middle" fill="#111111">{_escape(self._title)}</text>',
+        ]
+        parts.extend(self._render_axes())
+        parts.extend(self._body)
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# Convenience constructors
+# --------------------------------------------------------------------- #
+
+def line_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    y_log: bool = False,
+    marker_x: float | None = None,
+    marker_label: str = "",
+) -> str:
+    """Multi-series line chart; series maps label -> (xs, ys)."""
+    all_x: list[float] = []
+    all_y: list[float] = []
+    for xs, ys in series.values():
+        all_x.extend(float(v) for v in xs)
+        all_y.extend(float(v) for v in ys if not (isinstance(v, float) and math.isnan(v)))
+    all_y = [y for y in all_y if not math.isnan(y)]
+    if not all_x or not all_y:
+        raise ValueError("line_chart needs at least one finite point")
+    y_min = min(all_y)
+    y_max = max(all_y) or 1.0
+    if y_log:
+        y_min = max(min((y for y in all_y if y > 0), default=0.1), 1e-3)
+    else:
+        y_min = min(0.0, y_min)
+    chart = SvgChart(
+        title=title, x_label=x_label, y_label=y_label,
+        x_min=min(all_x), x_max=max(all_x), y_min=y_min, y_max=y_max,
+        y_log=y_log,
+    )
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        chart.add_line(xs, ys, color=PALETTE[i % len(PALETTE)], label=label)
+    if marker_x is not None:
+        chart.add_vertical_marker(marker_x, label=marker_label)
+    return chart.render()
+
+
+def bar_chart(
+    values: dict[str, float], *, title: str, y_label: str = ""
+) -> str:
+    """Vertical bar chart of label -> value."""
+    if not values:
+        raise ValueError("bar_chart needs at least one bar")
+    labels = list(values.keys())
+    heights = [float(values[k]) for k in labels]
+    peak = max(heights) or 1.0
+    chart = SvgChart(
+        title=title, y_label=y_label,
+        x_min=0.0, x_max=float(len(labels)), y_min=0.0, y_max=peak,
+    )
+    f = chart.frame
+    slot = (f.width - _MARGIN_LEFT - _MARGIN_RIGHT) / len(labels)
+    bottom = f.height - _MARGIN_BOTTOM
+    for i, (label, height) in enumerate(zip(labels, heights)):
+        x = _MARGIN_LEFT + i * slot + slot * 0.15
+        top = f._ty(height)
+        chart._body.append(
+            f'<rect x="{x:.1f}" y="{top:.1f}" width="{slot * 0.7:.1f}" '
+            f'height="{bottom - top:.1f}" fill="{PALETTE[0]}"/>'
+        )
+        chart._body.append(
+            f'<text x="{x + slot * 0.35:.1f}" y="{bottom + 16}" font-size="9" '
+            f'text-anchor="middle" fill="#444444">{_escape(str(label))}</text>'
+        )
+    return chart.render()
+
+
+def scatter_log_log(
+    xs: Sequence[float], ys: Sequence[float], *,
+    title: str, x_label: str = "", y_label: str = "",
+) -> str:
+    """Log-log scatter (Figures 6, 7, 29a style)."""
+    xs = [max(float(x), 1e-3) for x in xs]
+    ys = [max(float(y), 1e-3) for y in ys]
+    if not xs:
+        raise ValueError("scatter needs points")
+    chart = SvgChart(
+        title=title, x_label=x_label, y_label=y_label,
+        x_min=min(xs), x_max=max(xs) * 1.1, y_min=min(ys), y_max=max(ys) * 1.1,
+        x_log=True, y_log=True,
+    )
+    chart.add_points(xs, ys)
+    return chart.render()
+
+
+def stacked_bar_chart(
+    matrix: dict[str, dict[str, float]],
+    *,
+    title: str,
+    y_label: str = "% of instances",
+    normalize: bool = True,
+) -> str:
+    """100%-stacked bars (Figures 10/11 style).
+
+    ``matrix`` maps a row label (one bar) to ``{segment label: value}``.
+    Segment colors are assigned by global segment order for a shared legend.
+    """
+    if not matrix:
+        raise ValueError("stacked_bar_chart needs at least one bar")
+    segment_labels: list[str] = []
+    for breakdown in matrix.values():
+        for key in breakdown:
+            if key not in segment_labels:
+                segment_labels.append(key)
+    color_of = {
+        label: PALETTE[i % len(PALETTE)] for i, label in enumerate(segment_labels)
+    }
+
+    bars = list(matrix.keys())
+    peak = 100.0 if normalize else max(
+        sum(v.values()) for v in matrix.values()
+    ) or 1.0
+    chart = SvgChart(
+        title=title, y_label=y_label,
+        x_min=0.0, x_max=float(len(bars)), y_min=0.0, y_max=peak,
+    )
+    f = chart.frame
+    slot = (f.width - _MARGIN_LEFT - _MARGIN_RIGHT) / len(bars)
+    for i, bar in enumerate(bars):
+        breakdown = matrix[bar]
+        total = sum(breakdown.values()) or 1.0
+        x = _MARGIN_LEFT + i * slot + slot * 0.15
+        cumulative = 0.0
+        for label in segment_labels:
+            value = breakdown.get(label, 0.0)
+            if value <= 0:
+                continue
+            height = value / total * peak if normalize else value
+            y_top = f._ty(cumulative + height)
+            y_bottom = f._ty(cumulative)
+            chart._body.append(
+                f'<rect x="{x:.1f}" y="{y_top:.1f}" width="{slot * 0.7:.1f}" '
+                f'height="{y_bottom - y_top:.1f}" fill="{color_of[label]}"/>'
+            )
+            cumulative += height
+        chart._body.append(
+            f'<text x="{x + slot * 0.35:.1f}" '
+            f'y="{f.height - _MARGIN_BOTTOM + 16}" font-size="9" '
+            f'text-anchor="middle" fill="#444444">{_escape(str(bar))}</text>'
+        )
+    for label in segment_labels[:10]:
+        chart._legend.append((label, color_of[label]))
+    return chart.render()
+
+
+def cdf_chart(
+    cdfs: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str,
+    x_label: str,
+    x_log: bool = False,
+) -> str:
+    """Figure-14-style CDF comparison; cdfs maps bin label -> (xs, ys)."""
+    all_x = [float(x) for xs, _ in cdfs.values() for x in xs]
+    if not all_x:
+        raise ValueError("cdf_chart needs points")
+    x_min = min(all_x)
+    if x_log:
+        positive = [x for x in all_x if x > 0]
+        x_min = min(positive) if positive else 1e-3
+    chart = SvgChart(
+        title=title, x_label=x_label, y_label="P(metric <= x)",
+        x_min=x_min, x_max=max(all_x) or 1.0, y_min=0.0, y_max=1.0,
+        x_log=x_log,
+    )
+    for i, (label, (xs, ys)) in enumerate(cdfs.items()):
+        chart.add_line(xs, ys, color=PALETTE[i % len(PALETTE)], label=label)
+    return chart.render()

@@ -1,0 +1,110 @@
+"""Per-day assignment of task instances to workers.
+
+Instances are grouped by the day their pickup lands on, and each day's
+volume is distributed by a *presence-implies-work* rule:
+
+**Casual classes (one-day, short, regular).**  A worker who shows up on a
+day came to work: they take a class-dependent task bundle.  One-day workers
+take a single larger session (the paper's 52.7% one-day workers average
+≈17 tasks, together ≈2.4% of all work); short and regular workers take
+modest daily bundles.  On busy days bundles scale up toward the casual
+share target (Figure 5b's bottom-90% also rises with load), bounded by a
+maximum stretch factor and a hard volume cap.
+
+**Power workers.**  Whatever remains goes to the available power workers by
+a weight-proportional multinomial — the heavy-tailed dedicated core that
+absorbs the marketplace's load flux (Figure 5b), keeping the distinct
+active-worker count stable while per-worker hauls stretch (Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.config import Calibration
+from repro.simulator.workers import POWER, WorkerPool
+
+
+def allocate_workers(
+    start_days: np.ndarray,
+    workers: WorkerPool,
+    rng: np.random.Generator,
+    calibration: Calibration | None = None,
+) -> np.ndarray:
+    """Assign a worker id to every instance.
+
+    ``start_days`` is the day index on which each instance is picked up.
+    Returns an int array of worker indices aligned with ``start_days``.
+    """
+    cal = calibration if calibration is not None else Calibration()
+    n = len(start_days)
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+
+    engagement = workers.engagement
+    is_power = engagement == POWER
+    lambda_of_class = np.zeros(4)
+    lambda_of_class[:3] = cal.casual_bundle_lambdas
+
+    order = np.argsort(start_days, kind="stable")
+    sorted_days = start_days[order]
+    boundaries = np.flatnonzero(np.r_[True, sorted_days[1:] != sorted_days[:-1]])
+    ends = np.r_[boundaries[1:], n]
+
+    for b, e in zip(boundaries, ends):
+        day = int(sorted_days[b])
+        count = e - b
+        slots = order[b:e].copy()
+        rng.shuffle(slots)
+
+        available = workers.available_on_day(day)
+
+        # --- casual bundles -------------------------------------------- #
+        casual_ids = np.flatnonzero(available & ~is_power)
+        cursor = 0
+        if casual_ids.size:
+            rng.shuffle(casual_ids)
+            natural = 1 + rng.poisson(lambda_of_class[engagement[casual_ids]])
+            natural_total = int(natural.sum())
+            target = cal.casual_share_target * count
+            cap = max(int(cal.casual_volume_cap * count), 1)
+            if natural_total < target:
+                # Quiet pool, busy day: stretch bundles toward the target.
+                scale = min(target / max(natural_total, 1), cal.casual_max_scale)
+                natural = np.maximum(np.round(natural * scale), 1).astype(np.int64)
+            elif natural_total > cap:
+                # Busy pool, quiet day: shrink bundles fairly so everyone
+                # present still works (presence implies work).
+                natural = np.maximum(
+                    np.floor(natural * (cap / natural_total)), 1
+                ).astype(np.int64)
+            for worker, bundle in zip(casual_ids, natural):
+                take = min(int(bundle), cap - cursor, count - cursor)
+                if take <= 0:
+                    break
+                out[slots[cursor:cursor + take]] = worker
+                cursor += take
+
+        # --- power absorbs the flux ------------------------------------ #
+        remaining = count - cursor
+        if remaining == 0:
+            continue
+        pool = available & is_power
+        if not pool.any():
+            # Fallback 1: any power worker whose window covers the day.
+            pool = (workers.start_day <= day) & (day <= workers.end_day) & is_power
+        if not pool.any():
+            # Fallback 2: any available worker at all.
+            pool = available
+        if not pool.any():
+            # Fallback 3 (tiny scales / calendar edges): everyone.
+            pool = np.ones(workers.num_workers, dtype=bool)
+        candidate_ids = np.flatnonzero(pool)
+        weights = workers.weight[candidate_ids]
+        probabilities = weights / weights.sum()
+        counts = rng.multinomial(remaining, probabilities)
+        assigned = np.repeat(candidate_ids, counts)
+        rng.shuffle(assigned)
+        out[slots[cursor:]] = assigned
+    return out

@@ -1,0 +1,92 @@
+"""Worker-answer model: from target disagreement to raw responses.
+
+Per batch the model is: each item has a latent modal ("true") answer among
+``m`` alternatives; each of the item's ``R`` workers gives the modal answer
+with probability ``q`` (modulated by their personal accuracy) and otherwise
+a uniformly random wrong alternative.  The expected pairwise disagreement of
+two answers is then::
+
+    D(q, m) = 1 - [ q^2 + (1 - q)^2 / (m - 1) ]
+
+:func:`modal_probability_for_disagreement` inverts this analytically so a
+task's *target* disagreement (composed from design-feature effects in
+:mod:`repro.simulator.tasks`) translates into the per-answer probability
+the generator actually uses.  Subjective free-form tasks bypass the model:
+every response is unique, yielding disagreement ≈ 1 × their target share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expected_disagreement(q: np.ndarray | float, m: np.ndarray | int) -> np.ndarray:
+    """Expected pairwise disagreement given modal probability and choices."""
+    q = np.asarray(q, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    if np.any(m < 2):
+        raise ValueError("answer model needs at least 2 alternatives")
+    return 1.0 - (q**2 + (1.0 - q) ** 2 / (m - 1.0))
+
+
+def modal_probability_for_disagreement(
+    target: np.ndarray | float, m: np.ndarray | int
+) -> np.ndarray:
+    """Invert :func:`expected_disagreement` for the root with q >= 1/m.
+
+    The quadratic ``(1 + 1/(m-1)) q^2 - (2/(m-1)) q + (1/(m-1) - (1-D)) = 0``
+    has its meaningful root on the high-agreement branch.  Targets above the
+    maximum achievable disagreement (at q = 1/m, i.e. uniform answers) are
+    clamped.
+    """
+    target = np.atleast_1d(np.asarray(target, dtype=np.float64))
+    m = np.broadcast_to(np.asarray(m, dtype=np.float64), target.shape).copy()
+    if np.any(m < 2):
+        raise ValueError("answer model needs at least 2 alternatives")
+    # Max disagreement occurs at q = 1/m: D_max = 1 - 1/m.
+    d_max = 1.0 - 1.0 / m
+    d = np.clip(target, 0.0, d_max - 1e-9)
+
+    k = 1.0 / (m - 1.0)
+    a = 1.0 + k
+    b = -2.0 * k
+    c = k - (1.0 - d)
+    disc = np.maximum(b * b - 4.0 * a * c, 0.0)
+    q = (-b + np.sqrt(disc)) / (2.0 * a)
+    return np.clip(q, 1.0 / m, 1.0)
+
+
+def draw_answers(
+    rng: np.random.Generator,
+    modal_prob: np.ndarray,
+    true_answer: np.ndarray,
+    num_choices: int,
+) -> np.ndarray:
+    """Draw per-instance answer *indices* (0..m-1).
+
+    ``modal_prob`` and ``true_answer`` are per-instance arrays; wrong answers
+    are uniform over the remaining ``m - 1`` alternatives.
+    """
+    n = len(true_answer)
+    if num_choices < 2:
+        raise ValueError("need at least 2 choices")
+    correct = rng.random(n) < modal_prob
+    # Wrong answer: offset 1..m-1 from the true index, modulo m.
+    offsets = rng.integers(1, num_choices, size=n)
+    answers = np.where(correct, true_answer, (true_answer + offsets) % num_choices)
+    return answers.astype(np.int64)
+
+
+def choice_strings(task_id: int, num_choices: int, textual: bool) -> list[str]:
+    """Human-ish response strings for one task's answer alternatives.
+
+    Click-based operators share a compact option vocabulary; textual
+    operators get task-specific strings (the same distinct task re-uses its
+    answer vocabulary across batches, which is harmless because the
+    disagreement metric only compares answers *within* an item).
+    """
+    if textual:
+        return [f"task{task_id}_answer_{k}" for k in range(num_choices)]
+    if num_choices == 2:
+        return ["yes", "no"]
+    return [f"option_{k + 1}" for k in range(num_choices)]

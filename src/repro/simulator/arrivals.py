@@ -1,0 +1,154 @@
+"""Market envelope and batch scheduling (paper §3.1).
+
+Two regimes: sparse activity from mid-2012 until January 2015, then a
+high-activity regime with weekly lognormal fluctuation plus occasional big
+spikes (the paper: busiest day ≈30× the median, lightest ≈0.0004×).  Within
+a week, weekdays carry up to 2× the weekend volume and Monday is the peak,
+declining across the week (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.rng import StreamFactory
+from repro.simulator.tasks import TaskPopulation
+from repro.stats.timeseries import DAY_SECONDS, WEEK_SECONDS
+
+#: Relative batch-posting weight per weekday (Mon..Sun), Figure 3's shape.
+WEEKDAY_WEIGHTS = np.array([1.40, 1.22, 1.10, 1.00, 0.92, 0.62, 0.58])
+
+
+def market_envelope(config: SimulationConfig, streams: StreamFactory) -> np.ndarray:
+    """Weekly market-intensity curve (arbitrary units, max ≈ spike level).
+
+    Drives distinct-task start weeks, batch placement, and worker arrivals.
+    """
+    rng = streams.stream("batches", index=1)
+    w = np.arange(config.num_weeks, dtype=np.float64)
+    switch = config.regime_switch_week
+
+    # Pre-2015: a slow exponential ramp from near-zero.
+    pre = 0.004 * np.exp(3.2 * w / switch)
+    # Post-2015: a high plateau with a gentle continued ramp.
+    post = 1.0 + 0.4 * (w - switch) / max(config.num_weeks - switch, 1)
+    envelope = np.where(w < switch, pre, post)
+
+    # Weekly lognormal chop plus occasional demand spikes.
+    envelope = envelope * np.exp(rng.normal(0.0, 0.55, size=config.num_weeks))
+    spikes = rng.random(config.num_weeks) < 0.10
+    envelope = envelope * np.where(
+        spikes & (w >= switch), rng.uniform(2.5, 12.0, size=config.num_weeks), 1.0
+    )
+    return envelope
+
+
+@dataclass
+class BatchSchedule:
+    """Column-oriented batch attributes (index = batch id)."""
+
+    task_idx: np.ndarray  # int: distinct task of each batch
+    start_time: np.ndarray  # int: batch creation time (seconds since epoch)
+    num_items: np.ndarray  # int: items in the batch (a §4.5 design feature)
+    redundancy: np.ndarray  # int: answers collected per item
+    num_instances: np.ndarray  # int: num_items * redundancy
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.task_idx)
+
+    @property
+    def total_instances(self) -> int:
+        return int(self.num_instances.sum())
+
+
+def _batch_weeks_for_task(
+    rng: np.random.Generator,
+    start_week: int,
+    duration: int,
+    count: int,
+    burst: bool,
+    envelope: np.ndarray,
+) -> np.ndarray:
+    """Place ``count`` batches into the task's active window.
+
+    Steady tasks spread across the window (weighted by the market
+    envelope); burst tasks concentrate most batches into one or two weeks.
+    """
+    window = np.arange(start_week, start_week + max(duration, 1))
+    window = window[window < len(envelope)]
+    if window.size == 0:
+        window = np.array([min(start_week, len(envelope) - 1)])
+    weights = np.maximum(envelope[window], 1e-9)
+    if burst and window.size > 1:
+        # Concentrate: give one or two focus weeks most of the mass.
+        focus = rng.choice(window.size, size=min(2, window.size), replace=False)
+        boost = np.ones(window.size)
+        boost[focus] = 25.0
+        weights = weights * boost
+    weights = weights / weights.sum()
+    return window[rng.choice(window.size, size=count, p=weights)]
+
+
+def _intra_week_offsets(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Second-of-week offsets with the weekday effect and business hours."""
+    days = rng.choice(7, size=count, p=WEEKDAY_WEIGHTS / WEEKDAY_WEIGHTS.sum())
+    # Posting times concentrate in an 8:00–20:00 window.
+    seconds = (8 * 3600 + rng.integers(0, 12 * 3600, size=count)).astype(np.int64)
+    return days.astype(np.int64) * DAY_SECONDS + seconds
+
+
+def generate_batches(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    envelope: np.ndarray,
+    streams: StreamFactory,
+) -> BatchSchedule:
+    """Expand the task population into the full batch schedule."""
+    rng = streams.stream("batches")
+
+    task_idx_parts: list[np.ndarray] = []
+    week_parts: list[np.ndarray] = []
+    for i in range(tasks.num_tasks):
+        count = int(tasks.cluster_size[i])
+        task_idx_parts.append(np.full(count, i, dtype=np.int64))
+        week_parts.append(
+            _batch_weeks_for_task(
+                rng,
+                int(tasks.start_week[i]),
+                int(tasks.duration_weeks[i]),
+                count,
+                bool(tasks.burst[i]),
+                envelope,
+            )
+        )
+    task_idx = np.concatenate(task_idx_parts)
+    weeks = np.concatenate(week_parts)
+
+    n = len(task_idx)
+    start_time = weeks * WEEK_SECONDS + _intra_week_offsets(rng, n)
+
+    # Items per batch: lognormal jitter around the task's typical item count.
+    items_median = tasks.items_median[task_idx]
+    num_items = np.maximum(
+        np.round(items_median * np.exp(rng.normal(0.0, 0.30, size=n))), 1
+    ).astype(np.int64)
+    # Keep the extreme tail bounded relative to scale (the paper's largest
+    # batches are ~80k instances at 27M-instance scale).
+    cap = max(int(5000 * config.instance_scale * 20), 200)
+    num_items = np.minimum(num_items, cap)
+
+    redundancy = tasks.redundancy[task_idx]
+    num_instances = num_items * redundancy
+
+    order = np.argsort(start_time, kind="stable")
+    return BatchSchedule(
+        task_idx=task_idx[order],
+        start_time=start_time[order].astype(np.int64),
+        num_items=num_items[order],
+        redundancy=redundancy[order],
+        num_instances=num_instances[order],
+    )

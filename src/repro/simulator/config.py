@@ -1,0 +1,216 @@
+"""Simulation configuration: scale presets, calendar, and effect calibration.
+
+The calendar runs from the marketplace epoch (Monday 2012-07-02) for 209
+weeks, i.e. through early July 2016, matching the dataset's span.  Week 131
+is the Monday of 2015-01-05 — the regime switch the paper observes ("the
+task arrival plot is relatively sparse until Jan 2015").
+
+All the paper's quantitative findings enter through :class:`Calibration`.
+Changing a calibration constant changes the *generated world*; the analysis
+layer never reads this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.taxonomy.labels import Operator
+
+#: Total number of simulated weeks (Jul 2012 – Jul 2016).
+NUM_WEEKS = 209
+
+#: First week of the high-activity regime (Monday 2015-01-05).
+REGIME_SWITCH_WEEK = 131
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Generative effect sizes, calibrated to the paper's Tables 1–3 and §3/§5.
+
+    Disagreement composition (per distinct task, additive on the target
+    average pairwise disagreement):
+
+    - ``base_disagreement_by_operator`` anchors difficulty: gather-style
+      tasks are ambiguous, rating tasks are not (Figure 25a/25b).
+    - ``disagreement_text_box_penalty`` reproduces Table 1's 0.102 vs 0.160.
+    - ``disagreement_words_slope`` (per log2 of #words relative to the
+      median 466) reproduces 0.147 vs 0.108.
+    - ``disagreement_items_slope`` (per log10 of #items relative to 56)
+      reproduces 0.169 vs 0.086.
+    - ``disagreement_example_bonus`` reproduces 0.128 vs 0.101.
+
+    Task-time composition (median seconds to complete one instance):
+    multiplicative factors reproducing Table 2 (119s vs 286s for text boxes,
+    184s vs 129s for images, 230s vs 136s for items via the experience
+    exponent).
+
+    Pickup-time composition (median seconds before an instance is started):
+    multiplicative factors reproducing Table 3 (6,303s vs 1,353s for
+    examples, 7,838s vs 2,431s for images, 4,521s vs 8,132s for items via the
+    limited-parallelism exponent) and §3.2's inverse load/pickup relation.
+    """
+
+    # --- §4.3–4.6: disagreement ------------------------------------- #
+    base_disagreement_by_operator: dict[Operator, float] = field(
+        default_factory=lambda: {
+            Operator.FILTER: 0.105,
+            Operator.RATE: 0.095,
+            Operator.SORT: 0.13,
+            Operator.COUNT: 0.11,
+            Operator.TAG: 0.13,
+            Operator.GATHER: 0.21,
+            Operator.EXTRACT: 0.14,
+            Operator.GENERATE: 0.19,
+            Operator.LOCALIZE: 0.15,
+            Operator.EXTERNAL: 0.12,
+        }
+    )
+    disagreement_text_box_penalty: float = 0.055
+    disagreement_words_slope: float = 0.024  # per log2(#words / 466)
+    disagreement_words_pivot: float = 466.0
+    disagreement_items_slope: float = 0.075  # per log10(#items / 56)
+    disagreement_items_pivot: float = 56.0
+    disagreement_example_bonus: float = 0.028
+    disagreement_noise_sd: float = 0.025
+    #: Fraction of distinct tasks that display prominent examples (the paper:
+    #: ~200 of ~3,700 clusters, i.e. ~5%).
+    example_prevalence: float = 0.05
+    #: Fraction of text-box tasks that are *subjective* (free-form answers
+    #: with essentially no agreement); the paper prunes these at 0.5.
+    subjective_text_fraction: float = 0.25
+    subjective_disagreement_range: tuple[float, float] = (0.55, 0.98)
+
+    # --- §4.4–4.5, 4.7: task time ------------------------------------ #
+    base_task_time_by_operator: dict[Operator, float] = field(
+        default_factory=lambda: {
+            Operator.FILTER: 75.0,
+            Operator.RATE: 85.0,
+            Operator.SORT: 140.0,
+            Operator.COUNT: 95.0,
+            Operator.TAG: 110.0,
+            Operator.GATHER: 290.0,
+            Operator.EXTRACT: 230.0,
+            Operator.GENERATE: 300.0,
+            Operator.LOCALIZE: 190.0,
+            Operator.EXTERNAL: 900.0,
+        }
+    )
+    task_time_text_box_factor: float = 2.4
+    task_time_image_factor: float = 0.70
+    task_time_items_exponent: float = -0.22  # (items / 30) ** exponent
+    task_time_items_pivot: float = 30.0
+    task_time_batch_noise_sd: float = 0.50  # lognormal sigma across batches
+    task_time_instance_noise_sd: float = 0.45  # lognormal sigma across instances
+    #: Within-batch learning: a worker's k-th instance of the same batch
+    #: takes ``(k + 1) ** -exponent`` of the base time.  This is the §4.5
+    #: "workers get better with experience" mechanism, and the §7
+    #: future-work "worker learning" phenomenon the analysis layer recovers
+    #: (see repro.analysis.learning).
+    within_batch_learning_exponent: float = 0.08
+
+    # --- §3.2, §4.5–4.7: pickup time ---------------------------------- #
+    pickup_base_seconds: float = 4200.0
+    pickup_example_factor: float = 0.21
+    pickup_image_factor: float = 0.33
+    pickup_items_exponent: float = 0.40  # (items / 31) ** exponent
+    pickup_items_pivot: float = 31.0
+    pickup_load_exponent: float = -0.45  # (weekly load / median) ** exponent
+    pickup_batch_noise_sd: float = 0.90
+    pickup_instance_noise_sd: float = 0.80
+    #: Effective worker parallelism per batch: later instances wait longer.
+    pickup_parallelism: float = 150.0
+    pickup_sequence_exponent: float = 0.85
+
+    # --- answers ------------------------------------------------------ #
+    #: Weight of a worker's accuracy deviation on their per-question
+    #: probability of giving the modal answer.
+    worker_accuracy_coupling: float = 0.35
+    trust_noise_sd: float = 0.03
+
+    # --- §5: workers and sources -------------------------------------- #
+    #: Engagement class mix (fractions of the generated worker population):
+    #: one-day 53%, short-lived, regular, power (the top tier).
+    engagement_mix: tuple[float, float, float, float] = (0.46, 0.40, 0.09, 0.05)
+    #: Relative per-day allocation weight of each engagement class (only the
+    #: POWER entry matters for flux absorption; casual classes use bundles).
+    engagement_weights: tuple[float, float, float, float] = (1.0, 3.0, 6.0, 25.0)
+    #: Pareto tail exponent for within-class weight dispersion of power workers.
+    power_weight_pareto_alpha: float = 1.8
+    #: Mean extra tasks (beyond the first) in a casual worker's daily bundle,
+    #: per class (one-day, short, regular).  One-day sessions are large: the
+    #: paper's one-day workers average ≈17 tasks (2.4% of work by 52.7% of
+    #: workers).
+    casual_bundle_lambdas: tuple[float, float, float] = (13.0, 8.0, 7.0)
+    #: Target fraction of a day's volume served by casual labor when volume
+    #: allows; bundles scale up toward this on busy days (Figure 5b's
+    #: bottom-90% also rises with load).
+    casual_share_target: float = 0.22
+    #: Hard cap on the casual fraction of a day's volume.
+    casual_volume_cap: float = 0.60
+    #: Maximum factor by which a busy day may inflate casual bundles.
+    casual_max_scale: float = 6.0
+    mean_worker_accuracy: float = 0.91
+    worker_accuracy_concentration: float = 40.0  # Beta concentration
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.engagement_mix) - 1.0) > 1e-9:
+            raise ValueError(f"engagement_mix must sum to 1, got {self.engagement_mix}")
+        lo, hi = self.subjective_disagreement_range
+        if not 0.5 <= lo < hi <= 1.0:
+            raise ValueError(
+                f"subjective range must lie in [0.5, 1]: {self.subjective_disagreement_range}"
+            )
+
+
+#: Scale presets: (distinct tasks, workers, median instances per batch).
+_PRESETS = {
+    "tiny": dict(num_distinct_tasks=70, num_workers=700, instance_scale=0.15),
+    "small": dict(num_distinct_tasks=300, num_workers=2800, instance_scale=0.40),
+    "medium": dict(num_distinct_tasks=1100, num_workers=11000, instance_scale=0.80),
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that determines a simulated marketplace.
+
+    Use :meth:`preset` for the standard scales; construct directly for
+    custom experiments.
+    """
+
+    seed: int = 7
+    num_distinct_tasks: int = 300
+    num_workers: int = 2800
+    #: Multiplies batch instance counts; 1.0 ≈ a few hundred thousand
+    #: instances ("medium").
+    instance_scale: float = 0.55
+    num_weeks: int = NUM_WEEKS
+    regime_switch_week: int = REGIME_SWITCH_WEEK
+    #: Per-batch probability of inclusion in the released sample.  The paper
+    #: received 12k of 58k batches, covering 76% of distinct tasks (§2.2); at
+    #: our smaller cluster sizes a probability of 0.62 lands task coverage in
+    #: the same region.
+    batch_sample_prob: float = 0.62
+    calibration: Calibration = field(default_factory=Calibration)
+
+    def __post_init__(self) -> None:
+        if self.num_distinct_tasks < 1:
+            raise ValueError("num_distinct_tasks must be positive")
+        if self.num_workers < 10:
+            raise ValueError("num_workers must be at least 10")
+        if not 0 < self.batch_sample_prob <= 1:
+            raise ValueError("batch_sample_prob must be in (0, 1]")
+        if not 10 <= self.num_weeks <= NUM_WEEKS:
+            raise ValueError(f"num_weeks must be in [10, {NUM_WEEKS}]")
+        if not 0 < self.regime_switch_week < self.num_weeks:
+            raise ValueError("regime_switch_week must fall inside the calendar")
+
+    @classmethod
+    def preset(cls, scale: str, *, seed: int = 7) -> "SimulationConfig":
+        """A named scale preset: ``tiny``, ``small``, or ``medium``."""
+        if scale not in _PRESETS:
+            raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_PRESETS)}")
+        return cls(seed=seed, **_PRESETS[scale])
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=seed)

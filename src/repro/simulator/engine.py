@@ -1,0 +1,319 @@
+"""The simulation engine: orchestrates all generators into a full event log.
+
+The output :class:`MarketplaceState` contains both the *observable* world
+(instances with timestamps, workers, responses, trust scores) and the
+*latent* ground truth (task targets, worker skill) — the latter is exposed
+only so tests can verify that the analysis layer recovers the truth from raw
+rows; analysis code never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.allocation import allocate_workers
+from repro.simulator.answers import (
+    choice_strings,
+    modal_probability_for_disagreement,
+)
+from repro.simulator.arrivals import BatchSchedule, generate_batches, market_envelope
+from repro.simulator.config import SimulationConfig
+from repro.simulator.rng import StreamFactory
+from repro.simulator.sources import SourcePool, generate_sources
+from repro.simulator.tasks import (
+    TEXT_RESPONSE_OPERATORS,
+    TaskPopulation,
+    generate_tasks,
+)
+from repro.simulator.workers import WorkerPool, generate_workers
+from repro.stats.timeseries import DAY_SECONDS, WEEK_SECONDS
+
+
+@dataclass
+class InstanceLog:
+    """Column-oriented per-instance event log (index = instance id)."""
+
+    batch_idx: np.ndarray  # int: batch performing the work
+    task_idx: np.ndarray  # int: distinct task (latent; released data omits it)
+    item_id: np.ndarray  # int: globally unique item operated on
+    worker_id: np.ndarray  # int
+    start_time: np.ndarray  # int: seconds since epoch (pickup moment)
+    end_time: np.ndarray  # int: seconds since epoch (completion)
+    trust: np.ndarray  # float in [0, 1]
+    response: np.ndarray  # object: worker's answer string
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.batch_idx)
+
+
+@dataclass
+class MarketplaceState:
+    """Full simulator ground truth."""
+
+    config: SimulationConfig
+    envelope: np.ndarray
+    sources: SourcePool
+    workers: WorkerPool
+    tasks: TaskPopulation
+    batches: BatchSchedule
+    instances: InstanceLog
+
+
+def _weekly_load_factor(
+    config: SimulationConfig, batches: BatchSchedule
+) -> np.ndarray:
+    """Per-batch load factor: weekly instance volume relative to the
+    post-regime median (the §3.2 finding: high-load weeks move *faster*)."""
+    weeks = batches.start_time // WEEK_SECONDS
+    weekly = np.bincount(
+        weeks, weights=batches.num_instances.astype(np.float64),
+        minlength=config.num_weeks,
+    )
+    load_of_batch = weekly[weeks]
+    # Normalize so the *typical batch* sits at factor 1 (median over
+    # batches, not over calendar weeks — batches concentrate in busy weeks).
+    median_load = float(np.median(load_of_batch)) if len(load_of_batch) else 1.0
+    return np.maximum(load_of_batch / max(median_load, 1.0), 1e-3)
+
+
+def _expand_batches(batches: BatchSchedule) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(instance->batch index, within-batch position, item id) arrays."""
+    counts = batches.num_instances
+    batch_of_instance = np.repeat(np.arange(batches.num_batches), counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    position = np.arange(counts.sum(), dtype=np.int64) - np.repeat(offsets, counts)
+    # Items interleave: positions 0..k-1 are item 0..k-1's first answers,
+    # then the replica rounds follow.
+    items_per_batch = np.repeat(batches.num_items, counts)
+    item_index = position % items_per_batch
+    item_offsets = np.concatenate([[0], np.cumsum(batches.num_items)[:-1]])
+    item_id = np.repeat(item_offsets, counts) + item_index
+    return batch_of_instance, position, item_id
+
+
+def simulate_marketplace(config: SimulationConfig) -> MarketplaceState:
+    """Run the full generative model for ``config``.  Deterministic in seed."""
+    streams = StreamFactory(config.seed)
+
+    sources = generate_sources(streams)
+    envelope = market_envelope(config, streams)
+    tasks = generate_tasks(config, envelope, streams)
+    batches = generate_batches(config, tasks, envelope, streams)
+    workers = generate_workers(config, sources, envelope, streams)
+
+    instances = simulate_instances(config, tasks, batches, workers, streams)
+    return MarketplaceState(
+        config=config,
+        envelope=envelope,
+        sources=sources,
+        workers=workers,
+        tasks=tasks,
+        batches=batches,
+        instances=instances,
+    )
+
+
+def simulate_instances(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    batches: BatchSchedule,
+    workers: WorkerPool,
+    streams: StreamFactory,
+) -> InstanceLog:
+    """Simulate the instance-level event log for a given world.
+
+    Exposed separately from :func:`simulate_marketplace` so controlled
+    experiments (see :mod:`repro.abtest`) can run the identical pickup /
+    allocation / timing / answer machinery over hand-built task and batch
+    populations.
+    """
+    cal = config.calibration
+    timing_rng = streams.stream("timing")
+    answer_rng = streams.stream("answers")
+    alloc_rng = streams.stream("allocation")
+
+    batch_of_instance, position, item_id = _expand_batches(batches)
+    n = len(batch_of_instance)
+    task_of_instance = batches.task_idx[batch_of_instance]
+    batch_start = batches.start_time[batch_of_instance]
+    horizon_sec = config.num_weeks * WEEK_SECONDS
+
+    # ------------------------------------------------------------------ #
+    # Pickup times (latency): batch target x load factor x queue position.
+    # ------------------------------------------------------------------ #
+    load_factor = _weekly_load_factor(config, batches)[batch_of_instance]
+    pickup_target = (
+        tasks.base_pickup_time[task_of_instance]
+        * load_factor**cal.pickup_load_exponent
+    )
+    sequence_factor = (
+        1.0 + position / cal.pickup_parallelism
+    ) ** cal.pickup_sequence_exponent
+    pickup = (
+        pickup_target
+        * sequence_factor
+        * np.exp(timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n))
+    )
+    start_time = np.minimum(
+        batch_start + pickup.astype(np.int64), horizon_sec - 1
+    )
+
+    # ------------------------------------------------------------------ #
+    # Worker assignment (per pickup day).
+    # ------------------------------------------------------------------ #
+    start_days = start_time // DAY_SECONDS
+    worker_id = allocate_workers(start_days, workers, alloc_rng, cal)
+
+    # ------------------------------------------------------------------ #
+    # Task times (cost): batch base x instance noise x worker speed x
+    # within-batch learning (a worker's k-th instance of a batch is faster).
+    # ------------------------------------------------------------------ #
+    task_time = (
+        tasks.base_task_time[task_of_instance]
+        * np.exp(timing_rng.normal(0.0, cal.task_time_instance_noise_sd, size=n))
+        * workers.speed[worker_id]
+    )
+    if cal.within_batch_learning_exponent:
+        experience = _within_batch_experience(
+            batch_of_instance, worker_id, start_time
+        )
+        task_time = task_time * (
+            (1.0 + experience) ** -cal.within_batch_learning_exponent
+        )
+    end_time = start_time + np.maximum(task_time.astype(np.int64), 1)
+
+    # ------------------------------------------------------------------ #
+    # Trust scores.
+    # ------------------------------------------------------------------ #
+    trust = np.clip(
+        workers.accuracy[worker_id]
+        + answer_rng.normal(0.0, cal.trust_noise_sd, size=n),
+        0.0,
+        1.0,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Answers.
+    # ------------------------------------------------------------------ #
+    response = _generate_responses(
+        config,
+        tasks,
+        batches,
+        batch_of_instance,
+        task_of_instance,
+        item_id,
+        workers,
+        worker_id,
+        answer_rng,
+    )
+
+    return InstanceLog(
+        batch_idx=batch_of_instance,
+        task_idx=task_of_instance,
+        item_id=item_id,
+        worker_id=worker_id,
+        start_time=start_time.astype(np.int64),
+        end_time=end_time.astype(np.int64),
+        trust=trust,
+        response=response,
+    )
+
+
+def _within_batch_experience(
+    batch_of_instance: np.ndarray,
+    worker_id: np.ndarray,
+    start_time: np.ndarray,
+) -> np.ndarray:
+    """0-based rank of each instance within its (batch, worker) sequence,
+    ordered by start time — i.e. how many instances of this batch the worker
+    has already completed."""
+    order = np.lexsort((start_time, worker_id, batch_of_instance))
+    sorted_batch = batch_of_instance[order]
+    sorted_worker = worker_id[order]
+    new_run = np.r_[
+        True,
+        (sorted_batch[1:] != sorted_batch[:-1])
+        | (sorted_worker[1:] != sorted_worker[:-1]),
+    ]
+    run_id = np.cumsum(new_run) - 1
+    position = np.arange(len(order), dtype=np.int64)
+    run_starts = position[new_run]
+    rank_sorted = position - run_starts[run_id]
+    experience = np.empty(len(order), dtype=np.float64)
+    experience[order] = rank_sorted
+    return experience
+
+
+def _generate_responses(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    batches: BatchSchedule,
+    batch_of_instance: np.ndarray,
+    task_of_instance: np.ndarray,
+    item_id: np.ndarray,
+    workers: WorkerPool,
+    worker_id: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Raw response strings for every instance."""
+    cal = config.calibration
+    n = len(batch_of_instance)
+
+    # Per-task modal-answer probability from the target disagreement.
+    num_choices = tasks.num_choices.astype(np.int64)
+    q_task = modal_probability_for_disagreement(
+        tasks.target_disagreement, num_choices
+    )
+
+    # Per-item latent modal answer.  Items are globally indexed in batch
+    # order; each item's choice count is its batch's task's.
+    total_items = int(batches.num_items.sum())
+    m_of_batch = num_choices[batches.task_idx]
+    m_of_item = np.repeat(m_of_batch, batches.num_items)
+    true_answer_of_item = (
+        rng.random(total_items) * m_of_item
+    ).astype(np.int64)
+
+    m_inst = m_of_item[item_id]
+    true_inst = true_answer_of_item[item_id]
+
+    # Worker-modulated modal probability.
+    q_inst = np.clip(
+        q_task[task_of_instance]
+        + cal.worker_accuracy_coupling
+        * (workers.accuracy[worker_id] - cal.mean_worker_accuracy),
+        0.02,
+        0.999,
+    )
+    correct = rng.random(n) < q_inst
+    wrong_offset = 1 + (rng.random(n) * (m_inst - 1)).astype(np.int64)
+    answer_idx = np.where(correct, true_inst, (true_inst + wrong_offset) % m_inst)
+
+    # Map answer indices to strings through a global per-task choice pool.
+    textual = np.array(
+        [ops[0] in TEXT_RESPONSE_OPERATORS for ops in tasks.operators]
+    )
+    pools: list[str] = []
+    pool_offsets = np.zeros(tasks.num_tasks, dtype=np.int64)
+    cursor = 0
+    for t in range(tasks.num_tasks):
+        pool_offsets[t] = cursor
+        strings = choice_strings(t, int(num_choices[t]), bool(textual[t]))
+        pools.extend(strings)
+        cursor += len(strings)
+    pool_array = np.array(pools, dtype=object)
+
+    response = pool_array[pool_offsets[task_of_instance] + answer_idx]
+
+    # Subjective free-form tasks: every response is unique.
+    subjective_inst = tasks.subjective[task_of_instance]
+    num_subjective = int(subjective_inst.sum())
+    if num_subjective:
+        unique_ids = np.flatnonzero(subjective_inst)
+        response[unique_ids] = np.array(
+            [f"freeform response #{i}" for i in unique_ids], dtype=object
+        )
+    return response

@@ -1,0 +1,109 @@
+"""Worker geography: 148 countries with the paper's Figure 28 mix.
+
+The paper reports: workers from 148 countries; close to 50% of workers from
+the top five — USA (≈30.6%), Venezuela (≈7.6%), Great Britain (≈6.3%),
+India (≈5.9%), Canada (≈4.0%); ≈17% from emerging South American and
+African markets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: (country, weight) for the named head of the distribution.  Weights are
+#: fractions of the worker population; the generated tail below pads the
+#: country count to 148.
+_HEAD: tuple[tuple[str, float], ...] = (
+    ("United States", 0.306),
+    ("Venezuela", 0.076),
+    ("Great Britain", 0.063),
+    ("India", 0.059),
+    ("Canada", 0.040),
+    ("Philippines", 0.030),
+    ("Brazil", 0.028),
+    ("Nigeria", 0.022),
+    ("Egypt", 0.018),
+    ("Indonesia", 0.017),
+    ("Pakistan", 0.016),
+    ("Romania", 0.015),
+    ("Bangladesh", 0.014),
+    ("Serbia", 0.013),
+    ("Mexico", 0.013),
+    ("Colombia", 0.012),
+    ("Germany", 0.012),
+    ("Kenya", 0.011),
+    ("Argentina", 0.011),
+    ("Poland", 0.010),
+    ("Spain", 0.010),
+    ("Italy", 0.009),
+    ("France", 0.009),
+    ("Morocco", 0.009),
+    ("South Africa", 0.009),
+    ("Peru", 0.008),
+    ("Ukraine", 0.008),
+    ("Turkey", 0.008),
+    ("Vietnam", 0.008),
+    ("Greece", 0.007),
+    ("Portugal", 0.007),
+    ("Malaysia", 0.007),
+    ("Thailand", 0.007),
+    ("Netherlands", 0.006),
+    ("Australia", 0.006),
+    ("Ghana", 0.006),
+    ("Tunisia", 0.006),
+    ("Algeria", 0.006),
+    ("Chile", 0.005),
+    ("Hungary", 0.005),
+    ("Russia", 0.005),
+    ("Jamaica", 0.005),
+    ("Sri Lanka", 0.005),
+    ("Nepal", 0.004),
+    ("Bulgaria", 0.004),
+    ("Croatia", 0.004),
+    ("Bosnia", 0.004),
+    ("Macedonia", 0.004),
+)
+
+#: Synthetic long tail to reach the paper's 148 countries.
+_NUM_COUNTRIES = 148
+
+_TAIL_NAMES = tuple(f"Country-{i:03d}" for i in range(_NUM_COUNTRIES - len(_HEAD)))
+
+COUNTRIES: tuple[str, ...] = tuple(name for name, _ in _HEAD) + _TAIL_NAMES
+
+_head_total = sum(weight for _, weight in _HEAD)
+_tail_raw = 0.90 ** np.arange(len(_TAIL_NAMES))
+_tail_weights = _tail_raw / _tail_raw.sum() * (1.0 - _head_total)
+
+COUNTRY_WEIGHTS: np.ndarray = np.concatenate(
+    [np.array([weight for _, weight in _HEAD]), _tail_weights]
+)
+
+#: Emerging-market countries for the "≈17% from South America and Africa"
+#: check (includes the synthetic tail's first third, treated as emerging).
+SOUTH_AMERICA_AFRICA = frozenset(
+    {"Venezuela", "Brazil", "Colombia", "Argentina", "Peru", "Chile",
+     "Nigeria", "Egypt", "Kenya", "South Africa", "Morocco", "Ghana",
+     "Tunisia", "Algeria"}
+)
+
+
+def sample_countries(
+    rng: np.random.Generator,
+    size: int,
+    *,
+    home_country: str | None = None,
+    home_bias: float = 0.85,
+) -> np.ndarray:
+    """Draw countries for ``size`` workers.
+
+    Workers of geographically specialized sources live in the source's
+    ``home_country`` with probability ``home_bias`` and follow the global
+    mix otherwise.
+    """
+    codes = rng.choice(len(COUNTRIES), size=size, p=COUNTRY_WEIGHTS)
+    out = np.array(COUNTRIES, dtype=object)[codes]
+    if home_country is not None:
+        pinned = rng.random(size) < home_bias
+        out[pinned] = home_country
+    return out

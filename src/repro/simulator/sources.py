@@ -1,0 +1,203 @@
+"""The marketplace's 139 labor sources (paper Table 4) and their properties.
+
+The paper's headline source facts, all encoded here:
+
+- 139 distinct sources; the top-10 by workers supply ≈86% of workers and
+  ≈95% of tasks (§5.1);
+- NeoDev alone contributed ≈27k of ≈69k workers; Mechanical Turk (``amt``)
+  only ≈1.5% of workers;
+- the marketplace's ``internal`` pool is ≈2.5% of workers and ≈2% of tasks;
+- ≈10% of sources have mean trust < 0.8 (some < 0.5); ≈5% of sources have
+  mean relative task time ≥ 3, three of them ≥ 10; ``amt`` is poor on both
+  (trust ≈ 0.75, relative time > 5);
+- some sources are geographically specialized (``imerit_india``,
+  ``yute_jamaica``, ``task_ph``, ``daproimafrica``, ...);
+- sources split into *dedicated* pools (few workers, thousands of tasks
+  each) and *on-demand* pools (many workers, ≤20 tasks each) — Figure 26a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulator.rng import StreamFactory
+
+#: Verbatim Table 4 of the paper (139 sources, reading order).
+SOURCE_NAMES: tuple[str, ...] = (
+    "neodev", "clixsense", "prodege", "elite", "instagc", "tremorgames",
+    "internal", "bitcoinget",
+    "amt", "superrewards", "eup_slw", "gifthunterclub", "taskhunter",
+    "prizerebel", "hiving", "fusioncash",
+    "points2shop", "clicksfx", "getpaid", "cotter", "coinworker", "vivatic",
+    "piyanstantrewards", "inboxpounds",
+    "imerit_india", "personaly", "stuffpoint", "errtopc", "taskspay",
+    "zoombucks", "crowdgur", "gifthulk",
+    "tasks4dollars", "dollarsignup", "indivillagetest", "cbf", "mycashtasks",
+    "sendearnings", "treasuretrooper", "pokerowned",
+    "diamondtask", "pforads", "quickrewards", "uniquerewards",
+    "extralunchmoney", "cashcrate", "wannads", "gptbanks",
+    "listia", "gradible", "dailyrewardsca", "clickfair", "superpayme",
+    "memolink", "rewardok", "snowcirrustechbpo",
+    "pedtoclick", "rewardingways", "callmemoney", "pocketmoneygpt",
+    "goldtasks", "dollarrewardz", "surveymad", "sharecashgpt",
+    "irazoo", "zapbux", "ptcsolution", "ptc123", "content_runner", "jetbux",
+    "qpr", "cointasker",
+    "point_dollars", "meprizescf", "keeprewarding", "gptking", "dollarsgpt",
+    "prizeplank", "yute_jamaica", "onestopgpt",
+    "gptway", "trial_pay", "task_ph", "golddiggergpt", "prizezombie",
+    "daproimafrica", "aceinnovations", "getpaidto",
+    "globalactioncash", "piyoogle", "supersonicads", "poin_web",
+    "rewardsspot", "giftgpt", "giftcardgpt", "northclicks",
+    "fastcashgpt", "dealbarbiepays", "dailysurveypanel", "points4rewards",
+    "gptpal", "rewards1", "new_rules", "surewardsgpt",
+    "zorbor", "steamgameswap", "buxense", "surveywage", "offernation",
+    "probux", "freeride", "ojooo",
+    "luckytaskz", "medievaleurope", "proudclick", "steampowers",
+    "paiddailysurveys", "wrkshop", "simplegpt", "realworld",
+    "surveytokens", "bemybux", "onestop", "plusdollars", "gptbucks",
+    "fepcrowdflower", "embee", "makethatdollar",
+    "ayuwage", "luckykoin", "pointst", "sedgroup", "easycashclicks",
+    "candy_ph", "piggybankgpt", "peoplesgpt",
+    "matomy", "earnthemost", "fsprizes",
+)
+
+#: Worker-count share of the ten biggest sources (≈86% of all workers, with
+#: neodev ≈ 27k/69k ≈ 39%).  The remaining 129 sources share ≈14% on a
+#: geometric tail.
+_TOP10_WORKER_SHARES: dict[str, float] = {
+    "neodev": 0.39,
+    "clixsense": 0.15,
+    "prodege": 0.10,
+    "elite": 0.06,
+    "instagc": 0.045,
+    "tremorgames": 0.035,
+    "internal": 0.025,
+    "bitcoinget": 0.020,
+    "amt": 0.015,
+    "superrewards": 0.012,
+}
+
+#: Sources whose workers are concentrated in one country.
+GEO_SPECIALIZED: dict[str, str] = {
+    "imerit_india": "India",
+    "indivillagetest": "India",
+    "yute_jamaica": "Jamaica",
+    "task_ph": "Philippines",
+    "candy_ph": "Philippines",
+    "daproimafrica": "Kenya",
+    "internal": "United States",
+    "medievaleurope": "Romania",
+}
+
+#: Sources designed to be slow (mean relative task time >= 3; the paper saw
+#: ~5% of sources at >=3 and three sources at >=10).
+_SLOW_SOURCES: dict[str, float] = {
+    "amt": 5.5,
+    "pedtoclick": 11.0,
+    "ptcsolution": 12.5,
+    "zapbux": 10.5,
+    "clickfair": 3.5,
+    "probux": 3.2,
+    "jetbux": 4.0,
+}
+
+#: Sources designed to be low-trust (paper: ~10% of sources < 0.8 mean
+#: trust, a few below 0.5).
+_LOW_TRUST_SOURCES: dict[str, float] = {
+    "amt": 0.75,
+    "pedtoclick": 0.45,
+    "zapbux": 0.48,
+    "ptc123": 0.62,
+    "clickfair": 0.70,
+    "probux": 0.72,
+    "jetbux": 0.74,
+    "buxense": 0.76,
+    "northclicks": 0.78,
+    "pforads": 0.77,
+    "golddiggergpt": 0.79,
+    "easycashclicks": 0.78,
+    "sharecashgpt": 0.79,
+}
+
+#: Dedicated-workforce sources: few workers each performing thousands of
+#: tasks (Figure 26a's top end).  The marketplace's own ``internal`` pool is
+#: deliberately NOT here — the paper shows it at ≈2.5% of workers and ≈2% of
+#: tasks, i.e. ordinary per-worker load.
+DEDICATED_SOURCES = frozenset(
+    {"imerit_india", "indivillagetest", "snowcirrustechbpo",
+     "daproimafrica", "content_runner", "sedgroup", "wrkshop",
+     "aceinnovations", "fepcrowdflower"}
+)
+
+
+@dataclass
+class SourcePool:
+    """Column-oriented source attributes, aligned with :data:`SOURCE_NAMES`."""
+
+    names: tuple[str, ...]
+    worker_share: np.ndarray  # fraction of the worker population
+    mean_trust: np.ndarray  # target mean trust of the source's workers
+    speed_factor: np.ndarray  # multiplies task time (1.0 = typical)
+    dedicated: np.ndarray  # bool: dedicated workforce?
+    task_weight_boost: np.ndarray  # allocation weight multiplier
+    home_country: list[str | None] = field(default_factory=list)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown source {name!r}") from None
+
+
+def generate_sources(streams: StreamFactory) -> SourcePool:
+    """Instantiate the 139 sources with calibrated attributes."""
+    rng = streams.stream("sources")
+    n = len(SOURCE_NAMES)
+
+    # Worker shares: fixed top-10, geometric tail for the rest.
+    share = np.zeros(n)
+    tail_indices = [
+        i for i, name in enumerate(SOURCE_NAMES) if name not in _TOP10_WORKER_SHARES
+    ]
+    tail_total = 1.0 - sum(_TOP10_WORKER_SHARES.values())
+    tail_weights = 0.96 ** np.arange(len(tail_indices))
+    tail_weights = tail_weights / tail_weights.sum() * tail_total
+    for rank, i in enumerate(tail_indices):
+        share[i] = tail_weights[rank]
+    for name, s in _TOP10_WORKER_SHARES.items():
+        share[SOURCE_NAMES.index(name)] = s
+
+    # Trust: healthy sources ~N(0.90, 0.02); designated bad sources pinned.
+    mean_trust = np.clip(rng.normal(0.90, 0.02, size=n), 0.82, 0.97)
+    for name, trust in _LOW_TRUST_SOURCES.items():
+        mean_trust[SOURCE_NAMES.index(name)] = trust
+
+    # Speed: most near 1, slow sources pinned.
+    speed = np.exp(rng.normal(0.0, 0.15, size=n))
+    for name, factor in _SLOW_SOURCES.items():
+        speed[SOURCE_NAMES.index(name)] = factor
+
+    dedicated = np.array([name in DEDICATED_SOURCES for name in SOURCE_NAMES])
+
+    # Dedicated sources' workers individually absorb far more tasks.
+    boost = np.where(dedicated, 10.0, 1.0)
+    # amt is push-routed only occasionally: mildly deprioritized.
+    boost[SOURCE_NAMES.index("amt")] = 0.6
+
+    home = [GEO_SPECIALIZED.get(name) for name in SOURCE_NAMES]
+
+    return SourcePool(
+        names=SOURCE_NAMES,
+        worker_share=share,
+        mean_trust=mean_trust,
+        speed_factor=speed,
+        dedicated=dedicated,
+        task_weight_boost=boost,
+        home_country=home,
+    )

@@ -1,0 +1,518 @@
+"""Distinct-task population: labels, design features, and effect targets.
+
+A *distinct task* is an identical unit of work issued across many batches —
+the paper's "cluster".  The generator draws, per distinct task:
+
+- labels (goal, operators, data types) from the taxonomy priors;
+- design features: ``#words``, ``#text-box``, ``#examples``, ``#images``,
+  and the typical ``#items`` per batch;
+- a *cluster size* (number of batches) from a truncated power law with a
+  forced heavy-hitter head (Figure 6: a few tasks span hundreds of batches);
+- an activity window: most tasks are one-off; heavy hitters are either
+  steady streams over many months or intense bursts (Figure 8);
+- the latent *target disagreement* and timing bases, composed from the
+  calibration's effect sizes.  These latents drive answer/timing generation
+  and are never visible to the analysis layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.rng import StreamFactory
+from repro.taxonomy.labels import DataType, Goal, Operator
+from repro.taxonomy.priors import (
+    DATA_GIVEN_GOAL,
+    GOAL_CLUSTER_WEIGHTS,
+    GOAL_WEIGHTS,
+    OPERATOR_GIVEN_GOAL,
+    SECONDARY_DATA_PROB,
+    SECONDARY_GOAL_PROB,
+    SECONDARY_OPERATOR_PROB,
+)
+
+#: Operators whose worker responses are free-form text when a text box is
+#: present (everything else is click-based).
+TEXT_RESPONSE_OPERATORS = frozenset(
+    {Operator.GATHER, Operator.EXTRACT, Operator.GENERATE, Operator.TAG}
+)
+
+#: Title templates per goal, used as the batch description metadata.
+_TITLE_TEMPLATES: dict[Goal, tuple[str, ...]] = {
+    Goal.ENTITY_RESOLUTION: (
+        "Match business listings", "Deduplicate product records",
+        "Do these profiles refer to the same person?",
+    ),
+    Goal.HUMAN_BEHAVIOR: (
+        "Short opinion survey", "Political leaning study", "Demographic poll",
+    ),
+    Goal.SEARCH_RELEVANCE: (
+        "Rate search result relevance", "Judge query-document match",
+    ),
+    Goal.QUALITY_ASSURANCE: (
+        "Flag inappropriate images", "Moderate user comments",
+        "Spot data entry errors",
+    ),
+    Goal.SENTIMENT_ANALYSIS: (
+        "Label tweet sentiment", "Classify review tone",
+    ),
+    Goal.LANGUAGE_UNDERSTANDING: (
+        "Identify grammatical elements", "Paraphrase detection",
+        "Find business contact info",
+    ),
+    Goal.TRANSCRIPTION: (
+        "Transcribe receipts", "Caption short audio clips",
+        "Extract text from photos",
+    ),
+}
+
+
+@dataclass
+class TaskPopulation:
+    """Column-oriented distinct-task attributes (index = distinct task id)."""
+
+    # Labels (primary first in every tuple)
+    goal: np.ndarray  # object: primary Goal
+    goals: list[tuple[Goal, ...]]
+    operators: list[tuple[Operator, ...]]
+    data_types: list[tuple[DataType, ...]]
+    title: np.ndarray  # object: str
+
+    # Design features (these surface in the generated HTML)
+    num_words: np.ndarray  # int
+    num_text_boxes: np.ndarray  # int
+    num_examples: np.ndarray  # int
+    num_images: np.ndarray  # int
+    items_median: np.ndarray  # float: typical #items per batch
+
+    # Schedule
+    cluster_size: np.ndarray  # int: number of batches
+    start_week: np.ndarray  # int
+    duration_weeks: np.ndarray  # int
+    burst: np.ndarray  # bool: burst (vs steady) batch placement
+
+    # Answer model latents
+    subjective: np.ndarray  # bool: free-form, no modal answer
+    num_choices: np.ndarray  # int: response alternatives (>= 2)
+    redundancy: np.ndarray  # int: answers collected per item
+    target_disagreement: np.ndarray  # float in (0, 1)
+
+    # Timing latents
+    base_task_time: np.ndarray  # float: median seconds per instance
+    base_pickup_time: np.ndarray  # float: batch-level pickup scale
+
+    # HTML latents
+    template_salt: np.ndarray  # int: per-task vocabulary seed
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.goal)
+
+    def primary_operator(self, task: int) -> Operator:
+        return self.operators[task][0]
+
+    def primary_data_type(self, task: int) -> DataType:
+        return self.data_types[task][0]
+
+
+def _draw_from_prior(rng: np.random.Generator, prior: dict) -> object:
+    keys = list(prior.keys())
+    weights = np.asarray([prior[k] for k in keys], dtype=np.float64)
+    weights = weights / weights.sum()
+    return keys[rng.choice(len(keys), p=weights)]
+
+
+def _cluster_sizes(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Truncated power-law batch counts with a forced heavy-hitter head.
+
+    Tuned so most tasks are one-off (< 10 batches) while ≈0.2% of tasks
+    (≥ 10 at paper scale) exceed 100 batches, and the batch/task ratio is
+    ≈ 9 (58k batches over 6.6k tasks).
+    """
+    support = np.arange(1, 401)
+    weights = support ** -1.75
+    weights /= weights.sum()
+    sizes = rng.choice(support, size=n, p=weights)
+    # Forced heavy hitters: ~10 per 6600 tasks, at least 3.
+    num_heavy = max(3, int(round(n * 10 / 6600)))
+    heavy_idx = rng.choice(n, size=min(num_heavy, n), replace=False)
+    sizes[heavy_idx] = rng.integers(100, 401, size=len(heavy_idx))
+    return sizes.astype(np.int64)
+
+
+def _activity_windows(
+    rng: np.random.Generator,
+    config: SimulationConfig,
+    cluster_size: np.ndarray,
+    envelope: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(start_week, duration_weeks, burst) per task.
+
+    Task starts follow the market envelope (most activity post-2015); heavy
+    hitters either run steadily for many months or burst over a few weeks,
+    then shut down for good (§3.3's takeaway).
+    """
+    n = len(cluster_size)
+    p = envelope ** 1.2
+    p = p / p.sum()
+    start = rng.choice(config.num_weeks, size=n, p=p)
+
+    duration = np.empty(n, dtype=np.int64)
+    burst = np.zeros(n, dtype=bool)
+    small = cluster_size < 20
+    duration[small] = rng.integers(1, 5, size=int(small.sum()))
+    mid = (cluster_size >= 20) & (cluster_size < 100)
+    duration[mid] = rng.integers(3, 16, size=int(mid.sum()))
+    heavy = cluster_size >= 100
+    num_heavy = int(heavy.sum())
+    if num_heavy:
+        burst_choice = rng.random(num_heavy) < 0.4
+        dur_heavy = np.where(
+            burst_choice,
+            rng.integers(2, 7, size=num_heavy),
+            rng.integers(20, 49, size=num_heavy),
+        )
+        duration[heavy] = dur_heavy
+        burst[heavy] = burst_choice
+
+    # Clamp to the calendar: long-running tasks must start early enough.
+    max_start = config.num_weeks - duration
+    start = np.minimum(start, np.maximum(max_start, 0))
+    duration = np.minimum(duration, config.num_weeks - start)
+    return start.astype(np.int64), duration, burst
+
+
+def _compose_disagreement(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    operator: Operator,
+    num_words: int,
+    num_text_boxes: int,
+    num_examples: int,
+    items_median: float,
+    subjective: bool,
+) -> float:
+    """The latent target disagreement, per the calibration's §4 effects."""
+    cal = config.calibration
+    if subjective:
+        lo, hi = cal.subjective_disagreement_range
+        return float(rng.uniform(lo, hi))
+    d = cal.base_disagreement_by_operator[operator]
+    if num_text_boxes > 0:
+        d += cal.disagreement_text_box_penalty
+    word_term = math.log2(max(num_words, 10) / cal.disagreement_words_pivot)
+    d -= cal.disagreement_words_slope * float(np.clip(word_term, -2.0, 2.0))
+    item_term = math.log10(max(items_median, 1.0) / cal.disagreement_items_pivot)
+    d -= cal.disagreement_items_slope * float(np.clip(item_term, -1.4, 1.4))
+    if num_examples > 0:
+        d -= cal.disagreement_example_bonus
+    d += rng.normal(0.0, cal.disagreement_noise_sd)
+    return float(np.clip(d, 0.005, 0.45))
+
+
+def _compose_task_time(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    operator: Operator,
+    num_text_boxes: int,
+    num_images: int,
+    items_median: float,
+) -> float:
+    """Latent median seconds per instance (Table 2's effects)."""
+    cal = config.calibration
+    t = cal.base_task_time_by_operator[operator]
+    if num_text_boxes > 0:
+        t *= cal.task_time_text_box_factor
+    if num_images > 0:
+        t *= cal.task_time_image_factor
+    t *= (max(items_median, 1.0) / cal.task_time_items_pivot) ** cal.task_time_items_exponent
+    t *= math.exp(rng.normal(0.0, cal.task_time_batch_noise_sd))
+    return float(max(t, 3.0))
+
+
+def _compose_pickup_time(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    num_examples: int,
+    num_images: int,
+    items_median: float,
+) -> float:
+    """Latent batch pickup scale in seconds (Table 3's effects).
+
+    The load factor is applied later, per batch, once the weekly load is
+    known.
+    """
+    cal = config.calibration
+    p = cal.pickup_base_seconds
+    if num_examples > 0:
+        p *= cal.pickup_example_factor
+    if num_images > 0:
+        p *= cal.pickup_image_factor
+    p *= (max(items_median, 1.0) / cal.pickup_items_pivot) ** cal.pickup_items_exponent
+    p *= math.exp(rng.normal(0.0, cal.pickup_batch_noise_sd))
+    return float(max(p, 5.0))
+
+
+def compose_disagreement_target(
+    config: SimulationConfig,
+    *,
+    operator: Operator,
+    num_words: int,
+    num_text_boxes: int,
+    num_examples: int,
+    items_median: float,
+    subjective: bool = False,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Public, optionally noise-free composition of the disagreement target.
+
+    With ``rng=None`` the deterministic (expected) effect composition is
+    returned — used by :mod:`repro.abtest` so arms differ only by design.
+    """
+    quiet = rng if rng is not None else _ZeroNoise()
+    return _compose_disagreement(
+        config, quiet, operator, num_words, num_text_boxes, num_examples,
+        items_median, subjective,
+    )
+
+
+def compose_task_time_base(
+    config: SimulationConfig,
+    *,
+    operator: Operator,
+    num_text_boxes: int,
+    num_images: int,
+    items_median: float,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Public, optionally noise-free composition of the task-time base."""
+    quiet = rng if rng is not None else _ZeroNoise()
+    return _compose_task_time(
+        config, quiet, operator, num_text_boxes, num_images, items_median
+    )
+
+
+def compose_pickup_base(
+    config: SimulationConfig,
+    *,
+    num_examples: int,
+    num_images: int,
+    items_median: float,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Public, optionally noise-free composition of the pickup-time base."""
+    quiet = rng if rng is not None else _ZeroNoise()
+    return _compose_pickup_time(
+        config, quiet, num_examples, num_images, items_median
+    )
+
+
+class _ZeroNoise:
+    """A stand-in generator whose draws are the distribution means."""
+
+    @staticmethod
+    def normal(loc: float = 0.0, scale: float = 1.0, size=None) -> float:
+        del scale, size
+        return loc
+
+    @staticmethod
+    def uniform(low: float, high: float, size=None) -> float:
+        del size
+        return (low + high) / 2.0
+
+
+def generate_tasks(
+    config: SimulationConfig,
+    envelope: np.ndarray,
+    streams: StreamFactory,
+) -> TaskPopulation:
+    """Generate the distinct-task population."""
+    rng = streams.stream("tasks")
+    cal = config.calibration
+    n = config.num_distinct_tasks
+
+    goals: list[tuple[Goal, ...]] = []
+    operators: list[tuple[Operator, ...]] = []
+    data_types: list[tuple[DataType, ...]] = []
+    titles: list[str] = []
+
+    goal_keys = list(GOAL_CLUSTER_WEIGHTS.keys())
+    goal_p = np.asarray([GOAL_CLUSTER_WEIGHTS[g] for g in goal_keys])
+    goal_p = goal_p / goal_p.sum()
+
+    for _ in range(n):
+        goal = goal_keys[rng.choice(len(goal_keys), p=goal_p)]
+        task_goals = [goal]
+        if rng.random() < SECONDARY_GOAL_PROB:
+            secondary_goal = goal_keys[rng.choice(len(goal_keys), p=goal_p)]
+            if secondary_goal != goal:
+                task_goals.append(secondary_goal)
+        goals.append(tuple(task_goals))
+
+        primary_op = _draw_from_prior(rng, OPERATOR_GIVEN_GOAL[goal])
+        ops = [primary_op]
+        if rng.random() < SECONDARY_OPERATOR_PROB:
+            secondary = _draw_from_prior(rng, OPERATOR_GIVEN_GOAL[goal])
+            if secondary != primary_op:
+                ops.append(secondary)
+        operators.append(tuple(ops))
+
+        primary_dt = _draw_from_prior(rng, DATA_GIVEN_GOAL[goal])
+        dts = [primary_dt]
+        if rng.random() < SECONDARY_DATA_PROB:
+            secondary_dt = _draw_from_prior(rng, DATA_GIVEN_GOAL[goal])
+            if secondary_dt != primary_dt:
+                dts.append(secondary_dt)
+        data_types.append(tuple(dts))
+
+        templates = _TITLE_TEMPLATES[goal]
+        titles.append(templates[rng.choice(len(templates))])
+
+    goal_arr = np.empty(n, dtype=object)
+    for i, task_goals in enumerate(goals):
+        goal_arr[i] = task_goals[0]
+
+    # --- design features ------------------------------------------------ #
+    num_words = np.clip(
+        np.round(np.exp(rng.normal(math.log(466.0), 1.0, size=n))), 20, 20000
+    ).astype(np.int64)
+
+    has_text_box = rng.random(n) < 0.48
+    num_text_boxes = np.where(has_text_box, 1 + rng.poisson(1.5, size=n), 0).astype(
+        np.int64
+    )
+    # Click-only operators occasionally lack text boxes regardless.
+    num_examples = np.where(
+        rng.random(n) < cal.example_prevalence, 1 + rng.poisson(0.8, size=n), 0
+    ).astype(np.int64)
+
+    # Image-data tasks render their sample item as an <img>, so they always
+    # carry at least one image; other tasks add decorative/instructional
+    # images occasionally.  Observed #images (HTML extraction) equals this.
+    item_images = np.array(
+        [sum(1 for dt in dts if dt is DataType.IMAGE) for dts in data_types],
+        dtype=np.int64,
+    )
+    extra_images = np.where(
+        rng.random(n) < 0.13, 1 + rng.poisson(1.5, size=n), 0
+    ).astype(np.int64)
+    num_images = item_images + extra_images
+
+    items_median = np.exp(rng.normal(math.log(40.0), 1.1, size=n))
+
+    # --- schedule -------------------------------------------------------- #
+    cluster_size = _cluster_sizes(rng, n)
+    start_week, duration_weeks, burst = _activity_windows(
+        rng, config, cluster_size, envelope
+    )
+
+    # Heavy hitters also run the biggest batches (§3.3: "bulky clusters have
+    # issued close to 80k tasks/batch"): couple the item scale mildly to the
+    # cluster size, on top of the global instance_scale knob.  The per-goal
+    # multiplier GOAL_WEIGHTS / GOAL_CLUSTER_WEIGHTS restores Figure 9a's
+    # instance-level goal mix: simple goals run in fewer but larger clusters.
+    goal_multiplier = np.array(
+        [GOAL_WEIGHTS[g] / GOAL_CLUSTER_WEIGHTS[g] for g in goal_arr]
+    )
+    items_median = items_median * (
+        cluster_size.astype(np.float64) ** 0.25
+    ) * config.instance_scale * goal_multiplier
+    items_median = np.maximum(items_median, 1.0)
+
+    # --- answer model ----------------------------------------------------- #
+    text_response = np.array(
+        [
+            (ops[0] in TEXT_RESPONSE_OPERATORS) and tb > 0
+            for ops, tb in zip(operators, num_text_boxes)
+        ]
+    )
+    subjective = text_response & (rng.random(n) < cal.subjective_text_fraction)
+
+    num_choices = np.empty(n, dtype=np.int64)
+    for i, ops in enumerate(operators):
+        primary = ops[0]
+        if primary == Operator.FILTER:
+            num_choices[i] = rng.integers(2, 4)
+        elif primary == Operator.RATE:
+            num_choices[i] = rng.integers(4, 6)
+        elif primary in TEXT_RESPONSE_OPERATORS:
+            num_choices[i] = rng.integers(3, 7)
+        else:
+            num_choices[i] = rng.integers(2, 6)
+
+    redundancy = rng.choice(
+        np.arange(1, 6), size=n, p=[0.10, 0.30, 0.30, 0.20, 0.10]
+    ).astype(np.int64)
+
+    target_disagreement = np.array(
+        [
+            _compose_disagreement(
+                config,
+                rng,
+                operators[i][0],
+                int(num_words[i]),
+                int(num_text_boxes[i]),
+                int(num_examples[i]),
+                float(items_median[i]),
+                bool(subjective[i]),
+            )
+            for i in range(n)
+        ]
+    )
+
+    base_task_time = np.array(
+        [
+            _compose_task_time(
+                config,
+                rng,
+                operators[i][0],
+                int(num_text_boxes[i]),
+                int(num_images[i]),
+                float(items_median[i]),
+            )
+            for i in range(n)
+        ]
+    )
+
+    base_pickup_time = np.array(
+        [
+            _compose_pickup_time(
+                config,
+                rng,
+                int(num_examples[i]),
+                int(num_images[i]),
+                float(items_median[i]),
+            )
+            for i in range(n)
+        ]
+    )
+
+    template_salt = rng.integers(1, 2**31 - 1, size=n, dtype=np.int64)
+
+    return TaskPopulation(
+        goal=goal_arr,
+        goals=goals,
+        operators=operators,
+        data_types=data_types,
+        title=np.array(titles, dtype=object),
+        num_words=num_words,
+        num_text_boxes=num_text_boxes,
+        num_examples=num_examples,
+        num_images=num_images,
+        items_median=items_median,
+        cluster_size=cluster_size,
+        start_week=start_week,
+        duration_weeks=duration_weeks,
+        burst=burst,
+        subjective=subjective,
+        num_choices=num_choices,
+        redundancy=redundancy,
+        target_disagreement=target_disagreement,
+        base_task_time=base_task_time,
+        base_pickup_time=base_pickup_time,
+        template_salt=template_salt,
+    )

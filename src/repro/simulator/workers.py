@@ -1,0 +1,214 @@
+"""Worker population: sources, geography, skill, and engagement (paper §5).
+
+Engagement classes (fractions from §5.3's lifetime findings):
+
+``one_day`` (53%)
+    Directed to the marketplace for a single day, never return.  They are
+    many, but complete only ≈2.4% of tasks.
+``short`` (27%)
+    Lifetimes of a few days to ≈100 days, sporadic participation.
+``regular`` (14%)
+    Months-long lifetimes, work one to three days a week.
+``power`` (6%)
+    The dedicated core: near-daily participation, long lifetimes, and
+    heavy-tailed capacity — this class (plus the top of ``regular``) is the
+    "top-10% of workers complete >80% of tasks" population, and it absorbs
+    the marketplace's load spikes (Figure 5b).
+
+A worker's availability is procedural: a worker is available on day ``d``
+iff ``d`` lies in their activity window *and* a per-(worker, day) hash
+clears their days-per-week rate — so the engine never materializes a
+worker × day matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.geography import sample_countries
+from repro.simulator.rng import StreamFactory
+from repro.simulator.sources import SourcePool
+
+DAYS_PER_WEEK = 7
+
+#: Engagement class codes.
+ONE_DAY, SHORT, REGULAR, POWER = 0, 1, 2, 3
+CLASS_NAMES = ("one_day", "short", "regular", "power")
+
+_HASH_MOD = np.int64(2**31 - 1)
+_MIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix_hash(salt: np.ndarray, day: int) -> np.ndarray:
+    """splitmix64-style avalanche of (salt, day) to uniform [0, 1).
+
+    A linear congruential form is NOT sufficient here: with a small day
+    multiplier, adjacent days map to nearly identical values and a worker's
+    whole activity window either clears the rate check or fails it wholesale.
+    """
+    day_term = np.uint64((int(day) * int(_MIX_GAMMA)) & 0xFFFFFFFFFFFFFFFF)
+    x = salt.astype(np.uint64) ^ day_term
+    x = (x ^ (x >> np.uint64(30))) * _MIX_C1
+    x = (x ^ (x >> np.uint64(27))) * _MIX_C2
+    x = x ^ (x >> np.uint64(31))
+    return (x >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+@dataclass
+class WorkerPool:
+    """Column-oriented worker attributes (index = worker id)."""
+
+    source_idx: np.ndarray  # int: index into SourcePool
+    country: np.ndarray  # object: country name
+    engagement: np.ndarray  # int: ONE_DAY..POWER
+    accuracy: np.ndarray  # float in (0, 1): latent answer quality
+    speed: np.ndarray  # float: task-time multiplier (>1 = slower)
+    weight: np.ndarray  # float: per-day allocation weight
+    start_day: np.ndarray  # int: first day of the activity window
+    end_day: np.ndarray  # int: last day (inclusive)
+    days_per_week: np.ndarray  # float in (0, 7]
+    salt: np.ndarray  # int: per-worker hash salt for availability
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.source_idx)
+
+    def available_on_day(self, day: int) -> np.ndarray:
+        """Boolean mask of workers available on simulation day ``day``.
+
+        One-day workers are always available within their single-day
+        window.  Other classes clear a deterministic per-(worker, day) hash
+        with probability ``days_per_week / 7``.
+        """
+        in_window = (self.start_day <= day) & (day <= self.end_day)
+        hashed = _mix_hash(self.salt, day)
+        clears = hashed < (self.days_per_week / DAYS_PER_WEEK)
+        return in_window & (clears | (self.engagement == ONE_DAY))
+
+
+def _class_lifetime_days(
+    rng: np.random.Generator, engagement: np.ndarray, horizon_days: int
+) -> np.ndarray:
+    """Lifetime (window length in days) per worker, by engagement class."""
+    n = len(engagement)
+    lifetime = np.ones(n, dtype=np.int64)
+    short_mask = engagement == SHORT
+    # Lognormal capped at ~90 days ("79% of workers have lifetimes < 100").
+    lifetime[short_mask] = np.clip(
+        np.round(np.exp(rng.normal(2.4, 1.0, size=int(short_mask.sum())))), 2, 90
+    ).astype(np.int64)
+    regular_mask = engagement == REGULAR
+    lifetime[regular_mask] = rng.integers(
+        100, max(101, int(horizon_days * 0.6)), size=int(regular_mask.sum())
+    )
+    power_mask = engagement == POWER
+    lifetime[power_mask] = rng.integers(
+        int(horizon_days * 0.3), horizon_days, size=int(power_mask.sum())
+    )
+    return lifetime
+
+
+def generate_workers(
+    config: SimulationConfig,
+    sources: SourcePool,
+    weekly_envelope: np.ndarray,
+    streams: StreamFactory,
+) -> WorkerPool:
+    """Generate the worker population.
+
+    ``weekly_envelope`` is the slow-varying market-intensity curve; worker
+    arrivals follow it (the workforce grew as the marketplace took off) but
+    not its weekly spikes.
+    """
+    rng = streams.stream("workers")
+    cal = config.calibration
+    n = config.num_workers
+    horizon_days = config.num_weeks * DAYS_PER_WEEK
+
+    # --- source and geography ---------------------------------------- #
+    source_idx = rng.choice(
+        sources.num_sources, size=n, p=sources.worker_share / sources.worker_share.sum()
+    )
+    country = np.empty(n, dtype=object)
+    for s in range(sources.num_sources):
+        mask = source_idx == s
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        country[mask] = sample_countries(
+            rng, count, home_country=sources.home_country[s]
+        )
+
+    # --- engagement classes ------------------------------------------ #
+    engagement = rng.choice(4, size=n, p=np.asarray(cal.engagement_mix))
+    # Dedicated sources are built from committed workers.
+    dedicated_worker = np.asarray(sources.dedicated)[source_idx]
+    engagement[dedicated_worker & (rng.random(n) < 0.8)] = POWER
+
+    # --- arrival windows ---------------------------------------------- #
+    smooth = np.convolve(weekly_envelope, np.ones(9) / 9.0, mode="same")
+    smooth = np.maximum(smooth, smooth.max() * 1e-3)
+    arrival_week = rng.choice(config.num_weeks, size=n, p=smooth / smooth.sum())
+    # Power workers skew early so multi-year lifetimes are realizable.
+    power_mask = engagement == POWER
+    num_power = int(power_mask.sum())
+    if num_power:
+        early = np.minimum(
+            arrival_week[power_mask],
+            rng.choice(config.num_weeks, size=num_power, p=smooth / smooth.sum()),
+        )
+        arrival_week[power_mask] = early
+    start_day = arrival_week * DAYS_PER_WEEK + rng.integers(0, 7, size=n)
+
+    lifetime = _class_lifetime_days(rng, engagement, horizon_days)
+    end_day = np.minimum(start_day + lifetime - 1, horizon_days - 1)
+
+    # --- weekly participation rate ------------------------------------ #
+    days_per_week = np.full(n, 7.0)
+    days_per_week[engagement == SHORT] = rng.uniform(0.5, 2.0, int((engagement == SHORT).sum()))
+    days_per_week[engagement == REGULAR] = rng.uniform(0.8, 3.0, int((engagement == REGULAR).sum()))
+    days_per_week[engagement == POWER] = rng.uniform(3.5, 7.0, int((engagement == POWER).sum()))
+
+    # --- allocation weight (capacity) ---------------------------------- #
+    class_weight = np.asarray(cal.engagement_weights)[engagement]
+    dispersion = np.exp(rng.normal(0.0, 0.5, size=n))
+    pareto = np.ones(n)
+    if num_power:
+        pareto[power_mask] = (
+            1.0 + rng.pareto(cal.power_weight_pareto_alpha, size=num_power)
+        )
+    weight = class_weight * dispersion * pareto
+    weight *= np.asarray(sources.task_weight_boost)[source_idx]
+
+    # --- skill ---------------------------------------------------------- #
+    source_trust = np.asarray(sources.mean_trust)[source_idx]
+    concentration = cal.worker_accuracy_concentration
+    accuracy = rng.beta(
+        source_trust * concentration, (1.0 - source_trust) * concentration
+    )
+    # Engaged workers are a bit more accurate (experience).
+    accuracy = np.clip(accuracy + 0.01 * engagement, 0.05, 0.995)
+
+    speed = np.asarray(sources.speed_factor)[source_idx] * np.exp(
+        rng.normal(0.0, 0.3, size=n)
+    )
+
+    salt = rng.integers(1, _HASH_MOD, size=n, dtype=np.int64)
+
+    return WorkerPool(
+        source_idx=source_idx.astype(np.int64),
+        country=country,
+        engagement=engagement.astype(np.int64),
+        accuracy=accuracy,
+        speed=speed,
+        weight=weight,
+        start_day=start_day.astype(np.int64),
+        end_day=end_day.astype(np.int64),
+        days_per_week=days_per_week,
+        salt=salt,
+    )

@@ -1,0 +1,124 @@
+"""Descriptive statistics used throughout the analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _clean(values) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        array = array.ravel()
+    return array[~np.isnan(array)]
+
+
+def median(values) -> float:
+    """Median ignoring NaNs; NaN for empty input."""
+    array = _clean(values)
+    if array.size == 0:
+        return float("nan")
+    return float(np.median(array))
+
+
+def percentile(values, q: float) -> float:
+    """q-th percentile (0–100) ignoring NaNs; NaN for empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    array = _clean(values)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def iqr(values) -> float:
+    """Interquartile range (P75 - P25)."""
+    array = _clean(values)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, 75) - np.percentile(array, 25))
+
+
+def gini_coefficient(values) -> float:
+    """Gini coefficient of a non-negative distribution (0 = equal, →1 = skewed).
+
+    Used to quantify workload concentration across workers ("top 10% of
+    workers complete >80% of tasks").
+    """
+    array = _clean(values)
+    if array.size == 0:
+        return float("nan")
+    if np.any(array < 0):
+        raise ValueError("gini requires non-negative values")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(array)
+    n = sorted_values.size
+    cum = np.cumsum(sorted_values)
+    # Standard formula: G = (n + 1 - 2 * sum(cum) / cum[-1]) / n
+    return float((n + 1 - 2 * cum.sum() / cum[-1]) / n)
+
+
+def top_share(values, fraction: float) -> float:
+    """Share of the total owned by the top ``fraction`` of entries.
+
+    ``top_share(tasks_per_worker, 0.10)`` answers "what fraction of all tasks
+    is done by the top-10% of workers" — the paper's §5.2 headline is ≈0.8.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    array = _clean(values)
+    if array.size == 0:
+        return float("nan")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(round(fraction * array.size)))
+    top = np.sort(array)[::-1][:k]
+    return float(top.sum() / total)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "max": self.maximum,
+        }
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary`; NaNs are ignored."""
+    array = _clean(values)
+    if array.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.median(array)),
+        p75=float(np.percentile(array, 75)),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,73 @@
+"""Top-level convenience API: build the whole study pipeline in one call.
+
+:func:`build_study` runs simulation → dataset release → enrichment and
+returns a :class:`Study` whose attributes expose every layer, including a
+bound :class:`repro.figures.FigureSuite` with one method per paper
+figure/table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.pipeline import EnrichedDataset
+    from repro.figures.suite import FigureSuite
+    from repro.simulator.config import SimulationConfig
+    from repro.simulator.engine import MarketplaceState
+
+
+@dataclass
+class Study:
+    """Everything needed to reproduce the paper's analyses.
+
+    Attributes
+    ----------
+    config:
+        The simulation configuration (scale preset + seed) that produced it.
+    state:
+        Full simulator ground truth (includes latent variables the analyses
+        must not peek at; exposed for tests and ablations).
+    released:
+        The "released dataset" — what the paper's authors actually received
+        from the marketplace (sampled batches, instance metadata, HTML).
+    enriched:
+        The dataset after the paper's enrichment pipeline (clusters, labels,
+        design parameters, performance metrics).
+    figures:
+        Figure/table entry points (``figures.fig03_weekday()``, ...).
+    """
+
+    config: "SimulationConfig"
+    state: "MarketplaceState"
+    released: "ReleasedDataset"
+    enriched: "EnrichedDataset"
+    figures: "FigureSuite"
+
+
+def build_study(scale: str = "tiny", seed: int = 7) -> Study:
+    """Simulate the marketplace and run the full enrichment pipeline.
+
+    ``scale`` is one of ``"tiny"`` (unit tests, seconds), ``"small"``
+    (examples), ``"medium"`` (benchmarks).  The same seed always yields the
+    same study.
+    """
+    from repro.dataset.release import release_dataset
+    from repro.enrichment.pipeline import enrich_dataset
+    from repro.figures.suite import FigureSuite
+    from repro.simulator.config import SimulationConfig
+    from repro.simulator.engine import simulate_marketplace
+
+    config = SimulationConfig.preset(scale, seed=seed)
+    state = simulate_marketplace(config)
+    released = release_dataset(state, config)
+    enriched = enrich_dataset(released, config)
+    return Study(
+        config=config,
+        state=state,
+        released=released,
+        enriched=enriched,
+        figures=FigureSuite(state=state, released=released, enriched=enriched),
+    )

@@ -1,0 +1,139 @@
+"""Column typing helpers for the table engine.
+
+A column is a one-dimensional ``numpy.ndarray``.  The engine recognizes four
+*kinds* of column:
+
+``"int"``
+    ``int64`` (and any other signed/unsigned integer dtype, normalized to
+    ``int64`` on ingestion).
+``"float"``
+    ``float64``; ``NaN`` is the missing-value marker.
+``"bool"``
+    ``bool``.
+``"str"``
+    ``object`` dtype holding Python ``str`` (``None`` is the missing marker).
+
+Anything else is rejected at ingestion time so that downstream group-by and
+join code can rely on a closed set of representations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+_KINDS = ("int", "float", "bool", "str")
+
+
+class ColumnTypeError(TypeError):
+    """Raised when values cannot be normalized into a supported column kind."""
+
+
+def column_kind(values: np.ndarray) -> str:
+    """Return the engine kind (``int``/``float``/``bool``/``str``) of an array.
+
+    Raises :class:`ColumnTypeError` for unsupported dtypes.
+    """
+    kind = values.dtype.kind
+    if kind in ("i", "u"):
+        return "int"
+    if kind == "f":
+        return "float"
+    if kind == "b":
+        return "bool"
+    if kind == "O" or kind in ("U", "S"):
+        return "str"
+    raise ColumnTypeError(f"unsupported column dtype: {values.dtype!r}")
+
+
+def is_numeric(values: np.ndarray) -> bool:
+    """True for int and float columns (bool is *not* numeric here)."""
+    return column_kind(values) in ("int", "float")
+
+
+def _coerce_object_array(values: Sequence[Any]) -> np.ndarray:
+    out = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None:
+            out[i] = None
+        elif isinstance(value, str):
+            out[i] = value
+        else:
+            raise ColumnTypeError(
+                f"string column contains non-string value {value!r} at row {i}"
+            )
+    return out
+
+
+def as_column(values: Iterable[Any], *, copy: bool = True) -> np.ndarray:
+    """Normalize arbitrary input into a supported 1-D column array.
+
+    Accepts numpy arrays, lists, tuples and other sequences.  Integer input
+    becomes ``int64``, floats ``float64``, booleans ``bool``, and strings an
+    ``object`` array of ``str`` (with ``None`` for missing).  Mixed
+    int/float input is promoted to float.
+
+    ``copy=False`` permits aliasing an already well-typed numpy array; the
+    caller then promises not to mutate it.
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ColumnTypeError(f"columns must be 1-D, got shape {values.shape}")
+        kind = column_kind(values)
+        if kind == "int" and values.dtype != np.int64:
+            return values.astype(np.int64)
+        if kind == "float" and values.dtype != np.float64:
+            return values.astype(np.float64)
+        if kind == "str" and values.dtype.kind in ("U", "S"):
+            return values.astype(object)
+        return values.copy() if copy else values
+
+    materialized = list(values)
+    if not materialized:
+        # An empty column defaults to float; callers that care pass arrays.
+        return np.empty(0, dtype=np.float64)
+
+    non_null = [v for v in materialized if v is not None]
+    if non_null and all(isinstance(v, str) for v in non_null):
+        return _coerce_object_array(materialized)
+    if any(v is None for v in materialized):
+        # None among numerics: promote to float with NaN.
+        return np.array(
+            [np.nan if v is None else float(v) for v in materialized],
+            dtype=np.float64,
+        )
+    if all(isinstance(v, bool) or isinstance(v, np.bool_) for v in materialized):
+        return np.array(materialized, dtype=bool)
+    if all(isinstance(v, (int, np.integer)) for v in materialized):
+        return np.array(materialized, dtype=np.int64)
+    try:
+        return np.array([float(v) for v in materialized], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ColumnTypeError(
+            f"cannot build a column from values like {materialized[0]!r}"
+        ) from exc
+
+
+def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a column as dense integer codes plus the array of uniques.
+
+    Returns ``(codes, uniques)`` where ``uniques[codes]`` reconstructs the
+    input.  Order of uniques follows first appearance for object columns and
+    sorted order for numeric columns (both are deterministic).
+    """
+    if values.dtype == object:
+        mapping: dict[Any, int] = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            code = mapping.get(value)
+            if code is None:
+                code = len(mapping)
+                mapping[value] = code
+            codes[i] = code
+        uniques = np.empty(len(mapping), dtype=object)
+        for value, code in mapping.items():
+            uniques[code] = value
+        return codes, uniques
+    uniques, codes = np.unique(values, return_inverse=True)
+    return codes.astype(np.int64), uniques

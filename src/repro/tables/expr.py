@@ -1,0 +1,179 @@
+"""Column expressions: composable, lazily evaluated predicates and arithmetic.
+
+Analyses often need filters like "labeled clusters whose disagreement is
+finite and at most 0.5".  Writing those against raw numpy forces naming the
+table at every term; expressions defer evaluation until a table is supplied:
+
+    from repro.tables import col
+
+    pruned = clusters.filter((col("disagreement") <= 0.5) & col("goals").ne(""))
+    speedy = batches.filter(col("task_time") / col("num_items") < 2.0)
+
+An expression is a tree of :class:`Expr` nodes; ``expr.evaluate(table)``
+returns a numpy array, and :meth:`~repro.tables.table.Table.filter` accepts
+expressions directly (they are callables).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.tables.table import Table
+
+
+class Expr:
+    """A deferred columnar computation; call or ``evaluate`` with a table."""
+
+    def __init__(self, fn: Callable[[Table], np.ndarray], description: str):
+        self._fn = fn
+        self.description = description
+
+    # Evaluation ------------------------------------------------------- #
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        return self._fn(table)
+
+    def __call__(self, table: Table) -> np.ndarray:
+        return self.evaluate(table)
+
+    def __repr__(self) -> str:
+        return f"Expr({self.description})"
+
+    # Builders ---------------------------------------------------------- #
+
+    @staticmethod
+    def _wrap(value: Any) -> "Expr":
+        if isinstance(value, Expr):
+            return value
+        return Expr(lambda table: value, repr(value))
+
+    def _binary(self, other: Any, op: Callable, symbol: str) -> "Expr":
+        other = Expr._wrap(other)
+        return Expr(
+            lambda table: op(self.evaluate(table), other.evaluate(table)),
+            f"({self.description} {symbol} {other.description})",
+        )
+
+    # Comparisons -------------------------------------------------------- #
+
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return self._binary(other, lambda a, b: a == b, "==")
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return self._binary(other, lambda a, b: a != b, "!=")
+
+    def ne(self, other: Any) -> "Expr":
+        """Alias for ``!=`` that reads better after ``&`` chains."""
+        return self.__ne__(other)
+
+    def __lt__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a < b, "<")
+
+    def __le__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a <= b, "<=")
+
+    def __gt__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a > b, ">")
+
+    def __ge__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a >= b, ">=")
+
+    # Arithmetic ---------------------------------------------------------- #
+
+    def __add__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other: Any) -> "Expr":
+        return Expr._wrap(other)._binary(self, lambda a, b: a + b, "+")
+
+    def __sub__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return Expr._wrap(other)._binary(self, lambda a, b: a - b, "-")
+
+    def __mul__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return Expr._wrap(other)._binary(self, lambda a, b: a * b, "*")
+
+    def __truediv__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other: Any) -> "Expr":
+        return Expr._wrap(other)._binary(self, lambda a, b: a / b, "/")
+
+    def __neg__(self) -> "Expr":
+        return Expr(lambda table: -self.evaluate(table), f"(-{self.description})")
+
+    # Boolean combinators -------------------------------------------------- #
+
+    def __and__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a & b, "&")
+
+    def __or__(self, other: Any) -> "Expr":
+        return self._binary(other, lambda a, b: a | b, "|")
+
+    def __invert__(self) -> "Expr":
+        return Expr(lambda table: ~self.evaluate(table), f"(~{self.description})")
+
+    # Convenience methods --------------------------------------------------- #
+
+    def isin(self, values) -> "Expr":
+        """Membership against a fixed set of values."""
+        frozen = set(values)
+        return Expr(
+            lambda table: np.array(
+                [v in frozen for v in self.evaluate(table)], dtype=bool
+            ),
+            f"({self.description} in {sorted(map(str, frozen))})",
+        )
+
+    def isnan(self) -> "Expr":
+        return Expr(
+            lambda table: np.isnan(self.evaluate(table).astype(np.float64)),
+            f"isnan({self.description})",
+        )
+
+    def notnan(self) -> "Expr":
+        return ~self.isnan()
+
+    def abs(self) -> "Expr":
+        return Expr(
+            lambda table: np.abs(self.evaluate(table)),
+            f"abs({self.description})",
+        )
+
+    def log(self) -> "Expr":
+        return Expr(
+            lambda table: np.log(self.evaluate(table).astype(np.float64)),
+            f"log({self.description})",
+        )
+
+    def clip(self, lo: float, hi: float) -> "Expr":
+        return Expr(
+            lambda table: np.clip(self.evaluate(table), lo, hi),
+            f"clip({self.description}, {lo}, {hi})",
+        )
+
+    def map_values(self, fn: Callable[[Any], Any], *, name: str = "map") -> "Expr":
+        """Element-wise Python function (slow path)."""
+        return Expr(
+            lambda table: np.array(
+                [fn(v) for v in self.evaluate(table)], dtype=object
+            ),
+            f"{name}({self.description})",
+        )
+
+
+def col(name: str) -> Expr:
+    """Reference a column of whatever table the expression is applied to."""
+    return Expr(lambda table: table[name], name)
+
+
+def lit(value: Any) -> Expr:
+    """A literal constant (useful as the leftmost operand)."""
+    return Expr._wrap(value)

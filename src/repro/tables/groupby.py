@@ -1,0 +1,179 @@
+"""Sort-based grouped aggregation for :class:`~repro.tables.table.Table`.
+
+The implementation factorizes each key column into dense codes, combines the
+codes into a single group id, sorts row indices by group id, and then applies
+segment-wise reductions.  Cheap reductions (count/sum/min/max) use
+``numpy.*.reduceat``; order statistics (median, percentiles) slice the sorted
+segments directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tables.column import factorize
+from repro.tables.table import SchemaError, Table
+
+#: Aggregations supported by :meth:`GroupedTable.agg`, mapping name to a
+#: function of the (already grouped and ordered) value segments.
+_SIMPLE_AGGS = ("count", "sum", "mean", "min", "max", "median", "std",
+                "nunique", "first", "last", "collect")
+
+
+class GroupedTable:
+    """The result of :func:`group_by`: group keys plus per-group row segments."""
+
+    def __init__(self, table: Table, keys: Sequence[str]):
+        if not keys:
+            raise SchemaError("group_by requires at least one key column")
+        self._table = table
+        self._keys = list(keys)
+
+        if table.num_rows == 0:
+            self._order = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._key_uniques: list[np.ndarray] = [
+                np.empty(0, dtype=table[k].dtype) for k in keys
+            ]
+            return
+
+        combined = np.zeros(table.num_rows, dtype=np.int64)
+        per_key_codes: list[np.ndarray] = []
+        per_key_uniques: list[np.ndarray] = []
+        for key in keys:
+            codes, uniques = factorize(table[key])
+            per_key_codes.append(codes)
+            per_key_uniques.append(uniques)
+            combined = combined * len(uniques) + codes
+
+        # Re-factorize the combined code so group ids are dense.
+        group_uniques, group_codes = np.unique(combined, return_inverse=True)
+        order = np.argsort(group_codes, kind="stable")
+        sorted_codes = group_codes[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+        )
+
+        self._order = order
+        self._starts = starts
+        # Representative row per group, used to read back the key values.
+        rep_rows = order[starts]
+        self._key_uniques = [table[k][rep_rows] for k in keys]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._starts)
+
+    def segments(self) -> list[np.ndarray]:
+        """Row-index arrays, one per group, in group order."""
+        ends = np.r_[self._starts[1:], len(self._order)]
+        return [self._order[s:e] for s, e in zip(self._starts, ends)]
+
+    # ------------------------------------------------------------------ #
+
+    def _segment_values(self, column: str) -> list[np.ndarray]:
+        values = self._table[column]
+        return [values[idx] for idx in self.segments()]
+
+    def agg(self, spec: Mapping[str, tuple[str, str] | tuple[str, Callable]]) -> Table:
+        """Aggregate into one row per group.
+
+        ``spec`` maps *output* column names to ``(input_column, agg)`` where
+        ``agg`` is one of ``count, sum, mean, median, std, min, max, nunique,
+        first, last, collect, p<NN>`` (e.g. ``"p90"``) or a callable taking a
+        numpy array segment and returning a scalar.
+
+        Example::
+
+            group_by(t, ["source"]).agg({
+                "n": ("worker_id", "count"),
+                "trust": ("trust", "mean"),
+                "p90_time": ("task_time", "p90"),
+            })
+        """
+        out: dict[str, Any] = {}
+        for i, key in enumerate(self._keys):
+            out[key] = self._key_uniques[i]
+
+        n = self.num_groups
+        ends = np.r_[self._starts[1:], len(self._order)]
+        counts = ends - self._starts
+
+        for out_name, (in_name, how) in spec.items():
+            if out_name in out:
+                raise SchemaError(f"duplicate output column {out_name!r}")
+            values = self._table[in_name]
+            ordered = values[self._order]
+
+            if callable(how):
+                out[out_name] = [how(seg) for seg in self._segment_values(in_name)]
+                continue
+            if how == "count":
+                out[out_name] = counts.astype(np.int64)
+                continue
+            if how == "collect":
+                segs = self._segment_values(in_name)
+                col = np.empty(n, dtype=object)
+                for j, seg in enumerate(segs):
+                    col[j] = list(seg)
+                out[out_name] = col
+                continue
+            if how in ("first", "last"):
+                offsets = self._starts if how == "first" else ends - 1
+                out[out_name] = ordered[offsets]
+                continue
+            if how == "nunique":
+                out[out_name] = np.array(
+                    [len(set(seg)) if seg.dtype == object else len(np.unique(seg))
+                     for seg in self._segment_values(in_name)],
+                    dtype=np.int64,
+                )
+                continue
+
+            if ordered.dtype == object:
+                raise SchemaError(
+                    f"aggregation {how!r} needs a numeric column, got str "
+                    f"column {in_name!r}"
+                )
+            if how == "sum":
+                out[out_name] = np.add.reduceat(ordered, self._starts)
+            elif how == "mean":
+                sums = np.add.reduceat(ordered.astype(np.float64), self._starts)
+                out[out_name] = sums / counts
+            elif how == "min":
+                out[out_name] = np.minimum.reduceat(ordered, self._starts)
+            elif how == "max":
+                out[out_name] = np.maximum.reduceat(ordered, self._starts)
+            elif how == "median":
+                out[out_name] = np.array(
+                    [np.median(ordered[s:e]) for s, e in zip(self._starts, ends)]
+                )
+            elif how == "std":
+                out[out_name] = np.array(
+                    [ordered[s:e].std() for s, e in zip(self._starts, ends)]
+                )
+            elif how.startswith("p") and how[1:].replace(".", "", 1).isdigit():
+                q = float(how[1:])
+                if not 0 <= q <= 100:
+                    raise SchemaError(f"percentile out of range: {how!r}")
+                out[out_name] = np.array(
+                    [np.percentile(ordered[s:e], q) for s, e in zip(self._starts, ends)]
+                )
+            else:
+                raise SchemaError(
+                    f"unknown aggregation {how!r}; expected one of "
+                    f"{_SIMPLE_AGGS} or 'p<NN>' or a callable"
+                )
+        return Table(out)
+
+
+def group_by(table: Table, keys: str | Sequence[str]) -> GroupedTable:
+    """Group ``table`` by one or more key columns."""
+    if isinstance(keys, str):
+        keys = [keys]
+    for key in keys:
+        if key not in table:
+            raise SchemaError(f"unknown group key {key!r}")
+    return GroupedTable(table, keys)

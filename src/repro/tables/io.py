@@ -1,0 +1,125 @@
+"""CSV and JSONL persistence for tables.
+
+CSV columns are type-inferred on read (int → float → bool → str, in that
+order of preference); JSONL preserves types natively.  Both formats
+round-trip every table the engine can represent, with ``None``/``NaN``
+becoming empty CSV cells.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.tables.table import Table
+
+_BOOL_TOKENS = {"true": True, "false": False, "True": True, "False": False}
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    names = table.column_names
+    arrays = [table[n] for n in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            row = []
+            for array in arrays:
+                value = array[i]
+                if value is None:
+                    row.append("")
+                elif isinstance(value, (float, np.floating)) and math.isnan(value):
+                    row.append("")
+                else:
+                    row.append(value)
+            writer.writerow(row)
+
+
+def _infer_column(raw: list[str]) -> Any:
+    """Infer the best-typed column from raw CSV strings."""
+    non_empty = [v for v in raw if v != ""]
+    if not non_empty:
+        return np.full(len(raw), np.nan, dtype=np.float64)
+
+    def try_parse(parser):
+        try:
+            return [parser(v) for v in non_empty]
+        except ValueError:
+            return None
+
+    if all(v in _BOOL_TOKENS for v in non_empty):
+        if len(non_empty) == len(raw):
+            return np.array([_BOOL_TOKENS[v] for v in raw], dtype=bool)
+        # bools with missing values degrade to str to stay lossless
+        return np.array([v if v != "" else None for v in raw], dtype=object)
+
+    as_ints = try_parse(int)
+    if as_ints is not None:
+        if len(non_empty) == len(raw):
+            return np.array(as_ints, dtype=np.int64)
+        out = np.full(len(raw), np.nan, dtype=np.float64)
+        out[[i for i, v in enumerate(raw) if v != ""]] = as_ints
+        return out
+
+    as_floats = try_parse(float)
+    if as_floats is not None:
+        out = np.full(len(raw), np.nan, dtype=np.float64)
+        out[[i for i, v in enumerate(raw) if v != ""]] = as_floats
+        return out
+
+    return np.array([v if v != "" else None for v in raw], dtype=object)
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV written by :func:`write_csv` (or any headered CSV)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table({})
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            if not row:
+                # csv.reader collapses an all-empty-cell row (written for a
+                # row of all missing values) to []; restore it so row counts
+                # round-trip.
+                row = [""] * len(header)
+            for i, cell in enumerate(row):
+                raw_columns[i].append(cell)
+    return Table(
+        {name: _infer_column(raw) for name, raw in zip(header, raw_columns)},
+        copy=False,
+    )
+
+
+def write_jsonl(table: Table, path: str | Path) -> None:
+    """Write a table as one JSON object per line."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for row in table.to_rows():
+            clean = {
+                k: (None if isinstance(v, float) and math.isnan(v) else v)
+                for k, v in row.items()
+            }
+            handle.write(json.dumps(clean) + "\n")
+
+
+def read_jsonl(path: str | Path) -> Table:
+    """Read a JSONL file into a table."""
+    path = Path(path)
+    rows = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return Table.from_rows(rows)

@@ -1,0 +1,86 @@
+"""Hash equi-joins between tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tables.table import SchemaError, Table
+
+
+def _key_tuples(table: Table, keys: Sequence[str]) -> list[tuple]:
+    arrays = [table[k] for k in keys]
+    n = table.num_rows
+    return [
+        tuple(a[i] if a.dtype == object else a[i].item() for a in arrays)
+        for i in range(n)
+    ]
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: str | Sequence[str],
+    *,
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Table:
+    """Join two tables on equal key columns.
+
+    ``how`` is ``"inner"`` or ``"left"``.  Non-key columns of ``right`` whose
+    names collide with columns of ``left`` are renamed with ``suffix``.  For
+    left joins with no match, numeric right columns become ``NaN`` (ints are
+    promoted to float) and string columns become ``None``.
+    """
+    if how not in ("inner", "left"):
+        raise SchemaError(f"unsupported join type {how!r}")
+    keys = [on] if isinstance(on, str) else list(on)
+    for key in keys:
+        if key not in left or key not in right:
+            raise SchemaError(f"join key {key!r} missing from one side")
+
+    index: dict[tuple, list[int]] = {}
+    for i, key in enumerate(_key_tuples(right, keys)):
+        index.setdefault(key, []).append(i)
+
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    matched: list[bool] = []
+    for i, key in enumerate(_key_tuples(left, keys)):
+        rows = index.get(key)
+        if rows:
+            for j in rows:
+                left_idx.append(i)
+                right_idx.append(j)
+                matched.append(True)
+        elif how == "left":
+            left_idx.append(i)
+            right_idx.append(0)  # placeholder, masked below
+            matched.append(False)
+
+    left_take = np.asarray(left_idx, dtype=np.int64)
+    right_take = np.asarray(right_idx, dtype=np.int64)
+    match_mask = np.asarray(matched, dtype=bool)
+
+    out: dict[str, np.ndarray] = {}
+    for name in left.column_names:
+        out[name] = left[name][left_take]
+
+    key_set = set(keys)
+    for name in right.column_names:
+        if name in key_set:
+            continue
+        target = name if name not in out else f"{name}{suffix}"
+        if target in out:
+            raise SchemaError(f"join output column collision: {target!r}")
+        values = right[name][right_take] if len(right_take) else right[name][:0]
+        if how == "left" and not match_mask.all():
+            if values.dtype == object:
+                values = values.copy()
+                values[~match_mask] = None
+            else:
+                values = values.astype(np.float64)
+                values[~match_mask] = np.nan
+        out[target] = values
+    return Table(out, copy=False)

@@ -1,0 +1,71 @@
+"""Pivot (cross-tabulation) for tables.
+
+Turns long-form rows into a wide matrix table — the natural shape for the
+paper's Figures 10/11 co-occurrence breakdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tables.groupby import group_by
+from repro.tables.table import SchemaError, Table
+
+
+def pivot(
+    table: Table,
+    *,
+    index: str,
+    columns: str,
+    values: str,
+    agg: str = "sum",
+    fill: float = 0.0,
+) -> Table:
+    """Cross-tabulate ``values`` over (``index`` row) × (``columns`` column).
+
+    ``agg`` is any aggregation :meth:`~repro.tables.groupby.GroupedTable.agg`
+    accepts for a numeric column (``sum``, ``mean``, ``median``, ``count``,
+    ...).  Missing cells are filled with ``fill``.  Output columns are the
+    stringified unique values of ``columns`` (sorted), prefixed by nothing;
+    the row key keeps the ``index`` column's name.
+    """
+    for name in (index, columns, values):
+        if name not in table:
+            raise SchemaError(f"pivot: unknown column {name!r}")
+
+    grouped = group_by(table, [index, columns]).agg({"__value": (values, agg)})
+
+    row_keys = sorted(set(grouped[index]), key=str)
+    col_keys = sorted(set(grouped[columns]), key=str)
+    row_pos = {key: i for i, key in enumerate(row_keys)}
+    col_pos = {key: i for i, key in enumerate(col_keys)}
+
+    matrix = np.full((len(row_keys), len(col_keys)), fill, dtype=np.float64)
+    for r, c, v in zip(grouped[index], grouped[columns], grouped["__value"]):
+        matrix[row_pos[r], col_pos[c]] = v
+
+    out: dict[str, object] = {index: np.array(row_keys, dtype=object)
+                              if isinstance(row_keys[0], str)
+                              else np.asarray(row_keys)}
+    for key in col_keys:
+        out[str(key)] = matrix[:, col_pos[key]]
+    return Table(out, copy=False)
+
+
+def normalize_rows(table: Table, *, index: str, scale: float = 100.0) -> Table:
+    """Scale each row's numeric cells to sum to ``scale`` (percentages).
+
+    The ``index`` column is preserved untouched; rows summing to zero stay
+    zero.
+    """
+    if index not in table:
+        raise SchemaError(f"normalize_rows: unknown column {index!r}")
+    numeric = [n for n in table.column_names if n != index]
+    matrix = np.column_stack([table[n].astype(np.float64) for n in numeric])
+    sums = matrix.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = np.where(sums > 0, matrix / sums * scale, 0.0)
+    out: dict[str, object] = {index: table[index]}
+    for i, name in enumerate(numeric):
+        out[name] = matrix[:, i]
+    return Table(out, copy=False)

@@ -1,0 +1,41 @@
+"""The paper's label space for crowd tasks (§3.4) and the simple/complex split (§3.5)."""
+
+from repro.taxonomy.labels import (
+    DATA_TYPES,
+    GOALS,
+    OPERATORS,
+    SIMPLE_DATA_TYPES,
+    SIMPLE_GOALS,
+    SIMPLE_OPERATORS,
+    DataType,
+    Goal,
+    Operator,
+    is_complex_data,
+    is_complex_goal,
+    is_complex_operator,
+)
+from repro.taxonomy.priors import (
+    DATA_GIVEN_GOAL,
+    GOAL_WEIGHTS,
+    OPERATOR_GIVEN_GOAL,
+    SECONDARY_OPERATOR_PROB,
+)
+
+__all__ = [
+    "DATA_GIVEN_GOAL",
+    "DATA_TYPES",
+    "DataType",
+    "GOALS",
+    "GOAL_WEIGHTS",
+    "Goal",
+    "OPERATORS",
+    "OPERATOR_GIVEN_GOAL",
+    "Operator",
+    "SECONDARY_OPERATOR_PROB",
+    "SIMPLE_DATA_TYPES",
+    "SIMPLE_GOALS",
+    "SIMPLE_OPERATORS",
+    "is_complex_data",
+    "is_complex_goal",
+    "is_complex_operator",
+]

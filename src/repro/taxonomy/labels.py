@@ -1,0 +1,87 @@
+"""Label categories: 7 task goals, 10 operators, 7 data types (paper §3.4).
+
+The simple/complex classification follows §3.5 exactly:
+
+- goals: {entity resolution, sentiment analysis, quality assurance} are
+  simple; every other goal is complex;
+- operators: {filter, rate} are simple, the other eight complex;
+- data types: only text is simple.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Goal(str, enum.Enum):
+    """End goal of a task (a task may carry one or more)."""
+
+    ENTITY_RESOLUTION = "ER"
+    HUMAN_BEHAVIOR = "HB"
+    SEARCH_RELEVANCE = "SR"
+    QUALITY_ASSURANCE = "QA"
+    SENTIMENT_ANALYSIS = "SA"
+    LANGUAGE_UNDERSTANDING = "LU"
+    TRANSCRIPTION = "T"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Operator(str, enum.Enum):
+    """Human-operator building block used to achieve a goal."""
+
+    FILTER = "Filt"
+    RATE = "Rate"
+    SORT = "Sort"
+    COUNT = "Count"
+    TAG = "Tag"
+    GATHER = "Gat"
+    EXTRACT = "Ext"
+    GENERATE = "Gen"
+    LOCALIZE = "Loc"
+    EXTERNAL = "Exter"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DataType(str, enum.Enum):
+    """Type of data the task's questions operate on."""
+
+    TEXT = "Text"
+    IMAGE = "Image"
+    AUDIO = "Audio"
+    VIDEO = "Video"
+    MAPS = "Map"
+    SOCIAL_MEDIA = "Social"
+    WEBPAGE = "Web"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+GOALS: tuple[Goal, ...] = tuple(Goal)
+OPERATORS: tuple[Operator, ...] = tuple(Operator)
+DATA_TYPES: tuple[DataType, ...] = tuple(DataType)
+
+SIMPLE_GOALS = frozenset(
+    {Goal.ENTITY_RESOLUTION, Goal.SENTIMENT_ANALYSIS, Goal.QUALITY_ASSURANCE}
+)
+SIMPLE_OPERATORS = frozenset({Operator.FILTER, Operator.RATE})
+SIMPLE_DATA_TYPES = frozenset({DataType.TEXT})
+
+
+def is_complex_goal(goal: Goal | str) -> bool:
+    """§3.5 classification: ER/SA/QA are simple, everything else complex."""
+    return Goal(goal) not in SIMPLE_GOALS
+
+
+def is_complex_operator(operator: Operator | str) -> bool:
+    """§3.5 classification: filter/rate are simple, everything else complex."""
+    return Operator(operator) not in SIMPLE_OPERATORS
+
+
+def is_complex_data(data_type: DataType | str) -> bool:
+    """§3.5 classification: only text is simple."""
+    return DataType(data_type) not in SIMPLE_DATA_TYPES

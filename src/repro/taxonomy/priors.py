@@ -1,0 +1,169 @@
+"""Label co-occurrence priors calibrated to the paper's Figures 9–11.
+
+The paper reports (over ~24M labeled instances):
+
+- goals: LU ≈17% and T ≈13% are the largest; ER/SA are smaller (Fig 9a);
+- data: Text ≈40%, Image ≈26%; social/web/maps growing (Fig 9b);
+- operators: Filter ≈33%, Rate ≈13%; Gather+Extract+Localize+Generate ≈22%
+  combined (Fig 9c);
+- conditionals (Figs 10–11): transcription is extraction-dominated; LU uses
+  Generate ≈16% of the time; HB uses External ≈13% and Localize ≈9%; ER uses
+  Web data ≈24%; SR uses Web ≈37%; SA uses Social ≈13%; LU uses Social ≈8%.
+
+These numbers seed the *generative* distributions below.  Weights within each
+mapping need not be normalized; the simulator normalizes at draw time.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.labels import DataType, Goal, Operator
+
+#: Target *instance-level* popularity of each goal (Figure 9a: LU ≈17%,
+#: T ≈13% lead).
+GOAL_WEIGHTS: dict[Goal, float] = {
+    Goal.ENTITY_RESOLUTION: 0.10,
+    Goal.HUMAN_BEHAVIOR: 0.11,
+    Goal.SEARCH_RELEVANCE: 0.13,
+    Goal.QUALITY_ASSURANCE: 0.14,
+    Goal.SENTIMENT_ANALYSIS: 0.13,
+    Goal.LANGUAGE_UNDERSTANDING: 0.22,
+    Goal.TRANSCRIPTION: 0.17,
+}
+
+#: Target *cluster-count* popularity of each goal.  Figure 12a shows far
+#: more distinct complex-goal clusters (620 vs 80 by Jan 2016) even though
+#: simple goals carry large instance volumes — simple goals run in fewer,
+#: bigger clusters.  The simulator draws a task's goal from these weights
+#: and compensates the per-batch item scale by GOAL_WEIGHTS/GOAL_CLUSTER_WEIGHTS
+#: so Figure 9a still holds at the instance level.
+GOAL_CLUSTER_WEIGHTS: dict[Goal, float] = {
+    Goal.ENTITY_RESOLUTION: 0.055,
+    Goal.HUMAN_BEHAVIOR: 0.13,
+    Goal.SEARCH_RELEVANCE: 0.10,
+    Goal.QUALITY_ASSURANCE: 0.075,
+    Goal.SENTIMENT_ANALYSIS: 0.06,
+    Goal.LANGUAGE_UNDERSTANDING: 0.32,
+    Goal.TRANSCRIPTION: 0.26,
+}
+
+#: Probability that a task carries a second goal label ("tasks have one or
+#: more label under each category").
+SECONDARY_GOAL_PROB = 0.18
+
+#: P(primary operator | goal), calibrated to Figure 10b.
+OPERATOR_GIVEN_GOAL: dict[Goal, dict[Operator, float]] = {
+    Goal.ENTITY_RESOLUTION: {
+        Operator.FILTER: 0.62,
+        Operator.RATE: 0.12,
+        Operator.GATHER: 0.10,
+        Operator.TAG: 0.08,
+        Operator.SORT: 0.04,
+        Operator.COUNT: 0.04,
+    },
+    Goal.HUMAN_BEHAVIOR: {
+        Operator.FILTER: 0.30,
+        Operator.RATE: 0.26,
+        Operator.EXTERNAL: 0.13,
+        Operator.LOCALIZE: 0.09,
+        Operator.GATHER: 0.08,
+        Operator.GENERATE: 0.08,
+        Operator.TAG: 0.06,
+    },
+    Goal.SEARCH_RELEVANCE: {
+        Operator.FILTER: 0.44,
+        Operator.RATE: 0.36,
+        Operator.SORT: 0.08,
+        Operator.TAG: 0.06,
+        Operator.GATHER: 0.06,
+    },
+    Goal.QUALITY_ASSURANCE: {
+        Operator.FILTER: 0.58,
+        Operator.RATE: 0.16,
+        Operator.TAG: 0.10,
+        Operator.COUNT: 0.06,
+        Operator.LOCALIZE: 0.05,
+        Operator.EXTRACT: 0.05,
+    },
+    Goal.SENTIMENT_ANALYSIS: {
+        Operator.FILTER: 0.50,
+        Operator.RATE: 0.32,
+        Operator.TAG: 0.10,
+        Operator.GENERATE: 0.08,
+    },
+    Goal.LANGUAGE_UNDERSTANDING: {
+        Operator.FILTER: 0.34,
+        Operator.RATE: 0.22,
+        Operator.GENERATE: 0.16,
+        Operator.TAG: 0.12,
+        Operator.EXTRACT: 0.10,
+        Operator.GATHER: 0.06,
+    },
+    Goal.TRANSCRIPTION: {
+        Operator.EXTRACT: 0.58,
+        Operator.TAG: 0.12,
+        Operator.GENERATE: 0.10,
+        Operator.FILTER: 0.08,
+        Operator.LOCALIZE: 0.07,
+        Operator.GATHER: 0.05,
+    },
+}
+
+#: P(primary data type | goal), calibrated to Figure 10a.
+DATA_GIVEN_GOAL: dict[Goal, dict[DataType, float]] = {
+    Goal.ENTITY_RESOLUTION: {
+        DataType.TEXT: 0.38,
+        DataType.WEBPAGE: 0.24,
+        DataType.IMAGE: 0.20,
+        DataType.SOCIAL_MEDIA: 0.10,
+        DataType.MAPS: 0.08,
+    },
+    Goal.HUMAN_BEHAVIOR: {
+        DataType.TEXT: 0.48,
+        DataType.IMAGE: 0.22,
+        DataType.WEBPAGE: 0.12,
+        DataType.VIDEO: 0.10,
+        DataType.SOCIAL_MEDIA: 0.08,
+    },
+    Goal.SEARCH_RELEVANCE: {
+        DataType.WEBPAGE: 0.37,
+        DataType.TEXT: 0.33,
+        DataType.IMAGE: 0.18,
+        DataType.SOCIAL_MEDIA: 0.08,
+        DataType.MAPS: 0.04,
+    },
+    Goal.QUALITY_ASSURANCE: {
+        DataType.IMAGE: 0.30,
+        DataType.TEXT: 0.40,
+        DataType.WEBPAGE: 0.14,
+        DataType.VIDEO: 0.08,
+        DataType.SOCIAL_MEDIA: 0.08,
+    },
+    Goal.SENTIMENT_ANALYSIS: {
+        DataType.TEXT: 0.52,
+        DataType.SOCIAL_MEDIA: 0.13,
+        DataType.IMAGE: 0.17,
+        DataType.WEBPAGE: 0.12,
+        DataType.VIDEO: 0.06,
+    },
+    Goal.LANGUAGE_UNDERSTANDING: {
+        DataType.TEXT: 0.48,
+        DataType.IMAGE: 0.24,
+        DataType.SOCIAL_MEDIA: 0.08,
+        DataType.AUDIO: 0.10,
+        DataType.WEBPAGE: 0.10,
+    },
+    Goal.TRANSCRIPTION: {
+        DataType.IMAGE: 0.30,
+        DataType.AUDIO: 0.26,
+        DataType.TEXT: 0.24,
+        DataType.VIDEO: 0.14,
+        DataType.MAPS: 0.06,
+    },
+}
+
+#: Probability that a task uses a second operator in addition to its primary
+#: (tasks "have one or more label under each category").
+SECONDARY_OPERATOR_PROB = 0.22
+
+#: Probability that a task operates on a second data type.
+SECONDARY_DATA_PROB = 0.18

@@ -1,0 +1,181 @@
+"""Validate a study against the paper's published statistics.
+
+Anyone who edits :class:`repro.simulator.config.Calibration` (to explore a
+counterfactual marketplace, or to re-tune) needs to know whether the world
+still *behaves like the paper's*.  :func:`validate_study` runs the full
+checklist — one check per headline claim — and reports pass/fail with the
+measured value, the paper's value, and the tolerance band used.
+
+Bands are deliberately loose: they encode "same shape / same regime", not
+numeric equality (the simulation is ~1/12 of the real data's volume).
+
+Run at ``small`` scale or larger: the ``tiny`` preset has too few clusters
+for the effect-direction checks to be reliable (they are median
+comparisons over ~40 pruned clusters there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import taskdesign as td
+from repro.study import Study
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """Outcome of one headline-claim check."""
+
+    name: str
+    paper_value: float
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def ok(self) -> bool:
+        return self.low <= self.measured <= self.high
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.name:46s} paper={self.paper_value:<10.4g} "
+            f"measured={self.measured:<10.4g} band=[{self.low:g}, {self.high:g}]"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All checks plus an overall verdict."""
+
+    checks: tuple[ValidationCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> list[ValidationCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        lines = [check.render() for check in self.checks]
+        verdict = "ALL CHECKS PASS" if self.ok else (
+            f"{len(self.failures)} CHECK(S) FAIL"
+        )
+        return "\n".join([*lines, verdict])
+
+
+def _direction_checks(study: Study) -> list[ValidationCheck]:
+    """Every Table 1–3 effect direction, encoded as a ratio check."""
+    expected = {
+        # (feature, metric): True when the high bin should be LOWER (better).
+        ("num_words", "disagreement"): True,
+        ("num_items", "disagreement"): True,
+        ("num_text_boxes", "disagreement"): False,
+        ("num_items", "task_time"): True,
+        ("num_text_boxes", "task_time"): False,
+        ("num_images", "task_time"): True,
+        ("num_items", "pickup_time"): False,
+        ("num_examples", "pickup_time"): True,
+        ("num_images", "pickup_time"): True,
+    }
+    checks = []
+    for (feature, metric), high_better in expected.items():
+        clusters = td.analysis_clusters(study.enriched, metric=metric)
+        try:
+            comparison = td.bin_comparison(clusters, feature, metric)
+        except ValueError:
+            # Too few clusters on one side (e.g. a tiny sample with a single
+            # example cluster): skip rather than fail.
+            checks.append(
+                ValidationCheck(
+                    name=f"effect {feature}->{metric} (skipped: degenerate split)",
+                    paper_value=1.0, measured=1.0, low=0.0, high=np.inf,
+                )
+            )
+            continue
+        ratio = comparison.median_high / max(comparison.median_low, 1e-12)
+        if high_better:
+            check = ValidationCheck(
+                name=f"effect {feature}->{metric} (high bin better)",
+                paper_value=0.7, measured=ratio, low=0.0, high=0.97,
+            )
+        else:
+            check = ValidationCheck(
+                name=f"effect {feature}->{metric} (low bin better)",
+                paper_value=1.5, measured=ratio, low=1.03, high=np.inf,
+            )
+        checks.append(check)
+    return checks
+
+
+def validate_study(study: Study) -> ValidationReport:
+    """Run the full headline checklist against a built study."""
+    figures = study.figures
+    checks: list[ValidationCheck] = []
+
+    load = figures.headline_load_variation()
+    # Upper bound is loose: at small scales a single mega-batch can create
+    # an extreme spike day; the check exists to catch a *flat* marketplace.
+    checks.append(ValidationCheck(
+        "busiest day / median (30x)", 30.0,
+        load["busiest_over_median"], 5.0, 1000.0,
+    ))
+    checks.append(ValidationCheck(
+        "lightest day / median (0.0004x)", 0.0004,
+        load["lightest_over_median"], 0.0, 0.08,
+    ))
+
+    weekday = figures.fig03_weekday()
+    checks.append(ValidationCheck(
+        "weekday/weekend load (up to 2x)", 2.0,
+        weekday["weekday_weekend_ratio"], 1.25, 3.0,
+    ))
+
+    latency = figures.fig13_latency()
+    checks.append(ValidationCheck(
+        "pickup/task-time dominance (orders of magnitude)", 40.0,
+        latency["pickup_dominance_ratio"], 5.0, 500.0,
+    ))
+
+    lifetimes = figures.fig30_lifetimes()
+    checks.append(ValidationCheck(
+        "one-day worker fraction (0.527)", 0.527,
+        lifetimes["one_day_worker_fraction"], 0.35, 0.70,
+    ))
+    checks.append(ValidationCheck(
+        "one-day workers' task share (0.024)", 0.024,
+        lifetimes["one_day_task_share"], 0.002, 0.08,
+    ))
+    checks.append(ValidationCheck(
+        "active (>10d) task share (0.83)", 0.83,
+        lifetimes["active_task_share"], 0.70, 1.0,
+    ))
+    checks.append(ValidationCheck(
+        "mean trust of active workers (>=0.91)", 0.91,
+        lifetimes["mean_trust_active"], 0.84, 1.0,
+    ))
+
+    workload = figures.fig29_workload()
+    checks.append(ValidationCheck(
+        "top-10% worker task share (>0.8)", 0.80,
+        workload["top10_task_share"], 0.70, 1.0,
+    ))
+
+    quality = figures.fig27_source_quality()
+    checks.append(ValidationCheck(
+        "top-10 source task share (0.95)", 0.95,
+        quality["top10_task_share"], 0.70, 1.0,
+    ))
+
+    geo = figures.fig28_geography()
+    checks.append(ValidationCheck(
+        "top-5 country worker share (0.50)", 0.50,
+        geo["top5_share"], 0.35, 0.75,
+    ))
+
+    checks.extend(_direction_checks(study))
+    return ValidationReport(checks=tuple(checks))

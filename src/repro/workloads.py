@@ -1,0 +1,150 @@
+"""Derive a crowdsourcing benchmark workload from the marketplace analysis.
+
+§3.4 motivates the label landscape as raw material "to develop a workload
+of crowdsourcing, and to better understand the task types that are most
+important for further research".  This module closes that loop: it distills
+an enriched dataset into a :class:`WorkloadSpec` — a weighted mix of task
+archetypes with realistic shape parameters — that crowd-powered systems
+(CrowdDB/Deco/CDAS-style engines, §6's audience) can replay as a benchmark.
+
+A spec is JSON-serializable and can be sampled into a concrete task list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.enrichment.pipeline import EnrichedDataset
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One task archetype in the workload mix."""
+
+    goal: str
+    operator: str
+    data_type: str
+    weight: float  # fraction of instances this archetype carries
+    median_items_per_batch: float
+    median_task_seconds: float
+    median_disagreement: float  # NaN when unmeasurable
+    uses_text_box: bool
+    num_clusters: int  # support: distinct tasks behind the archetype
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A weighted crowdsourcing workload."""
+
+    entries: tuple[WorkloadEntry, ...] = field(default_factory=tuple)
+
+    @property
+    def num_archetypes(self) -> int:
+        return len(self.entries)
+
+    def total_weight(self) -> float:
+        return float(sum(entry.weight for entry in self.entries))
+
+    # -- persistence ---------------------------------------------------- #
+
+    def to_json(self) -> str:
+        def clean(entry: WorkloadEntry) -> dict:
+            d = asdict(entry)
+            if isinstance(d["median_disagreement"], float) and math.isnan(
+                d["median_disagreement"]
+            ):
+                d["median_disagreement"] = None
+            return d
+
+        return json.dumps({"entries": [clean(e) for e in self.entries]}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        payload = json.loads(text)
+        entries = []
+        for raw in payload["entries"]:
+            if raw.get("median_disagreement") is None:
+                raw = {**raw, "median_disagreement": float("nan")}
+            entries.append(WorkloadEntry(**raw))
+        return cls(entries=tuple(entries))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadSpec":
+        return cls.from_json(Path(path).read_text())
+
+    # -- sampling --------------------------------------------------------- #
+
+    def sample(self, n: int, *, rng: np.random.Generator | None = None) -> list[WorkloadEntry]:
+        """Draw ``n`` task archetypes proportional to weight."""
+        if not self.entries:
+            raise ValueError("cannot sample from an empty workload")
+        rng = rng or np.random.default_rng(0)
+        weights = np.array([entry.weight for entry in self.entries])
+        weights = weights / weights.sum()
+        picks = rng.choice(len(self.entries), size=n, p=weights)
+        return [self.entries[i] for i in picks]
+
+
+def derive_workload(
+    enriched: EnrichedDataset, *, min_support: int = 2, top: int | None = None
+) -> WorkloadSpec:
+    """Distill the enriched dataset into a workload spec.
+
+    Archetypes are (primary goal, primary operator, primary data type)
+    triples with at least ``min_support`` clusters; weights are instance
+    shares; shape parameters are medians over the archetype's clusters.
+    ``top`` optionally truncates to the heaviest archetypes (weights are
+    then renormalized over the kept set).
+    """
+    ct = enriched.cluster_table
+    groups: dict[tuple[str, str, str], list[int]] = {}
+    for i in range(ct.num_rows):
+        goal = ct["primary_goal"][i]
+        operator = ct["primary_operator"][i]
+        data_type = ct["primary_data_type"][i]
+        if not goal or not operator or not data_type:
+            continue
+        groups.setdefault((goal, operator, data_type), []).append(i)
+
+    total_instances = float(ct["num_instances"].sum())
+    entries: list[WorkloadEntry] = []
+    for (goal, operator, data_type), rows in groups.items():
+        if len(rows) < min_support:
+            continue
+        idx = np.asarray(rows)
+        instances = float(ct["num_instances"][idx].sum())
+        disagreement = ct["disagreement"][idx]
+        finite = disagreement[~np.isnan(disagreement)]
+        entries.append(
+            WorkloadEntry(
+                goal=goal,
+                operator=operator,
+                data_type=data_type,
+                weight=instances / total_instances,
+                median_items_per_batch=float(np.median(ct["num_items"][idx])),
+                median_task_seconds=float(np.median(ct["task_time"][idx])),
+                median_disagreement=float(np.median(finite))
+                if finite.size
+                else float("nan"),
+                uses_text_box=bool(np.median(ct["num_text_boxes"][idx]) > 0),
+                num_clusters=len(rows),
+            )
+        )
+
+    entries.sort(key=lambda e: e.weight, reverse=True)
+    if top is not None:
+        entries = entries[:top]
+        total = sum(e.weight for e in entries) or 1.0
+        entries = [
+            WorkloadEntry(**{**asdict(e), "weight": e.weight / total})
+            for e in entries
+        ]
+    return WorkloadSpec(entries=tuple(entries))

@@ -1,0 +1,38 @@
+"""Shared fixtures: one tiny study per test session.
+
+Building a study runs the full simulate → release → enrich pipeline; at the
+``tiny`` preset this takes a few seconds, so it is session-scoped and
+shared.  Tests must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, build_study
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """The canonical tiny study (seed 7) used across the test suite."""
+    return build_study("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def state(study):
+    return study.state
+
+
+@pytest.fixture(scope="session")
+def released(study):
+    return study.released
+
+
+@pytest.fixture(scope="session")
+def enriched(study):
+    return study.enriched
+
+
+@pytest.fixture(scope="session")
+def figures(study):
+    return study.figures

@@ -1,0 +1,105 @@
+"""Tests for the A/B experiment harness."""
+
+import pytest
+
+from repro.abtest import TaskDesign, run_ab_test
+from repro.taxonomy.labels import Operator
+
+
+@pytest.fixture(scope="module")
+def example_effect():
+    base = TaskDesign(num_examples=0)
+    return run_ab_test(base, base.varied(num_examples=2), num_batches=40, seed=5)
+
+
+class TestTaskDesign:
+    def test_defaults_valid(self):
+        TaskDesign()
+
+    def test_varied_returns_copy(self):
+        base = TaskDesign()
+        variant = base.varied(num_images=3)
+        assert base.num_images == 0
+        assert variant.num_images == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskDesign(operators=())
+        with pytest.raises(ValueError):
+            TaskDesign(num_items=0)
+        with pytest.raises(ValueError):
+            TaskDesign(num_choices=1)
+
+
+class TestRunAbTest:
+    def test_reports_all_metrics(self, example_effect):
+        assert set(example_effect.comparisons) == {
+            "disagreement", "task_time", "pickup_time"
+        }
+
+    def test_example_effect_detected(self, example_effect):
+        pickup = example_effect["pickup_time"]
+        assert pickup.significant
+        assert pickup.median_b < pickup.median_a
+        assert pickup.relative_change < -0.4
+
+    def test_example_leaves_task_time_alone(self, example_effect):
+        assert not example_effect["task_time"].significant
+
+    def test_null_experiment_finds_nothing(self):
+        """A/A experiments are clean at the nominal false-positive rate.
+
+        Any single seed can flag at the ~1% level by design; require that at
+        most one metric across three seeds flags.
+        """
+        base = TaskDesign()
+        flags = 0
+        for seed in (1, 2, 3):
+            result = run_ab_test(base, base, num_batches=40, seed=seed)
+            flags += sum(
+                comparison.significant
+                for comparison in result.comparisons.values()
+            )
+        assert flags <= 1
+
+    def test_text_box_effect(self):
+        base = TaskDesign(num_text_boxes=0)
+        result = run_ab_test(
+            base, base.varied(num_text_boxes=2), num_batches=40, seed=6
+        )
+        tt = result["task_time"]
+        assert tt.significant and tt.median_b > 2 * tt.median_a
+
+    def test_items_raise_pickup(self):
+        base = TaskDesign(num_items=15)
+        result = run_ab_test(
+            base, base.varied(num_items=120), num_batches=40, seed=6
+        )
+        pickup = result["pickup_time"]
+        assert pickup.significant and pickup.median_b > pickup.median_a
+
+    def test_operator_change_moves_task_time(self):
+        base = TaskDesign(operators=(Operator.FILTER,))
+        result = run_ab_test(
+            base,
+            base.varied(operators=(Operator.GATHER,), num_text_boxes=1),
+            num_batches=40,
+            seed=6,
+        )
+        tt = result["task_time"]
+        assert tt.significant and tt.median_b > tt.median_a
+
+    def test_too_few_batches_rejected(self):
+        with pytest.raises(ValueError):
+            run_ab_test(TaskDesign(), TaskDesign(), num_batches=2)
+
+    def test_summary_renders(self, example_effect):
+        text = example_effect.summary()
+        assert "pickup_time" in text and "SIGNIFICANT" in text
+
+    def test_deterministic_in_seed(self):
+        base = TaskDesign()
+        a = run_ab_test(base, base.varied(num_images=2), num_batches=10, seed=9)
+        b = run_ab_test(base, base.varied(num_images=2), num_batches=10, seed=9)
+        assert a["pickup_time"].median_a == b["pickup_time"].median_a
+        assert a["pickup_time"].t_test.p_value == b["pickup_time"].t_test.p_value

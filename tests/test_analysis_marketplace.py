@@ -1,0 +1,161 @@
+"""Tests for §3 marketplace analyses on the tiny study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import marketplace as mkt
+from repro.taxonomy.labels import (
+    is_complex_data,
+    is_complex_goal,
+    is_complex_operator,
+)
+
+
+@pytest.fixture(scope="module")
+def num_weeks(study):
+    return study.config.num_weeks
+
+
+class TestArrivals:
+    def test_series_lengths(self, released, enriched, num_weeks):
+        a = mkt.weekly_arrivals(released, enriched, num_weeks=num_weeks)
+        for series in (a.instances_issued, a.instances_completed,
+                       a.batches_issued, a.distinct_tasks_issued,
+                       a.median_pickup_time):
+            assert len(series) == num_weeks
+
+    def test_issued_total_matches_sample(self, released, enriched, num_weeks):
+        a = mkt.weekly_arrivals(released, enriched, num_weeks=num_weeks)
+        assert a.instances_issued.sum() == released.instances.num_rows
+
+    def test_completions_conserve_instances(self, released, enriched, num_weeks):
+        a = mkt.weekly_arrivals(released, enriched, num_weeks=num_weeks)
+        assert a.instances_completed.sum() == released.instances.num_rows
+
+    def test_post_regime_dominates(self, study, released, enriched, num_weeks):
+        a = mkt.weekly_arrivals(released, enriched, num_weeks=num_weeks)
+        switch = study.config.regime_switch_week
+        assert a.instances_issued[switch:].sum() > 5 * a.instances_issued[:switch].sum()
+
+    def test_pickup_anticorrelated_with_load(self, study, released, enriched):
+        """High-load weeks move faster (§3.2)."""
+        a = mkt.weekly_arrivals(
+            released, enriched, num_weeks=study.config.num_weeks
+        )
+        switch = study.config.regime_switch_week
+        issued = a.instances_issued[switch:]
+        pickup = a.median_pickup_time[switch:]
+        ok = ~np.isnan(pickup) & (issued > 0)
+        if ok.sum() < 10:
+            pytest.skip("too few active weeks")
+        correlation = np.corrcoef(np.log1p(issued[ok]), np.log1p(pickup[ok]))[0, 1]
+        # Tiny scale is noisy; the medium-scale benchmark asserts < 0.05.
+        assert correlation < 0.35
+
+    def test_load_variation_signs(self, study, enriched):
+        lv = mkt.load_variation(
+            enriched,
+            start_week=study.config.regime_switch_week,
+            num_weeks=study.config.num_weeks,
+        )
+        assert lv.busiest_over_median > 3
+        assert lv.lightest_over_median < 0.3
+        assert lv.median_daily_instances > 0
+
+    def test_weekday_totals(self, enriched):
+        totals = mkt.weekday_totals(enriched)
+        assert len(totals) == 7
+        assert totals[:5].mean() > totals[5:].mean()
+
+
+class TestWorkers:
+    def test_active_workers_stability(self, study, released):
+        """Worker availability varies far less than load (Figure 4)."""
+        num_weeks = study.config.num_weeks
+        switch = study.config.regime_switch_week
+        workers = mkt.weekly_active_workers(released, num_weeks=num_weeks)[switch:]
+        a = study.figures.arrivals().instances_issued[switch:]
+        active = workers > 0
+        cv_workers = workers[active].std() / workers[active].mean()
+        cv_load = a[active].std() / a[active].mean()
+        assert cv_workers < cv_load
+
+    def test_engagement_split_partitions_tasks(self, study, released):
+        split = mkt.engagement_split(released, num_weeks=study.config.num_weeks)
+        total = split.tasks_top10.sum() + split.tasks_bottom90.sum()
+        assert total == released.instances.num_rows
+
+    def test_top10_carry_most_flux(self, study, released):
+        split = mkt.engagement_split(released, num_weeks=study.config.num_weeks)
+        assert split.tasks_top10.sum() > 2 * split.tasks_bottom90.sum()
+
+
+class TestClusters:
+    def test_cluster_sizes_sum_to_batches(self, enriched):
+        sizes = mkt.cluster_size_distribution(enriched)
+        assert sizes.sum() == enriched.batch_table.num_rows
+
+    def test_tasks_per_cluster_sum(self, enriched):
+        counts = mkt.tasks_per_cluster_distribution(enriched)
+        assert counts.sum() == enriched.batch_table["num_instances"].sum()
+
+    def test_heavy_hitter_curves_monotone(self, study, enriched):
+        curves = mkt.heavy_hitter_curves(
+            enriched, num_weeks=study.config.num_weeks, top=5
+        )
+        assert len(curves) <= 5
+        for series in curves.values():
+            assert np.all(np.diff(series) >= 0)
+
+
+class TestLabels:
+    def test_distribution_weights_are_instances(self, enriched):
+        dist = mkt.label_distribution(enriched, "goals")
+        ct = enriched.cluster_table
+        # Single-label clusters contribute exactly their instances, so the
+        # total is at least the single-label sum.
+        assert sum(dist.values()) >= ct["num_instances"].sum() * 0.99
+
+    def test_unknown_category(self, enriched):
+        with pytest.raises(ValueError):
+            mkt.label_distribution(enriched, "colors")
+
+    def test_correlation_rows_sum_to_100(self, enriched):
+        corr = mkt.label_correlation(enriched, rows="goals", columns="operators")
+        for goal, breakdown in corr.items():
+            assert sum(breakdown.values()) == pytest.approx(100.0)
+
+    def test_trend_cumulative_monotone(self, study, enriched):
+        for category in ("goals", "operators", "data_types"):
+            simple, complex_ = mkt.simple_complex_trend(
+                enriched, category, num_weeks=study.config.num_weeks
+            )
+            assert np.all(np.diff(simple) >= 0)
+            assert np.all(np.diff(complex_) >= 0)
+
+    def test_trend_counts_clusters_once(self, study, enriched):
+        simple, complex_ = mkt.simple_complex_trend(
+            enriched, "goals", num_weeks=study.config.num_weeks
+        )
+        labeled = sum(
+            1 for g in enriched.cluster_table["goals"] if g
+        )
+        assert simple[-1] + complex_[-1] == labeled
+
+
+class TestComplexityPredicates:
+    def test_goal_split(self):
+        assert not is_complex_goal("ER")
+        assert not is_complex_goal("SA")
+        assert not is_complex_goal("QA")
+        assert is_complex_goal("LU")
+        assert is_complex_goal("T")
+
+    def test_operator_split(self):
+        assert not is_complex_operator("Filt")
+        assert not is_complex_operator("Rate")
+        assert is_complex_operator("Gat")
+
+    def test_data_split(self):
+        assert not is_complex_data("Text")
+        assert is_complex_data("Image")

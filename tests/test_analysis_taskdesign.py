@@ -1,0 +1,136 @@
+"""Tests for §4 task-design analyses on the tiny study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import taskdesign as td
+
+
+class TestAnalysisClusters:
+    def test_prune_rule_applied_for_disagreement(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="disagreement")
+        assert np.all(clusters["disagreement"] <= td.DISAGREEMENT_PRUNE_THRESHOLD)
+
+    def test_no_prune_for_time_metrics(self, enriched):
+        all_clusters = enriched.cluster_table
+        kept = td.analysis_clusters(enriched, metric="task_time")
+        # Only label/NaN filtering, no pruning above 0.5.
+        labeled = sum(1 for g in all_clusters["goals"] if g)
+        assert kept.num_rows <= labeled
+
+    def test_unknown_metric(self, enriched):
+        with pytest.raises(ValueError):
+            td.analysis_clusters(enriched, metric="happiness")
+
+    def test_subjective_tasks_actually_pruned(self, study):
+        """Clusters from subjective tasks exceed 0.5 and get dropped."""
+        state = study.state
+        subjective_tasks = set(np.flatnonzero(state.tasks.subjective))
+        sampled_subjective = {
+            study.enriched.cluster_of_batch[b]
+            for b in study.released.batch_html
+            if int(state.batches.task_idx[b]) in subjective_tasks
+        }
+        if not sampled_subjective:
+            pytest.skip("no subjective clusters sampled at this seed")
+        kept = set(
+            int(c)
+            for c in td.analysis_clusters(enriched=study.enriched, metric="disagreement")["cluster_id"]
+        )
+        assert not (sampled_subjective & kept)
+
+
+class TestBinComparison:
+    def test_median_split_balances_bins(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        c = td.bin_comparison(clusters, "num_words", "task_time")
+        assert abs(c.count_low - c.count_high) <= clusters.num_rows * 0.4
+
+    def test_zero_split_for_examples(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="pickup_time")
+        try:
+            c = td.bin_comparison(clusters, "num_examples", "pickup_time")
+        except ValueError:
+            pytest.skip("too few example clusters sampled at this seed")
+        assert c.threshold == 0.0
+        assert "= 0 vs > 0" in c.split_description
+
+    def test_unknown_feature(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        with pytest.raises(ValueError):
+            td.bin_comparison(clusters, "num_buttons", "task_time")
+
+    def test_direction_labels(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        c = td.bin_comparison(clusters, "num_text_boxes", "task_time")
+        # Text boxes increase task time => low bin better.
+        assert c.direction == "low_better"
+
+    def test_cdfs_built_from_bins(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        c = td.bin_comparison(clusters, "num_items", "task_time")
+        assert c.cdf_low.sample_size == c.count_low
+        assert c.cdf_high.sample_size == c.count_high
+
+
+class TestPaperEffects:
+    """Direction checks for the paper's headline effects (tiny scale, so we
+    assert medians, not significance)."""
+
+    def test_words_reduce_disagreement(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="disagreement")
+        c = td.bin_comparison(clusters, "num_words", "disagreement")
+        assert c.median_high < c.median_low
+
+    def test_text_boxes_increase_disagreement(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="disagreement")
+        c = td.bin_comparison(clusters, "num_text_boxes", "disagreement")
+        assert c.median_high > c.median_low
+
+    def test_text_boxes_increase_task_time(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        c = td.bin_comparison(clusters, "num_text_boxes", "task_time")
+        assert c.median_high > c.median_low
+
+    def test_items_reduce_task_time(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="task_time")
+        c = td.bin_comparison(clusters, "num_items", "task_time")
+        assert c.median_high < c.median_low
+
+    def test_images_reduce_pickup_time(self, enriched):
+        clusters = td.analysis_clusters(enriched, metric="pickup_time")
+        c = td.bin_comparison(clusters, "num_images", "pickup_time")
+        assert c.median_high < c.median_low
+
+    def test_run_all_experiments_count(self, enriched):
+        experiments = td.run_all_experiments(enriched)
+        # Degenerate splits may drop a few pairs at tiny scale.
+        assert 9 <= len(experiments) <= len(td.METRICS) * len(td.FEATURES)
+
+
+class TestLatency:
+    def test_pickup_dominates(self, enriched):
+        d = td.latency_decomposition(enriched)
+        assert d.pickup_dominance_ratio > 5
+        assert len(d.end_to_end) == enriched.batch_table.num_rows
+
+    def test_end_to_end_is_sum(self, enriched):
+        d = td.latency_decomposition(enriched)
+        assert np.allclose(d.end_to_end, d.pickup_time + d.task_time)
+
+
+class TestSummaryTables:
+    def test_only_significant_rows(self, enriched):
+        for metric in td.METRICS:
+            for row in td.summary_table(enriched, metric):
+                assert row.significant
+
+    def test_drilldown_requires_enough_clusters(self, enriched):
+        with pytest.raises(ValueError):
+            td.drilldown(
+                enriched,
+                feature="num_words",
+                metric="disagreement",
+                category="goals",
+                label="NO_SUCH_LABEL",
+            )

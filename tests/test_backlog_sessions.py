@@ -1,0 +1,105 @@
+"""Tests for backlog and attention-span (session) analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.marketplace import weekly_backlog
+from repro.analysis.workers import SessionStatistics, session_statistics
+from repro.dataset.release import ReleasedDataset
+from repro.tables import Table
+
+
+class TestBacklog:
+    def test_never_negative_much(self, study, released, enriched):
+        """Completions can't outpace postings except via clamping jitter."""
+        backlog = weekly_backlog(
+            released, enriched, num_weeks=study.config.num_weeks
+        )
+        assert backlog.min() >= -1e-6
+
+    def test_fully_drained_at_horizon(self, study, released, enriched):
+        """Every released instance completes within the calendar (clamped),
+        so the backlog returns to zero."""
+        backlog = weekly_backlog(
+            released, enriched, num_weeks=study.config.num_weeks
+        )
+        assert backlog[-1] == pytest.approx(0.0)
+
+    def test_peaks_during_high_activity(self, study, released, enriched):
+        backlog = weekly_backlog(
+            released, enriched, num_weeks=study.config.num_weeks
+        )
+        switch = study.config.regime_switch_week
+        assert backlog[switch:].max() >= backlog[:switch].max()
+
+
+def _release_from_rows(rows):
+    instances = Table.from_rows(rows)
+    catalog = Table(
+        {
+            "batch_id": [0],
+            "title": ["t"],
+            "created_at": [0],
+            "sampled": [True],
+        }
+    )
+    return ReleasedDataset(
+        batch_catalog=catalog, batch_html={}, instances=instances
+    )
+
+
+def _row(worker, start, end):
+    return {
+        "batch_id": 0, "item_id": 0, "worker_id": worker,
+        "source": "s", "country": "c",
+        "start_time": start, "end_time": end,
+        "trust": 0.9, "response": "x",
+    }
+
+
+class TestSessions:
+    def test_single_session(self):
+        released = _release_from_rows(
+            [_row(1, 0, 100), _row(1, 150, 250), _row(1, 300, 400)]
+        )
+        stats = session_statistics(released, gap_seconds=600)
+        assert stats.num_sessions == 1
+        assert stats.tasks_per_session[0] == 3
+        assert stats.session_lengths_seconds[0] == 400
+
+    def test_gap_splits_sessions(self):
+        released = _release_from_rows(
+            [_row(1, 0, 100), _row(1, 5000, 5100)]
+        )
+        stats = session_statistics(released, gap_seconds=600)
+        assert stats.num_sessions == 2
+        assert list(stats.tasks_per_session) == [1, 1]
+
+    def test_workers_never_share_sessions(self):
+        released = _release_from_rows(
+            [_row(1, 0, 100), _row(2, 100, 200)]
+        )
+        stats = session_statistics(released, gap_seconds=10**9)
+        assert stats.num_sessions == 2
+
+    def test_sessions_per_worker(self):
+        released = _release_from_rows(
+            [_row(1, 0, 100), _row(1, 10_000, 10_100), _row(2, 0, 50)]
+        )
+        stats = session_statistics(released, gap_seconds=600)
+        assert sorted(stats.sessions_per_worker.tolist()) == [1.0, 2.0]
+
+    def test_on_study_data(self, released):
+        stats = session_statistics(released)
+        assert isinstance(stats, SessionStatistics)
+        assert stats.num_sessions > 0
+        # Total tasks across sessions equals total instances.
+        assert stats.tasks_per_session.sum() == released.instances.num_rows
+        # Attention spans are short for most sessions (paper §5.4: most
+        # workers spend well under an hour per day).
+        assert stats.median_session_minutes() < 120
+
+    def test_bigger_gap_merges_sessions(self, released):
+        tight = session_statistics(released, gap_seconds=300)
+        loose = session_statistics(released, gap_seconds=7200)
+        assert loose.num_sessions <= tight.num_sessions

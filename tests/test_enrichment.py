@@ -1,0 +1,233 @@
+"""Tests for the enrichment pipeline: clustering, metrics, labels, design."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enrichment.clustering import (
+    cluster_batches,
+    jaccard,
+    minhash_signature,
+    shingles,
+)
+from repro.enrichment.labels import read_labels_from_html, split_labels
+from repro.enrichment.metrics import _pair_disagreement_by_item
+from repro.htmlgen import render_task_html
+from repro.taxonomy.labels import DataType, Goal, Operator
+
+
+def _html(salt: int, words: int = 300, token: str = "unit-1") -> str:
+    return render_task_html(
+        title="Judge query-document match",
+        goals=(Goal.SEARCH_RELEVANCE,),
+        operators=(Operator.RATE,),
+        data_types=(DataType.WEBPAGE,),
+        num_words=words,
+        num_text_boxes=0,
+        num_examples=1,
+        num_images=0,
+        num_choices=5,
+        template_salt=salt,
+        item_token=token,
+    )
+
+
+class TestShingles:
+    def test_identical_html_identical_shingles(self):
+        assert shingles(_html(1)) == shingles(_html(1))
+
+    def test_unit_tokens_stripped(self):
+        assert shingles(_html(1, token="unit-123")) == shingles(
+            _html(1, token="unit-999")
+        )
+
+    def test_different_templates_differ(self):
+        a, b = shingles(_html(1)), shingles(_html(2))
+        assert jaccard(a, b) < 0.9
+
+    def test_jaccard_bounds(self):
+        a, b = shingles(_html(1)), shingles(_html(2))
+        assert 0.0 <= jaccard(a, b) <= 1.0
+        assert jaccard(a, a) == 1.0
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestMinhash:
+    def test_signature_deterministic(self):
+        s = shingles(_html(3))
+        assert np.array_equal(minhash_signature(s), minhash_signature(s))
+
+    def test_signature_length(self):
+        assert len(minhash_signature({1, 2, 3}, num_perm=32)) == 32
+
+    def test_empty_set_signature(self):
+        sig = minhash_signature(set())
+        assert np.all(sig == np.iinfo(np.uint64).max)
+
+    @given(st.sets(st.integers(0, 2**40), min_size=5, max_size=200),
+           st.sets(st.integers(0, 2**40), min_size=5, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_signature_agreement_estimates_jaccard(self, a, b):
+        sig_a = minhash_signature(a, num_perm=128)
+        sig_b = minhash_signature(b, num_perm=128)
+        estimate = float(np.mean(sig_a == sig_b))
+        truth = jaccard(a, b)
+        assert abs(estimate - truth) < 0.25
+
+
+class TestClustering:
+    def test_recovers_task_identity(self):
+        html = {}
+        batch = 0
+        for salt in (11, 22, 33):
+            for _ in range(4):
+                html[batch] = _html(salt, token=f"unit-{batch}")
+                batch += 1
+        clusters = cluster_batches(html)
+        # Batches 0-3 together, 4-7 together, 8-11 together.
+        assert len(set(clusters.values())) == 3
+        for base in (0, 4, 8):
+            assert len({clusters[base + i] for i in range(4)}) == 1
+
+    def test_singleton(self):
+        clusters = cluster_batches({5: _html(1)})
+        assert clusters == {5: 0}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cluster_batches({0: "<p>x</p>"}, threshold=0.0)
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            cluster_batches({0: "<p>x</p>"}, num_perm=64, bands=7)
+
+    def test_near_duplicates_merge(self):
+        base = _html(7)
+        variant = base.replace("</body>", "<p>batch revision 3 posted</p></body>")
+        clusters = cluster_batches({0: base, 1: variant})
+        assert clusters[0] == clusters[1]
+
+    def test_cluster_ids_dense(self):
+        html = {i: _html(i) for i in range(5)}
+        clusters = cluster_batches(html)
+        assert set(clusters.values()) == set(range(len(set(clusters.values()))))
+
+
+class TestDisagreementComputation:
+    def test_perfect_agreement(self):
+        items = np.array([0, 0, 0, 1, 1])
+        responses = np.array(["a", "a", "a", "b", "b"], dtype=object)
+        ids, d = _pair_disagreement_by_item(items, responses)
+        assert np.allclose(d, [0.0, 0.0])
+
+    def test_total_disagreement(self):
+        items = np.array([0, 0, 0])
+        responses = np.array(["a", "b", "c"], dtype=object)
+        _, d = _pair_disagreement_by_item(items, responses)
+        assert d[0] == pytest.approx(1.0)
+
+    def test_partial(self):
+        # 2 of 3 agree: same pairs = 1 of 3 -> disagreement 2/3.
+        items = np.array([0, 0, 0])
+        responses = np.array(["a", "a", "b"], dtype=object)
+        _, d = _pair_disagreement_by_item(items, responses)
+        assert d[0] == pytest.approx(2 / 3)
+
+    def test_single_answer_is_nan(self):
+        items = np.array([0])
+        responses = np.array(["a"], dtype=object)
+        _, d = _pair_disagreement_by_item(items, responses)
+        assert np.isnan(d[0])
+
+    @given(st.lists(st.sampled_from("abc"), min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, answers):
+        items = np.zeros(len(answers), dtype=np.int64)
+        responses = np.array(answers, dtype=object)
+        _, d = _pair_disagreement_by_item(items, responses)
+        n = len(answers)
+        disagreements = [
+            answers[i] != answers[j] for i in range(n) for j in range(i + 1, n)
+        ]
+        assert d[0] == pytest.approx(np.mean(disagreements))
+
+
+class TestAnnotation:
+    def test_reads_labels_from_rendered_html(self):
+        html = render_task_html(
+            title="Transcribe receipts",
+            goals=(Goal.TRANSCRIPTION,),
+            operators=(Operator.EXTRACT, Operator.TAG),
+            data_types=(DataType.IMAGE, DataType.AUDIO),
+            num_words=300,
+            num_text_boxes=1,
+            num_examples=0,
+            num_images=1,
+            num_choices=3,
+            template_salt=5,
+            item_token="unit-9",
+        )
+        goals, operators, data_types = read_labels_from_html(html)
+        assert goals == [Goal.TRANSCRIPTION]
+        assert set(operators) == {Operator.EXTRACT, Operator.TAG}
+        assert set(data_types) == {DataType.IMAGE, DataType.AUDIO}
+
+    def test_split_labels_round_trip(self):
+        assert split_labels("Filt+Rate") == ["Filt", "Rate"]
+        assert split_labels("") == []
+
+
+class TestPipelineOutputs:
+    def test_cluster_count_matches_truth(self, study):
+        sampled_tasks = {
+            int(study.state.batches.task_idx[b]) for b in study.released.batch_html
+        }
+        assert study.enriched.num_clusters == len(sampled_tasks)
+
+    def test_clustering_matches_ground_truth_partition(self, study):
+        """Every cluster maps 1:1 onto a true distinct task."""
+        truth = {}
+        for batch_id, cluster in study.enriched.cluster_of_batch.items():
+            task = int(study.state.batches.task_idx[batch_id])
+            if cluster in truth:
+                assert truth[cluster] == task
+            else:
+                truth[cluster] = task
+
+    def test_batch_table_covers_all_sampled(self, study):
+        assert study.enriched.batch_table.num_rows == len(study.released.batch_html)
+
+    def test_design_features_match_ground_truth(self, study):
+        bt = study.enriched.batch_table
+        tasks = study.state.tasks
+        task_of = {
+            int(b): int(study.state.batches.task_idx[b])
+            for b in study.released.batch_html
+        }
+        for i in range(min(bt.num_rows, 200)):
+            row = bt.row(i)
+            t = task_of[row["batch_id"]]
+            assert row["num_text_boxes"] == tasks.num_text_boxes[t]
+            assert row["num_examples"] == tasks.num_examples[t]
+            assert row["num_images"] == tasks.num_images[t]
+
+    def test_metrics_have_expected_columns(self, study):
+        for col in ("disagreement", "task_time", "pickup_time", "num_items"):
+            assert col in study.enriched.batch_table
+
+    def test_cluster_labels_mostly_correct(self, study):
+        """The two-annotator pipeline recovers primary goals almost always."""
+        ct = study.enriched.cluster_table
+        correct = 0
+        total = 0
+        for batch_id, cluster in study.enriched.cluster_of_batch.items():
+            task = int(study.state.batches.task_idx[batch_id])
+            truth = study.state.tasks.goal[task].value
+            row_idx = np.flatnonzero(ct["cluster_id"] == cluster)
+            observed = ct["primary_goal"][row_idx[0]]
+            total += 1
+            correct += observed == truth
+        assert correct / total > 0.9

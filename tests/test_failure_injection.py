@@ -1,0 +1,131 @@
+"""Failure-injection and invariance tests for the enrichment pipeline.
+
+The released data in the wild is messy: truncated HTML, arbitrary row
+order, stray batches with one instance.  The pipeline must degrade
+gracefully, and its outputs must be invariant to row order (nothing in the
+paper's methodology depends on how the dump was sorted).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.release import ReleasedDataset
+from repro.enrichment.design import extract_design_parameters
+from repro.enrichment.metrics import compute_batch_metrics
+from repro.enrichment.pipeline import enrich_dataset
+from repro.tables import Table
+
+
+class TestRowOrderInvariance:
+    def test_metrics_invariant_to_instance_order(self, released):
+        shuffled = ReleasedDataset(
+            batch_catalog=released.batch_catalog,
+            batch_html=released.batch_html,
+            instances=released.instances.take(
+                np.random.default_rng(0).permutation(released.instances.num_rows)
+            ),
+        )
+        original = compute_batch_metrics(released)
+        reordered = compute_batch_metrics(shuffled)
+        assert np.array_equal(original["batch_id"], reordered["batch_id"])
+        assert np.allclose(
+            original["disagreement"], reordered["disagreement"], equal_nan=True
+        )
+        assert np.allclose(original["task_time"], reordered["task_time"])
+        assert np.allclose(original["pickup_time"], reordered["pickup_time"])
+
+    def test_full_enrichment_invariant_to_instance_order(self, released, study):
+        shuffled = ReleasedDataset(
+            batch_catalog=released.batch_catalog,
+            batch_html=released.batch_html,
+            instances=released.instances.take(
+                np.random.default_rng(1).permutation(released.instances.num_rows)
+            ),
+        )
+        enriched = enrich_dataset(shuffled, study.config)
+        assert enriched.num_clusters == study.enriched.num_clusters
+        a = study.enriched.cluster_table.sort_by("cluster_id")
+        b = enriched.cluster_table.sort_by("cluster_id")
+        assert np.allclose(a["disagreement"], b["disagreement"], equal_nan=True)
+
+
+class TestMalformedHtml:
+    def test_truncated_html_still_extracts(self, released):
+        batch_id = next(iter(released.batch_html))
+        html = dict(released.batch_html)
+        html[batch_id] = html[batch_id][: len(html[batch_id]) // 3]
+        table = extract_design_parameters({batch_id: html[batch_id]})
+        assert table.num_rows == 1
+        assert table.row(0)["num_words"] >= 0
+
+    def test_garbage_html_extracts_zeros(self):
+        table = extract_design_parameters({0: "<<<>>>not html at all &&&"})
+        assert table.row(0)["num_text_boxes"] == 0
+
+    def test_enrichment_survives_one_corrupted_interface(self, released, study):
+        html = dict(released.batch_html)
+        victim = next(iter(html))
+        html[victim] = "<div>corrupted"
+        damaged = ReleasedDataset(
+            batch_catalog=released.batch_catalog,
+            batch_html=html,
+            instances=released.instances,
+        )
+        enriched = enrich_dataset(damaged, study.config)
+        # The corrupted batch lands in its own cluster; everything else holds.
+        assert enriched.num_clusters >= study.enriched.num_clusters
+
+
+class TestDegenerateData:
+    def _single_batch_release(self, responses, item_ids):
+        n = len(responses)
+        instances = Table(
+            {
+                "instance_id": list(range(n)),
+                "batch_id": [0] * n,
+                "item_id": item_ids,
+                "worker_id": list(range(n)),
+                "source": ["neodev"] * n,
+                "country": ["United States"] * n,
+                "start_time": [100 + i for i in range(n)],
+                "end_time": [200 + i for i in range(n)],
+                "trust": [0.9] * n,
+                "response": responses,
+            }
+        )
+        catalog = Table(
+            {
+                "batch_id": [0],
+                "title": ["t"],
+                "created_at": [0],
+                "sampled": [True],
+            }
+        )
+        return ReleasedDataset(
+            batch_catalog=catalog, batch_html={0: "<p>x</p>"}, instances=instances
+        )
+
+    def test_single_instance_batch(self):
+        released = self._single_batch_release(["a"], [0])
+        metrics = compute_batch_metrics(released)
+        assert metrics.num_rows == 1
+        assert np.isnan(metrics.row(0)["disagreement"])
+        assert metrics.row(0)["task_time"] == 100.0
+
+    def test_all_identical_responses(self):
+        released = self._single_batch_release(["a", "a", "a"], [0, 0, 0])
+        metrics = compute_batch_metrics(released)
+        assert metrics.row(0)["disagreement"] == 0.0
+
+    def test_all_distinct_responses(self):
+        released = self._single_batch_release(["a", "b", "c"], [0, 0, 0])
+        metrics = compute_batch_metrics(released)
+        assert metrics.row(0)["disagreement"] == 1.0
+
+    def test_multiple_items_mixed(self):
+        released = self._single_batch_release(
+            ["a", "a", "x", "y"], [0, 0, 1, 1]
+        )
+        metrics = compute_batch_metrics(released)
+        # Item 0 agrees (0.0), item 1 disagrees (1.0) -> batch average 0.5.
+        assert metrics.row(0)["disagreement"] == pytest.approx(0.5)

@@ -1,0 +1,79 @@
+"""Fuzz tests: the HTML parser must survive arbitrary input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import extract_features, parse_html, tokenize
+from repro.html.parser import Element, TextNode
+
+# Text biased toward markup-looking characters.
+markup_soup = st.text(
+    alphabet=st.sampled_from(list("<>/=\"' abcdivspnput-!x1")), max_size=200
+)
+
+tag_fragments = st.lists(
+    st.sampled_from(
+        ["<div>", "</div>", "<p class='x'>", "</p>", "<img src=a>",
+         "<input type=text>", "text here", "<b>Example:</b>", "< notatag",
+         "<DIV >", "</>", "<a href='u'>link</a>", "<!-- c -->", "&amp;"]
+    ),
+    max_size=30,
+).map("".join)
+
+
+@given(markup_soup)
+@settings(max_examples=120, deadline=None)
+def test_parse_never_crashes_on_soup(html):
+    root = parse_html(html)
+    assert root.tag == "root"
+    # The tree is traversable and text extraction terminates.
+    _ = root.text_content()
+    _ = list(root.iter_elements())
+
+
+@given(tag_fragments)
+@settings(max_examples=120, deadline=None)
+def test_parse_never_crashes_on_fragments(html):
+    root = parse_html(html)
+    features = extract_features(root)
+    assert features.num_words >= 0
+    assert features.num_images >= 0
+
+
+@given(tag_fragments)
+@settings(max_examples=100, deadline=None)
+def test_tree_is_well_formed(html):
+    root = parse_html(html)
+    # Every node is either an Element or a TextNode; no cycles within depth.
+    seen = 0
+    for element in root.iter_elements():
+        seen += 1
+        assert seen < 10_000
+        for child in element.children:
+            assert isinstance(child, (Element, TextNode))
+
+
+@given(markup_soup)
+@settings(max_examples=100, deadline=None)
+def test_tokenize_covers_input_order(html):
+    tokens = tokenize(html)
+    # Text tokens never contain complete tags.
+    for token in tokens:
+        if token[0] == "text":
+            assert "<div>" not in token[1]
+
+
+@given(st.integers(0, 50), st.integers(0, 5), st.integers(0, 5))
+@settings(max_examples=60, deadline=None)
+def test_feature_counts_scale_with_generated_markup(n_imgs, n_boxes, n_examples):
+    html = (
+        "<div>"
+        + "<img src=x>" * n_imgs
+        + "<input type=text>" * n_boxes
+        + "<b>Example:</b>" * n_examples
+        + "</div>"
+    )
+    features = extract_features(html)
+    assert features.num_images == n_imgs
+    assert features.num_text_boxes == n_boxes
+    assert features.num_examples == n_examples

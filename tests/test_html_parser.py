@@ -1,0 +1,128 @@
+"""Unit tests for the HTML parser and feature extraction."""
+
+import pytest
+
+from repro.html import Element, TextNode, extract_features, parse_html, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tags_and_text(self):
+        tokens = tokenize("<p>hello</p>")
+        assert tokens[0][:2] == ("open", "p")
+        assert tokens[1] == ("text", "hello")
+        assert tokens[2][:2] == ("close", "p")
+
+    def test_void_element(self):
+        tokens = tokenize('<img src="x.png">')
+        assert tokens[0][0] == "selfclose"
+        assert tokens[0][2]["src"] == "x.png"
+
+    def test_self_closing_slash(self):
+        tokens = tokenize("<div/>")
+        assert tokens[0][0] == "selfclose"
+
+    def test_comments_stripped(self):
+        assert tokenize("<!-- secret --><p>x</p>")[0][:2] == ("open", "p")
+
+    def test_doctype_stripped(self):
+        assert tokenize("<!DOCTYPE html><p>x</p>")[0][:2] == ("open", "p")
+
+    def test_attribute_quoting_variants(self):
+        tokens = tokenize("""<input type=text name='n' value="v" checked>""")
+        attrs = tokens[0][2]
+        assert attrs == {"type": "text", "name": "n", "value": "v", "checked": ""}
+
+    def test_case_insensitive_tags(self):
+        assert tokenize("<DIV>")[0][1] == "div"
+
+
+class TestParser:
+    def test_nesting(self):
+        root = parse_html("<div><p>one</p><p>two</p></div>")
+        div = root.children[0]
+        assert div.tag == "div"
+        assert [c.tag for c in div.children] == ["p", "p"]
+
+    def test_text_content(self):
+        root = parse_html("<div>a<span>b</span>c</div>")
+        assert root.text_content().replace(" ", "") == "abc"
+
+    def test_own_text_excludes_children(self):
+        root = parse_html("<div>a<span>b</span></div>")
+        assert root.children[0].own_text() == "a"
+
+    def test_stray_close_tag_ignored(self):
+        root = parse_html("</p><div>x</div>")
+        assert root.children[0].tag == "div"
+
+    def test_unclosed_tags_recovered(self):
+        root = parse_html("<div><p>one<p>two</div><b>after</b>")
+        tags = [e.tag for e in root.iter_elements()]
+        assert "b" in tags
+
+    def test_mismatched_close_pops_stack(self):
+        root = parse_html("<div><span>x</div>")
+        # span was implicitly closed when </div> popped.
+        div = root.children[0]
+        assert div.tag == "div"
+
+    def test_find_all(self):
+        root = parse_html("<div><p>1</p><section><p>2</p></section></div>")
+        assert len(root.find_all("p")) == 2
+
+    def test_whitespace_only_text_skipped(self):
+        root = parse_html("<div>   </div>")
+        assert root.children[0].children == []
+
+    def test_attr_default(self):
+        root = parse_html("<div>x</div>")
+        assert root.children[0].attr("class", "none") == "none"
+
+
+class TestFeatureExtraction:
+    def test_word_count_excludes_script(self):
+        html = "<script>var x = 1 2 3 4;</script><p>one two three</p>"
+        assert extract_features(html).num_words == 3
+
+    def test_text_boxes(self):
+        html = (
+            '<input type="text"><textarea></textarea>'
+            '<input type="radio"><input type="checkbox"><input>'
+        )
+        f = extract_features(html)
+        assert f.num_text_boxes == 3  # text + textarea + typeless input
+        assert f.num_radio_buttons == 1
+        assert f.num_checkboxes == 1
+        assert f.num_input_fields == 5
+
+    def test_examples_counted_only_when_prominent(self):
+        html = (
+            "<b>Example:</b><p>this example inside prose does not count</p>"
+            "<h3>Example 2:</h3><span>examples</span>"
+        )
+        assert extract_features(html).num_examples == 3
+
+    def test_images(self):
+        assert extract_features('<img src="a"><img src="b">').num_images == 2
+
+    def test_instructions_by_class(self):
+        assert extract_features('<div class="instructions">x</div>').has_instructions
+
+    def test_instructions_by_heading(self):
+        assert extract_features("<h2>Instructions</h2>").has_instructions
+
+    def test_no_instructions(self):
+        assert not extract_features("<p>just text</p>").has_instructions
+
+    def test_selects_counted(self):
+        f = extract_features("<select><option>a</option></select>")
+        assert f.num_selects == 1
+        assert f.num_input_fields == 1
+
+    def test_as_dict_keys(self):
+        d = extract_features("<p>x</p>").as_dict()
+        assert "num_words" in d and "has_instructions" in d
+
+    def test_accepts_parsed_tree(self):
+        root = parse_html("<p>one two</p>")
+        assert extract_features(root).num_words == 2

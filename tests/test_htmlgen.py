@@ -1,0 +1,100 @@
+"""Round-trip tests: rendered interfaces must yield their design features."""
+
+import numpy as np
+import pytest
+
+from repro.html import extract_features
+from repro.htmlgen import render_task_html
+from repro.taxonomy.labels import DataType, Goal, Operator
+
+
+def render(**overrides):
+    defaults = dict(
+        title="Label tweet sentiment",
+        goals=(Goal.SENTIMENT_ANALYSIS,),
+        operators=(Operator.FILTER,),
+        data_types=(DataType.TEXT,),
+        num_words=400,
+        num_text_boxes=0,
+        num_examples=0,
+        num_images=0,
+        num_choices=3,
+        template_salt=12345,
+        item_token="unit-00000001",
+    )
+    defaults.update(overrides)
+    return render_task_html(**defaults)
+
+
+class TestFeatureRoundTrip:
+    @pytest.mark.parametrize("n", [0, 1, 3])
+    def test_text_boxes_exact(self, n):
+        f = extract_features(render(num_text_boxes=n))
+        assert f.num_text_boxes == n
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_examples_exact(self, n):
+        f = extract_features(render(num_examples=n))
+        assert f.num_examples == n
+
+    @pytest.mark.parametrize("n", [0, 1, 4])
+    def test_images_exact(self, n):
+        f = extract_features(render(num_images=n))
+        assert f.num_images == n
+
+    def test_image_datatype_counts_toward_images(self):
+        html = render(data_types=(DataType.IMAGE,), num_images=2)
+        f = extract_features(html)
+        assert f.num_images == 2  # 1 item img + 1 asset img
+
+    @pytest.mark.parametrize("target", [100, 466, 2000, 8000])
+    def test_word_count_approximate(self, target):
+        f = extract_features(render(num_words=target))
+        assert abs(f.num_words - target) <= max(60, 0.15 * target)
+
+    def test_instructions_present(self):
+        assert extract_features(render()).has_instructions
+
+    def test_radio_buttons_for_click_tasks(self):
+        f = extract_features(render(num_choices=4))
+        assert f.num_radio_buttons == 4
+
+    def test_text_response_tasks_skip_radios(self):
+        html = render(
+            operators=(Operator.GATHER,), num_text_boxes=2, num_choices=4
+        )
+        f = extract_features(html)
+        assert f.num_radio_buttons == 0
+        assert f.num_text_boxes == 2
+
+
+class TestTemplateStability:
+    def test_same_task_same_template(self):
+        a = render(item_token="unit-1")
+        b = render(item_token="unit-2")
+        # Identical except for the embedded item token.
+        assert a.replace("unit-1", "X") == b.replace("unit-2", "X")
+
+    def test_different_salt_different_text(self):
+        a = render(template_salt=1)
+        b = render(template_salt=2)
+        assert a != b
+
+    def test_all_goals_render(self):
+        for goal in Goal:
+            html = render(goals=(goal,))
+            assert "<html>" in html
+
+    def test_all_operators_render(self):
+        for op in Operator:
+            html = render(operators=(op,))
+            assert extract_features(html).num_words > 0
+
+    def test_all_data_types_render(self):
+        for dt in DataType:
+            html = render(data_types=(dt,))
+            assert "<html>" in html
+
+    def test_multi_datatype_renders_all_snippets(self):
+        html = render(data_types=(DataType.TEXT, DataType.AUDIO))
+        assert "<audio" in html and "item-text" in html

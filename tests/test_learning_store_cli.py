@@ -1,0 +1,148 @@
+"""Tests for worker-learning analysis, the dataset store, and the CLI."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.learning import learning_curve
+from repro.cli import main as cli_main
+from repro.dataset import StoreError, load_dataset, save_dataset
+from repro.dataset.release import release_dataset
+from repro.enrichment.metrics import compute_batch_metrics
+from repro.simulator.config import Calibration, SimulationConfig
+from repro.simulator.engine import simulate_marketplace
+
+
+class TestLearningCurve:
+    def test_recovers_generative_exponent(self, released, study):
+        curve = learning_curve(released)
+        truth = study.config.calibration.within_batch_learning_exponent
+        assert curve.learning_exponent == pytest.approx(truth, abs=0.04)
+
+    def test_curve_decays(self, released):
+        curve = learning_curve(released)
+        # Later ranks are faster than earlier ones on average.
+        assert curve.mean_relative_duration[-1] < curve.mean_relative_duration[0]
+        assert np.all(curve.mean_relative_duration < 1.05)
+
+    def test_null_world_flat(self):
+        config = dataclasses.replace(
+            SimulationConfig.preset("tiny", seed=3),
+            calibration=Calibration(within_batch_learning_exponent=0.0),
+        )
+        state = simulate_marketplace(config)
+        released = release_dataset(state, config)
+        curve = learning_curve(released)
+        assert abs(curve.learning_exponent) < 0.03
+
+    def test_counts_positive(self, released):
+        curve = learning_curve(released)
+        assert np.all(curve.counts >= 30)
+
+    def test_insufficient_data_raises(self, released):
+        with pytest.raises(ValueError):
+            learning_curve(released, min_observations=10**9)
+
+
+class TestDatasetStore:
+    def test_round_trip(self, released, tmp_path):
+        root = save_dataset(released, tmp_path / "ds")
+        back = load_dataset(root)
+        assert back.instances.num_rows == released.instances.num_rows
+        assert back.batch_catalog.num_rows == released.batch_catalog.num_rows
+        assert back.batch_html == released.batch_html
+
+    def test_enrichment_identical_after_reload(self, released, study, tmp_path):
+        root = save_dataset(released, tmp_path / "ds")
+        back = load_dataset(root)
+        original = compute_batch_metrics(released)
+        reloaded = compute_batch_metrics(back)
+        assert np.array_equal(original["batch_id"], reloaded["batch_id"])
+        assert np.allclose(
+            original["task_time"], reloaded["task_time"], equal_nan=True
+        )
+        assert np.allclose(
+            original["disagreement"], reloaded["disagreement"], equal_nan=True
+        )
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            load_dataset(tmp_path)
+
+    def test_version_mismatch(self, released, tmp_path):
+        root = save_dataset(released, tmp_path / "ds")
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="version"):
+            load_dataset(root)
+
+    def test_corrupted_html_count(self, released, tmp_path):
+        root = save_dataset(released, tmp_path / "ds")
+        victim = next(iter((root / "html").glob("*.html")))
+        victim.unlink()
+        with pytest.raises(StoreError, match="sampled"):
+            load_dataset(root)
+
+
+class TestCli:
+    def test_simulate_and_reload(self, tmp_path, capsys):
+        rc = cli_main(
+            ["simulate", "--scale", "tiny", "--seed", "7",
+             "--out", str(tmp_path / "export")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "instances" in out
+        back = load_dataset(tmp_path / "export")
+        assert back.instances.num_rows > 0
+
+    def test_report(self, capsys):
+        rc = cli_main(["report", "--scale", "tiny", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Section 3" in out and "Section 5" in out
+
+    def test_abtest(self, capsys):
+        rc = cli_main(
+            ["abtest", "--feature", "num_images", "--value", "3",
+             "--batches", "12", "--seed", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pickup_time" in out
+
+    def test_abtest_unknown_feature(self, capsys):
+        rc = cli_main(["abtest", "--feature", "num_unicorns", "--value", "1"])
+        assert rc == 2
+
+    def test_learning(self, capsys):
+        rc = cli_main(["learning", "--scale", "tiny", "--seed", "7"])
+        assert rc == 0
+        assert "learning exponent" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+
+class TestWorkloadCli:
+    def test_workload_prints_json(self, capsys):
+        rc = cli_main(["workload", "--scale", "tiny", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"entries"' in out
+
+    def test_workload_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "wl.json"
+        rc = cli_main(
+            ["workload", "--scale", "tiny", "--seed", "7",
+             "--out", str(out_file), "--min-support", "1"]
+        )
+        assert rc == 0
+        from repro.workloads import WorkloadSpec
+
+        spec = WorkloadSpec.load(out_file)
+        assert spec.num_archetypes >= 1

@@ -1,0 +1,131 @@
+"""Tests for the ASCII reporting helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    format_count,
+    format_seconds,
+    render_bar_chart,
+    render_comparison_rows,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatters:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0"),
+        (999, "999"),
+        (1_000, "1.0k"),
+        (45_300, "45.3k"),
+        (1_234_567, "1.2M"),
+        (2.5, "2.50"),
+    ])
+    def test_format_count(self, value, expected):
+        assert format_count(value) == expected
+
+    def test_format_count_nan(self):
+        assert format_count(float("nan")) == "nan"
+
+    @pytest.mark.parametrize("value,expected", [
+        (45, "45s"),
+        (300, "5.0min"),
+        (7200, "2.0h"),
+        (3 * 86400, "3.0d"),
+    ])
+    def test_format_seconds(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_format_seconds_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(empty)"
+
+    def test_columns_aligned(self):
+        text = render_table(
+            [{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len(set(len(l) for l in lines if l)) <= 2
+
+    def test_explicit_column_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_nan_cell(self):
+        assert "nan" in render_table([{"x": float("nan")}])
+
+    def test_missing_key_blank(self):
+        text = render_table([{"a": 1}], columns=["a", "ghost"])
+        assert "ghost" in text
+
+
+class TestRenderBarChart:
+    def test_empty(self):
+        assert render_bar_chart({}) == "(empty)"
+
+    def test_sorted_by_value(self):
+        text = render_bar_chart({"low": 1.0, "high": 10.0})
+        lines = text.splitlines()
+        assert lines[0].startswith("high")
+
+    def test_unsorted_keeps_order(self):
+        text = render_bar_chart({"z": 1.0, "a": 10.0}, sort=False)
+        assert text.splitlines()[0].startswith("z")
+
+    def test_zero_values(self):
+        text = render_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text and "b" in text
+
+    def test_peak_gets_longest_bar(self):
+        text = render_bar_chart({"big": 100.0, "small": 1.0})
+        lines = {l.split("|")[0].strip(): l.count("#") for l in text.splitlines()}
+        assert lines["big"] > lines["small"]
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert render_series(np.array([])) == "(empty series)"
+
+    def test_title_and_peak(self):
+        text = render_series(np.array([1.0, 5.0, 2.0]), title="demo")
+        assert text.startswith("demo (peak 5")
+
+    def test_dimensions(self):
+        text = render_series(np.arange(200.0), width=50, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(l) <= 50 for l in lines)
+
+    def test_nan_treated_as_zero(self):
+        text = render_series(np.array([float("nan"), 1.0]))
+        assert "#" in text
+
+    def test_all_zero(self):
+        text = render_series(np.zeros(10))
+        assert "#" not in text
+
+
+class TestRenderComparisonRows:
+    def test_renders_medians_and_p(self):
+        rows = [
+            {
+                "feature": "num_words",
+                "split": "num_words <= 466 vs > 466",
+                "count_low": 10,
+                "count_high": 11,
+                "median_low": 0.147,
+                "median_high": 0.108,
+                "p_value": 0.0001,
+            }
+        ]
+        text = render_comparison_rows(rows)
+        assert "num_words" in text
+        assert "0.0001" in text or "1e-04" in text

@@ -1,0 +1,43 @@
+"""Seed-sweep robustness: headline shapes hold beyond the pinned seed.
+
+Calibration must not be overfit to seed 7.  These tests run the tiny
+pipeline at a few other seeds and check the same coarse bands the
+validation checklist uses.  (Effect-direction checks are excluded: at tiny
+scale they are legitimately noisy; the medium-scale benchmark pins them.)
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_study
+from repro.validation import validate_study
+
+
+@pytest.fixture(scope="module", params=[21, 99])
+def swept_study(request):
+    return build_study("tiny", seed=request.param)
+
+
+class TestSeedRobustness:
+    def test_headline_checks_hold(self, swept_study):
+        report = validate_study(swept_study)
+        headline = [c for c in report.checks if not c.name.startswith("effect")]
+        failing = [c.render() for c in headline if not c.ok]
+        assert not failing, failing
+
+    def test_most_effect_directions_hold(self, swept_study):
+        report = validate_study(swept_study)
+        effects = [c for c in report.checks if c.name.startswith("effect")]
+        assert sum(c.ok for c in effects) >= len(effects) - 3
+
+    def test_clustering_still_exact(self, swept_study):
+        truth = len(
+            {
+                int(swept_study.state.batches.task_idx[b])
+                for b in swept_study.released.batch_html
+            }
+        )
+        assert swept_study.enriched.num_clusters == truth
+
+    def test_instances_nontrivial(self, swept_study):
+        assert swept_study.released.instances.num_rows > 5_000

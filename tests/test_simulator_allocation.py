@@ -1,0 +1,126 @@
+"""Focused tests for the per-day allocation policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.allocation import allocate_workers
+from repro.simulator.config import Calibration
+from repro.simulator.workers import ONE_DAY, POWER, REGULAR, SHORT, WorkerPool
+
+
+def make_pool(
+    *,
+    engagement: list[int],
+    start_day: list[int],
+    end_day: list[int],
+    days_per_week: float = 7.0,
+    weight: float = 1.0,
+) -> WorkerPool:
+    n = len(engagement)
+    return WorkerPool(
+        source_idx=np.zeros(n, dtype=np.int64),
+        country=np.array(["X"] * n, dtype=object),
+        engagement=np.asarray(engagement, dtype=np.int64),
+        accuracy=np.full(n, 0.9),
+        speed=np.ones(n),
+        weight=np.full(n, weight),
+        start_day=np.asarray(start_day, dtype=np.int64),
+        end_day=np.asarray(end_day, dtype=np.int64),
+        days_per_week=np.full(n, days_per_week),
+        salt=np.arange(1, n + 1, dtype=np.int64) * 7919,
+    )
+
+
+class TestAllocation:
+    def test_every_instance_assigned(self):
+        pool = make_pool(
+            engagement=[POWER] * 5, start_day=[0] * 5, end_day=[100] * 5
+        )
+        days = np.repeat(np.arange(10), 20)
+        assigned = allocate_workers(days, pool, np.random.default_rng(0))
+        assert len(assigned) == 200
+        assert assigned.min() >= 0 and assigned.max() < 5
+
+    def test_one_day_worker_only_on_their_day(self):
+        pool = make_pool(
+            engagement=[ONE_DAY, POWER],
+            start_day=[3, 0],
+            end_day=[3, 100],
+        )
+        days = np.repeat(np.arange(10), 50)
+        assigned = allocate_workers(days, pool, np.random.default_rng(1))
+        one_day_days = set(days[assigned == 0].tolist())
+        assert one_day_days <= {3}
+        # And they did get work on their day.
+        assert 3 in one_day_days
+
+    def test_power_absorbs_spike(self):
+        """On a spike day, casual workers stay near their bundles and power
+        takes the rest."""
+        cal = Calibration()
+        pool = make_pool(
+            engagement=[SHORT] * 5 + [POWER] * 3,
+            start_day=[0] * 8,
+            end_day=[100] * 8,
+        )
+        days = np.zeros(5000, dtype=np.int64)
+        assigned = allocate_workers(days, pool, np.random.default_rng(2), cal)
+        counts = np.bincount(assigned, minlength=8)
+        casual_total = counts[:5].sum()
+        power_total = counts[5:].sum()
+        assert power_total > casual_total
+        # Casual volume bounded by the cap.
+        assert casual_total <= cal.casual_volume_cap * 5000 + 5
+
+    def test_presence_implies_work_on_quiet_days(self):
+        """Each available casual worker gets at least one task when there is
+        enough volume for everyone."""
+        pool = make_pool(
+            engagement=[SHORT] * 4 + [POWER],
+            start_day=[0] * 5,
+            end_day=[100] * 5,
+        )
+        days = np.zeros(40, dtype=np.int64)
+        assigned = allocate_workers(days, pool, np.random.default_rng(3))
+        counts = np.bincount(assigned, minlength=5)
+        assert np.all(counts[:4] >= 1)
+
+    def test_window_fallback_when_nobody_clears_hash(self):
+        """With days_per_week ~ 0, the window fallback still assigns work."""
+        pool = make_pool(
+            engagement=[REGULAR, POWER],
+            start_day=[0, 0],
+            end_day=[100, 100],
+            days_per_week=0.0001,
+        )
+        days = np.zeros(10, dtype=np.int64)
+        assigned = allocate_workers(days, pool, np.random.default_rng(4))
+        assert len(assigned) == 10
+
+    def test_empty_input(self):
+        pool = make_pool(engagement=[POWER], start_day=[0], end_day=[10])
+        out = allocate_workers(
+            np.empty(0, dtype=np.int64), pool, np.random.default_rng(0)
+        )
+        assert len(out) == 0
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_always_total_and_valid(self, seed, n_instances):
+        pool = make_pool(
+            engagement=[ONE_DAY, SHORT, REGULAR, POWER],
+            start_day=[2, 0, 0, 0],
+            end_day=[2, 30, 60, 90],
+            days_per_week=3.0,
+        )
+        rng = np.random.default_rng(seed)
+        days = rng.integers(0, 5, size=n_instances)
+        assigned = allocate_workers(days, pool, rng)
+        assert len(assigned) == n_instances
+        assert assigned.min() >= 0 and assigned.max() < 4
+        # One-day worker (index 0) never works off day 2.
+        mask = assigned == 0
+        if mask.any():
+            assert set(days[mask].tolist()) <= {2}

@@ -1,0 +1,145 @@
+"""Engine-level invariants and calibrated-shape tests on the tiny study."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import simulate_marketplace
+from repro.simulator.workers import ONE_DAY
+from repro.stats.timeseries import WEEK_SECONDS
+
+
+class TestSchemaInvariants:
+    def test_instance_references_valid(self, state):
+        log = state.instances
+        assert log.batch_idx.max() < state.batches.num_batches
+        assert log.worker_id.max() < state.workers.num_workers
+        assert log.task_idx.max() < state.tasks.num_tasks
+
+    def test_times_ordered(self, state):
+        log = state.instances
+        assert np.all(log.end_time > log.start_time)
+        batch_start = state.batches.start_time[log.batch_idx]
+        assert np.all(log.start_time >= batch_start)
+
+    def test_times_within_horizon(self, state):
+        horizon = state.config.num_weeks * WEEK_SECONDS
+        assert np.all(state.instances.start_time < horizon)
+
+    def test_trust_in_unit_interval(self, state):
+        assert np.all((state.instances.trust >= 0) & (state.instances.trust <= 1))
+
+    def test_instances_match_batch_sizes(self, state):
+        counts = np.bincount(
+            state.instances.batch_idx, minlength=state.batches.num_batches
+        )
+        assert np.array_equal(counts, state.batches.num_instances)
+
+    def test_item_ids_belong_to_one_batch(self, state):
+        log = state.instances
+        pairs = {}
+        for item, batch in zip(log.item_id[:5000], log.batch_idx[:5000]):
+            if item in pairs:
+                assert pairs[item] == batch
+            else:
+                pairs[item] = batch
+
+    def test_each_item_has_redundancy_answers(self, state):
+        log = state.instances
+        item_counts = np.bincount(log.item_id)
+        item_counts = item_counts[item_counts > 0]
+        redundancy_values = set(state.batches.redundancy.tolist())
+        assert set(np.unique(item_counts)) <= redundancy_values
+
+    def test_responses_are_strings(self, state):
+        sample = state.instances.response[:100]
+        assert all(isinstance(r, str) and r for r in sample)
+
+    def test_task_of_instance_consistent(self, state):
+        log = state.instances
+        assert np.array_equal(
+            log.task_idx, state.batches.task_idx[log.batch_idx]
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        cfg = SimulationConfig(
+            seed=123, num_distinct_tasks=12, num_workers=60, instance_scale=0.05
+        )
+        a = simulate_marketplace(cfg)
+        b = simulate_marketplace(cfg)
+        assert np.array_equal(a.instances.start_time, b.instances.start_time)
+        assert np.array_equal(a.instances.worker_id, b.instances.worker_id)
+        assert all(x == y for x, y in zip(a.instances.response, b.instances.response))
+
+    def test_different_seed_different_world(self):
+        base = SimulationConfig(
+            seed=1, num_distinct_tasks=12, num_workers=60, instance_scale=0.05
+        )
+        a = simulate_marketplace(base)
+        b = simulate_marketplace(base.with_seed(2))
+        assert a.instances.num_instances != b.instances.num_instances or not np.array_equal(
+            a.instances.start_time, b.instances.start_time
+        )
+
+
+class TestCalibratedShapes:
+    """The generative effects the analyses must later recover."""
+
+    def test_regime_switch_in_arrivals(self, state):
+        weeks = state.batches.start_time // WEEK_SECONDS
+        weekly = np.bincount(
+            weeks, weights=state.batches.num_instances.astype(float),
+            minlength=state.config.num_weeks,
+        )
+        switch = state.config.regime_switch_week
+        assert weekly[switch:].sum() > 10 * weekly[:switch].sum()
+
+    def test_one_day_workers_realized_near_half(self, state):
+        log = state.instances
+        days = log.start_time // 86400
+        order = np.argsort(log.worker_id, kind="stable")
+        wid = log.worker_id[order]
+        d = days[order]
+        starts = np.flatnonzero(np.r_[True, wid[1:] != wid[:-1]])
+        ends = np.r_[starts[1:], len(wid)]
+        one_day = sum(
+            1 for s, e in zip(starts, ends) if d[s:e].max() == d[s:e].min()
+        )
+        fraction = one_day / len(starts)
+        assert 0.35 <= fraction <= 0.70  # paper: 0.527
+
+    def test_top10_workers_dominate(self, state):
+        counts = np.bincount(state.instances.worker_id)
+        counts = counts[counts > 0]
+        top = np.sort(counts)[::-1][: max(1, len(counts) // 10)]
+        assert top.sum() / counts.sum() > 0.7  # paper: > 0.8
+
+    def test_pickup_dominates_task_time(self, state):
+        log = state.instances
+        pickup = log.start_time - state.batches.start_time[log.batch_idx]
+        duration = log.end_time - log.start_time
+        assert np.median(pickup) > 5 * np.median(duration)
+
+    def test_subjective_tasks_all_unique_responses(self, state):
+        subjective_tasks = np.flatnonzero(state.tasks.subjective)
+        if subjective_tasks.size == 0:
+            pytest.skip("no subjective tasks at this scale/seed")
+        t = subjective_tasks[0]
+        mask = state.instances.task_idx == t
+        responses = state.instances.response[mask]
+        assert len(set(responses)) == len(responses)
+
+    def test_internal_source_small_share(self, state):
+        internal = state.sources.index_of("internal")
+        share = (
+            state.workers.source_idx[state.instances.worker_id] == internal
+        ).mean()
+        assert share < 0.15  # paper: ~2%
+
+    def test_weekday_effect(self, state):
+        days = (state.batches.start_time // 86400) % 7
+        weights = state.batches.num_instances.astype(float)
+        totals = np.bincount(days, weights=weights, minlength=7)
+        assert totals[:5].mean() > totals[5:].mean()

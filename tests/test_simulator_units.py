@@ -1,0 +1,290 @@
+"""Unit tests for the simulator's component generators."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.answers import (
+    choice_strings,
+    draw_answers,
+    expected_disagreement,
+    modal_probability_for_disagreement,
+)
+from repro.simulator.arrivals import WEEKDAY_WEIGHTS, market_envelope
+from repro.simulator.config import Calibration, SimulationConfig
+from repro.simulator.geography import COUNTRIES, COUNTRY_WEIGHTS, sample_countries
+from repro.simulator.rng import StreamFactory
+from repro.simulator.sources import SOURCE_NAMES, generate_sources
+from repro.simulator.workers import ONE_DAY, POWER, generate_workers
+from repro.simulator.tasks import generate_tasks
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return StreamFactory(42)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig.preset("tiny", seed=42)
+
+
+@pytest.fixture(scope="module")
+def envelope(config, streams):
+    return market_envelope(config, streams)
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        for scale in ("tiny", "small", "medium"):
+            cfg = SimulationConfig.preset(scale)
+            assert cfg.num_distinct_tasks > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            SimulationConfig.preset("galactic")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_distinct_tasks=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(num_workers=5)
+        with pytest.raises(ValueError):
+            SimulationConfig(batch_sample_prob=0.0)
+
+    def test_with_seed(self):
+        cfg = SimulationConfig.preset("tiny").with_seed(99)
+        assert cfg.seed == 99
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError, match="engagement_mix"):
+            Calibration(engagement_mix=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError, match="subjective"):
+            Calibration(subjective_disagreement_range=(0.2, 0.9))
+
+
+class TestStreams:
+    def test_deterministic(self):
+        a = StreamFactory(1).stream("tasks").random(5)
+        b = StreamFactory(1).stream("tasks").random(5)
+        assert np.array_equal(a, b)
+
+    def test_stage_independence(self):
+        a = StreamFactory(1).stream("tasks").random(5)
+        b = StreamFactory(1).stream("workers").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_streams(self):
+        a = StreamFactory(1).stream("tasks").random(5)
+        b = StreamFactory(2).stream("tasks").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSources:
+    def test_exactly_139_sources(self):
+        assert len(SOURCE_NAMES) == 139
+        assert len(set(SOURCE_NAMES)) == 139
+
+    def test_paper_named_sources_present(self):
+        for name in ("neodev", "clixsense", "amt", "internal", "imerit_india",
+                     "yute_jamaica", "ojooo", "fsprizes"):
+            assert name in SOURCE_NAMES
+
+    def test_shares_sum_to_one(self, streams):
+        pool = generate_sources(streams)
+        assert pool.worker_share.sum() == pytest.approx(1.0)
+
+    def test_top10_share_near_86_percent(self, streams):
+        pool = generate_sources(streams)
+        top10 = np.sort(pool.worker_share)[::-1][:10]
+        assert 0.80 <= top10.sum() <= 0.90
+
+    def test_amt_is_slow_and_untrusted(self, streams):
+        pool = generate_sources(streams)
+        amt = pool.index_of("amt")
+        assert pool.speed_factor[amt] > 5.0
+        assert pool.mean_trust[amt] == pytest.approx(0.75)
+
+    def test_three_sources_slower_than_10x(self, streams):
+        pool = generate_sources(streams)
+        assert (pool.speed_factor >= 10).sum() >= 3
+
+    def test_about_10pct_sources_low_trust(self, streams):
+        pool = generate_sources(streams)
+        fraction = (pool.mean_trust < 0.8).mean()
+        assert 0.05 <= fraction <= 0.15
+
+    def test_index_of_unknown(self, streams):
+        with pytest.raises(KeyError):
+            generate_sources(streams).index_of("nope")
+
+
+class TestGeography:
+    def test_148_countries(self):
+        assert len(COUNTRIES) == 148
+        assert COUNTRY_WEIGHTS.sum() == pytest.approx(1.0)
+
+    def test_us_is_biggest(self):
+        assert COUNTRIES[int(np.argmax(COUNTRY_WEIGHTS))] == "United States"
+
+    def test_sampling_distribution(self):
+        rng = np.random.default_rng(0)
+        sample = sample_countries(rng, 20000)
+        us_share = (sample == "United States").mean()
+        assert 0.27 <= us_share <= 0.34
+
+    def test_home_bias(self):
+        rng = np.random.default_rng(0)
+        sample = sample_countries(rng, 1000, home_country="India", home_bias=0.9)
+        assert (sample == "India").mean() > 0.85
+
+
+class TestEnvelope:
+    def test_regime_switch_visible(self, config, envelope):
+        pre = envelope[: config.regime_switch_week].mean()
+        post = envelope[config.regime_switch_week:].mean()
+        assert post > 10 * pre
+
+    def test_length(self, config, envelope):
+        assert len(envelope) == config.num_weeks
+
+    def test_weekday_weights_shape(self):
+        assert len(WEEKDAY_WEIGHTS) == 7
+        assert WEEKDAY_WEIGHTS[0] == WEEKDAY_WEIGHTS.max()  # Monday peak
+        assert WEEKDAY_WEIGHTS[5:].max() < WEEKDAY_WEIGHTS[:5].min()  # weekend dip
+
+
+class TestWorkers:
+    @pytest.fixture(scope="class")
+    def pool(self, config, envelope):
+        streams = StreamFactory(config.seed)
+        return generate_workers(config, generate_sources(streams), envelope, streams)
+
+    def test_population_size(self, pool, config):
+        assert pool.num_workers == config.num_workers
+
+    def test_one_day_windows_are_one_day(self, pool):
+        mask = pool.engagement == ONE_DAY
+        assert np.all(pool.start_day[mask] == pool.end_day[mask])
+
+    def test_windows_inside_calendar(self, pool, config):
+        horizon = config.num_weeks * 7
+        assert np.all(pool.start_day >= 0)
+        assert np.all(pool.end_day < horizon)
+        assert np.all(pool.end_day >= pool.start_day)
+
+    def test_accuracy_in_unit_interval(self, pool):
+        assert np.all((pool.accuracy > 0) & (pool.accuracy < 1))
+
+    def test_availability_rate_respects_days_per_week(self, pool):
+        # A power worker with a long window should be available on roughly
+        # days_per_week/7 of their window days.
+        candidates = np.flatnonzero(
+            (pool.engagement == POWER)
+            & (pool.end_day - pool.start_day > 400)
+        )
+        worker = int(candidates[0])
+        window = range(int(pool.start_day[worker]), int(pool.end_day[worker]) + 1)
+        available = sum(bool(pool.available_on_day(d)[worker]) for d in window)
+        expected = pool.days_per_week[worker] / 7 * len(window)
+        assert abs(available - expected) < 0.25 * len(window)
+
+    def test_not_available_outside_window(self, pool):
+        worker = 0
+        before = int(pool.start_day[worker]) - 1
+        if before >= 0:
+            assert not pool.available_on_day(before)[worker]
+
+    def test_engagement_mix_roughly_matches(self, pool, config):
+        observed = np.bincount(pool.engagement, minlength=4) / pool.num_workers
+        expected = np.asarray(config.calibration.engagement_mix)
+        # Dedicated-source promotion shifts a little mass into POWER.
+        assert np.all(np.abs(observed - expected) < 0.08)
+
+
+class TestTasks:
+    @pytest.fixture(scope="class")
+    def tasks(self, config, envelope):
+        return generate_tasks(config, envelope, StreamFactory(config.seed))
+
+    def test_population_size(self, tasks, config):
+        assert tasks.num_tasks == config.num_distinct_tasks
+
+    def test_labels_well_formed(self, tasks):
+        for i in range(tasks.num_tasks):
+            assert len(tasks.operators[i]) >= 1
+            assert len(tasks.data_types[i]) >= 1
+            assert len(set(tasks.operators[i])) == len(tasks.operators[i])
+
+    def test_windows_inside_calendar(self, tasks, config):
+        assert np.all(tasks.start_week >= 0)
+        assert np.all(tasks.start_week + tasks.duration_weeks <= config.num_weeks)
+
+    def test_subjective_only_with_text_boxes(self, tasks):
+        assert np.all(~tasks.subjective | (tasks.num_text_boxes > 0))
+
+    def test_target_disagreement_range(self, tasks):
+        objective = ~tasks.subjective
+        assert np.all(tasks.target_disagreement[objective] <= 0.45)
+        assert np.all(tasks.target_disagreement[tasks.subjective] >= 0.55)
+
+    def test_cluster_sizes_have_heavy_hitters(self, tasks):
+        assert tasks.cluster_size.max() >= 100
+        assert np.median(tasks.cluster_size) <= 10
+
+    def test_choices_at_least_two(self, tasks):
+        assert tasks.num_choices.min() >= 2
+
+
+class TestAnswerModel:
+    def test_disagreement_inversion_round_trip(self):
+        targets = np.array([0.01, 0.1, 0.2, 0.4])
+        for m in (2, 3, 5):
+            q = modal_probability_for_disagreement(targets, m)
+            back = expected_disagreement(q, m)
+            assert np.allclose(back, targets, atol=1e-9)
+
+    def test_target_above_max_clamped(self):
+        q = modal_probability_for_disagreement(np.array([0.99]), 2)
+        # For m=2 max disagreement is 0.5 at q=0.5.
+        assert q[0] == pytest.approx(0.5, abs=1e-3)
+
+    def test_bad_choices_rejected(self):
+        with pytest.raises(ValueError):
+            modal_probability_for_disagreement(np.array([0.1]), 1)
+
+    def test_draw_answers_mostly_correct_at_high_q(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 4, size=5000)
+        answers = draw_answers(rng, np.full(5000, 0.95), true, 4)
+        assert (answers == true).mean() == pytest.approx(0.95, abs=0.02)
+
+    def test_draw_answers_wrong_are_valid_choices(self):
+        rng = np.random.default_rng(0)
+        true = np.zeros(1000, dtype=np.int64)
+        answers = draw_answers(rng, np.zeros(1000), true, 3)
+        assert set(np.unique(answers)) <= {0, 1, 2}
+        assert not (answers == 0).any()  # q=0 means never the modal answer
+
+    def test_realized_disagreement_matches_target(self):
+        # End-to-end: draw many items and verify mean pairwise disagreement.
+        rng = np.random.default_rng(1)
+        m, replicas, items = 4, 5, 3000
+        target = 0.18
+        q = float(modal_probability_for_disagreement(target, m)[0])
+        true = np.repeat(rng.integers(0, m, size=items), replicas)
+        answers = draw_answers(rng, np.full(items * replicas, q), true, m)
+        answers = answers.reshape(items, replicas)
+        disagreements = []
+        for row in answers:
+            pairs = same = 0
+            for i in range(replicas):
+                for j in range(i + 1, replicas):
+                    pairs += 1
+                    same += row[i] == row[j]
+            disagreements.append(1 - same / pairs)
+        assert np.mean(disagreements) == pytest.approx(target, abs=0.02)
+
+    def test_choice_strings(self):
+        assert choice_strings(0, 2, textual=False) == ["yes", "no"]
+        assert len(choice_strings(3, 5, textual=True)) == 5
+        assert choice_strings(3, 4, textual=True)[0].startswith("task3")

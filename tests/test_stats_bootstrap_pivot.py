@@ -1,0 +1,142 @@
+"""Tests for bootstrap CIs and the pivot/cross-tab operations."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_difference, bootstrap_interval
+from repro.tables import Table, normalize_rows, pivot
+from repro.tables.table import SchemaError
+
+
+class TestBootstrapInterval:
+    def test_median_interval_covers_truth(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(5.0, 1.0, size=500)
+        ci = bootstrap_interval(sample, rng=np.random.default_rng(1))
+        assert ci.low <= 5.0 <= ci.high
+        assert ci.estimate == pytest.approx(np.median(sample))
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_interval(rng.normal(0, 1, 30), rng=np.random.default_rng(3))
+        large = bootstrap_interval(rng.normal(0, 1, 3000), rng=np.random.default_rng(3))
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_nan_dropped(self):
+        ci = bootstrap_interval([1.0, float("nan"), 2.0, 3.0])
+        assert np.isfinite(ci.estimate)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([1.0, 2.0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([1, 2, 3], confidence=0.3)
+        with pytest.raises(ValueError):
+            bootstrap_interval([1, 2, 3], num_resamples=10)
+
+    def test_custom_statistic(self):
+        ci = bootstrap_interval(
+            np.arange(100.0), statistic=np.mean, rng=np.random.default_rng(4)
+        )
+        assert ci.low <= 49.5 <= ci.high
+
+    def test_contains(self):
+        ci = bootstrap_interval(np.arange(100.0))
+        assert ci.contains(ci.estimate)
+
+
+class TestBootstrapDifference:
+    def test_detects_shift(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(2, 1, 200)
+        ci = bootstrap_difference(a, b, rng=np.random.default_rng(6))
+        assert ci.low > 0  # excludes zero
+        assert ci.estimate == pytest.approx(2.0, abs=0.4)
+
+    def test_null_includes_zero(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0, 1, 200)
+        ci = bootstrap_difference(a, b, rng=np.random.default_rng(8))
+        assert ci.contains(0.0)
+
+
+class TestPivot:
+    @pytest.fixture()
+    def long_table(self):
+        return Table(
+            {
+                "goal": ["ER", "ER", "SA", "SA", "SA"],
+                "operator": ["Filt", "Rate", "Filt", "Filt", "Gen"],
+                "instances": [10, 5, 20, 10, 5],
+            }
+        )
+
+    def test_sum_pivot(self, long_table):
+        wide = pivot(
+            long_table, index="goal", columns="operator", values="instances"
+        )
+        rows = {r["goal"]: r for r in wide.to_rows()}
+        assert rows["ER"]["Filt"] == 10
+        assert rows["ER"]["Rate"] == 5
+        assert rows["ER"]["Gen"] == 0  # filled
+        assert rows["SA"]["Filt"] == 30
+
+    def test_count_pivot(self, long_table):
+        wide = pivot(
+            long_table, index="goal", columns="operator", values="instances",
+            agg="count",
+        )
+        rows = {r["goal"]: r for r in wide.to_rows()}
+        assert rows["SA"]["Filt"] == 2
+
+    def test_unknown_column(self, long_table):
+        with pytest.raises(SchemaError):
+            pivot(long_table, index="nope", columns="operator", values="instances")
+
+    def test_normalize_rows(self, long_table):
+        wide = pivot(
+            long_table, index="goal", columns="operator", values="instances"
+        )
+        normalized = normalize_rows(wide, index="goal")
+        for row in normalized.to_rows():
+            total = sum(v for k, v in row.items() if k != "goal")
+            assert total == pytest.approx(100.0)
+
+    def test_normalize_zero_row(self):
+        t = Table({"k": ["a"], "x": [0.0], "y": [0.0]})
+        out = normalize_rows(t, index="k")
+        assert out.row(0)["x"] == 0.0
+
+    def test_pivot_reproduces_label_correlation(self, enriched):
+        """pivot + normalize matches the dict-based Figure 10 computation."""
+        from repro.analysis.marketplace import label_correlation
+        from repro.enrichment.labels import split_labels
+
+        ct = enriched.cluster_table
+        rows = []
+        for goals, operators, weight in zip(
+            ct["goals"], ct["operators"], ct["num_instances"]
+        ):
+            if not goals or not operators:
+                continue
+            for g in split_labels(goals):
+                for op in split_labels(operators):
+                    rows.append(
+                        {"goal": g, "operator": op, "instances": float(weight)}
+                    )
+        long = Table.from_rows(rows)
+        wide = normalize_rows(
+            pivot(long, index="goal", columns="operator", values="instances"),
+            index="goal",
+        )
+        reference = label_correlation(enriched, rows="goals", columns="operators")
+        for row in wide.to_rows():
+            goal = row["goal"]
+            for op, value in row.items():
+                if op == "goal":
+                    continue
+                assert value == pytest.approx(reference[goal].get(op, 0.0), abs=1e-6)

@@ -1,0 +1,167 @@
+"""Unit + property tests for CDFs, histograms, and calendar bucketing."""
+
+import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    EmpiricalCDF,
+    cdf_dominates,
+    bucket_by_day,
+    bucket_by_week,
+    cumulative_series,
+    day_of_week,
+    linear_histogram,
+    log_histogram,
+    week_index,
+)
+from repro.stats.timeseries import (
+    DAY_SECONDS,
+    EPOCH_DATE,
+    WEEK_SECONDS,
+    date_to_timestamp,
+    day_of_week_totals,
+    week_start_date,
+)
+
+
+class TestEmpiricalCDF:
+    def test_evaluate_known_points(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantile_median(self):
+        cdf = EmpiricalCDF.from_sample([5.0, 1.0, 3.0])
+        assert cdf.median() == 3.0
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_sample([])
+
+    def test_nan_dropped(self):
+        cdf = EmpiricalCDF.from_sample([1.0, float("nan"), 2.0])
+        assert cdf.sample_size == 2
+
+    def test_series_shape(self):
+        cdf = EmpiricalCDF.from_sample(np.arange(10.0))
+        xs, ys = cdf.series(50)
+        assert len(xs) == len(ys) == 50
+
+    def test_dominance(self):
+        better = EmpiricalCDF.from_sample(np.arange(0.0, 1.0, 0.01))
+        worse = EmpiricalCDF.from_sample(np.arange(0.5, 1.5, 0.01))
+        assert cdf_dominates(better, worse)
+        assert not cdf_dominates(worse, better)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nondecreasing(self, sample):
+        cdf = EmpiricalCDF.from_sample(sample)
+        xs = np.linspace(min(sample) - 1, max(sample) + 1, 64)
+        ys = cdf.evaluate(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+        assert ys[-1] == pytest.approx(1.0)
+
+
+class TestHistograms:
+    def test_linear_counts_sum(self):
+        h = linear_histogram(np.arange(100.0), bins=10)
+        assert h.total == 100
+        assert h.num_bins == 10
+
+    def test_linear_empty_rejected(self):
+        with pytest.raises(ValueError):
+            linear_histogram([])
+
+    def test_linear_constant_data(self):
+        h = linear_histogram([2.0, 2.0, 2.0], bins=4)
+        assert h.total == 3
+
+    def test_fractions(self):
+        h = linear_histogram([1.0, 2.0, 3.0, 4.0], bins=2)
+        assert h.fractions().sum() == pytest.approx(1.0)
+
+    def test_log_bins_powers_of_ten(self):
+        h = log_histogram([1, 10, 100, 1000])
+        assert h.total == 4
+        # Edge sequence is 1, 10, 100, ...
+        assert h.edges[0] == 1.0
+        assert h.edges[1] == pytest.approx(10.0)
+
+    def test_log_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_histogram([-1.0, 2.0])
+
+    def test_log_values_below_one_clipped(self):
+        h = log_histogram([0.1, 0.5, 2.0])
+        assert h.total == 3
+
+    def test_as_pairs_length(self):
+        h = linear_histogram(np.arange(10.0), bins=5)
+        assert len(h.as_pairs()) == 5
+
+    def test_edge_count_mismatch_rejected(self):
+        from repro.stats.histogram import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram(edges=np.array([0.0, 1.0]), counts=np.array([1, 2]))
+
+
+class TestCalendar:
+    def test_epoch_is_monday(self):
+        assert EPOCH_DATE.weekday() == 0
+
+    def test_week_index(self):
+        assert week_index([0, WEEK_SECONDS - 1, WEEK_SECONDS])[0] == 0
+        assert list(week_index([0, WEEK_SECONDS - 1, WEEK_SECONDS])) == [0, 0, 1]
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            week_index([-1])
+
+    def test_day_of_week_monday(self):
+        assert day_of_week([0])[0] == 0
+        assert day_of_week([5 * DAY_SECONDS])[0] == 5
+
+    def test_week_start_date_round_trip(self):
+        date = week_start_date(131)
+        assert date == datetime.date(2015, 1, 5)
+        assert date_to_timestamp(date) == 131 * WEEK_SECONDS
+
+    def test_date_before_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            date_to_timestamp(datetime.date(2010, 1, 1))
+
+    def test_bucket_by_week_counts(self):
+        t = [0, 1, WEEK_SECONDS, WEEK_SECONDS + 5, 3 * WEEK_SECONDS]
+        counts = bucket_by_week(t)
+        assert list(counts) == [2, 2, 0, 1]
+
+    def test_bucket_by_week_weights(self):
+        t = [0, 0, WEEK_SECONDS]
+        w = [1.5, 2.5, 3.0]
+        assert list(bucket_by_week(t, weights=w)) == [4.0, 3.0]
+
+    def test_bucket_by_day(self):
+        t = [0, DAY_SECONDS, DAY_SECONDS + 10]
+        assert list(bucket_by_day(t)) == [1, 2]
+
+    def test_cumulative_series(self):
+        t = [0, WEEK_SECONDS, WEEK_SECONDS]
+        assert list(cumulative_series(t)) == [1, 3]
+
+    def test_day_of_week_totals(self):
+        t = [0, DAY_SECONDS, 7 * DAY_SECONDS]  # Mon, Tue, Mon
+        totals = day_of_week_totals(t)
+        assert totals[0] == 2 and totals[1] == 1

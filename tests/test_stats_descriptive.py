@@ -1,0 +1,95 @@
+"""Unit tests for repro.stats.descriptive."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import gini_coefficient, iqr, median, percentile, summarize, top_share
+
+
+class TestMedianPercentile:
+    def test_median_simple(self):
+        assert median([1, 2, 3]) == 2.0
+
+    def test_median_ignores_nan(self):
+        assert median([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_median_empty_is_nan(self):
+        assert math.isnan(median([]))
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == 50
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_iqr(self):
+        data = np.arange(1, 101)
+        assert iqr(data) == pytest.approx(
+            np.percentile(data, 75) - np.percentile(data, 25)
+        )
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_concentration_approaches_one(self):
+        g = gini_coefficient([0] * 999 + [1000])
+        assert g > 0.99
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+    def test_known_value(self):
+        # For [1, 3]: G = (2 + 1 - 2*(1+4)/4)/2 = 0.25
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share(np.ones(100), 0.10) == pytest.approx(0.10)
+
+    def test_concentrated(self):
+        data = np.zeros(100)
+        data[0] = 100.0
+        assert top_share(data, 0.10) == 1.0
+
+    def test_paper_style_check(self):
+        # A Zipfian workload should concentrate heavily in the top decile.
+        tasks = 1.0 / np.arange(1, 1001) ** 1.2
+        assert top_share(tasks, 0.10) > 0.5
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1, 2], 0.0)
+
+    def test_zero_total(self):
+        assert top_share([0, 0], 0.5) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "p25", "median", "p75", "max"}

@@ -1,0 +1,100 @@
+"""Welch t-test verified against scipy plus property-based checks."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import welch_t_test
+from repro.stats.ttest import (
+    regularized_incomplete_beta,
+    student_t_sf,
+)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy_random_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(rng.uniform(-2, 2), rng.uniform(0.5, 3), size=rng.integers(5, 200))
+        b = rng.normal(rng.uniform(-2, 2), rng.uniform(0.5, 3), size=rng.integers(5, 200))
+        mine = welch_t_test(a, b)
+        ref = scipy.stats.ttest_ind(a, b, equal_var=False)
+        assert mine.statistic == pytest.approx(ref.statistic, rel=1e-10)
+        assert mine.p_value == pytest.approx(ref.pvalue, rel=1e-8)
+
+    def test_identical_samples_not_significant(self):
+        a = np.arange(50, dtype=float)
+        result = welch_t_test(a, a)
+        assert result.p_value > 0.99
+        assert not result.significant()
+
+    def test_obviously_different_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(5, 1, 200)
+        assert welch_t_test(a, b).significant()
+
+    def test_nan_handling(self):
+        a = [1.0, 2.0, float("nan"), 3.0]
+        b = [4.0, 5.0, 6.0]
+        result = welch_t_test(a, b)
+        ref = scipy.stats.ttest_ind([1, 2, 3], [4, 5, 6], equal_var=False)
+        assert result.statistic == pytest.approx(ref.statistic)
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_zero_variance_equal_means(self):
+        result = welch_t_test([2.0, 2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+
+    def test_zero_variance_different_means(self):
+        result = welch_t_test([2.0, 2.0, 2.0], [3.0, 3.0])
+        assert result.p_value == 0.0
+
+
+class TestSpecialFunctions:
+    @pytest.mark.parametrize("a,b,x", [
+        (0.5, 0.5, 0.3), (2.0, 3.0, 0.7), (10.0, 0.5, 0.99), (1.0, 1.0, 0.5),
+    ])
+    def test_incomplete_beta_vs_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            scipy.stats.beta.cdf(x, a, b), rel=1e-10
+        )
+
+    def test_incomplete_beta_bounds(self):
+        assert regularized_incomplete_beta(2, 2, 0.0) == 0.0
+        assert regularized_incomplete_beta(2, 2, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(2, 2, 1.5)
+
+    @pytest.mark.parametrize("t,dof", [
+        (0.0, 5), (1.5, 3), (-2.0, 10), (4.0, 1), (0.3, 100),
+    ])
+    def test_t_sf_vs_scipy(self, t, dof):
+        assert student_t_sf(t, dof) == pytest.approx(
+            scipy.stats.t.sf(t, dof), rel=1e-9
+        )
+
+    def test_t_sf_bad_dof(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=3, max_size=50),
+    st.lists(st.floats(-100, 100), min_size=3, max_size=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_properties_hold(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    result = welch_t_test(a, b)
+    # p-value is a probability.
+    assert 0.0 <= result.p_value <= 1.0
+    # Symmetry: swapping samples flips the statistic, keeps the p-value.
+    swapped = welch_t_test(b, a)
+    assert swapped.p_value == pytest.approx(result.p_value, abs=1e-12)
+    assert swapped.statistic == pytest.approx(-result.statistic, abs=1e-9)

@@ -1,0 +1,164 @@
+"""Tests for the SVG chart builders and the figure-rendering pipeline."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.reporting.svg import (
+    SvgChart,
+    bar_chart,
+    cdf_chart,
+    line_chart,
+    scatter_log_log,
+)
+
+
+def _valid_xml(svg: str) -> bool:
+    xml.dom.minidom.parseString(svg)
+    return True
+
+
+class TestSvgChart:
+    def test_basic_document(self):
+        chart = SvgChart(title="t", x_min=0, x_max=10, y_min=0, y_max=5)
+        svg = chart.render()
+        assert svg.startswith("<svg")
+        assert _valid_xml(svg)
+        assert "<title" not in svg  # title is a text element
+        assert ">t<" in svg
+
+    def test_line_produces_polyline(self):
+        chart = SvgChart(title="t", x_min=0, x_max=3, y_min=0, y_max=3)
+        chart.add_line([0, 1, 2, 3], [0, 1, 2, 3], label="demo")
+        svg = chart.render()
+        assert "polyline" in svg
+        assert "demo" in svg
+
+    def test_nan_breaks_segments(self):
+        chart = SvgChart(title="t", x_min=0, x_max=4, y_min=0, y_max=4)
+        chart.add_line([0, 1, 2, 3, 4], [1, 2, float("nan"), 3, 4])
+        svg = chart.render()
+        assert svg.count("polyline") == 2
+
+    def test_points(self):
+        chart = SvgChart(title="t", x_min=0, x_max=2, y_min=0, y_max=2)
+        chart.add_points([0.5, 1.5], [0.5, 1.5])
+        assert chart.render().count("<circle") == 2
+
+    def test_log_axes_positive_mapping(self):
+        chart = SvgChart(
+            title="t", x_min=1, x_max=1000, y_min=1, y_max=100,
+            x_log=True, y_log=True,
+        )
+        mid = chart.frame._tx(31.6)  # geometric midpoint of 1..1000
+        left = chart.frame._tx(1)
+        right = chart.frame._tx(1000)
+        assert left < mid < right
+        assert abs((mid - left) - (right - mid)) < 2.0
+
+    def test_title_escaped(self):
+        chart = SvgChart(title="a < b & c", x_min=0, x_max=1, y_min=0, y_max=1)
+        assert _valid_xml(chart.render())
+
+    def test_marker(self):
+        chart = SvgChart(title="t", x_min=0, x_max=10, y_min=0, y_max=1)
+        chart.add_vertical_marker(5.0, label="here")
+        svg = chart.render()
+        assert "stroke-dasharray" in svg and "here" in svg
+
+
+class TestConvenienceCharts:
+    def test_line_chart(self):
+        svg = line_chart(
+            {"a": ([0, 1, 2], [1, 2, 3]), "b": ([0, 1, 2], [3, 2, 1])},
+            title="two series", x_label="x", y_label="y",
+        )
+        assert _valid_xml(svg)
+        assert svg.count("polyline") == 2
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, title="empty")
+
+    def test_line_chart_log_y(self):
+        svg = line_chart(
+            {"s": ([0, 1, 2], [1.0, 100.0, 10000.0])}, title="log", y_log=True
+        )
+        assert _valid_xml(svg)
+
+    def test_bar_chart(self):
+        svg = bar_chart({"Mon": 5.0, "Tue": 3.0}, title="bars")
+        assert _valid_xml(svg)
+        assert svg.count("<rect") >= 3  # frame + background + 2 bars
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({}, title="none")
+
+    def test_scatter_log_log(self):
+        svg = scatter_log_log([1, 10, 100], [100, 10, 1], title="scatter")
+        assert _valid_xml(svg)
+        assert svg.count("<circle") == 3
+
+    def test_cdf_chart(self):
+        xs = np.linspace(0, 1, 20)
+        svg = cdf_chart(
+            {"low": (xs, xs), "high": (xs, xs**2)},
+            title="cdfs", x_label="metric",
+        )
+        assert _valid_xml(svg)
+
+
+class TestRenderAllFigures:
+    def test_full_pipeline(self, figures, tmp_path):
+        from repro.figures.render_svg import render_all_figures
+
+        paths = render_all_figures(figures, tmp_path)
+        assert len(paths) >= 30
+        names = {p.name for p in paths}
+        for expected in (
+            "fig01_sampling.svg", "fig03_weekday.svg", "fig08_heavy_hitters.svg",
+            "fig13_latency.svg", "fig28_geography.svg", "fig30a_lifetimes.svg",
+        ):
+            assert expected in names
+        for path in paths:
+            assert _valid_xml(path.read_text())
+
+    def test_cli_figures_command(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(
+            ["figures", "--scale", "tiny", "--seed", "7",
+             "--out", str(tmp_path / "figs")]
+        )
+        assert rc == 0
+        assert "SVG figures" in capsys.readouterr().out
+        assert (tmp_path / "figs" / "fig03_weekday.svg").exists()
+
+
+class TestStackedBarChart:
+    def test_basic(self):
+        from repro.reporting.svg import stacked_bar_chart
+
+        svg = stacked_bar_chart(
+            {"ER": {"Filt": 60.0, "Rate": 40.0}, "SA": {"Filt": 30.0, "Gen": 70.0}},
+            title="stacked",
+        )
+        assert _valid_xml(svg)
+        # Two bars x two segments each + frame/background rects + legend.
+        assert svg.count("<rect") >= 6
+
+    def test_empty_rejected(self):
+        from repro.reporting.svg import stacked_bar_chart
+
+        with pytest.raises(ValueError):
+            stacked_bar_chart({}, title="none")
+
+    def test_zero_segments_skipped(self):
+        from repro.reporting.svg import stacked_bar_chart
+
+        svg = stacked_bar_chart(
+            {"A": {"x": 0.0, "y": 100.0}}, title="zeros"
+        )
+        assert _valid_xml(svg)

@@ -1,0 +1,114 @@
+"""Tests for the column-expression layer."""
+
+import numpy as np
+import pytest
+
+from repro.tables import Table, col, lit
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {
+            "x": [1, 2, 3, 4, 5],
+            "y": [10.0, 20.0, float("nan"), 40.0, 50.0],
+            "name": ["a", "b", "c", "b", "a"],
+            "flag": [True, False, True, False, True],
+        }
+    )
+
+
+class TestComparisons:
+    def test_gt_filter(self, table):
+        out = table.filter(col("x") > 3)
+        assert list(out["x"]) == [4, 5]
+
+    def test_le(self, table):
+        assert list(table.filter(col("x") <= 2)["x"]) == [1, 2]
+
+    def test_eq_string(self, table):
+        out = table.filter(col("name") == "b")
+        assert list(out["x"]) == [2, 4]
+
+    def test_ne(self, table):
+        out = table.filter(col("name").ne("a"))
+        assert list(out["name"]) == ["b", "c", "b"]
+
+    def test_column_vs_column(self, table):
+        out = table.filter(col("y") > col("x") * 9)
+        assert list(out["x"]) == [1, 2, 4, 5]
+
+
+class TestBooleanAlgebra:
+    def test_and(self, table):
+        out = table.filter((col("x") > 1) & (col("x") < 5))
+        assert list(out["x"]) == [2, 3, 4]
+
+    def test_or(self, table):
+        out = table.filter((col("x") == 1) | (col("x") == 5))
+        assert list(out["x"]) == [1, 5]
+
+    def test_invert(self, table):
+        out = table.filter(~col("flag"))
+        assert list(out["x"]) == [2, 4]
+
+    def test_combined_with_nan_handling(self, table):
+        out = table.filter(col("y").notnan() & (col("y") >= 20))
+        assert list(out["x"]) == [2, 4, 5]
+
+
+class TestArithmetic:
+    def test_add_mul(self, table):
+        values = (col("x") * 2 + 1).evaluate(table)
+        assert list(values) == [3, 5, 7, 9, 11]
+
+    def test_radd_rsub(self, table):
+        assert list((10 - col("x")).evaluate(table)) == [9, 8, 7, 6, 5]
+        assert list((1 + col("x")).evaluate(table)) == [2, 3, 4, 5, 6]
+
+    def test_div(self, table):
+        values = (col("y") / col("x")).evaluate(table)
+        assert values[0] == 10.0
+        assert np.isnan(values[2])
+
+    def test_neg(self, table):
+        assert list((-col("x")).evaluate(table)) == [-1, -2, -3, -4, -5]
+
+
+class TestConvenience:
+    def test_isin(self, table):
+        out = table.filter(col("name").isin({"a", "c"}))
+        assert list(out["x"]) == [1, 3, 5]
+
+    def test_isnan_notnan(self, table):
+        assert list(table.filter(col("y").isnan())["x"]) == [3]
+        assert 3 not in list(table.filter(col("y").notnan())["x"])
+
+    def test_abs_log_clip(self, table):
+        assert list((-col("x")).abs().evaluate(table)) == [1, 2, 3, 4, 5]
+        logged = col("x").log().evaluate(table)
+        assert logged[0] == pytest.approx(0.0)
+        clipped = col("x").clip(2, 4).evaluate(table)
+        assert list(clipped) == [2, 2, 3, 4, 4]
+
+    def test_map_values(self, table):
+        upper = col("name").map_values(str.upper).evaluate(table)
+        assert list(upper) == ["A", "B", "C", "B", "A"]
+
+    def test_lit(self, table):
+        assert (lit(5) > 3).evaluate(table)
+
+    def test_repr_describes_tree(self):
+        expr = (col("a") + 1) > col("b")
+        assert "a" in repr(expr) and "b" in repr(expr) and "+" in repr(expr)
+
+
+class TestIntegrationWithAnalyses:
+    def test_prune_rule_via_expression(self, enriched):
+        """The §4.1 prune expressed as a column expression."""
+        ct = enriched.cluster_table
+        pruned = ct.filter(
+            col("disagreement").notnan() & ~(col("disagreement") > 0.5)
+        )
+        assert pruned.num_rows > 0
+        assert np.all(pruned["disagreement"] <= 0.5)

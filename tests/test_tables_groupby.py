@@ -1,0 +1,126 @@
+"""Unit tests for repro.tables.groupby."""
+
+import numpy as np
+import pytest
+
+from repro.tables import Table, group_by
+from repro.tables.table import SchemaError
+
+
+def sales():
+    return Table(
+        {
+            "region": ["east", "west", "east", "west", "east"],
+            "product": ["a", "a", "b", "b", "a"],
+            "units": [10, 20, 30, 40, 50],
+            "price": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+
+
+class TestGrouping:
+    def test_single_key_counts(self):
+        g = group_by(sales(), "region").agg({"n": ("units", "count")})
+        rows = {r["region"]: r["n"] for r in g.to_rows()}
+        assert rows == {"east": 3, "west": 2}
+
+    def test_multi_key(self):
+        g = group_by(sales(), ["region", "product"]).agg(
+            {"n": ("units", "count")}
+        )
+        assert g.num_rows == 4
+
+    def test_unknown_key(self):
+        with pytest.raises(SchemaError):
+            group_by(sales(), "nope")
+
+    def test_empty_table(self):
+        t = Table.empty({"k": "str", "v": "float"})
+        g = group_by(t, "k").agg({"n": ("v", "count")})
+        assert g.num_rows == 0
+
+    def test_num_groups(self):
+        assert group_by(sales(), "region").num_groups == 2
+
+    def test_segments_partition_rows(self):
+        segments = group_by(sales(), "region").segments()
+        all_rows = sorted(int(i) for seg in segments for i in seg)
+        assert all_rows == [0, 1, 2, 3, 4]
+
+
+class TestAggregations:
+    def test_sum_mean_min_max(self):
+        g = group_by(sales(), "region").agg(
+            {
+                "total": ("units", "sum"),
+                "avg": ("units", "mean"),
+                "lo": ("units", "min"),
+                "hi": ("units", "max"),
+            }
+        )
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["total"] == 90
+        assert east["avg"] == pytest.approx(30.0)
+        assert east["lo"] == 10 and east["hi"] == 50
+
+    def test_median(self):
+        g = group_by(sales(), "region").agg({"med": ("units", "median")})
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["med"] == 30.0
+
+    def test_percentile(self):
+        g = group_by(sales(), "region").agg({"p50": ("units", "p50")})
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["p50"] == 30.0
+
+    def test_std(self):
+        g = group_by(sales(), "product").agg({"sd": ("price", "std")})
+        a = next(r for r in g.to_rows() if r["product"] == "a")
+        assert a["sd"] == pytest.approx(np.std([1.0, 2.0, 5.0]))
+
+    def test_nunique(self):
+        g = group_by(sales(), "region").agg({"k": ("product", "nunique")})
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["k"] == 2
+
+    def test_first_last(self):
+        g = group_by(sales(), "region").agg(
+            {"f": ("units", "first"), "l": ("units", "last")}
+        )
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["f"] == 10 and east["l"] == 50
+
+    def test_collect(self):
+        g = group_by(sales(), "region").agg({"all": ("units", "collect")})
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["all"] == [10, 30, 50]
+
+    def test_callable(self):
+        g = group_by(sales(), "region").agg(
+            {"span": ("units", lambda seg: float(seg.max() - seg.min()))}
+        )
+        east = next(r for r in g.to_rows() if r["region"] == "east")
+        assert east["span"] == 40.0
+
+    def test_string_column_sum_rejected(self):
+        with pytest.raises(SchemaError, match="numeric"):
+            group_by(sales(), "region").agg({"x": ("product", "sum")})
+
+    def test_unknown_aggregation(self):
+        with pytest.raises(SchemaError, match="unknown aggregation"):
+            group_by(sales(), "region").agg({"x": ("units", "mode")})
+
+    def test_duplicate_output_column(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            group_by(sales(), "region").agg({"region": ("units", "sum")})
+
+    def test_matches_numpy_on_random_data(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 20, size=500)
+        values = rng.normal(size=500)
+        t = Table({"k": keys, "v": values})
+        g = group_by(t, "k").agg({"s": ("v", "sum"), "m": ("v", "median")})
+        for row in g.to_rows():
+            mask = keys == row["k"]
+            assert row["s"] == pytest.approx(values[mask].sum())
+            assert row["m"] == pytest.approx(np.median(values[mask]))

@@ -1,0 +1,127 @@
+"""Unit tests for repro.tables.join and repro.tables.io."""
+
+import numpy as np
+import pytest
+
+from repro.tables import (
+    Table,
+    hash_join,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.tables.table import SchemaError
+
+
+def left():
+    return Table({"k": [1, 2, 3, 3], "a": ["p", "q", "r", "s"]})
+
+
+def right():
+    return Table({"k": [1, 3, 3, 4], "b": [10.0, 20.0, 30.0, 40.0]})
+
+
+class TestJoin:
+    def test_inner_join_cardinality(self):
+        j = hash_join(left(), right(), on="k")
+        # k=1 matches once; k=3 x k=3 is 2*2; k=2 and k=4 drop.
+        assert j.num_rows == 5
+
+    def test_inner_join_values(self):
+        j = hash_join(left(), right(), on="k").sort_by(["k", "b"])
+        assert list(j["k"]) == [1, 3, 3, 3, 3]
+
+    def test_left_join_keeps_unmatched(self):
+        j = hash_join(left(), right(), on="k", how="left")
+        assert j.num_rows == 6
+        unmatched = j.filter(j["k"] == 2)
+        assert np.isnan(unmatched["b"][0])
+
+    def test_left_join_string_null(self):
+        j = hash_join(right(), left(), on="k", how="left")
+        k4 = j.filter(j["k"] == 4)
+        assert k4["a"][0] is None
+
+    def test_multi_key_join(self):
+        a = Table({"x": [1, 1, 2], "y": ["u", "v", "u"], "val": [1, 2, 3]})
+        b = Table({"x": [1, 2], "y": ["v", "u"], "other": [9, 8]})
+        j = hash_join(a, b, on=["x", "y"])
+        assert sorted(j["other"]) == [8, 9]
+
+    def test_column_collision_suffix(self):
+        a = Table({"k": [1], "v": [1]})
+        b = Table({"k": [1], "v": [2]})
+        j = hash_join(a, b, on="k")
+        assert "v_right" in j
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            hash_join(left(), right(), on="nope")
+
+    def test_bad_how_rejected(self):
+        with pytest.raises(SchemaError):
+            hash_join(left(), right(), on="k", how="outer")
+
+    def test_empty_right_inner(self):
+        empty = Table.empty({"k": "int", "b": "float"})
+        j = hash_join(left(), empty, on="k")
+        assert j.num_rows == 0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        t = Table(
+            {
+                "i": [1, 2, 3],
+                "f": [1.5, float("nan"), 2.5],
+                "s": ["x", None, "z"],
+                "b": [True, False, True],
+            }
+        )
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back.schema() == {"i": "int", "f": "float", "s": "str", "b": "bool"}
+        assert back == t
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_csv(path).num_rows == 0
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        t = read_csv(path)
+        assert t.num_rows == 0
+        assert t.column_names == ["a", "b"]
+
+    def test_int_with_missing_becomes_float(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("a,b\n1,x\n,y\n3,z\n")
+        t = read_csv(path)
+        assert t.schema()["a"] == "float"
+        assert np.isnan(t["a"][1])
+
+    def test_numeric_strings_stay_numeric(self, tmp_path):
+        t = Table({"a": [0.25, 1e10, -3.5]})
+        path = tmp_path / "n.csv"
+        write_csv(t, path)
+        assert read_csv(path) == t
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        t = Table({"i": [1, 2], "s": ["a", "b"], "f": [0.5, float("nan")]})
+        path = tmp_path / "t.jsonl"
+        write_jsonl(t, path)
+        back = read_jsonl(path)
+        assert back.num_rows == 2
+        assert back["s"][1] == "b"
+        assert np.isnan(back["f"][1])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path).num_rows == 2

@@ -1,0 +1,224 @@
+"""Unit tests for repro.tables.table."""
+
+import numpy as np
+import pytest
+
+from repro.tables import Table, concat_tables
+from repro.tables.table import SchemaError
+
+
+def make_table():
+    return Table(
+        {
+            "id": [1, 2, 3, 4],
+            "name": ["a", "b", "a", "c"],
+            "score": [1.0, 2.5, 3.0, 4.5],
+            "flag": [True, False, True, False],
+        }
+    )
+
+
+class TestConstruction:
+    def test_schema_kinds(self):
+        t = make_table()
+        assert t.schema() == {
+            "id": "int", "name": "str", "score": "float", "flag": "bool"
+        }
+
+    def test_num_rows_and_columns(self):
+        t = make_table()
+        assert t.num_rows == 4
+        assert t.num_columns == 4
+        assert len(t) == 4
+
+    def test_empty_table(self):
+        t = Table({})
+        assert t.num_rows == 0
+        assert t.column_names == []
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="length"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"": [1, 2]})
+
+    def test_from_rows(self):
+        t = Table.from_rows([{"x": 1, "y": "p"}, {"x": 2, "y": "q"}])
+        assert t.num_rows == 2
+        assert list(t["x"]) == [1, 2]
+
+    def test_from_rows_missing_key_rejected(self):
+        with pytest.raises(SchemaError, match="missing column"):
+            Table.from_rows([{"x": 1}, {"y": 2}])
+
+    def test_from_rows_empty(self):
+        assert Table.from_rows([]).num_rows == 0
+
+    def test_empty_with_schema(self):
+        t = Table.empty({"a": "int", "b": "str"})
+        assert t.num_rows == 0
+        assert t.schema() == {"a": "int", "b": "str"}
+
+    def test_empty_with_bad_kind(self):
+        with pytest.raises(SchemaError, match="unknown column kind"):
+            Table.empty({"a": "complex"})
+
+    def test_constructor_copies_by_default(self):
+        source = np.array([1, 2, 3], dtype=np.int64)
+        t = Table({"a": source})
+        source[0] = 99
+        assert t["a"][0] == 1
+
+    def test_mixed_int_float_promotes(self):
+        t = Table({"a": [1, 2.5]})
+        assert t.schema()["a"] == "float"
+
+    def test_none_among_numbers_becomes_nan(self):
+        t = Table({"a": [1, None, 3]})
+        assert np.isnan(t["a"][1])
+
+
+class TestAccess:
+    def test_getitem_unknown_column(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_table()["nope"]
+
+    def test_contains(self):
+        t = make_table()
+        assert "id" in t and "nope" not in t
+
+    def test_row(self):
+        assert make_table().row(1) == {
+            "id": 2, "name": "b", "score": 2.5, "flag": False
+        }
+
+    def test_row_negative_index(self):
+        assert make_table().row(-1)["id"] == 4
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table().row(10)
+
+    def test_to_rows_round_trip(self):
+        t = make_table()
+        assert Table.from_rows(t.to_rows()) == t
+
+    def test_repr_mentions_columns(self):
+        assert "score:float" in repr(make_table())
+
+
+class TestOperations:
+    def test_select_order(self):
+        t = make_table().select(["score", "id"])
+        assert t.column_names == ["score", "id"]
+
+    def test_select_unknown(self):
+        with pytest.raises(SchemaError):
+            make_table().select(["nope"])
+
+    def test_drop(self):
+        t = make_table().drop(["flag", "name"])
+        assert t.column_names == ["id", "score"]
+
+    def test_drop_unknown(self):
+        with pytest.raises(SchemaError):
+            make_table().drop(["nope"])
+
+    def test_rename(self):
+        t = make_table().rename({"id": "key"})
+        assert "key" in t and "id" not in t
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            make_table().rename({"id": "name"})
+
+    def test_with_column_adds(self):
+        t = make_table().with_column("double", [2, 4, 6, 8])
+        assert list(t["double"]) == [2, 4, 6, 8]
+
+    def test_with_column_replaces(self):
+        t = make_table().with_column("id", [9, 8, 7, 6])
+        assert list(t["id"]) == [9, 8, 7, 6]
+
+    def test_with_column_wrong_length(self):
+        with pytest.raises(SchemaError):
+            make_table().with_column("x", [1])
+
+    def test_filter_mask(self):
+        t = make_table().filter(np.array([True, False, True, False]))
+        assert list(t["id"]) == [1, 3]
+
+    def test_filter_callable(self):
+        t = make_table().filter(lambda t: t["score"] > 2.0)
+        assert list(t["id"]) == [2, 3, 4]
+
+    def test_filter_bad_mask(self):
+        with pytest.raises(SchemaError):
+            make_table().filter(np.array([1, 0, 1, 0]))
+
+    def test_take_reorders_and_duplicates(self):
+        t = make_table().take([3, 0, 0])
+        assert list(t["id"]) == [4, 1, 1]
+
+    def test_head(self):
+        assert make_table().head(2).num_rows == 2
+        assert make_table().head(100).num_rows == 4
+
+    def test_sort_by_single(self):
+        t = make_table().sort_by("score", descending=True)
+        assert list(t["id"]) == [4, 3, 2, 1]
+
+    def test_sort_by_multiple_primary_first(self):
+        t = Table({"a": [2, 1, 2, 1], "b": [1, 2, 0, 1]})
+        s = t.sort_by(["a", "b"])
+        assert list(zip(s["a"], s["b"])) == [(1, 1), (1, 2), (2, 0), (2, 1)]
+
+    def test_sort_by_string_column(self):
+        t = make_table().sort_by("name")
+        assert list(t["name"]) == ["a", "a", "b", "c"]
+
+    def test_distinct_full_rows(self):
+        t = Table({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert t.distinct().num_rows == 2
+
+    def test_distinct_subset_keeps_first(self):
+        t = make_table().distinct(["name"])
+        assert list(t["id"]) == [1, 2, 4]
+
+    def test_map_rows(self):
+        t = make_table().map_rows(lambda r: r["id"] * 10, name="tens")
+        assert list(t["tens"]) == [10, 20, 30, 40]
+
+
+class TestEquality:
+    def test_equal_tables(self):
+        assert make_table() == make_table()
+
+    def test_different_values(self):
+        other = make_table().with_column("id", [1, 2, 3, 5])
+        assert make_table() != other
+
+    def test_nan_equal(self):
+        a = Table({"x": [1.0, float("nan")]})
+        b = Table({"x": [1.0, float("nan")]})
+        assert a == b
+
+
+class TestConcat:
+    def test_concat_two(self):
+        t = make_table()
+        c = concat_tables([t, t])
+        assert c.num_rows == 8
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            concat_tables([make_table(), make_table().drop(["flag"])])
+
+    def test_concat_empty_list(self):
+        assert concat_tables([]).num_rows == 0
+
+    def test_concat_preserves_object_dtype(self):
+        c = concat_tables([make_table(), make_table()])
+        assert c["name"].dtype == object

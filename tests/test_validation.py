@@ -1,0 +1,73 @@
+"""Tests for the calibration-validation checklist."""
+
+import dataclasses
+
+import pytest
+
+from repro.validation import ValidationCheck, validate_study
+
+
+class TestValidationCheck:
+    def test_ok_inside_band(self):
+        check = ValidationCheck("x", 1.0, 0.9, 0.5, 1.5)
+        assert check.ok
+
+    def test_fail_outside_band(self):
+        check = ValidationCheck("x", 1.0, 2.0, 0.5, 1.5)
+        assert not check.ok
+
+    def test_render_contains_status(self):
+        assert "PASS" in ValidationCheck("x", 1.0, 1.0, 0.5, 1.5).render()
+        assert "FAIL" in ValidationCheck("x", 1.0, 9.0, 0.5, 1.5).render()
+
+
+class TestValidateStudy:
+    def test_headline_checks_pass_on_default_world(self, study):
+        """The default calibration passes everything except (possibly) the
+        small-sample effect-direction checks at tiny scale."""
+        report = validate_study(study)
+        headline = [c for c in report.checks if not c.name.startswith("effect")]
+        failing = [c for c in headline if not c.ok]
+        assert not failing, [c.render() for c in failing]
+
+    def test_most_effects_reproduce_even_at_tiny(self, study):
+        report = validate_study(study)
+        effects = [c for c in report.checks if c.name.startswith("effect")]
+        assert sum(c.ok for c in effects) >= len(effects) - 2
+
+    def test_render_ends_with_verdict(self, study):
+        report = validate_study(study)
+        assert report.render().splitlines()[-1].endswith(
+            ("PASS", "FAIL", "CHECK(S) FAIL")
+        )
+
+    def test_broken_world_fails(self):
+        """Inverting an effect makes its check fail."""
+        from repro import build_study
+        from repro.simulator.config import Calibration, SimulationConfig
+        from repro.simulator.engine import simulate_marketplace
+        from repro.dataset.release import release_dataset
+        from repro.enrichment.pipeline import enrich_dataset
+        from repro.figures.suite import FigureSuite
+        from repro.study import Study
+
+        config = dataclasses.replace(
+            SimulationConfig.preset("tiny", seed=13),
+            calibration=Calibration(
+                # Invert: text boxes now REDUCE task time strongly.
+                task_time_text_box_factor=0.3,
+            ),
+        )
+        state = simulate_marketplace(config)
+        released = release_dataset(state, config)
+        enriched = enrich_dataset(released, config)
+        study = Study(
+            config=config, state=state, released=released, enriched=enriched,
+            figures=FigureSuite(state=state, released=released, enriched=enriched),
+        )
+        report = validate_study(study)
+        broken = next(
+            c for c in report.checks
+            if c.name.startswith("effect num_text_boxes->task_time")
+        )
+        assert not broken.ok

@@ -1,0 +1,81 @@
+"""Tests for workload derivation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadEntry, WorkloadSpec, derive_workload
+
+
+@pytest.fixture(scope="module")
+def spec(enriched):
+    return derive_workload(enriched, min_support=1)
+
+
+class TestDeriveWorkload:
+    def test_nonempty(self, spec):
+        assert spec.num_archetypes >= 3
+
+    def test_weights_form_distribution(self, spec):
+        assert spec.total_weight() == pytest.approx(1.0, abs=0.02)
+        for entry in spec.entries:
+            assert entry.weight > 0
+
+    def test_sorted_by_weight(self, spec):
+        weights = [entry.weight for entry in spec.entries]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_shape_parameters_sane(self, spec):
+        for entry in spec.entries:
+            assert entry.median_items_per_batch >= 1
+            assert entry.median_task_seconds > 0
+            assert entry.num_clusters >= 1
+            assert math.isnan(entry.median_disagreement) or (
+                0 <= entry.median_disagreement <= 1
+            )
+
+    def test_min_support_filters(self, enriched):
+        loose = derive_workload(enriched, min_support=1)
+        strict = derive_workload(enriched, min_support=3)
+        assert strict.num_archetypes <= loose.num_archetypes
+        for entry in strict.entries:
+            assert entry.num_clusters >= 3
+
+    def test_top_truncation_renormalizes(self, enriched):
+        top = derive_workload(enriched, min_support=1, top=3)
+        assert top.num_archetypes <= 3
+        assert top.total_weight() == pytest.approx(1.0)
+
+
+class TestSpecSerialization:
+    def test_json_round_trip(self, spec):
+        back = WorkloadSpec.from_json(spec.to_json())
+        # NaN != NaN breaks dataclass equality; canonical JSON is the
+        # equality notion for specs.
+        assert back.to_json() == spec.to_json()
+
+    def test_file_round_trip(self, spec, tmp_path):
+        path = tmp_path / "workload.json"
+        spec.save(path)
+        assert WorkloadSpec.load(path).to_json() == spec.to_json()
+
+
+class TestSampling:
+    def test_sample_sizes(self, spec):
+        sampled = spec.sample(50, rng=np.random.default_rng(0))
+        assert len(sampled) == 50
+        assert all(isinstance(entry, WorkloadEntry) for entry in sampled)
+
+    def test_sampling_tracks_weights(self, spec):
+        rng = np.random.default_rng(1)
+        sampled = spec.sample(4000, rng=rng)
+        heaviest = spec.entries[0]
+        share = sum(1 for e in sampled if e == heaviest) / len(sampled)
+        assert share == pytest.approx(
+            heaviest.weight / spec.total_weight(), abs=0.05
+        )
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec().sample(5)
