@@ -2,11 +2,27 @@
 
 These are honest performance benches (pytest-benchmark timings), not paper
 reproductions — they document the cost structure of the library.
+
+Benches named ``*_naive`` re-run the pre-vectorization algorithm (per-group
+Python loops, per-document minhash) on the same inputs as their fast
+counterpart.  ``scripts/bench_guard.py`` pairs them up to compute and guard
+the fast-vs-naive speedup ratios recorded in ``BENCH_substrate.json``.
 """
+
+import zlib
 
 import numpy as np
 
-from repro.enrichment.clustering import minhash_signature, shingles
+from repro.enrichment.clustering import (
+    _permutation_params,
+    _shingle_array,
+    _shingle_hash,
+    _tokens,
+    cluster_batches,
+    minhash_signature,
+    minhash_signatures,
+    shingles,
+)
 from repro.ml import DecisionTreeClassifier
 from repro.tables import Table, group_by, hash_join
 
@@ -33,6 +49,33 @@ def test_perf_group_by_median(benchmark):
 
     out = benchmark(run)
     assert out.num_rows == len(set(table["key"]))
+
+
+def test_perf_group_by_median_naive(benchmark):
+    """Verbatim seed algorithm: ``np.unique`` factorize + re-factorize +
+    int64 stable argsort for grouping, then a per-group ``np.median`` call
+    per segment (``sum`` used ``reduceat`` then as now)."""
+    table = _synthetic_table(200_000)
+
+    def run():
+        _, codes = np.unique(table["key"], return_inverse=True)
+        _, group_codes = np.unique(codes, return_inverse=True)
+        order = np.argsort(group_codes, kind="stable")
+        sorted_codes = group_codes[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+        )
+        ends = np.r_[starts[1:], len(order)]
+        ordered_v = table["value"][order]
+        med = np.array(
+            [np.median(ordered_v[s:e]) for s, e in zip(starts, ends)]
+        )
+        ordered_w = table["weight"][order]
+        tot = np.add.reduceat(ordered_w, starts)
+        return med, tot
+
+    med, _ = benchmark(run)
+    assert len(med) == len(set(table["key"]))
 
 
 def test_perf_hash_join(benchmark):
@@ -67,6 +110,107 @@ def test_perf_minhash_signature(benchmark):
 
     signature = benchmark(run)
     assert len(signature) == 64
+
+
+def _bench_corpus(num_docs: int = 300, tokens_per_doc: int = 400) -> dict[int, str]:
+    """Synthetic HTML corpus shaped like real batch pages: many documents of
+    a few hundred tokens with heavy cross-document vocabulary overlap."""
+    rng = np.random.default_rng(9)
+    docs = {}
+    for d in range(num_docs):
+        base = rng.integers(0, 400)
+        words = " ".join(
+            f"tok{int(base) + (i % 311)}" for i in range(tokens_per_doc)
+        )
+        docs[d] = f"<div class='doc-{d % 7}'>{words}</div>"
+    return docs
+
+
+def test_perf_minhash_batch(benchmark):
+    """One batched ``minimum.reduceat`` pass over every document's shingle
+    array — the signature stage of the vectorized clustering pipeline."""
+    corpus = _bench_corpus()
+    arrays = [_shingle_array(doc) for doc in corpus.values()]
+
+    def run():
+        return minhash_signatures(arrays)
+
+    signatures = benchmark(run)
+    assert signatures.shape == (len(corpus), 64)
+
+
+def test_perf_minhash_batch_naive(benchmark):
+    """Verbatim seed algorithm: shingle *sets* of Python ints converted per
+    document, hashed per document with a 64-bit ``%`` reduction."""
+    corpus = _bench_corpus()
+    shingle_sets = [
+        set(map(int, _shingle_array(doc))) for doc in corpus.values()
+    ]
+    mersenne = np.uint64((1 << 61) - 1)
+
+    def seed_signature(shingle_set, num_perm=64, seed=1234):
+        values = np.fromiter(
+            ((s & 0xFFFFFFFFFFFFFFFF) for s in shingle_set), dtype=np.uint64
+        )
+        a, b = _permutation_params(num_perm, seed)
+        with np.errstate(over="ignore"):
+            hashed = (values[None, :] * a[:, None] + b[:, None]) % mersenne
+        return hashed.min(axis=1)
+
+    def run():
+        return [seed_signature(s) for s in shingle_sets]
+
+    signatures = benchmark(run)
+    assert len(signatures) == len(corpus)
+    assert np.array_equal(
+        signatures[0],
+        minhash_signatures([_shingle_array(next(iter(corpus.values())))])[0],
+    )
+
+
+def test_perf_shingle_extraction(benchmark):
+    """Batched shingling (per-distinct-token CRC32, vectorized polynomial
+    windows) of the bench corpus."""
+    corpus = _bench_corpus()
+
+    def run():
+        return [_shingle_array(doc) for doc in corpus.values()]
+
+    arrays = benchmark(run)
+    assert len(arrays) == len(corpus)
+
+
+def test_perf_shingle_extraction_naive(benchmark):
+    """Pre-vectorization reference: per-token ``zlib.crc32`` and a pure
+    Python polynomial hash per shingle window."""
+    corpus = _bench_corpus()
+
+    def naive_shingles(html, k=4):
+        token_hashes = [zlib.crc32(t.encode()) for t in _tokens(html)]
+        if len(token_hashes) < k:
+            return {_shingle_hash(token_hashes)}
+        return {
+            _shingle_hash(token_hashes[i:i + k])
+            for i in range(len(token_hashes) - k + 1)
+        }
+
+    def run():
+        return [naive_shingles(doc) for doc in corpus.values()]
+
+    sets = benchmark(run)
+    assert len(sets) == len(corpus)
+
+
+def test_perf_cluster_batches(benchmark):
+    """End-to-end clustering of a synthetic near-duplicate corpus."""
+    corpus = _bench_corpus(num_docs=120, tokens_per_doc=800)
+
+    def run():
+        return cluster_batches(corpus)
+
+    mapping = benchmark(run)
+    assert len(mapping) == len(corpus)
+    assert max(mapping.values()) < len(corpus)
 
 
 def test_perf_decision_tree_fit(benchmark):

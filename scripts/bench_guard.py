@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Run the substrate micro-benchmarks and guard against perf regressions.
+
+Runs ``benchmarks/test_substrate_perf.py`` under pytest-benchmark, extracts
+the mean time of every bench plus the fast-vs-naive speedup ratios (each
+``test_perf_<name>`` paired with its ``test_perf_<name>_naive`` seed
+replica), and compares them with the committed baseline in
+``BENCH_substrate.json`` at the repository root:
+
+- a guarded bench whose mean time regresses more than ``--tolerance``
+  (default 25%) against the baseline fails the run;
+- a fast/naive speedup ratio that drops more than ``--tolerance`` below the
+  baseline ratio also fails (ratios are far less machine-sensitive than
+  absolute times, so both guards together catch real regressions without
+  tripping on hardware differences alone).
+
+Exit status is 1 on any regression, 0 otherwise.  ``--update-baseline``
+rewrites ``BENCH_substrate.json`` with the measured numbers (also done
+automatically when no baseline exists yet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_substrate.json"
+BENCH_FILE = "benchmarks/test_substrate_perf.py"
+REPORT_PATH = REPO_ROOT / "bench_report.txt"
+
+#: Benches whose speedup over the seed implementation the study relies on
+#: (the vectorized minhash + group-by fast paths); their ratios must never
+#: silently decay.
+GUARDED_SPEEDUPS = ("minhash_batch", "group_by_median")
+
+
+def run_benchmarks(min_rounds: int) -> dict:
+    """Run the substrate bench file; return the pytest-benchmark JSON."""
+    report_backup = REPORT_PATH.read_bytes() if REPORT_PATH.exists() else None
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "-q",
+            f"--benchmark-json={json_path}",
+            f"--benchmark-min-rounds={min_rounds}",
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        # The benchmark conftest truncates bench_report.txt for figure
+        # benches; a substrate-only run must not clobber the committed one.
+        if report_backup is not None:
+            REPORT_PATH.write_bytes(report_backup)
+        if proc.returncode != 0:
+            print("bench_guard: benchmark run failed", file=sys.stderr)
+            sys.exit(proc.returncode)
+        return json.loads(json_path.read_text())
+
+
+def summarize(raw: dict) -> dict:
+    means = {}
+    for bench in raw["benchmarks"]:
+        name = bench["name"].removeprefix("test_perf_")
+        means[name] = bench["stats"]["mean"]
+    speedups = {}
+    for name, mean in means.items():
+        naive = means.get(f"{name}_naive")
+        if naive is not None and mean > 0:
+            speedups[name] = naive / mean
+    return {
+        "bench_file": BENCH_FILE,
+        "means_seconds": {k: round(v, 6) for k, v in sorted(means.items())},
+        "speedups_vs_seed": {
+            k: round(v, 2) for k, v in sorted(speedups.items())
+        },
+    }
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    regressions = []
+    base_means = baseline.get("means_seconds", {})
+    for name, base_mean in base_means.items():
+        mean = current["means_seconds"].get(name)
+        if mean is None:
+            regressions.append(f"bench {name!r} missing from this run")
+        elif mean > base_mean * (1.0 + tolerance):
+            regressions.append(
+                f"{name}: {mean * 1e3:.1f} ms vs baseline "
+                f"{base_mean * 1e3:.1f} ms "
+                f"(+{(mean / base_mean - 1.0) * 100:.0f}%)"
+            )
+    base_speedups = baseline.get("speedups_vs_seed", {})
+    for name in GUARDED_SPEEDUPS:
+        base = base_speedups.get(name)
+        ratio = current["speedups_vs_seed"].get(name)
+        if base is None:
+            continue
+        if ratio is None:
+            regressions.append(f"speedup pair {name!r} missing from this run")
+        elif ratio < base * (1.0 - tolerance):
+            regressions.append(
+                f"{name} speedup fell to {ratio:.1f}x "
+                f"(baseline {base:.1f}x)"
+            )
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"rewrite {BASELINE_PATH.name} with this run's numbers",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-rounds",
+        type=int,
+        default=5,
+        help="pytest-benchmark rounds per bench (default 5)",
+    )
+    args = parser.parse_args()
+
+    current = summarize(run_benchmarks(args.min_rounds))
+
+    print("\nbench_guard: measured means")
+    for name, mean in current["means_seconds"].items():
+        print(f"  {name:32s} {mean * 1e3:10.2f} ms")
+    print("bench_guard: speedups vs seed implementation")
+    for name, ratio in current["speedups_vs_seed"].items():
+        print(f"  {name:32s} {ratio:9.1f}x")
+
+    if args.update_baseline or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"bench_guard: baseline written to {BASELINE_PATH.name}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    regressions = compare(current, baseline, args.tolerance)
+    if regressions:
+        print("\nbench_guard: PERFORMANCE REGRESSIONS:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_guard: OK (within {args.tolerance * 100:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #
 # Produces, under the output directory (default: ./reproduction_output):
 #   test_output.txt    - full unit/integration/property test run
+#   bench_guard.txt    - substrate perf guard vs BENCH_substrate.json
 #   bench_output.txt   - per-figure benchmark run (paper shapes asserted)
 #   bench_report.txt   - the paper-vs-measured report (copied from repo root)
 #   validation.txt     - the calibration checklist at small scale
@@ -18,23 +19,26 @@ cd "$(dirname "$0")/.."
 OUT="${1:-reproduction_output}"
 mkdir -p "$OUT"
 
-echo "== 1/6 tests =="
+echo "== 1/7 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/6 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 2/7 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
+
+echo "== 3/7 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 3/6 validation checklist =="
+echo "== 4/7 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 4/6 SVG figures =="
+echo "== 5/7 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 5/6 dataset export =="
+echo "== 6/7 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 6/6 workload derivation =="
+echo "== 7/7 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
 echo "done: $OUT"

@@ -1,0 +1,318 @@
+"""Content-addressed on-disk cache for built studies.
+
+``build_study`` is a pure function of ``(SimulationConfig, code)``: the
+simulator, release lens, and enrichment pipeline are all deterministic in
+the seed.  That makes the released + enriched layers safe to persist and
+reuse across sessions — a warm ``build_study`` skips simulation and
+enrichment entirely.
+
+Keying
+------
+A cache entry's key is the SHA-256 of:
+
+- a schema version (bumped when the on-disk layout changes),
+- a *code fingerprint* — the hash of every ``.py`` file in the packages
+  that determine the released/enriched bytes (simulator, dataset,
+  enrichment, htmlgen, html, tables, taxonomy, stats, parallel) — so any
+  code change invalidates automatically, and
+- every field of the :class:`~repro.simulator.config.SimulationConfig`
+  (including the full calibration), normalized to JSON.
+
+Layout
+------
+One directory per key under the cache root (``REPRO_CACHE_DIR`` env var,
+default ``~/.cache/repro-study``): tables as ``.npz`` (object columns
+pickled inside the archive), the HTML corpus and batch→cluster map as npz
+object/int arrays, plus a human-readable ``manifest.json``.  Entries are
+written to a temp directory and atomically renamed, so concurrent builders
+never observe a partial entry; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.pipeline import EnrichedDataset
+    from repro.simulator.config import SimulationConfig
+    from repro.tables import Table
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable disabling the cache entirely (any non-empty value).
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+_DEFAULT_CACHE_DIR = "~/.cache/repro-study"
+
+#: Bump when the on-disk layout changes incompatibly.
+_SCHEMA_VERSION = 1
+
+#: Packages/modules (relative to the ``repro`` package root) whose source
+#: determines the cached bytes.  Figures/analysis/reporting run on top of
+#: the cached layers and deliberately do not invalidate.
+_CODE_SCOPE = (
+    "simulator",
+    "dataset",
+    "enrichment",
+    "htmlgen",
+    "html",
+    "tables",
+    "taxonomy",
+    "stats",
+    "parallel.py",
+)
+
+_TABLE_FILES = {
+    "batch_catalog": "released_batch_catalog.npz",
+    "instances": "released_instances.npz",
+    "batch_table": "enriched_batch_table.npz",
+    "cluster_table": "enriched_cluster_table.npz",
+    "labels": "enriched_labels.npz",
+}
+
+
+def cache_dir() -> Path:
+    """The cache root (``REPRO_CACHE_DIR`` env var or ``~/.cache/repro-study``)."""
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip() or _DEFAULT_CACHE_DIR
+    return Path(raw).expanduser()
+
+
+def cache_enabled(explicit: bool | None = None) -> bool:
+    """Resolve whether the cache should be used.
+
+    ``explicit`` (from an API/CLI caller) wins; otherwise the cache is on
+    unless ``REPRO_NO_CACHE`` is set to a non-empty value.
+    """
+    if explicit is not None:
+        return explicit
+    return not os.environ.get(NO_CACHE_ENV, "").strip()
+
+
+_code_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source files that determine cached content."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for entry in _CODE_SCOPE:
+            path = root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for file in files:
+                digest.update(str(file.relative_to(root)).encode())
+                digest.update(file.read_bytes())
+        _code_fingerprint_cache = digest.hexdigest()
+    return _code_fingerprint_cache
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize config values (enums, tuples, nested dataclasses) to JSON."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return value
+
+
+def study_key(config: "SimulationConfig") -> str:
+    """Content-addressed cache key for a simulation configuration."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "config": _jsonable(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Table / corpus serialization
+# --------------------------------------------------------------------- #
+
+
+def _save_table(table: "Table", path: Path) -> list[str]:
+    np.savez(path, **{name: table[name] for name in table.column_names})
+    return list(table.column_names)
+
+
+def _load_table(path: Path, column_order: list[str]) -> "Table":
+    from repro.tables import Table
+
+    with np.load(path, allow_pickle=True) as archive:
+        columns = {name: archive[name] for name in column_order}
+    return Table(columns, copy=False)
+
+
+def store_study(
+    config: "SimulationConfig",
+    released: "ReleasedDataset",
+    enriched: "EnrichedDataset",
+) -> Path | None:
+    """Persist the released + enriched layers; returns the entry path.
+
+    Best-effort: any I/O failure leaves the cache unchanged and returns
+    ``None`` (the caller already has the in-memory study).
+    """
+    key = study_key(config)
+    root = cache_dir()
+    final = root / key
+    if final.exists():
+        return final
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(prefix=f".{key[:16]}-", dir=root))
+    except OSError:
+        return None
+    try:
+        column_orders: dict[str, list[str]] = {}
+        column_orders["batch_catalog"] = _save_table(
+            released.batch_catalog, tmp / _TABLE_FILES["batch_catalog"]
+        )
+        column_orders["instances"] = _save_table(
+            released.instances, tmp / _TABLE_FILES["instances"]
+        )
+        column_orders["batch_table"] = _save_table(
+            enriched.batch_table, tmp / _TABLE_FILES["batch_table"]
+        )
+        column_orders["cluster_table"] = _save_table(
+            enriched.cluster_table, tmp / _TABLE_FILES["cluster_table"]
+        )
+        column_orders["labels"] = _save_table(
+            enriched.labels, tmp / _TABLE_FILES["labels"]
+        )
+
+        html_ids = np.array(sorted(released.batch_html), dtype=np.int64)
+        html_docs = np.array(
+            [released.batch_html[int(b)] for b in html_ids], dtype=object
+        )
+        np.savez(tmp / "batch_html.npz", batch_id=html_ids, html=html_docs)
+
+        cb_ids = np.array(sorted(enriched.cluster_of_batch), dtype=np.int64)
+        cb_clusters = np.array(
+            [enriched.cluster_of_batch[int(b)] for b in cb_ids], dtype=np.int64
+        )
+        np.savez(
+            tmp / "cluster_of_batch.npz", batch_id=cb_ids, cluster_id=cb_clusters
+        )
+
+        manifest = {
+            "schema": _SCHEMA_VERSION,
+            "key": key,
+            "config": _jsonable(config),
+            "column_orders": column_orders,
+            "num_instances": released.instances.num_rows,
+            "num_sampled_batches": released.num_sampled_batches,
+            "num_clusters": enriched.num_clusters,
+        }
+        (tmp / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, final)
+        return final
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+        return None
+    finally:
+        if tmp.exists() and tmp != final:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def load_study(
+    config: "SimulationConfig",
+) -> tuple["ReleasedDataset", "EnrichedDataset"] | None:
+    """Load a cached entry for ``config``; ``None`` on miss or corruption."""
+    entry = cache_dir() / study_key(config)
+    if not entry.is_dir():
+        return None
+    try:
+        manifest = json.loads((entry / "manifest.json").read_text())
+        if manifest.get("schema") != _SCHEMA_VERSION:
+            return None
+        orders = manifest["column_orders"]
+        tables = {
+            name: _load_table(entry / filename, orders[name])
+            for name, filename in _TABLE_FILES.items()
+        }
+        with np.load(entry / "batch_html.npz", allow_pickle=True) as archive:
+            batch_html = {
+                int(b): str(doc)
+                for b, doc in zip(archive["batch_id"], archive["html"])
+            }
+        with np.load(entry / "cluster_of_batch.npz") as archive:
+            cluster_of_batch = {
+                int(b): int(c)
+                for b, c in zip(archive["batch_id"], archive["cluster_id"])
+            }
+    except (OSError, KeyError, ValueError, json.JSONDecodeError):
+        return None
+
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.pipeline import EnrichedDataset
+
+    released = ReleasedDataset(
+        batch_catalog=tables["batch_catalog"],
+        batch_html=batch_html,
+        instances=tables["instances"],
+    )
+    enriched = EnrichedDataset(
+        cluster_of_batch=cluster_of_batch,
+        batch_table=tables["batch_table"],
+        cluster_table=tables["cluster_table"],
+        labels=tables["labels"],
+    )
+    return released, enriched
+
+
+def clear_cache() -> int:
+    """Remove every cache entry; returns the number of entries removed."""
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for entry in root.iterdir():
+        if entry.is_dir():
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+    return removed
+
+
+def list_entries() -> list[dict[str, Any]]:
+    """Manifests of every readable cache entry (for ``repro cache``)."""
+    root = cache_dir()
+    if not root.is_dir():
+        return []
+    entries = []
+    for entry in sorted(root.iterdir()):
+        manifest_path = entry / "manifest.json"
+        if not manifest_path.is_file():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        manifest["path"] = str(entry)
+        manifest["size_bytes"] = sum(
+            f.stat().st_size for f in entry.iterdir() if f.is_file()
+        )
+        entries.append(manifest)
+    return entries

@@ -30,13 +30,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=7, help="simulation seed (default: 7)"
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk study cache (see repro.cache)",
+    )
+
+
+def _cache_arg(args: argparse.Namespace) -> bool | None:
+    # Only --no-cache is an explicit choice; leaving it off defers to the
+    # REPRO_NO_CACHE environment variable (repro.cache.cache_enabled).
+    return False if args.no_cache else None
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.dataset import save_dataset
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     path = save_dataset(study.released, args.out)
     print(
         f"wrote {study.released.instances.num_rows:,} instances across "
@@ -53,7 +63,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         render_comparison_rows,
     )
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     figures = study.figures
 
     load = figures.headline_load_variation()
@@ -117,7 +127,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.workloads import derive_workload
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     spec = derive_workload(study.enriched, min_support=args.min_support)
     if args.out:
         spec.save(args.out)
@@ -131,7 +141,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.validation import validate_study
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     report = validate_study(study)
     print(report.render())
     return 0 if report.ok else 1
@@ -141,9 +151,29 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.figures.render_svg import render_all_figures
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     paths = render_all_figures(study.figures, args.out)
     print(f"wrote {len(paths)} SVG figures to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro import cache as study_cache
+
+    if args.clear:
+        removed = study_cache.clear_cache()
+        print(f"removed {removed} cache entries from {study_cache.cache_dir()}")
+        return 0
+    entries = study_cache.list_entries()
+    print(f"cache dir: {study_cache.cache_dir()} ({len(entries)} entries)")
+    for entry in entries:
+        config = entry.get("config", {})
+        print(
+            f"  {entry['key'][:16]}  seed={config.get('seed')} "
+            f"tasks={config.get('num_distinct_tasks')} "
+            f"instances={entry.get('num_instances'):,} "
+            f"({entry.get('size_bytes', 0) / 1e6:.1f} MB)"
+        )
     return 0
 
 
@@ -151,7 +181,7 @@ def _cmd_learning(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.analysis.learning import learning_curve
 
-    study = build_study(args.scale, seed=args.seed)
+    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
     curve = learning_curve(study.released)
     print(
         f"fitted within-batch learning exponent: {curve.learning_exponent:.3f}"
@@ -199,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(figures)
     figures.add_argument("--out", required=True, help="output directory")
     figures.set_defaults(func=_cmd_figures)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk study cache"
+    )
+    cache.add_argument("--clear", action="store_true", help="remove all entries")
+    cache.set_defaults(func=_cmd_cache)
 
     validate = sub.add_parser(
         "validate", help="check a simulated world against the paper's claims"

@@ -8,15 +8,24 @@ together."
 Pipeline: token shingles → 64-permutation minhash signatures → LSH banding
 to find candidate pairs → exact Jaccard verification at ``threshold`` →
 union-find to form clusters.
+
+Every stage is vectorized: token hashes come from a table-driven CRC32
+computed for all distinct tokens of a document at once, shingle hashes from
+a numpy polynomial scan over the token-hash array, signatures from a single
+``(num_perm × total_shingles)`` pass with ``minimum.reduceat`` per document,
+and Jaccard verification from sorted-array intersection.  The scalar helpers
+(:func:`shingles`, :func:`minhash_signature`, :func:`jaccard`) are exact
+set-level equivalents kept as the public single-document API.
 """
 
 from __future__ import annotations
 
 import re
-import zlib
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+
+from repro.parallel import map_chunks
 
 _TOKEN_RE = re.compile(r"<[^>]+>|[^\s<>]+")
 
@@ -37,23 +46,126 @@ def _tokens(html: str) -> list[str]:
 #: runs; CRC32 token hashes keep the whole pipeline deterministic.
 _POLY_BASE = 1_000_003
 
+#: Shingle hashes live in [0, 2^61): the polynomial accumulator is reduced
+#: mod 2^61 after every step.
+_SHINGLE_MASK = np.uint64(0x1FFFFFFFFFFFFFFF)
+_POLY_BASE_U64 = np.uint64(_POLY_BASE)
+_MASK29 = np.uint64((1 << 29) - 1)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
 
 def _shingle_hash(token_hashes: list[int]) -> int:
+    """Scalar reference for the polynomial shingle hash (mod 2^61)."""
     acc = 0
     for h in token_hashes:
         acc = (acc * _POLY_BASE + h) & 0x1FFFFFFFFFFFFFFF  # mod 2^61
     return acc
 
 
+def _make_crc32_table() -> np.ndarray:
+    table = np.empty(256, dtype=np.uint32)
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+        table[i] = c
+    return table
+
+
+_CRC32_TABLE = _make_crc32_table()
+
+
+def _crc32_batch(tokens: Sequence[bytes]) -> np.ndarray:
+    """``zlib.crc32`` of many byte strings in one table-driven numpy pass.
+
+    The tokens are laid out in a flat byte array and the CRC state of every
+    token advances one byte per iteration (iteration count = longest token),
+    so the Python-level work is O(max token length), not O(total bytes).
+    """
+    n = len(tokens)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
+    flat = np.frombuffer(b"".join(tokens), dtype=np.uint8)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    crc = np.full(n, 0xFFFFFFFF, dtype=np.uint32)
+    for j in range(int(lengths.max())):
+        active = lengths > j
+        byte = flat[offsets[active] + j].astype(np.uint32)
+        state = crc[active]
+        crc[active] = _CRC32_TABLE[(state ^ byte) & np.uint32(0xFF)] ^ (
+            state >> np.uint32(8)
+        )
+    return (crc ^ np.uint32(0xFFFFFFFF)).astype(np.uint64)
+
+
+def _poly_step(acc: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """One exact ``acc * BASE + h (mod 2^61)`` step on uint64 arrays.
+
+    ``acc * BASE`` can reach 2^81, past uint64; split ``acc`` into 32-bit
+    halves so every intermediate stays below 2^62 and the modular result is
+    bit-identical to unbounded-integer arithmetic.
+    """
+    hi = acc >> _SHIFT32
+    lo = acc & _MASK32
+    hi_term = ((hi * _POLY_BASE_U64) & _MASK29) << _SHIFT32
+    return (hi_term + lo * _POLY_BASE_U64 + h) & _SHINGLE_MASK
+
+
+#: Cross-document CRC32 memo: HTML corpora reuse a small tag/word
+#: vocabulary, so most distinct tokens of a document were already hashed
+#: while processing earlier documents.  Per-process (workers each grow
+#: their own copy) and value-deterministic, so results never depend on it.
+_CRC_MEMO: dict[bytes, int] = {}
+_CRC_MEMO_MAX = 1 << 20
+
+
+def _shingle_array(html: str, *, k: int = 4) -> np.ndarray:
+    """Sorted unique uint64 shingle hashes of the HTML token stream.
+
+    Array-level equivalent of :func:`shingles`: tokens are hashed once per
+    *distinct* token (memoized, batched CRC32), then all k-windows are
+    combined in ``k - 1`` vectorized polynomial steps.
+    """
+    token_bytes = [t.encode() for t in _tokens(html)]
+    vocab: dict[bytes, int] = {}
+    # setdefault evaluates len(vocab) eagerly but discards it on hits, so
+    # codes stay dense in first-appearance order.
+    id_list = [vocab.setdefault(tb, len(vocab)) for tb in token_bytes]
+    if not vocab:
+        return np.zeros(1, dtype=np.uint64)
+    ids = np.array(id_list, dtype=np.int64)
+
+    memo = _CRC_MEMO
+    crcs = np.empty(len(vocab), dtype=np.uint64)
+    misses: list[bytes] = []
+    miss_idx: list[int] = []
+    for i, tb in enumerate(vocab):
+        value = memo.get(tb)
+        if value is None:
+            misses.append(tb)
+            miss_idx.append(i)
+        else:
+            crcs[i] = value
+    if misses:
+        miss_crcs = _crc32_batch(misses)
+        crcs[miss_idx] = miss_crcs
+        if len(memo) < _CRC_MEMO_MAX:
+            for tb, value in zip(misses, miss_crcs.tolist()):
+                memo[tb] = value
+    h = crcs[ids]
+    width = min(k, len(h))
+    m = len(h) - width + 1
+    acc = h[:m].copy()
+    for j in range(1, width):
+        acc = _poly_step(acc, h[j:j + m])
+    return np.unique(acc)
+
+
 def shingles(html: str, *, k: int = 4) -> set[int]:
     """Stably hashed k-token shingles of the HTML token stream."""
-    token_hashes = [zlib.crc32(t.encode()) for t in _tokens(html)]
-    if len(token_hashes) < k:
-        return {_shingle_hash(token_hashes)}
-    return {
-        _shingle_hash(token_hashes[i:i + k])
-        for i in range(len(token_hashes) - k + 1)
-    }
+    return set(map(int, _shingle_array(html, k=k)))
 
 
 def jaccard(a: set[int], b: set[int]) -> float:
@@ -64,6 +176,42 @@ def jaccard(a: set[int], b: set[int]) -> float:
     if union == 0:
         return 1.0
     return len(a & b) / union
+
+
+def _intersection_size(a: np.ndarray, b: np.ndarray) -> int:
+    """|a ∩ b| for sorted unique arrays, via binary search (no re-sort)."""
+    if a.size > b.size:
+        a, b = b, a
+    idx = np.searchsorted(b, a)
+    valid = idx < b.size
+    return int(np.count_nonzero(b[idx[valid]] == a[valid]))
+
+
+def _jaccard_sorted(a: np.ndarray, b: np.ndarray) -> float:
+    """Exact Jaccard similarity of two sorted unique shingle arrays."""
+    if a.size == 0 and b.size == 0:
+        return 1.0
+    inter = _intersection_size(a, b)
+    union = int(a.size) + int(b.size) - inter
+    return 1.0 if union == 0 else inter / union
+
+
+_SHIFT61 = np.uint64(61)
+
+
+def _mod_mersenne(x: np.ndarray) -> np.ndarray:
+    """``x % (2^61 - 1)`` without integer division (in place).
+
+    Because ``2^61 ≡ 1 (mod M)``, folding the top 3 bits onto the low 61
+    is congruent; one fold leaves a value below ``M + 8``, so a single
+    conditional subtract finishes the reduction.  Bit-identical to ``%``
+    and ~5x faster (shifts and adds instead of 64-bit division).
+    """
+    high = x >> _SHIFT61
+    x &= _MERSENNE
+    x += high
+    np.subtract(x, _MERSENNE, out=x, where=x >= _MERSENNE)
+    return x
 
 
 def _permutation_params(num_perm: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
@@ -77,21 +225,102 @@ def minhash_signature(
     shingle_set: Iterable[int], *, num_perm: int = 64, seed: int = 1234
 ) -> np.ndarray:
     """Minhash signature (length ``num_perm``) of a shingle set."""
-    values = np.fromiter(
-        (np.uint64(s & 0xFFFFFFFFFFFFFFFF) for s in shingle_set), dtype=np.uint64
-    )
+    if isinstance(shingle_set, np.ndarray):
+        values = shingle_set.astype(np.uint64, copy=False)
+    else:
+        values = np.fromiter(
+            ((s & 0xFFFFFFFFFFFFFFFF) for s in shingle_set), dtype=np.uint64
+        )
     if values.size == 0:
         return np.full(num_perm, np.iinfo(np.uint64).max, dtype=np.uint64)
     a, b = _permutation_params(num_perm, seed)
     # (a * x + b) mod p for each permutation; rows = permutations.
     with np.errstate(over="ignore"):
-        hashed = (values[None, :] * a[:, None] + b[:, None]) % _MERSENNE
+        hashed = _mod_mersenne(values[None, :] * a[:, None] + b[:, None])
     return hashed.min(axis=1)
 
 
+#: Tile sizes for the batched signature pass.  The hash/fold/reduce sweeps
+#: are memory-bound on the scratch matrix, so it is tiled to stay
+#: cache-resident: chunks of ~2^13 shingles (document-aligned) by blocks of
+#: 8 permutations — a 512 KB uint64 scratch per tile.
+_CHUNK_SHINGLES = 1 << 13
+_PERM_BLOCK = 8
+
+
+def minhash_signatures(
+    shingle_arrays: Sequence[np.ndarray], *, num_perm: int = 64, seed: int = 1234
+) -> np.ndarray:
+    """Minhash signatures of many shingle arrays in one batched pass.
+
+    Returns a ``(len(shingle_arrays), num_perm)`` uint64 matrix; row ``i``
+    equals ``minhash_signature(shingle_arrays[i])`` exactly.  All documents
+    share one flat value array; per-permutation hashes are reduced per
+    document with ``minimum.reduceat``, blocked over permutations to bound
+    peak memory.
+    """
+    num_docs = len(shingle_arrays)
+    out = np.full((num_docs, num_perm), np.iinfo(np.uint64).max, dtype=np.uint64)
+    if num_docs == 0:
+        return out
+    lengths = np.fromiter(
+        (len(s) for s in shingle_arrays), dtype=np.int64, count=num_docs
+    )
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size == 0:
+        return out
+    flat = np.concatenate(
+        [np.asarray(shingle_arrays[i], dtype=np.uint64) for i in nonempty]
+    )
+    counts = lengths[nonempty]
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    a, b = _permutation_params(num_perm, seed)
+    mins = np.empty((nonempty.size, num_perm), dtype=np.uint64)
+
+    # Document-aligned shingle chunks of roughly _CHUNK_SHINGLES each (one
+    # oversized document becomes its own chunk).
+    chunk_bounds = [0]
+    acc = 0
+    for i, c in enumerate(counts):
+        acc += int(c)
+        if acc >= _CHUNK_SHINGLES:
+            chunk_bounds.append(i + 1)
+            acc = 0
+    if chunk_bounds[-1] != len(counts):
+        chunk_bounds.append(len(counts))
+
+    ends = offsets + counts
+    max_chunk = max(
+        int(ends[hi - 1] - offsets[lo])
+        for lo, hi in zip(chunk_bounds[:-1], chunk_bounds[1:])
+    )
+    scratch = np.empty((min(_PERM_BLOCK, num_perm), max_chunk), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for lo, hi in zip(chunk_bounds[:-1], chunk_bounds[1:]):
+            f0, f1 = int(offsets[lo]), int(ends[hi - 1])
+            sub = flat[None, f0:f1]
+            sub_offsets = offsets[lo:hi] - f0
+            for p0 in range(0, num_perm, _PERM_BLOCK):
+                p1 = min(num_perm, p0 + _PERM_BLOCK)
+                hashed = scratch[: p1 - p0, : f1 - f0]
+                np.multiply(sub, a[p0:p1, None], out=hashed)
+                hashed += b[p0:p1, None]
+                _mod_mersenne(hashed)
+                mins[lo:hi, p0:p1] = np.minimum.reduceat(
+                    hashed, sub_offsets, axis=1
+                ).T
+    out[nonempty] = mins
+    return out
+
+
 class _UnionFind:
+    """Union-find with union-by-size and two-pass path compression."""
+
+    __slots__ = ("parent", "size")
+
     def __init__(self, n: int):
         self.parent = list(range(n))
+        self.size = [1] * n
 
     def find(self, x: int) -> int:
         root = x
@@ -103,8 +332,12 @@ class _UnionFind:
 
     def union(self, x: int, y: int) -> None:
         rx, ry = self.find(x), self.find(y)
-        if rx != ry:
-            self.parent[ry] = rx
+        if rx == ry:
+            return
+        if self.size[rx] < self.size[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        self.size[rx] += self.size[ry]
 
 
 def cluster_batches(
@@ -120,6 +353,10 @@ def cluster_batches(
     Returns ``batch_id -> cluster_id`` with cluster ids dense from 0,
     numbered by order of first appearance.  ``threshold`` is the exact
     Jaccard similarity required to merge a verified candidate pair.
+
+    Shingling fans out over ``REPRO_WORKERS`` processes (serial by default);
+    signatures, candidate generation, and verification are batched numpy.
+    The result is invariant to the worker count.
     """
     if not 0 < threshold <= 1:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
@@ -127,40 +364,44 @@ def cluster_batches(
         raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
 
     batch_ids = sorted(html_by_batch)
-    all_sets = [shingles(html_by_batch[b]) for b in batch_ids]
+    all_arrays = map_chunks(_shingle_array, [html_by_batch[b] for b in batch_ids])
 
     # Batches of one task often have byte-identical templates; dedupe exact
     # shingle sets so minhash/LSH only runs on distinct interfaces.
-    rep_of_key: dict[frozenset, int] = {}
+    rep_of_key: dict[bytes, int] = {}
     rep_index = np.empty(len(batch_ids), dtype=np.int64)
-    for i, s in enumerate(all_sets):
-        key = frozenset(s)
-        rep_index[i] = rep_of_key.setdefault(key, len(rep_of_key))
-    reps = sorted(rep_of_key.items(), key=lambda kv: kv[1])
-    shingle_sets = [set(key) for key, _ in reps]
-    signatures = [
-        minhash_signature(s, num_perm=num_perm, seed=seed) for s in shingle_sets
-    ]
+    rep_arrays: list[np.ndarray] = []
+    for i, arr in enumerate(all_arrays):
+        key = arr.tobytes()
+        code = rep_of_key.get(key)
+        if code is None:
+            code = len(rep_of_key)
+            rep_of_key[key] = code
+            rep_arrays.append(arr)
+        rep_index[i] = code
 
+    signatures = minhash_signatures(rep_arrays, num_perm=num_perm, seed=seed)
+
+    # LSH banding: any two documents agreeing on a full band are candidates.
+    # Each bucket contributes (anchor, member) pairs; verifying the deduped
+    # pair set in any order yields the same partition because unions of
+    # already-connected components are no-ops.
     rows = num_perm // bands
-    uf = _UnionFind(len(shingle_sets))
-    verified: set[tuple[int, int]] = set()
+    candidates: set[tuple[int, int]] = set()
     for band in range(bands):
-        buckets: dict[bytes, list[int]] = {}
         lo, hi = band * rows, (band + 1) * rows
-        for i, sig in enumerate(signatures):
-            buckets.setdefault(sig[lo:hi].tobytes(), []).append(i)
-        for members in buckets.values():
-            if len(members) < 2:
-                continue
-            anchor = members[0]
-            for other in members[1:]:
-                pair = (anchor, other)
-                if pair in verified or uf.find(anchor) == uf.find(other):
-                    continue
-                verified.add(pair)
-                if jaccard(shingle_sets[anchor], shingle_sets[other]) >= threshold:
-                    uf.union(anchor, other)
+        buckets: dict[bytes, int] = {}
+        for i in range(len(rep_arrays)):
+            anchor = buckets.setdefault(signatures[i, lo:hi].tobytes(), i)
+            if anchor != i:
+                candidates.add((anchor, i))
+
+    uf = _UnionFind(len(rep_arrays))
+    for anchor, other in sorted(candidates):
+        if uf.find(anchor) == uf.find(other):
+            continue
+        if _jaccard_sorted(rep_arrays[anchor], rep_arrays[other]) >= threshold:
+            uf.union(anchor, other)
 
     cluster_of_root: dict[int, int] = {}
     result: dict[int, int] = {}

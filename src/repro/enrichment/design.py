@@ -7,6 +7,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.html import extract_features
+from repro.parallel import map_chunks
 from repro.tables import Table
 
 
@@ -16,6 +17,9 @@ def extract_design_parameters(batch_html: Mapping[int, str]) -> Table:
     Returns one row per batch: ``batch_id``, ``num_words``,
     ``num_text_boxes``, ``num_examples``, ``num_images``,
     ``num_input_fields``, ``has_instructions``.
+
+    HTML parsing fans out over ``REPRO_WORKERS`` processes (serial by
+    default); the result is invariant to the worker count.
     """
     batch_ids = sorted(batch_html)
     rows = {
@@ -27,8 +31,10 @@ def extract_design_parameters(batch_html: Mapping[int, str]) -> Table:
         "num_input_fields": np.empty(len(batch_ids), dtype=np.int64),
         "has_instructions": np.empty(len(batch_ids), dtype=bool),
     }
-    for i, batch_id in enumerate(batch_ids):
-        features = extract_features(batch_html[batch_id])
+    all_features = map_chunks(
+        extract_features, [batch_html[b] for b in batch_ids]
+    )
+    for i, features in enumerate(all_features):
         rows["num_words"][i] = features.num_words
         rows["num_text_boxes"][i] = features.num_text_boxes
         rows["num_examples"][i] = features.num_examples

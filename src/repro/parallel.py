@@ -1,0 +1,80 @@
+"""Small process-parallel map used by the enrichment hot paths.
+
+The enrichment pipeline is embarrassingly parallel over batch HTML
+(shingling for clustering, feature extraction for design parameters), so a
+plain order-preserving ``Pool.map`` with chunking is all that is needed.
+
+Parallelism is opt-in and controlled by the ``REPRO_WORKERS`` environment
+variable:
+
+- unset, empty, or ``1`` — serial (the default; deterministic and safe in
+  every environment);
+- ``auto`` or ``0`` — one worker per CPU;
+- any other integer — that many workers.
+
+``map_chunks`` always preserves input order and falls back to a serial loop
+whenever multiprocessing is unavailable (missing semaphores in sandboxes,
+unpicklable callables, interpreter shutdown), so callers never need to
+branch on the environment.  Results are identical either way because the
+mapped functions are pure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable selecting the worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below this many items the fork/pickle overhead outweighs any fan-out win.
+_MIN_PARALLEL_ITEMS = 32
+
+
+def worker_count(workers: int | None = None) -> int:
+    """Resolve the effective worker count (``workers`` overrides the env)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        if raw == "auto":
+            return os.cpu_count() or 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def map_chunks(
+    func: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[_R]:
+    """Order-preserving parallel map with a serial fallback.
+
+    ``func`` must be a picklable top-level function for the parallel path;
+    anything else silently degrades to the serial loop.
+    """
+    seq: Sequence[_T] = items if isinstance(items, (list, tuple)) else list(items)
+    n = worker_count(workers)
+    if n <= 1 or len(seq) < _MIN_PARALLEL_ITEMS:
+        return [func(item) for item in seq]
+    try:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        if chunk_size is None:
+            chunk_size = max(1, len(seq) // (n * 4))
+        with ctx.Pool(processes=n) as pool:
+            return pool.map(func, seq, chunksize=chunk_size)
+    except Exception:  # pragma: no cover - environment-dependent fallback
+        return [func(item) for item in seq]

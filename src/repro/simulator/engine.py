@@ -14,10 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.simulator.allocation import allocate_workers
-from repro.simulator.answers import (
-    choice_strings,
-    modal_probability_for_disagreement,
-)
+from repro.simulator.answers import modal_probability_for_disagreement
 from repro.simulator.arrivals import BatchSchedule, generate_batches, market_envelope
 from repro.simulator.config import SimulationConfig
 from repro.simulator.rng import StreamFactory
@@ -247,6 +244,47 @@ def _within_batch_experience(
     return experience
 
 
+def _build_choice_pool(
+    num_choices: np.ndarray, textual: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The concatenated per-task answer-string pools, built in one pass.
+
+    Returns ``(pool_array, pool_offsets)`` such that
+    ``pool_array[pool_offsets[t] + k]`` is the k-th alternative of task
+    ``t`` — string-for-string identical to concatenating
+    :func:`repro.simulator.answers.choice_strings` per task, but with the
+    offsets precomputed via ``np.cumsum`` and every slot filled from flat
+    (task, k) index arrays instead of a per-task loop.
+    """
+    counts = num_choices.astype(np.int64)
+    num_tasks = len(counts)
+    pool_offsets = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    total = int(counts.sum())
+    task_of_slot = np.repeat(np.arange(num_tasks, dtype=np.int64), counts)
+    k_of_slot = np.arange(total, dtype=np.int64) - pool_offsets[task_of_slot]
+
+    pool_array = np.empty(total, dtype=object)
+    textual_slot = textual[task_of_slot]
+    binary_slot = ~textual_slot & (counts[task_of_slot] == 2)
+    option_slot = ~textual_slot & ~binary_slot
+
+    pool_array[binary_slot & (k_of_slot == 0)] = "yes"
+    pool_array[binary_slot & (k_of_slot == 1)] = "no"
+    if option_slot.any():
+        max_k = int(k_of_slot[option_slot].max()) + 1
+        option_strings = np.array(
+            [f"option_{k + 1}" for k in range(max_k)], dtype=object
+        )
+        pool_array[option_slot] = option_strings[k_of_slot[option_slot]]
+    if textual_slot.any():
+        t_idx = task_of_slot[textual_slot].tolist()
+        k_idx = k_of_slot[textual_slot].tolist()
+        pool_array[textual_slot] = np.array(
+            [f"task{t}_answer_{k}" for t, k in zip(t_idx, k_idx)], dtype=object
+        )
+    return pool_array, pool_offsets
+
+
 def _generate_responses(
     config: SimulationConfig,
     tasks: TaskPopulation,
@@ -296,15 +334,7 @@ def _generate_responses(
     textual = np.array(
         [ops[0] in TEXT_RESPONSE_OPERATORS for ops in tasks.operators]
     )
-    pools: list[str] = []
-    pool_offsets = np.zeros(tasks.num_tasks, dtype=np.int64)
-    cursor = 0
-    for t in range(tasks.num_tasks):
-        pool_offsets[t] = cursor
-        strings = choice_strings(t, int(num_choices[t]), bool(textual[t]))
-        pools.extend(strings)
-        cursor += len(strings)
-    pool_array = np.array(pools, dtype=object)
+    pool_array, pool_offsets = _build_choice_pool(num_choices, textual)
 
     response = pool_array[pool_offsets[task_of_instance] + answer_idx]
 

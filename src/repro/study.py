@@ -4,11 +4,16 @@
 returns a :class:`Study` whose attributes expose every layer, including a
 bound :class:`repro.figures.FigureSuite` with one method per paper
 figure/table.
+
+Built studies are cached on disk (see :mod:`repro.cache`): a warm
+``build_study`` for an already-seen ``(config, code)`` pair loads the
+released + enriched layers instead of recomputing them, and defers the
+simulation of ground truth until ``study.state`` is actually accessed
+(figures and analyses only need it for verification-style entry points).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
@@ -19,7 +24,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.simulator.engine import MarketplaceState
 
 
-@dataclass
+class _LazyState:
+    """Stand-in for :class:`MarketplaceState` that simulates on first use.
+
+    Cache hits skip the simulator, but the ground-truth ``state`` layer must
+    stay reachable (tests and ablations read it).  The config is served
+    without simulating — it is all most consumers (``FigureSuite``) touch —
+    and any other attribute access materializes the full state exactly once.
+    Determinism in the seed guarantees the materialized state is identical
+    to the one the cached entry was built from.
+    """
+
+    __slots__ = ("_config", "_state")
+
+    def __init__(self, config: "SimulationConfig",
+                 state: "MarketplaceState | None" = None):
+        self._config = config
+        self._state = state
+
+    @property
+    def config(self) -> "SimulationConfig":
+        return self._config
+
+    def materialize(self) -> "MarketplaceState":
+        if self._state is None:
+            from repro.simulator.engine import simulate_marketplace
+
+            self._state = simulate_marketplace(self._config)
+        return self._state
+
+    def __getattr__(self, name: str):
+        return getattr(self.materialize(), name)
+
+
 class Study:
     """Everything needed to reproduce the paper's analyses.
 
@@ -29,7 +66,8 @@ class Study:
         The simulation configuration (scale preset + seed) that produced it.
     state:
         Full simulator ground truth (includes latent variables the analyses
-        must not peek at; exposed for tests and ablations).
+        must not peek at; exposed for tests and ablations).  On a warm-cache
+        build this is simulated lazily on first access.
     released:
         The "released dataset" — what the paper's authors actually received
         from the marketplace (sampled batches, instance metadata, HTML).
@@ -40,30 +78,80 @@ class Study:
         Figure/table entry points (``figures.fig03_weekday()``, ...).
     """
 
-    config: "SimulationConfig"
-    state: "MarketplaceState"
-    released: "ReleasedDataset"
-    enriched: "EnrichedDataset"
-    figures: "FigureSuite"
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        state: "MarketplaceState | _LazyState | None",
+        released: "ReleasedDataset",
+        enriched: "EnrichedDataset",
+        figures: "FigureSuite",
+    ):
+        self.config = config
+        self._state = state if state is not None else _LazyState(config)
+        self.released = released
+        self.enriched = enriched
+        self.figures = figures
+
+    @property
+    def state(self) -> "MarketplaceState":
+        if isinstance(self._state, _LazyState):
+            return self._state.materialize()
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Study(config={self.config!r}, "
+            f"instances={self.released.instances.num_rows}, "
+            f"clusters={self.enriched.num_clusters})"
+        )
 
 
-def build_study(scale: str = "tiny", seed: int = 7) -> Study:
+def build_study(
+    scale: str = "tiny", seed: int = 7, *, cache: bool | None = None
+) -> Study:
     """Simulate the marketplace and run the full enrichment pipeline.
 
     ``scale`` is one of ``"tiny"`` (unit tests, seconds), ``"small"``
     (examples), ``"medium"`` (benchmarks).  The same seed always yields the
     same study.
+
+    ``cache`` controls the on-disk study cache (:mod:`repro.cache`):
+    ``True``/``False`` force it on/off; ``None`` (default) enables it unless
+    the ``REPRO_NO_CACHE`` environment variable is set.  A warm hit loads
+    the released + enriched layers from disk — byte-identical to a cold
+    build — and defers simulation until ``study.state`` is touched.
     """
-    from repro.dataset.release import release_dataset
-    from repro.enrichment.pipeline import enrich_dataset
+    from repro import cache as study_cache
     from repro.figures.suite import FigureSuite
     from repro.simulator.config import SimulationConfig
-    from repro.simulator.engine import simulate_marketplace
 
     config = SimulationConfig.preset(scale, seed=seed)
+    use_cache = study_cache.cache_enabled(cache)
+
+    if use_cache:
+        loaded = study_cache.load_study(config)
+        if loaded is not None:
+            released, enriched = loaded
+            lazy = _LazyState(config)
+            return Study(
+                config=config,
+                state=lazy,
+                released=released,
+                enriched=enriched,
+                figures=FigureSuite(
+                    state=lazy, released=released, enriched=enriched
+                ),
+            )
+
+    from repro.dataset.release import release_dataset
+    from repro.enrichment.pipeline import enrich_dataset
+    from repro.simulator.engine import simulate_marketplace
+
     state = simulate_marketplace(config)
     released = release_dataset(state, config)
     enriched = enrich_dataset(released, config)
+    if use_cache:
+        study_cache.store_study(config, released, enriched)
     return Study(
         config=config,
         state=state,

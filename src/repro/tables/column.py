@@ -135,5 +135,31 @@ def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         for value, code in mapping.items():
             uniques[code] = value
         return codes, uniques
+    if np.issubdtype(values.dtype, np.integer) and len(values) > 0:
+        # Bounded-range integers: an O(n + range) presence table beats the
+        # O(n log n) sort inside np.unique.  Output is identical — uniques
+        # sorted ascending, codes dense.
+        vmin = int(values.min())
+        vmax = int(values.max())
+        span = vmax - vmin + 1
+        if span <= max(1 << 16, 4 * len(values)):
+            if np.issubdtype(values.dtype, np.unsignedinteger):
+                # Subtract in the native unsigned dtype (values >= vmin, so
+                # no borrow); the small difference then fits any intp.
+                shifted = (values - values.dtype.type(vmin)).astype(np.intp)
+            else:
+                shifted = (values.astype(np.int64) - vmin).astype(np.intp)
+            present = np.zeros(span, dtype=bool)
+            present[shifted] = True
+            rank = np.cumsum(present, dtype=np.int64) - 1
+            codes = rank[shifted]
+            offsets = np.flatnonzero(present)
+            if np.issubdtype(values.dtype, np.unsignedinteger):
+                uniques = (
+                    offsets.astype(np.uint64) + np.uint64(vmin)
+                ).astype(values.dtype)
+            else:
+                uniques = (offsets + vmin).astype(values.dtype)
+            return codes, uniques
     uniques, codes = np.unique(values, return_inverse=True)
     return codes.astype(np.int64), uniques

@@ -3,8 +3,16 @@
 The implementation factorizes each key column into dense codes, combines the
 codes into a single group id, sorts row indices by group id, and then applies
 segment-wise reductions.  Cheap reductions (count/sum/min/max) use
-``numpy.*.reduceat``; order statistics (median, percentiles) slice the sorted
-segments directly.
+``numpy.*.reduceat``; order statistics (``median``, ``p<NN>``) sort values
+within their group segments once and then index the k-th order statistic of
+every segment with pure array arithmetic; ``std`` centers per group and
+reduces sum-of-squares with ``reduceat``; ``nunique`` counts value changes
+along the per-group sorted order.  No aggregation loops over groups except
+``collect`` and user callables.
+
+Order statistics are bit-identical to ``np.median``/``np.percentile`` on
+each segment (including NaN propagation); ``std`` matches ``ndarray.std``
+up to floating-point summation order.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from repro.tables.table import SchemaError, Table
 #: function of the (already grouped and ordered) value segments.
 _SIMPLE_AGGS = ("count", "sum", "mean", "min", "max", "median", "std",
                 "nunique", "first", "last", "collect")
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 class GroupedTable:
@@ -40,17 +50,37 @@ class GroupedTable:
             return
 
         combined = np.zeros(table.num_rows, dtype=np.int64)
-        per_key_codes: list[np.ndarray] = []
-        per_key_uniques: list[np.ndarray] = []
+        # Upper bound (exclusive) on the combined code, tracked as an
+        # unbounded Python int to detect int64 overflow before it happens.
+        cardinality = 1
         for key in keys:
             codes, uniques = factorize(table[key])
-            per_key_codes.append(codes)
-            per_key_uniques.append(uniques)
-            combined = combined * len(uniques) + codes
+            num_uniques = max(len(uniques), 1)
+            if cardinality > (_INT64_MAX - (num_uniques - 1)) // num_uniques:
+                # The key-code product would overflow int64: re-factorize the
+                # combined code to dense values first.  Post-densification the
+                # cardinality is at most num_rows, so one more key always fits.
+                _, combined = np.unique(combined, return_inverse=True)
+                combined = combined.astype(np.int64)
+                cardinality = int(combined.max()) + 1
+            combined = combined * num_uniques + codes
+            cardinality *= num_uniques
 
-        # Re-factorize the combined code so group ids are dense.
-        group_uniques, group_codes = np.unique(combined, return_inverse=True)
-        order = np.argsort(group_codes, kind="stable")
+        if len(keys) == 1:
+            # factorize already produced dense codes; re-factorizing would
+            # return them unchanged (np.unique of 0..G-1 is the identity).
+            group_codes = combined
+            num_group_codes = int(cardinality)
+        else:
+            # Re-factorize the combined code so group ids are dense.
+            group_uniques, group_codes = np.unique(combined, return_inverse=True)
+            num_group_codes = len(group_uniques)
+        # Stable argsort of small-range codes: narrow to int16 where it
+        # fits so numpy picks its O(n) radix sort over timsort.
+        sortable = group_codes
+        if num_group_codes <= np.iinfo(np.int16).max:
+            sortable = group_codes.astype(np.int16)
+        order = np.argsort(sortable, kind="stable")
         sorted_codes = group_codes[order]
         starts = np.flatnonzero(
             np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
@@ -77,6 +107,101 @@ class GroupedTable:
         values = self._table[column]
         return [values[idx] for idx in self.segments()]
 
+    # ------------------------------------------------------------------ #
+    # Segment-vectorized kernels
+    # ------------------------------------------------------------------ #
+
+    def _group_ids(self) -> np.ndarray:
+        """Dense group id of every row of ``self._order`` (memoized)."""
+        cached = getattr(self, "_group_ids_cache", None)
+        if cached is None:
+            ends = np.r_[self._starts[1:], len(self._order)]
+            cached = self._group_ids_cache = np.repeat(
+                np.arange(self.num_groups, dtype=np.int64), ends - self._starts
+            )
+        return cached
+
+    def _segment_has_nan(self, sorted_float: np.ndarray) -> np.ndarray:
+        """Per-group "contains NaN" flags from within-group sorted values."""
+        if self.num_groups == 0:
+            return np.empty(0, dtype=bool)
+        return np.logical_or.reduceat(np.isnan(sorted_float), self._starts)
+
+    def _order_statistic(
+        self, sorted_vals: np.ndarray, counts: np.ndarray, q: float
+    ) -> np.ndarray:
+        """The q-th percentile of every group from within-group sorted values.
+
+        Replicates ``np.percentile``'s linear interpolation (including the
+        ``gamma >= 0.5`` lerp branch) so results are bit-identical.
+        """
+        vals = sorted_vals.astype(np.float64, copy=False)
+        if self.num_groups == 0:
+            return np.empty(0, dtype=np.float64)
+        ends = self._starts + counts
+        virtual = (q / 100.0) * (counts - 1)
+        below = np.floor(virtual)
+        gamma = virtual - below
+        lo = self._starts + below.astype(np.int64)
+        hi = np.minimum(lo + 1, ends - 1)
+        a, b = vals[lo], vals[hi]
+        diff = b - a
+        out = a + diff * gamma
+        np.subtract(b, diff * (1.0 - gamma), out=out, where=gamma >= 0.5)
+        out[self._segment_has_nan(vals)] = np.nan
+        return out
+
+    def _group_median(self, sorted_vals: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Per-group median (bit-identical to ``np.median`` per segment)."""
+        vals = sorted_vals.astype(np.float64, copy=False)
+        if self.num_groups == 0:
+            return np.empty(0, dtype=np.float64)
+        lo = self._starts + (counts - 1) // 2
+        hi = self._starts + counts // 2
+        out = (vals[lo] + vals[hi]) * 0.5
+        out[self._segment_has_nan(vals)] = np.nan
+        return out
+
+    def _group_std(self, ordered: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Per-group population std via centered reduceat sum-of-squares."""
+        if self.num_groups == 0:
+            return np.empty(0, dtype=np.float64)
+        vals = ordered.astype(np.float64, copy=False)
+        means = np.add.reduceat(vals, self._starts) / counts
+        centered = vals - np.repeat(means, counts)
+        sumsq = np.add.reduceat(centered * centered, self._starts)
+        return np.sqrt(sumsq / counts)
+
+    def _group_nunique(self, in_name: str) -> np.ndarray:
+        """Distinct values per group, matching the per-segment semantics of
+        ``len(np.unique(seg))`` (NaNs collapse to one) for numeric columns and
+        ``len(set(seg))`` for object columns."""
+        if self.num_groups == 0:
+            return np.empty(0, dtype=np.int64)
+        values = self._table[in_name]
+        if values.dtype == object:
+            codes, _ = factorize(values)
+            ordered = codes[self._order]
+        else:
+            ordered = values[self._order]
+        group_ids = self._group_ids()
+        perm = np.lexsort((ordered, group_ids))
+        sorted_vals = ordered[perm]
+
+        new_group = np.r_[True, group_ids[1:] != group_ids[:-1]]
+        changed = np.r_[True, sorted_vals[1:] != sorted_vals[:-1]]
+        distinct = new_group | changed
+        if sorted_vals.dtype.kind == "f":
+            # NaNs sort last within each group; each NaN compares unequal to
+            # its neighbor, so mask them out and count at most one per group.
+            nan_mask = np.isnan(sorted_vals)
+            distinct &= ~nan_mask
+            has_nan = np.logical_or.reduceat(nan_mask, self._starts)
+        else:
+            has_nan = np.zeros(self.num_groups, dtype=bool)
+        out = np.add.reduceat(distinct.astype(np.int64), self._starts)
+        return out + has_nan
+
     def agg(self, spec: Mapping[str, tuple[str, str] | tuple[str, Callable]]) -> Table:
         """Aggregate into one row per group.
 
@@ -100,6 +225,26 @@ class GroupedTable:
         n = self.num_groups
         ends = np.r_[self._starts[1:], len(self._order)]
         counts = ends - self._starts
+
+        # Within-group sorted values, computed once per input column and
+        # shared by every order-statistic aggregation over it.
+        sorted_cache: dict[str, np.ndarray] = {}
+
+        def sorted_in_groups(in_name: str, ordered: np.ndarray) -> np.ndarray:
+            cached = sorted_cache.get(in_name)
+            if cached is None:
+                if n > 0 and len(ordered) // n >= 16:
+                    # Few large groups: in-place C sorts on the contiguous
+                    # segments beat a full-array lexsort.  Values only (no
+                    # permutation needed), NaNs still sort last per segment.
+                    cached = ordered.copy()
+                    for lo, hi in zip(self._starts, ends):
+                        cached[lo:hi].sort()
+                else:
+                    perm = np.lexsort((ordered, self._group_ids()))
+                    cached = ordered[perm]
+                sorted_cache[in_name] = cached
+            return cached
 
         for out_name, (in_name, how) in spec.items():
             if out_name in out:
@@ -125,11 +270,7 @@ class GroupedTable:
                 out[out_name] = ordered[offsets]
                 continue
             if how == "nunique":
-                out[out_name] = np.array(
-                    [len(set(seg)) if seg.dtype == object else len(np.unique(seg))
-                     for seg in self._segment_values(in_name)],
-                    dtype=np.int64,
-                )
+                out[out_name] = self._group_nunique(in_name)
                 continue
 
             if ordered.dtype == object:
@@ -147,19 +288,17 @@ class GroupedTable:
             elif how == "max":
                 out[out_name] = np.maximum.reduceat(ordered, self._starts)
             elif how == "median":
-                out[out_name] = np.array(
-                    [np.median(ordered[s:e]) for s, e in zip(self._starts, ends)]
+                out[out_name] = self._group_median(
+                    sorted_in_groups(in_name, ordered), counts
                 )
             elif how == "std":
-                out[out_name] = np.array(
-                    [ordered[s:e].std() for s, e in zip(self._starts, ends)]
-                )
+                out[out_name] = self._group_std(ordered, counts)
             elif how.startswith("p") and how[1:].replace(".", "", 1).isdigit():
                 q = float(how[1:])
                 if not 0 <= q <= 100:
                     raise SchemaError(f"percentile out of range: {how!r}")
-                out[out_name] = np.array(
-                    [np.percentile(ordered[s:e], q) for s, e in zip(self._starts, ends)]
+                out[out_name] = self._order_statistic(
+                    sorted_in_groups(in_name, ordered), counts, q
                 )
             else:
                 raise SchemaError(

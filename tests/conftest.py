@@ -7,9 +7,28 @@ shared.  Tests must treat it as read-only.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import Study, build_study
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_study_cache(tmp_path_factory):
+    """Point the study cache at a per-session temp dir.
+
+    Keeps test runs hermetic (no reads from a stale user-level cache, no
+    writes outside the temp tree) while still exercising the store/load
+    path whenever two tests build the same configuration.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("study_cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

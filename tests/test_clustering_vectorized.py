@@ -1,0 +1,262 @@
+"""Regression tests: the vectorized clustering path is exact.
+
+The reference implementations below are verbatim copies of the pre-
+vectorization (seed) algorithms — per-shingle Python hashing, per-document
+minhash, per-pair set Jaccard, banded LSH with incremental union-find.  The
+vectorized pipeline must reproduce their outputs *identically*: same shingle
+hash values, same signatures, and the same ``batch_id -> cluster_id``
+mapping on a real (tiny-study) HTML corpus.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.enrichment.clustering import (
+    _crc32_batch,
+    _jaccard_sorted,
+    _POLY_BASE,
+    _shingle_array,
+    _shingle_hash,
+    _UnionFind,
+    cluster_batches,
+    jaccard,
+    minhash_signature,
+    minhash_signatures,
+    shingles,
+    _tokens,
+)
+
+# --------------------------------------------------------------------- #
+# Seed (pre-vectorization) reference implementations
+# --------------------------------------------------------------------- #
+
+
+def _reference_shingles(html: str, *, k: int = 4) -> set[int]:
+    token_hashes = [zlib.crc32(t.encode()) for t in _tokens(html)]
+    if len(token_hashes) < k:
+        return {_shingle_hash(token_hashes)}
+    return {
+        _shingle_hash(token_hashes[i:i + k])
+        for i in range(len(token_hashes) - k + 1)
+    }
+
+
+class _ReferenceUnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[ry] = rx
+
+
+def _reference_cluster_batches(
+    html_by_batch, *, threshold=0.60, num_perm=64, bands=16, seed=1234
+):
+    batch_ids = sorted(html_by_batch)
+    all_sets = [_reference_shingles(html_by_batch[b]) for b in batch_ids]
+
+    rep_of_key: dict[frozenset, int] = {}
+    rep_index = np.empty(len(batch_ids), dtype=np.int64)
+    for i, s in enumerate(all_sets):
+        key = frozenset(s)
+        rep_index[i] = rep_of_key.setdefault(key, len(rep_of_key))
+    reps = sorted(rep_of_key.items(), key=lambda kv: kv[1])
+    shingle_sets = [set(key) for key, _ in reps]
+    signatures = [
+        minhash_signature(s, num_perm=num_perm, seed=seed) for s in shingle_sets
+    ]
+
+    rows = num_perm // bands
+    uf = _ReferenceUnionFind(len(shingle_sets))
+    verified: set[tuple[int, int]] = set()
+    for band in range(bands):
+        buckets: dict[bytes, list[int]] = {}
+        lo, hi = band * rows, (band + 1) * rows
+        for i, sig in enumerate(signatures):
+            buckets.setdefault(sig[lo:hi].tobytes(), []).append(i)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            anchor = members[0]
+            for other in members[1:]:
+                pair = (anchor, other)
+                if pair in verified or uf.find(anchor) == uf.find(other):
+                    continue
+                verified.add(pair)
+                if jaccard(shingle_sets[anchor], shingle_sets[other]) >= threshold:
+                    uf.union(anchor, other)
+
+    cluster_of_root: dict[int, int] = {}
+    result: dict[int, int] = {}
+    for i, batch_id in enumerate(batch_ids):
+        root = uf.find(int(rep_index[i]))
+        if root not in cluster_of_root:
+            cluster_of_root[root] = len(cluster_of_root)
+        result[batch_id] = cluster_of_root[root]
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Primitive equivalence
+# --------------------------------------------------------------------- #
+
+
+class TestVectorizedPrimitives:
+    def test_crc32_batch_matches_zlib(self):
+        rng = np.random.default_rng(0)
+        tokens = [b"", b"a", b"<div class='x'>", "héllo☃".encode(), b"y" * 300]
+        tokens += [
+            bytes(rng.integers(0, 256, size=rng.integers(1, 40), dtype=np.uint8))
+            for _ in range(200)
+        ]
+        assert list(_crc32_batch(tokens)) == [zlib.crc32(t) for t in tokens]
+
+    @pytest.mark.parametrize(
+        "html",
+        [
+            "",
+            "one",
+            "a b c",  # fewer tokens than the shingle width
+            "<div>x</div> " + " ".join(f"tok{i % 37}" for i in range(500)),
+            "unicode é ü ☃ <p>text</p>",
+            '<div data-unit="u-1">unit-12345 body</div>',
+        ],
+    )
+    def test_shingles_match_reference(self, html):
+        assert shingles(html) == _reference_shingles(html)
+
+    def test_shingle_values_stay_below_2_61(self):
+        arr = _shingle_array("<p>" + " ".join(f"w{i}" for i in range(100)))
+        assert int(arr.max()) < 1 << 61
+
+    def test_batch_signatures_match_per_document(self):
+        docs = ["a b c d e f", "x " * 50, "<div>q</div> r s t u", ""]
+        arrays = [_shingle_array(d) for d in docs]
+        batch = minhash_signatures(arrays, num_perm=32)
+        for i, arr in enumerate(arrays):
+            expected = minhash_signature(set(map(int, arr)), num_perm=32)
+            assert np.array_equal(batch[i], expected)
+
+    def test_batch_signatures_empty_document_is_sentinel(self):
+        batch = minhash_signatures([np.empty(0, dtype=np.uint64)], num_perm=16)
+        assert np.array_equal(
+            batch[0], np.full(16, np.iinfo(np.uint64).max, dtype=np.uint64)
+        )
+
+    def test_sorted_jaccard_matches_set_jaccard(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = set(map(int, rng.integers(0, 60, size=rng.integers(0, 40))))
+            b = set(map(int, rng.integers(0, 60, size=rng.integers(0, 40))))
+            va = np.array(sorted(a), dtype=np.uint64)
+            vb = np.array(sorted(b), dtype=np.uint64)
+            assert _jaccard_sorted(va, vb) == pytest.approx(jaccard(a, b))
+
+    def test_poly_step_exact_at_accumulator_extremes(self):
+        # Accumulators near 2^61 exercise the 128-bit split in _poly_step.
+        high = (1 << 61) - 3
+        token = 0xFFFFFFFF
+        expected = ((high * _POLY_BASE + token) & 0x1FFFFFFFFFFFFFFF)
+        from repro.enrichment.clustering import _poly_step
+
+        acc = np.array([high], dtype=np.uint64)
+        h = np.array([token], dtype=np.uint64)
+        assert int(_poly_step(acc, h)[0]) == expected
+
+
+# --------------------------------------------------------------------- #
+# End-to-end mapping regression
+# --------------------------------------------------------------------- #
+
+
+class TestClusterMappingRegression:
+    def test_identical_mapping_on_tiny_study(self, released):
+        html = released.batch_html
+        assert len(html) > 50  # meaningful corpus
+        assert cluster_batches(html) == _reference_cluster_batches(html)
+
+    def test_identical_mapping_at_other_thresholds(self, released):
+        html = dict(list(sorted(released.batch_html.items()))[:120])
+        for threshold in (0.3, 0.9):
+            assert cluster_batches(html, threshold=threshold) == (
+                _reference_cluster_batches(html, threshold=threshold)
+            )
+
+
+# --------------------------------------------------------------------- #
+# Union-find
+# --------------------------------------------------------------------- #
+
+
+class TestUnionFind:
+    def test_pathological_chain_merge_stays_shallow(self):
+        n = 10_000
+        uf = _UnionFind(n)
+        # Sequential chain unions: the degenerate order for a union-find
+        # without balancing (linear chains, quadratic total work).
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(n))
+        # Raw parent-pointer depth (no compression during measurement) must
+        # stay logarithmic thanks to union-by-size.
+        max_depth = 0
+        for i in range(n):
+            depth, x = 0, i
+            while uf.parent[x] != x:
+                x = uf.parent[x]
+                depth += 1
+            max_depth = max(max_depth, depth)
+        assert max_depth <= 15
+
+    def test_tournament_merge_order(self):
+        n = 1 << 12
+        uf = _UnionFind(n)
+        stride = 1
+        while stride < n:
+            for i in range(0, n, 2 * stride):
+                uf.union(i, i + stride)
+            stride *= 2
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(n))
+        assert uf.size[root] == n
+
+    def test_partition_matches_naive(self):
+        rng = np.random.default_rng(3)
+        n = 500
+        edges = [tuple(map(int, rng.integers(0, n, 2))) for _ in range(400)]
+        uf = _UnionFind(n)
+        naive_parent = list(range(n))
+
+        def naive_find(x):
+            while naive_parent[x] != x:
+                x = naive_parent[x]
+            return x
+
+        for a, b in edges:
+            uf.union(a, b)
+            ra, rb = naive_find(a), naive_find(b)
+            if ra != rb:
+                naive_parent[rb] = ra
+        groups_fast = {}
+        groups_naive = {}
+        for i in range(n):
+            groups_fast.setdefault(uf.find(i), set()).add(i)
+            groups_naive.setdefault(naive_find(i), set()).add(i)
+        assert sorted(map(sorted, groups_fast.values())) == sorted(
+            map(sorted, groups_naive.values())
+        )

@@ -1,0 +1,209 @@
+"""Property tests: segment-vectorized group-by kernels vs a naive reference.
+
+The vectorized ``median`` / ``std`` / ``p<NN>`` / ``nunique`` kernels in
+:mod:`repro.tables.groupby` operate on sorted group segments with
+``reduceat`` / fancy indexing.  Each is checked here against the obvious
+per-group numpy reference (boolean-mask the group, call the numpy
+function) on randomized tables, including the awkward shapes: NaN values,
+object columns, single-row groups, and all-identical keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables import Table, group_by
+
+_KEY_POOL = ["a", "b", "c", "d", "e"]
+
+
+def _naive_aggregate(table: Table, key: str, column: str, spec: str):
+    """Per-group reference using plain numpy on boolean masks."""
+    keys = table[key]
+    values = table[column]
+    out = {}
+    for k in dict.fromkeys(keys.tolist()):  # first-appearance order
+        group = values[keys == k]
+        if spec == "median":
+            out[k] = float(np.median(group.astype(np.float64)))
+        elif spec == "std":
+            out[k] = float(group.astype(np.float64).std())
+        elif spec.startswith("p"):
+            out[k] = float(
+                np.percentile(group.astype(np.float64), float(spec[1:]))
+            )
+        elif spec == "nunique":
+            if group.dtype == object:
+                out[k] = len(set(group.tolist()))
+            else:
+                finite = group[~np.isnan(group)] if np.issubdtype(
+                    group.dtype, np.floating
+                ) else group
+                n = len(np.unique(finite))
+                if np.issubdtype(group.dtype, np.floating) and np.isnan(
+                    group
+                ).any():
+                    n += 1
+                out[k] = n
+        else:  # pragma: no cover - guard against typos in the test itself
+            raise ValueError(spec)
+    return out
+
+
+def _grouped_dict(table: Table, key: str, column: str, spec: str):
+    result = group_by(table, key).agg({"out": (column, spec)})
+    return dict(zip(result[key].tolist(), result["out"].tolist()))
+
+
+@st.composite
+def _tables(draw, *, with_nan: bool, dtype: str = "float"):
+    n = draw(st.integers(min_value=1, max_value=120))
+    keys = draw(
+        st.lists(st.sampled_from(_KEY_POOL), min_size=n, max_size=n)
+    )
+    if dtype == "float":
+        elements = st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+        )
+        if with_nan:
+            elements = st.one_of(elements, st.just(float("nan")))
+        values = np.array(
+            draw(st.lists(elements, min_size=n, max_size=n)), dtype=np.float64
+        )
+    elif dtype == "int":
+        values = np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=-50, max_value=50),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+    else:  # object
+        values = np.array(
+            draw(
+                st.lists(
+                    st.sampled_from(["x", "y", "z", "", "long-ish-value"]),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=object,
+        )
+    return Table({"k": np.array(keys, dtype=object), "v": values})
+
+
+class TestOrderStatisticKernels:
+    @settings(max_examples=60, deadline=None)
+    @given(table=_tables(with_nan=False))
+    @pytest.mark.parametrize("spec", ["median", "p25", "p50", "p90", "p99"])
+    def test_matches_numpy_reference_bit_exact(self, table, spec):
+        got = _grouped_dict(table, "k", "v", spec)
+        expected = _naive_aggregate(table, "k", "v", spec)
+        assert list(got) == list(expected)
+        for k in expected:
+            # Bit-exact: same lerp formula as np.percentile, not approx.
+            assert got[k] == expected[k] or (
+                np.isnan(got[k]) and np.isnan(expected[k])
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=_tables(with_nan=False, dtype="int"))
+    def test_median_on_integer_columns(self, table):
+        assert _grouped_dict(table, "k", "v", "median") == _naive_aggregate(
+            table, "k", "v", "median"
+        )
+
+    def test_single_row_groups(self):
+        table = Table(
+            {
+                "k": np.array(list("abcde"), dtype=object),
+                "v": np.array([5.0, -1.0, 0.0, 2.5, 100.0]),
+            }
+        )
+        for spec in ("median", "p25", "p90", "std", "nunique"):
+            got = _grouped_dict(table, "k", "v", spec)
+            assert got == _naive_aggregate(table, "k", "v", spec)
+
+    def test_all_rows_one_group(self):
+        rng = np.random.default_rng(11)
+        table = Table(
+            {
+                "k": np.array(["same"] * 257, dtype=object),
+                "v": rng.normal(size=257),
+            }
+        )
+        for spec in ("median", "p25", "p50", "p90"):
+            got = _grouped_dict(table, "k", "v", spec)
+            assert got == _naive_aggregate(table, "k", "v", spec)
+
+
+class TestStdKernel:
+    @settings(max_examples=60, deadline=None)
+    @given(table=_tables(with_nan=False))
+    def test_matches_numpy_within_float_tolerance(self, table):
+        got = _grouped_dict(table, "k", "v", "std")
+        expected = _naive_aggregate(table, "k", "v", "std")
+        assert list(got) == list(expected)
+        for k in expected:
+            # Summation order differs (sequential reduceat vs pairwise
+            # umr_sum), so allow float round-off but nothing more.
+            assert got[k] == pytest.approx(expected[k], rel=1e-9, abs=1e-9)
+
+
+class TestNuniqueKernel:
+    @settings(max_examples=60, deadline=None)
+    @given(table=_tables(with_nan=True))
+    def test_float_with_nan(self, table):
+        assert _grouped_dict(table, "k", "v", "nunique") == _naive_aggregate(
+            table, "k", "v", "nunique"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=_tables(with_nan=False, dtype="int"))
+    def test_integer_columns(self, table):
+        assert _grouped_dict(table, "k", "v", "nunique") == _naive_aggregate(
+            table, "k", "v", "nunique"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(table=_tables(with_nan=False, dtype="object"))
+    def test_object_columns(self, table):
+        assert _grouped_dict(table, "k", "v", "nunique") == _naive_aggregate(
+            table, "k", "v", "nunique"
+        )
+
+
+class TestCardinalityOverflowGuard:
+    def test_many_keys_beyond_int64_capacity(self):
+        # 8 keys of ~1500 uniques each: 1500**8 ≈ 2.6e25 >> int64 max.  The
+        # combined-code construction must detect the overflow and
+        # re-densify instead of silently wrapping.
+        rng = np.random.default_rng(5)
+        n = 3000
+        columns = {
+            f"k{i}": rng.integers(0, 1500, size=n) for i in range(8)
+        }
+        # Make each row's composite key unique in pairs so group count is
+        # predictable: pair rows 2j and 2j+1 identical.
+        for name in columns:
+            col = columns[name]
+            col[1::2] = col[0::2]
+            columns[name] = col
+        columns["v"] = np.ones(n)
+        table = Table(columns)
+        result = group_by(table, [f"k{i}" for i in range(8)]).agg(
+            {"total": ("v", "sum")}
+        )
+        # Every odd row duplicates the preceding even row, so at most n/2
+        # distinct composite keys (exactly n/2 with overwhelming odds).
+        composites = set(
+            zip(*(columns[f"k{i}"].tolist() for i in range(8)))
+        )
+        assert result.num_rows == len(composites)
+        assert float(result["total"].sum()) == float(n)

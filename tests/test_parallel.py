@@ -1,0 +1,105 @@
+"""Tests for the :mod:`repro.parallel` chunked map executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.parallel import map_chunks, worker_count
+
+
+def _square(x):
+    return x * x
+
+
+def _shout(s):
+    return s.upper()
+
+
+class TestWorkerCount:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        assert worker_count() == 1
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        assert worker_count() == 3
+
+    @pytest.mark.parametrize("value", ["auto", "0", "AUTO"])
+    def test_env_auto_uses_cpu_count(self, monkeypatch, value):
+        monkeypatch.setenv(parallel.WORKERS_ENV, value)
+        assert worker_count() >= 1
+
+    @pytest.mark.parametrize("value", ["", "  ", "banana", "-2"])
+    def test_env_garbage_falls_back_to_serial(self, monkeypatch, value):
+        monkeypatch.setenv(parallel.WORKERS_ENV, value)
+        assert worker_count() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "7")
+        assert worker_count(2) == 2
+
+
+class TestMapChunks:
+    def test_serial_preserves_order(self):
+        items = list(range(100))
+        assert map_chunks(_square, items, workers=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = [f"doc {i} text" for i in range(200)]
+        serial = map_chunks(_shout, items, workers=1)
+        parallel_out = map_chunks(_shout, items, workers=2)
+        assert parallel_out == serial
+
+    def test_empty_input(self):
+        assert map_chunks(_square, [], workers=4) == []
+
+    def test_small_input_stays_serial(self):
+        # Below the parallel threshold the pool must not be spun up at all;
+        # results are still correct.
+        items = list(range(parallel._MIN_PARALLEL_ITEMS - 1))
+        assert map_chunks(_square, items, workers=8) == [x * x for x in items]
+
+    def test_unpicklable_function_falls_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; map_chunks must degrade
+        # to the serial path instead of raising.
+        items = list(range(64))
+        result = map_chunks(lambda x: x + 1, items, workers=2)
+        assert result == [x + 1 for x in items]
+
+    def test_numpy_payloads_round_trip(self):
+        arrays = [np.arange(i, i + 5) for i in range(64)]
+        out = map_chunks(_square, arrays, workers=2)
+        for i, arr in enumerate(out):
+            assert np.array_equal(arr, np.arange(i, i + 5) ** 2)
+
+
+class TestPipelineInvariance:
+    def test_cluster_batches_invariant_to_workers(self, released, monkeypatch):
+        from repro.enrichment.clustering import cluster_batches
+
+        html = dict(list(sorted(released.batch_html.items()))[:80])
+        monkeypatch.setenv(parallel.WORKERS_ENV, "1")
+        serial = cluster_batches(html)
+        monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+        assert cluster_batches(html) == serial
+
+    def test_design_extraction_invariant_to_workers(self, released, monkeypatch):
+        from repro.enrichment.design import extract_design_parameters
+
+        ids = sorted(released.batch_html)[:60]
+        html = {b: released.batch_html[b] for b in ids}
+        monkeypatch.setenv(parallel.WORKERS_ENV, "1")
+        serial = extract_design_parameters(html)
+        monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+        parallel_table = extract_design_parameters(html)
+        assert list(serial.column_names) == list(parallel_table.column_names)
+        for name in serial.column_names:
+            a, b = serial[name], parallel_table[name]
+            if a.dtype == object:
+                assert a.tolist() == b.tolist()
+            else:
+                assert np.array_equal(a, b, equal_nan=np.issubdtype(
+                    a.dtype, np.floating
+                ))

@@ -143,3 +143,43 @@ class TestCalibratedShapes:
         weights = state.batches.num_instances.astype(float)
         totals = np.bincount(days, weights=weights, minlength=7)
         assert totals[:5].mean() > totals[5:].mean()
+
+
+class TestChoicePool:
+    """The vectorized answer-string pool matches per-task choice_strings."""
+
+    def test_matches_choice_strings_per_task(self):
+        from repro.simulator.answers import choice_strings
+        from repro.simulator.engine import _build_choice_pool
+
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            n = int(rng.integers(1, 60))
+            num_choices = rng.integers(2, 9, size=n)
+            textual = rng.random(n) < 0.3
+            pool, offsets = _build_choice_pool(num_choices, textual)
+            assert len(pool) == int(num_choices.sum())
+            for t in range(n):
+                expected = choice_strings(
+                    t, int(num_choices[t]), bool(textual[t])
+                )
+                start = int(offsets[t])
+                got = list(pool[start:start + int(num_choices[t])])
+                assert got == expected
+
+    def test_all_binary(self):
+        from repro.simulator.engine import _build_choice_pool
+
+        pool, offsets = _build_choice_pool(
+            np.array([2, 2, 2]), np.array([False, False, False])
+        )
+        assert list(pool) == ["yes", "no"] * 3
+        assert list(offsets) == [0, 2, 4]
+
+    def test_all_textual(self):
+        from repro.simulator.engine import _build_choice_pool
+
+        pool, _ = _build_choice_pool(np.array([3]), np.array([True]))
+        assert list(pool) == [
+            "task0_answer_0", "task0_answer_1", "task0_answer_2",
+        ]
