@@ -9,10 +9,12 @@ counterpart.  ``scripts/bench_guard.py`` pairs them up to compute and guard
 the fast-vs-naive speedup ratios recorded in ``BENCH_substrate.json``.
 """
 
+import time
 import zlib
 
 import numpy as np
 
+from repro import obs
 from repro.enrichment.clustering import (
     _permutation_params,
     _shingle_array,
@@ -211,6 +213,86 @@ def test_perf_cluster_batches(benchmark):
     mapping = benchmark(run)
     assert len(mapping) == len(corpus)
     assert max(mapping.values()) < len(corpus)
+
+
+def test_perf_cluster_batches_traced(benchmark):
+    """End-to-end clustering with span tracing *enabled* — the tracing-on
+    cost, read against ``cluster_batches`` in ``BENCH_substrate.json``."""
+    corpus = _bench_corpus(num_docs=120, tokens_per_doc=800)
+    obs.enable(name="bench")
+    try:
+        mapping = benchmark(lambda: cluster_batches(corpus))
+    finally:
+        obs.finish()
+    assert len(mapping) == len(corpus)
+
+
+def _best_time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _disabled_primitive_costs(loops: int = 100_000) -> tuple[float, float]:
+    """Per-call cost of a disabled ``obs.span`` and an ``obs.counter`` inc.
+
+    Measured directly rather than by differencing two noisy kernel timings:
+    the instrumented kernels perform a *fixed, small* number of these
+    operations per call, so per-primitive cost × operation count bounds the
+    real overhead far more stably than an A/B timing comparison.
+    """
+    assert not obs.enabled()
+
+    def spans():
+        for _ in range(loops):
+            with obs.span("overhead.probe"):
+                pass
+
+    probe = obs.counter("overhead.probe")
+
+    def incs():
+        for _ in range(loops):
+            probe.inc()
+
+    return _best_time(spans) / loops, _best_time(incs) / loops
+
+
+def test_tracing_disabled_overhead_under_3_percent():
+    """Acceptance: with tracing disabled, the instrumentation left inside
+    ``group_by`` and ``minhash_signatures`` costs <3% of either kernel.
+
+    Per call, ``group_by(...).agg(...)`` executes at most a handful of
+    counter increments (``groupby.calls`` plus the fast-path/sort-strategy
+    counters) and zero spans; ``minhash_signatures`` one increment.  Both
+    bounds are asserted with a generous operation-count margin.
+    """
+    span_cost, inc_cost = _disabled_primitive_costs()
+
+    table = _synthetic_table(200_000)
+    group_by_time = _best_time(
+        lambda: group_by(table, "key").agg(
+            {"med": ("value", "median"), "total": ("weight", "sum")}
+        )
+    )
+    # ≤8 counter incs + room for 2 disabled spans per group_by call.
+    group_by_overhead = 8 * inc_cost + 2 * span_cost
+    assert group_by_overhead < 0.03 * group_by_time, (
+        f"group_by instrumentation {group_by_overhead * 1e6:.2f} us is not "
+        f"<3% of the {group_by_time * 1e3:.2f} ms kernel"
+    )
+
+    corpus = _bench_corpus()
+    arrays = [_shingle_array(doc) for doc in corpus.values()]
+    minhash_time = _best_time(lambda: minhash_signatures(arrays))
+    # 1 counter inc inside minhash_signatures + room for 2 enclosing spans.
+    minhash_overhead = inc_cost + 2 * span_cost
+    assert minhash_overhead < 0.03 * minhash_time, (
+        f"minhash instrumentation {minhash_overhead * 1e6:.2f} us is not "
+        f"<3% of the {minhash_time * 1e3:.2f} ms kernel"
+    )
 
 
 def test_perf_decision_tree_fit(benchmark):

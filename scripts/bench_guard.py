@@ -17,6 +17,16 @@ replica), and compares them with the committed baseline in
 Exit status is 1 on any regression, 0 otherwise.  ``--update-baseline``
 rewrites ``BENCH_substrate.json`` with the measured numbers (also done
 automatically when no baseline exists yet).
+
+Trace modes (no benchmarks are run):
+
+- ``--trace-summary TRACE.json`` prints per-span-name wall/CPU totals from
+  a JSON trace written by a ``--trace`` CLI run;
+- ``--trace-diff CURRENT.json BASE.json`` compares two such traces phase by
+  phase and fails (exit 1) when any span name's total wall time regresses
+  more than ``--tolerance`` beyond the noise floor — per-phase deltas, so a
+  regression points at the pipeline stage that caused it rather than at the
+  end-to-end total.
 """
 
 from __future__ import annotations
@@ -112,6 +122,73 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     return regressions
 
 
+#: Span names whose baseline total is below this are skipped by
+#: ``--trace-diff`` — sub-10ms phases are all jitter.
+_TRACE_NOISE_FLOOR_S = 0.010
+
+
+def _trace_totals(path: str) -> dict[str, dict[str, float]]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import aggregate_by_name, load_trace
+
+    return aggregate_by_name(load_trace(path))
+
+
+def trace_summary(path: str) -> int:
+    try:
+        totals = _trace_totals(path)
+    except (OSError, ValueError) as exc:
+        print(f"bench_guard: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(f"bench_guard: per-phase wall totals from {path}")
+    print(f"  {'span':<36} {'count':>6} {'wall':>12} {'cpu':>12}")
+    for name, agg in sorted(totals.items(), key=lambda kv: -kv[1]["wall_s"]):
+        print(
+            f"  {name:<36} {agg['count']:>6.0f} {agg['wall_s'] * 1e3:>9.1f} ms"
+            f" {agg['cpu_s'] * 1e3:>9.1f} ms"
+        )
+    return 0
+
+
+def trace_diff(current_path: str, base_path: str, tolerance: float) -> int:
+    try:
+        current = _trace_totals(current_path)
+        base = _trace_totals(base_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench_guard: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"bench_guard: per-phase trace diff ({current_path} vs {base_path})"
+    )
+    regressions = []
+    for name in sorted(set(base) | set(current)):
+        base_wall = base.get(name, {}).get("wall_s", 0.0)
+        cur_wall = current.get(name, {}).get("wall_s", 0.0)
+        if max(base_wall, cur_wall) < _TRACE_NOISE_FLOOR_S:
+            continue
+        if base_wall > 0:
+            delta = cur_wall / base_wall - 1.0
+            note = f"{delta:+7.0%}"
+            if delta > tolerance:
+                regressions.append(
+                    f"{name}: {cur_wall * 1e3:.1f} ms vs "
+                    f"{base_wall * 1e3:.1f} ms ({delta:+.0%})"
+                )
+        else:
+            note = "    new"
+        print(
+            f"  {name:<36} {cur_wall * 1e3:>9.1f} ms"
+            f" (base {base_wall * 1e3:>9.1f} ms) {note}"
+        )
+    if regressions:
+        print("\nbench_guard: PER-PHASE TRACE REGRESSIONS:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_guard: OK (no phase beyond +{tolerance * 100:.0f}%)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -131,7 +208,23 @@ def main() -> int:
         default=5,
         help="pytest-benchmark rounds per bench (default 5)",
     )
+    parser.add_argument(
+        "--trace-summary",
+        metavar="TRACE",
+        help="print per-span-name totals from a JSON trace and exit",
+    )
+    parser.add_argument(
+        "--trace-diff",
+        nargs=2,
+        metavar=("CURRENT", "BASE"),
+        help="diff two JSON traces phase by phase and exit 1 on regression",
+    )
     args = parser.parse_args()
+
+    if args.trace_summary:
+        return trace_summary(args.trace_summary)
+    if args.trace_diff:
+        return trace_diff(*args.trace_diff, tolerance=args.tolerance)
 
     current = summarize(run_benchmarks(args.min_rounds))
 

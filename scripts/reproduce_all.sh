@@ -9,6 +9,8 @@
 #   bench_output.txt   - per-figure benchmark run (paper shapes asserted)
 #   bench_report.txt   - the paper-vs-measured report (copied from repo root)
 #   validation.txt     - the calibration checklist at small scale
+#   trace_medium.json  - span trace of an uncached medium-scale report run
+#   trace_summary.txt  - per-phase wall/CPU totals from that trace
 #   figures/           - every paper figure as SVG
 #   dataset/           - an exported released dataset (small scale)
 #   workload.json      - the derived crowdsourcing workload
@@ -19,26 +21,32 @@ cd "$(dirname "$0")/.."
 OUT="${1:-reproduction_output}"
 mkdir -p "$OUT"
 
-echo "== 1/7 tests =="
+echo "== 1/8 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/7 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 2/8 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 3/7 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 3/8 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 4/7 validation checklist =="
+echo "== 4/8 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 5/7 SVG figures =="
+echo "== 5/8 traced medium-scale report (writes trace_medium.json) =="
+python -m repro report --scale medium --seed 7 --no-cache \
+    --trace --trace-out "$OUT/trace_medium.json" > /dev/null
+python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
+head -7 "$OUT/trace_summary.txt"
+
+echo "== 6/8 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 6/7 dataset export =="
+echo "== 7/8 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 7/7 workload derivation =="
+echo "== 8/8 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
 echo "done: $OUT"

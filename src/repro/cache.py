@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataset.release import ReleasedDataset
     from repro.enrichment.pipeline import EnrichedDataset
@@ -72,6 +74,14 @@ _CODE_SCOPE = (
     "stats",
     "parallel.py",
 )
+
+#: Cache-traffic counters: a cold ``build_study`` is one miss + one write, a
+#: warm rebuild is one hit, and ``REPRO_NO_CACHE`` records none of them.
+_HITS = obs.counter("cache.hit")
+_MISSES = obs.counter("cache.miss")
+_WRITES = obs.counter("cache.write")
+_BYTES_WRITTEN = obs.counter("cache.bytes_written")
+_BYTES_READ = obs.counter("cache.bytes_read")
 
 _TABLE_FILES = {
     "batch_catalog": "released_batch_catalog.npz",
@@ -165,6 +175,13 @@ def _load_table(path: Path, column_order: list[str]) -> "Table":
     return Table(columns, copy=False)
 
 
+def _entry_size_bytes(entry: Path) -> int:
+    try:
+        return sum(f.stat().st_size for f in entry.iterdir() if f.is_file())
+    except OSError:
+        return 0
+
+
 def store_study(
     config: "SimulationConfig",
     released: "ReleasedDataset",
@@ -175,6 +192,18 @@ def store_study(
     Best-effort: any I/O failure leaves the cache unchanged and returns
     ``None`` (the caller already has the in-memory study).
     """
+    with obs.span("cache.store") as sp:
+        entry = _store_study(config, released, enriched)
+        if entry is not None:
+            sp.set("entry", entry.name[:16])
+    return entry
+
+
+def _store_study(
+    config: "SimulationConfig",
+    released: "ReleasedDataset",
+    enriched: "EnrichedDataset",
+) -> Path | None:
     key = study_key(config)
     root = cache_dir()
     final = root / key
@@ -228,6 +257,8 @@ def store_study(
         }
         (tmp / "manifest.json").write_text(json.dumps(manifest, indent=2))
         os.replace(tmp, final)
+        _WRITES.inc()
+        _BYTES_WRITTEN.inc(_entry_size_bytes(final))
         return final
     except OSError:
         shutil.rmtree(tmp, ignore_errors=True)
@@ -241,6 +272,20 @@ def load_study(
     config: "SimulationConfig",
 ) -> tuple["ReleasedDataset", "EnrichedDataset"] | None:
     """Load a cached entry for ``config``; ``None`` on miss or corruption."""
+    with obs.span("cache.load") as sp:
+        loaded = _load_study(config)
+        if loaded is None:
+            _MISSES.inc()
+            sp.set("result", "miss")
+        else:
+            _HITS.inc()
+            sp.set("result", "hit")
+    return loaded
+
+
+def _load_study(
+    config: "SimulationConfig",
+) -> tuple["ReleasedDataset", "EnrichedDataset"] | None:
     entry = cache_dir() / study_key(config)
     if not entry.is_dir():
         return None
@@ -265,6 +310,7 @@ def load_study(
             }
     except (OSError, KeyError, ValueError, json.JSONDecodeError):
         return None
+    _BYTES_READ.inc(_entry_size_bytes(entry))
 
     from repro.dataset.release import ReleasedDataset
     from repro.enrichment.pipeline import EnrichedDataset

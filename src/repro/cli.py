@@ -11,6 +11,13 @@ Commands
     Run a task-design A/B experiment on the simulator (vary one feature).
 ``learning``
     Estimate the within-batch worker learning curve.
+``trace``
+    Summarize a JSON trace file written by a ``--trace`` run.
+
+Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
+the run records a hierarchical span trace (see :mod:`repro.obs`), prints
+the timing tree afterwards, and writes a JSON trace file for later
+``repro trace`` / ``scripts/bench_guard.py --trace-diff`` consumption.
 """
 
 from __future__ import annotations
@@ -20,6 +27,21 @@ import sys
 from typing import Sequence
 
 SCALES = ("tiny", "small", "medium")
+
+#: Default JSON trace path for ``--trace`` runs without ``--trace-out``.
+DEFAULT_TRACE_OUT = "repro_trace.json"
+
+
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -33,6 +55,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk study cache (see repro.cache)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace; print the timing tree and write a JSON "
+        "trace file afterwards (also enabled by REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=f"where --trace writes the JSON trace "
+        f"(default: {DEFAULT_TRACE_OUT})",
+    )
+    parser.add_argument(
+        "--trace-mem", action="store_true",
+        help="add tracemalloc allocation/peak numbers to every span "
+        "(implies the cost of tracemalloc; also REPRO_TRACE_MEM=1)",
     )
 
 
@@ -157,23 +194,73 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scale_name(config: dict) -> str:
+    """Best-effort preset name for a cached config (else ``custom``)."""
+    from repro.simulator.config import _PRESETS
+
+    for name, preset in _PRESETS.items():
+        if all(config.get(field) == value for field, value in preset.items()):
+            return name
+    return "custom"
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro import cache as study_cache
+    from repro import cache as study_cache, obs
 
     if args.clear:
         removed = study_cache.clear_cache()
         print(f"removed {removed} cache entries from {study_cache.cache_dir()}")
         return 0
     entries = study_cache.list_entries()
-    print(f"cache dir: {study_cache.cache_dir()} ({len(entries)} entries)")
+    total_bytes = sum(entry.get("size_bytes", 0) for entry in entries)
+    total_instances = sum(entry.get("num_instances", 0) for entry in entries)
+    obs.gauge("cache.entries").set(len(entries))
+    obs.gauge("cache.size_bytes").set(total_bytes)
+    print(
+        f"cache dir: {study_cache.cache_dir()} "
+        f"({len(entries)} entries, {total_bytes / 1e6:.1f} MB, "
+        f"{total_instances:,} instances)"
+    )
     for entry in entries:
         config = entry.get("config", {})
         print(
-            f"  {entry['key'][:16]}  seed={config.get('seed')} "
+            f"  {entry['key'][:16]}  scale={_scale_name(config)} "
+            f"seed={config.get('seed')} "
             f"tasks={config.get('num_distinct_tasks')} "
             f"instances={entry.get('num_instances'):,} "
             f"({entry.get('size_bytes', 0) / 1e6:.1f} MB)"
         )
+    counters = obs.metrics_snapshot()["counters"]
+    session = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("cache.") and value
+    }
+    if session:
+        traffic = " ".join(f"{k.split('.', 1)[1]}={v}" for k, v in session.items())
+        print(f"this process: {traffic}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        doc = obs.load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(obs.summarize_trace(doc, top=args.top))
+    if not args.no_tree:
+        print()
+        print(obs.render_tree(doc))
+    counters = doc.get("metrics", {}).get("counters", {})
+    nonzero = {name: value for name, value in counters.items() if value}
+    if nonzero:
+        print()
+        print("counters:")
+        for name, value in sorted(nonzero.items()):
+            print(f"  {name:<36} {value:>12,}")
     return 0
 
 
@@ -195,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the VLDB'17 crowdsourcing-marketplace study.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -236,6 +326,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true", help="remove all entries")
     cache.set_defaults(func=_cmd_cache)
 
+    trace = sub.add_parser(
+        "trace", help="summarize a JSON trace written by a --trace run"
+    )
+    trace.add_argument(
+        "path", nargs="?", default=DEFAULT_TRACE_OUT,
+        help=f"trace file to read (default: {DEFAULT_TRACE_OUT})",
+    )
+    trace.add_argument(
+        "--top", type=int, default=30,
+        help="span names shown in the summary table (default: 30)",
+    )
+    trace.add_argument(
+        "--no-tree", action="store_true", help="skip the full timing tree"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     validate = sub.add_parser(
         "validate", help="check a simulated world against the paper's claims"
     )
@@ -259,7 +365,34 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    from repro import obs
+
+    want_trace = bool(getattr(args, "trace", False)) or obs.env_enabled()
+    if not want_trace or args.command == "trace":
+        return args.func(args)
+
+    obs.enable(
+        name=f"repro {args.command}",
+        mem=True if getattr(args, "trace_mem", False) else None,
+    )
+    try:
+        with obs.span(
+            f"cli.{args.command}",
+            scale=getattr(args, "scale", None),
+            seed=getattr(args, "seed", None),
+        ):
+            rc = args.func(args)
+    finally:
+        trace = obs.finish()
+    if trace is not None:
+        out = getattr(args, "trace_out", None) or DEFAULT_TRACE_OUT
+        path = obs.write_trace_json(trace, out)
+        print()
+        print("== trace ==")
+        print(obs.render_tree(trace))
+        print(f"trace written to {path}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,7 +25,14 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.parallel import map_chunks
+
+#: Exact-Jaccard verifications performed / merges accepted by union-find.
+_PAIRS_COMPARED = obs.counter("cluster.pairs_compared")
+_PAIRS_MERGED = obs.counter("cluster.pairs_merged")
+#: Documents pushed through the batched minhash signature kernel.
+_MINHASH_DOCS = obs.counter("cluster.minhash_docs")
 
 _TOKEN_RE = re.compile(r"<[^>]+>|[^\s<>]+")
 
@@ -260,6 +267,7 @@ def minhash_signatures(
     peak memory.
     """
     num_docs = len(shingle_arrays)
+    _MINHASH_DOCS.inc(num_docs)
     out = np.full((num_docs, num_perm), np.iinfo(np.uint64).max, dtype=np.uint64)
     if num_docs == 0:
         return out
@@ -364,7 +372,10 @@ def cluster_batches(
         raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
 
     batch_ids = sorted(html_by_batch)
-    all_arrays = map_chunks(_shingle_array, [html_by_batch[b] for b in batch_ids])
+    with obs.span("cluster.shingle", docs=len(batch_ids)):
+        all_arrays = map_chunks(
+            _shingle_array, [html_by_batch[b] for b in batch_ids]
+        )
 
     # Batches of one task often have byte-identical templates; dedupe exact
     # shingle sets so minhash/LSH only runs on distinct interfaces.
@@ -380,7 +391,8 @@ def cluster_batches(
             rep_arrays.append(arr)
         rep_index[i] = code
 
-    signatures = minhash_signatures(rep_arrays, num_perm=num_perm, seed=seed)
+    with obs.span("cluster.minhash", docs=len(rep_arrays)):
+        signatures = minhash_signatures(rep_arrays, num_perm=num_perm, seed=seed)
 
     # LSH banding: any two documents agreeing on a full band are candidates.
     # Each bucket contributes (anchor, member) pairs; verifying the deduped
@@ -388,20 +400,29 @@ def cluster_batches(
     # already-connected components are no-ops.
     rows = num_perm // bands
     candidates: set[tuple[int, int]] = set()
-    for band in range(bands):
-        lo, hi = band * rows, (band + 1) * rows
-        buckets: dict[bytes, int] = {}
-        for i in range(len(rep_arrays)):
-            anchor = buckets.setdefault(signatures[i, lo:hi].tobytes(), i)
-            if anchor != i:
-                candidates.add((anchor, i))
+    with obs.span("cluster.lsh", bands=bands):
+        for band in range(bands):
+            lo, hi = band * rows, (band + 1) * rows
+            buckets: dict[bytes, int] = {}
+            for i in range(len(rep_arrays)):
+                anchor = buckets.setdefault(signatures[i, lo:hi].tobytes(), i)
+                if anchor != i:
+                    candidates.add((anchor, i))
 
     uf = _UnionFind(len(rep_arrays))
-    for anchor, other in sorted(candidates):
-        if uf.find(anchor) == uf.find(other):
-            continue
-        if _jaccard_sorted(rep_arrays[anchor], rep_arrays[other]) >= threshold:
-            uf.union(anchor, other)
+    with obs.span("cluster.verify", candidates=len(candidates)) as verify_span:
+        compared = merged = 0
+        for anchor, other in sorted(candidates):
+            if uf.find(anchor) == uf.find(other):
+                continue
+            compared += 1
+            if _jaccard_sorted(rep_arrays[anchor], rep_arrays[other]) >= threshold:
+                uf.union(anchor, other)
+                merged += 1
+        _PAIRS_COMPARED.inc(compared)
+        _PAIRS_MERGED.inc(merged)
+        verify_span.set("compared", compared)
+        verify_span.set("merged", merged)
 
     cluster_of_root: dict[int, int] = {}
     result: dict[int, int] = {}

@@ -6,6 +6,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.html import extract_features
 from repro.parallel import map_chunks
 from repro.tables import Table
@@ -31,9 +32,10 @@ def extract_design_parameters(batch_html: Mapping[int, str]) -> Table:
         "num_input_fields": np.empty(len(batch_ids), dtype=np.int64),
         "has_instructions": np.empty(len(batch_ids), dtype=bool),
     }
-    all_features = map_chunks(
-        extract_features, [batch_html[b] for b in batch_ids]
-    )
+    with obs.span("design.extract", docs=len(batch_ids)):
+        all_features = map_chunks(
+            extract_features, [batch_html[b] for b in batch_ids]
+        )
     for i, features in enumerate(all_features):
         rows["num_words"][i] = features.num_words
         rows["num_text_boxes"][i] = features.num_text_boxes

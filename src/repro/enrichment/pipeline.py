@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.dataset.release import ReleasedDataset
 from repro.enrichment.clustering import cluster_batches
 from repro.enrichment.design import extract_design_parameters
@@ -54,40 +55,54 @@ def enrich_dataset(
     released: ReleasedDataset, config: SimulationConfig
 ) -> EnrichedDataset:
     """Run the full §2.4 enrichment pipeline on a released dataset."""
-    cluster_of_batch = cluster_batches(released.batch_html)
+    with obs.span("enrichment", batches=len(released.batch_html)) as sp:
+        with obs.span("enrichment.clustering"):
+            cluster_of_batch = cluster_batches(released.batch_html)
 
-    design = extract_design_parameters(released.batch_html)
-    metrics = compute_batch_metrics(released)
+        with obs.span("enrichment.design"):
+            design = extract_design_parameters(released.batch_html)
+        with obs.span("enrichment.metrics"):
+            metrics = compute_batch_metrics(released)
 
-    batch_table = hash_join(design, metrics, on="batch_id", how="left")
-    cluster_ids = np.array(
-        [cluster_of_batch[int(b)] for b in batch_table["batch_id"]], dtype=np.int64
-    )
-    batch_table = batch_table.with_column("cluster_id", cluster_ids)
+        with obs.span("enrichment.cluster_table"):
+            batch_table = hash_join(design, metrics, on="batch_id", how="left")
+            cluster_ids = np.array(
+                [cluster_of_batch[int(b)] for b in batch_table["batch_id"]],
+                dtype=np.int64,
+            )
+            batch_table = batch_table.with_column("cluster_id", cluster_ids)
 
-    catalog = released.batch_catalog.select(["batch_id", "created_at"])
-    batch_table = hash_join(batch_table, catalog, on="batch_id", how="left")
+            catalog = released.batch_catalog.select(["batch_id", "created_at"])
+            batch_table = hash_join(
+                batch_table, catalog, on="batch_id", how="left"
+            )
 
-    grouped = group_by(batch_table, "cluster_id")
-    cluster_table = grouped.agg(
-        {
-            "num_batches": ("batch_id", "count"),
-            "num_instances": ("num_instances", "sum"),
-            "num_words": ("num_words", "median"),
-            "num_text_boxes": ("num_text_boxes", "median"),
-            "num_examples": ("num_examples", "median"),
-            "num_images": ("num_images", "median"),
-            "num_items": ("num_items", "median"),
-            "disagreement": ("disagreement", _nanmedian),
-            "task_time": ("task_time", _nanmedian),
-            "pickup_time": ("pickup_time", _nanmedian),
-            "first_time": ("created_at", "min"),
-        }
-    )
+            grouped = group_by(batch_table, "cluster_id")
+            cluster_table = grouped.agg(
+                {
+                    "num_batches": ("batch_id", "count"),
+                    "num_instances": ("num_instances", "sum"),
+                    "num_words": ("num_words", "median"),
+                    "num_text_boxes": ("num_text_boxes", "median"),
+                    "num_examples": ("num_examples", "median"),
+                    "num_images": ("num_images", "median"),
+                    "num_items": ("num_items", "median"),
+                    "disagreement": ("disagreement", _nanmedian),
+                    "task_time": ("task_time", _nanmedian),
+                    "pickup_time": ("pickup_time", _nanmedian),
+                    "first_time": ("created_at", "min"),
+                }
+            )
 
-    label_rng = StreamFactory(config.seed).stream("labels")
-    labels = annotate_clusters(cluster_of_batch, released.batch_html, label_rng)
-    cluster_table = hash_join(cluster_table, labels, on="cluster_id", how="left")
+        with obs.span("enrichment.labels"):
+            label_rng = StreamFactory(config.seed).stream("labels")
+            labels = annotate_clusters(
+                cluster_of_batch, released.batch_html, label_rng
+            )
+            cluster_table = hash_join(
+                cluster_table, labels, on="cluster_id", how="left"
+            )
+        sp.set("clusters", cluster_table.num_rows)
 
     return EnrichedDataset(
         cluster_of_batch=cluster_of_batch,

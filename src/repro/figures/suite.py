@@ -436,3 +436,29 @@ class FigureSuite:
             "observed_sources": observed,
             "num_observed": len(observed),
         }
+
+
+# Every figure/table entry point runs under a span named after it, so a
+# traced CLI run attributes time to individual figures.  The decorator's
+# disabled path is a direct call (see repro.obs.trace.traced), so untraced
+# figure computation is unaffected.
+from repro import obs as _obs  # noqa: E402  (after class definition on purpose)
+
+_FIGURE_ENTRY_POINTS = tuple(
+    name
+    for name, value in vars(FigureSuite).items()
+    if callable(value)
+    and (
+        name.startswith("fig")
+        or name in ("headline_load_variation", "tables_123",
+                    "table4_sources", "prediction_study")
+    )
+)
+
+for _name in _FIGURE_ENTRY_POINTS:
+    setattr(
+        FigureSuite,
+        _name,
+        _obs.traced(f"figures.{_name}")(getattr(FigureSuite, _name)),
+    )
+del _name

@@ -1,0 +1,186 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Instruments are created once (typically bound to a module-level name at the
+call site) and updated with plain attribute calls, so a disabled-tracing run
+pays one integer add per event — events are per-phase or per-call, never
+per-row, which keeps the hot kernels unobservably close to uninstrumented
+speed (guarded by ``benchmarks/test_substrate_perf.py``).
+
+Counters are monotonically increasing event counts (``cache.hit``,
+``cluster.pairs_compared``); gauges hold the last observed value
+(``parallel.workers``); histograms bucket observations against a fixed
+bound list and export cumulative ``le`` counts plus sum/count, so two
+snapshots can be diffed without knowing the raw observations.
+
+``snapshot()`` renders the whole registry to plain JSON-able dicts — the
+same structure embedded in trace files by :mod:`repro.obs.export` — and
+``reset()`` zeroes every instrument (used by tests and by the CLI before a
+traced command).  Worker processes forked by :mod:`repro.parallel` report
+counter *deltas* back to the parent, which merges them with
+``merge_counter_deltas`` so parallel runs converge to the serial counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Mapping, Sequence
+
+#: Default histogram bounds (seconds-flavored; callers may pass their own).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """The last observed value of a quantity (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | int | None = None
+
+    def set(self, value: float | int) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = None
+
+    def snapshot(self) -> float | int | None:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` export.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit ``+Inf`` bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        cumulative = []
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": "+Inf", "count": running + self._counts[-1]})
+        return {"buckets": cumulative, "sum": self.total, "count": self.count}
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store (one per process)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, *args) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = kind(name, *args)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    def counter_values(self) -> dict[str, int]:
+        """Current value of every counter (used for worker deltas)."""
+        return {
+            name: inst.value
+            for name, inst in self._instruments.items()
+            if isinstance(inst, Counter)
+        }
+
+    def merge_counter_deltas(self, deltas: Mapping[str, int]) -> None:
+        """Fold counter increments observed in a worker process back in."""
+        for name, delta in deltas.items():
+            if delta:
+                self.counter(name).inc(delta)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as plain JSON-able dicts."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float | int | None] = {}
+        histograms: dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.snapshot()
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.snapshot()
+            else:
+                histograms[name] = inst.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        for inst in self._instruments.values():
+            inst.reset()
+
+
+#: The process-global registry every ``repro`` instrument lives in.
+REGISTRY = MetricsRegistry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+snapshot = REGISTRY.snapshot
+reset = REGISTRY.reset
+merge_counter_deltas = REGISTRY.merge_counter_deltas

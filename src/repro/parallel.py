@@ -16,13 +16,24 @@ variable:
 whenever multiprocessing is unavailable (missing semaphores in sandboxes,
 unpicklable callables, interpreter shutdown), so callers never need to
 branch on the environment.  Results are identical either way because the
-mapped functions are pure.
+mapped functions are pure.  The degradation is *visible*: it raises a
+``RuntimeWarning`` and bumps the ``parallel.serial_fallback`` counter so a
+silently-serial run can be diagnosed from its metrics.
+
+With span tracing enabled (:mod:`repro.obs`), the pool path switches to
+explicit chunks run through :class:`_ChunkRunner`: each worker records a
+``parallel.chunk`` span (plus any spans the mapped function opens) and its
+counter increments, and ships both back to the parent, where they fold into
+the enclosing ``parallel.map`` span.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -32,6 +43,10 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 #: Below this many items the fork/pickle overhead outweighs any fan-out win.
 _MIN_PARALLEL_ITEMS = 32
+
+_FALLBACKS = obs.counter("parallel.serial_fallback")
+_POOL_MAPS = obs.counter("parallel.pool_maps")
+_WORKERS_GAUGE = obs.gauge("parallel.workers")
 
 
 def worker_count(workers: int | None = None) -> int:
@@ -51,6 +66,43 @@ def worker_count(workers: int | None = None) -> int:
     return max(1, workers)
 
 
+class _ChunkRunner:
+    """Run one chunk of items in a worker under a local span collector.
+
+    Picklable as long as the mapped function is.  Returns the chunk's
+    results plus the spans and counter deltas recorded while computing
+    them, for folding back into the parent process's trace.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable[[_T], _R]):
+        self.func = func
+
+    def __call__(
+        self, chunk: Sequence[_T]
+    ) -> tuple[list[_R], list[obs.SpanRecord], dict[str, int]]:
+        with obs.worker_collector() as collector:
+            with obs.span("parallel.chunk", items=len(chunk)):
+                results = [self.func(item) for item in chunk]
+        return results, collector.spans, collector.counter_deltas
+
+
+def _traced_pool_map(
+    pool, func: Callable[[_T], _R], seq: Sequence[_T], chunk_size: int, n: int
+) -> list[_R]:
+    chunks = [seq[i:i + chunk_size] for i in range(0, len(seq), chunk_size)]
+    with obs.span(
+        "parallel.map", items=len(seq), workers=n, chunks=len(chunks)
+    ):
+        results: list[_R] = []
+        for part, spans, deltas in pool.map(_ChunkRunner(func), chunks, chunksize=1):
+            results.extend(part)
+            obs.fold_spans(spans)
+            obs.merge_counter_deltas(deltas)
+        return results
+
+
 def map_chunks(
     func: Callable[[_T], _R],
     items: Iterable[_T],
@@ -61,20 +113,32 @@ def map_chunks(
     """Order-preserving parallel map with a serial fallback.
 
     ``func`` must be a picklable top-level function for the parallel path;
-    anything else silently degrades to the serial loop.
+    anything else degrades to the serial loop (with a ``RuntimeWarning``
+    and a ``parallel.serial_fallback`` counter increment).
     """
     seq: Sequence[_T] = items if isinstance(items, (list, tuple)) else list(items)
     n = worker_count(workers)
     if n <= 1 or len(seq) < _MIN_PARALLEL_ITEMS:
         return [func(item) for item in seq]
+    if chunk_size is None:
+        chunk_size = max(1, len(seq) // (n * 4))
     try:
         import multiprocessing as mp
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else None)
-        if chunk_size is None:
-            chunk_size = max(1, len(seq) // (n * 4))
+        _WORKERS_GAUGE.set(n)
         with ctx.Pool(processes=n) as pool:
+            _POOL_MAPS.inc()
+            if obs.enabled():
+                return _traced_pool_map(pool, func, seq, chunk_size, n)
             return pool.map(func, seq, chunksize=chunk_size)
-    except Exception:  # pragma: no cover - environment-dependent fallback
+    except Exception as exc:
+        _FALLBACKS.inc()
+        warnings.warn(
+            f"repro.parallel: process pool unavailable ({exc!r}); "
+            f"degrading to a serial loop over {len(seq)} items",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return [func(item) for item in seq]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.simulator.allocation import allocate_workers
 from repro.simulator.answers import modal_probability_for_disagreement
 from repro.simulator.arrivals import BatchSchedule, generate_batches, market_envelope
@@ -26,6 +27,9 @@ from repro.simulator.tasks import (
 )
 from repro.simulator.workers import WorkerPool, generate_workers
 from repro.stats.timeseries import DAY_SECONDS, WEEK_SECONDS
+
+#: Rows of the instance event log produced by this process (across builds).
+_ROWS_SIMULATED = obs.counter("simulate.instances_rows")
 
 
 @dataclass
@@ -95,13 +99,20 @@ def simulate_marketplace(config: SimulationConfig) -> MarketplaceState:
     """Run the full generative model for ``config``.  Deterministic in seed."""
     streams = StreamFactory(config.seed)
 
-    sources = generate_sources(streams)
-    envelope = market_envelope(config, streams)
-    tasks = generate_tasks(config, envelope, streams)
-    batches = generate_batches(config, tasks, envelope, streams)
-    workers = generate_workers(config, sources, envelope, streams)
+    with obs.span("simulate", seed=config.seed, weeks=config.num_weeks) as sp:
+        with obs.span("simulate.sources"):
+            sources = generate_sources(streams)
+        with obs.span("simulate.envelope"):
+            envelope = market_envelope(config, streams)
+        with obs.span("simulate.tasks"):
+            tasks = generate_tasks(config, envelope, streams)
+        with obs.span("simulate.batches"):
+            batches = generate_batches(config, tasks, envelope, streams)
+        with obs.span("simulate.workers"):
+            workers = generate_workers(config, sources, envelope, streams)
 
-    instances = simulate_instances(config, tasks, batches, workers, streams)
+        instances = simulate_instances(config, tasks, batches, workers, streams)
+        sp.set("instances", instances.num_instances)
     return MarketplaceState(
         config=config,
         envelope=envelope,
@@ -127,6 +138,20 @@ def simulate_instances(
     allocation / timing / answer machinery over hand-built task and batch
     populations.
     """
+    with obs.span("simulate.instances") as sp:
+        log = _simulate_instances(config, tasks, batches, workers, streams)
+        sp.set("rows", log.num_instances)
+    _ROWS_SIMULATED.inc(log.num_instances)
+    return log
+
+
+def _simulate_instances(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    batches: BatchSchedule,
+    workers: WorkerPool,
+    streams: StreamFactory,
+) -> InstanceLog:
     cal = config.calibration
     timing_rng = streams.stream("timing")
     answer_rng = streams.stream("answers")
@@ -141,46 +166,51 @@ def simulate_instances(
     # ------------------------------------------------------------------ #
     # Pickup times (latency): batch target x load factor x queue position.
     # ------------------------------------------------------------------ #
-    load_factor = _weekly_load_factor(config, batches)[batch_of_instance]
-    pickup_target = (
-        tasks.base_pickup_time[task_of_instance]
-        * load_factor**cal.pickup_load_exponent
-    )
-    sequence_factor = (
-        1.0 + position / cal.pickup_parallelism
-    ) ** cal.pickup_sequence_exponent
-    pickup = (
-        pickup_target
-        * sequence_factor
-        * np.exp(timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n))
-    )
-    start_time = np.minimum(
-        batch_start + pickup.astype(np.int64), horizon_sec - 1
-    )
+    with obs.span("simulate.instances.pickup"):
+        load_factor = _weekly_load_factor(config, batches)[batch_of_instance]
+        pickup_target = (
+            tasks.base_pickup_time[task_of_instance]
+            * load_factor**cal.pickup_load_exponent
+        )
+        sequence_factor = (
+            1.0 + position / cal.pickup_parallelism
+        ) ** cal.pickup_sequence_exponent
+        pickup = (
+            pickup_target
+            * sequence_factor
+            * np.exp(timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n))
+        )
+        start_time = np.minimum(
+            batch_start + pickup.astype(np.int64), horizon_sec - 1
+        )
 
     # ------------------------------------------------------------------ #
     # Worker assignment (per pickup day).
     # ------------------------------------------------------------------ #
-    start_days = start_time // DAY_SECONDS
-    worker_id = allocate_workers(start_days, workers, alloc_rng, cal)
+    with obs.span("simulate.instances.allocation"):
+        start_days = start_time // DAY_SECONDS
+        worker_id = allocate_workers(start_days, workers, alloc_rng, cal)
 
     # ------------------------------------------------------------------ #
     # Task times (cost): batch base x instance noise x worker speed x
     # within-batch learning (a worker's k-th instance of a batch is faster).
     # ------------------------------------------------------------------ #
-    task_time = (
-        tasks.base_task_time[task_of_instance]
-        * np.exp(timing_rng.normal(0.0, cal.task_time_instance_noise_sd, size=n))
-        * workers.speed[worker_id]
-    )
-    if cal.within_batch_learning_exponent:
-        experience = _within_batch_experience(
-            batch_of_instance, worker_id, start_time
+    with obs.span("simulate.instances.timing"):
+        task_time = (
+            tasks.base_task_time[task_of_instance]
+            * np.exp(
+                timing_rng.normal(0.0, cal.task_time_instance_noise_sd, size=n)
+            )
+            * workers.speed[worker_id]
         )
-        task_time = task_time * (
-            (1.0 + experience) ** -cal.within_batch_learning_exponent
-        )
-    end_time = start_time + np.maximum(task_time.astype(np.int64), 1)
+        if cal.within_batch_learning_exponent:
+            experience = _within_batch_experience(
+                batch_of_instance, worker_id, start_time
+            )
+            task_time = task_time * (
+                (1.0 + experience) ** -cal.within_batch_learning_exponent
+            )
+        end_time = start_time + np.maximum(task_time.astype(np.int64), 1)
 
     # ------------------------------------------------------------------ #
     # Trust scores.
@@ -195,17 +225,18 @@ def simulate_instances(
     # ------------------------------------------------------------------ #
     # Answers.
     # ------------------------------------------------------------------ #
-    response = _generate_responses(
-        config,
-        tasks,
-        batches,
-        batch_of_instance,
-        task_of_instance,
-        item_id,
-        workers,
-        worker_id,
-        answer_rng,
-    )
+    with obs.span("simulate.instances.answers"):
+        response = _generate_responses(
+            config,
+            tasks,
+            batches,
+            batch_of_instance,
+            task_of_instance,
+            item_id,
+            workers,
+            worker_id,
+            answer_rng,
+        )
 
     return InstanceLog(
         batch_idx=batch_of_instance,

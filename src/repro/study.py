@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.dataset.release import ReleasedDataset
     from repro.enrichment.pipeline import EnrichedDataset
@@ -128,34 +130,41 @@ def build_study(
     config = SimulationConfig.preset(scale, seed=seed)
     use_cache = study_cache.cache_enabled(cache)
 
-    if use_cache:
-        loaded = study_cache.load_study(config)
-        if loaded is not None:
-            released, enriched = loaded
-            lazy = _LazyState(config)
-            return Study(
-                config=config,
-                state=lazy,
-                released=released,
-                enriched=enriched,
-                figures=FigureSuite(
-                    state=lazy, released=released, enriched=enriched
-                ),
-            )
+    with obs.span("study.build", scale=scale, seed=seed, cache=use_cache) as sp:
+        if use_cache:
+            loaded = study_cache.load_study(config)
+            if loaded is not None:
+                released, enriched = loaded
+                sp.set("source", "cache")
+                lazy = _LazyState(config)
+                return Study(
+                    config=config,
+                    state=lazy,
+                    released=released,
+                    enriched=enriched,
+                    figures=FigureSuite(
+                        state=lazy, released=released, enriched=enriched
+                    ),
+                )
 
-    from repro.dataset.release import release_dataset
-    from repro.enrichment.pipeline import enrich_dataset
-    from repro.simulator.engine import simulate_marketplace
+        from repro.dataset.release import release_dataset
+        from repro.enrichment.pipeline import enrich_dataset
+        from repro.simulator.engine import simulate_marketplace
 
-    state = simulate_marketplace(config)
-    released = release_dataset(state, config)
-    enriched = enrich_dataset(released, config)
-    if use_cache:
-        study_cache.store_study(config, released, enriched)
-    return Study(
-        config=config,
-        state=state,
-        released=released,
-        enriched=enriched,
-        figures=FigureSuite(state=state, released=released, enriched=enriched),
-    )
+        state = simulate_marketplace(config)
+        with obs.span("release"):
+            released = release_dataset(state, config)
+        enriched = enrich_dataset(released, config)
+        if use_cache:
+            study_cache.store_study(config, released, enriched)
+        sp.set("source", "built")
+        sp.set("instances", released.instances.num_rows)
+        return Study(
+            config=config,
+            state=state,
+            released=released,
+            enriched=enriched,
+            figures=FigureSuite(
+                state=state, released=released, enriched=enriched
+            ),
+        )

@@ -21,6 +21,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.tables.column import factorize
 from repro.tables.table import SchemaError, Table
 
@@ -31,6 +32,15 @@ _SIMPLE_AGGS = ("count", "sum", "mean", "min", "max", "median", "std",
 
 _INT64_MAX = np.iinfo(np.int64).max
 
+#: Kernel-path counters: which grouping/sort strategy each call takes.
+#: Per-call increments (never per-row), so the hot kernels stay at
+#: uninstrumented speed — asserted by ``benchmarks/test_substrate_perf.py``.
+_CALLS = obs.counter("groupby.calls")
+_RADIX_FASTPATH = obs.counter("groupby.fastpath_taken")
+_OVERFLOW_REDENSIFY = obs.counter("groupby.overflow_redensify")
+_SEGMENT_SORT_INPLACE = obs.counter("groupby.segment_sort_inplace")
+_SEGMENT_SORT_LEXSORT = obs.counter("groupby.segment_sort_lexsort")
+
 
 class GroupedTable:
     """The result of :func:`group_by`: group keys plus per-group row segments."""
@@ -40,6 +50,7 @@ class GroupedTable:
             raise SchemaError("group_by requires at least one key column")
         self._table = table
         self._keys = list(keys)
+        _CALLS.inc()
 
         if table.num_rows == 0:
             self._order = np.empty(0, dtype=np.int64)
@@ -63,6 +74,7 @@ class GroupedTable:
                 _, combined = np.unique(combined, return_inverse=True)
                 combined = combined.astype(np.int64)
                 cardinality = int(combined.max()) + 1
+                _OVERFLOW_REDENSIFY.inc()
             combined = combined * num_uniques + codes
             cardinality *= num_uniques
 
@@ -80,6 +92,7 @@ class GroupedTable:
         sortable = group_codes
         if num_group_codes <= np.iinfo(np.int16).max:
             sortable = group_codes.astype(np.int16)
+            _RADIX_FASTPATH.inc()
         order = np.argsort(sortable, kind="stable")
         sorted_codes = group_codes[order]
         starts = np.flatnonzero(
@@ -237,10 +250,12 @@ class GroupedTable:
                     # Few large groups: in-place C sorts on the contiguous
                     # segments beat a full-array lexsort.  Values only (no
                     # permutation needed), NaNs still sort last per segment.
+                    _SEGMENT_SORT_INPLACE.inc()
                     cached = ordered.copy()
                     for lo, hi in zip(self._starts, ends):
                         cached[lo:hi].sort()
                 else:
+                    _SEGMENT_SORT_LEXSORT.inc()
                     perm = np.lexsort((ordered, self._group_ids()))
                     cached = ordered[perm]
                 sorted_cache[in_name] = cached

@@ -1,0 +1,122 @@
+"""Smoke tests for the ``python -m repro`` CLI entry points.
+
+Each test drives :func:`repro.cli.main` in-process at ``tiny`` scale and
+asserts the exit code plus a few stable stdout markers — enough to catch a
+broken wiring without pinning the exact report wording.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, obs
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    obs.finish()
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro ")
+    assert out.strip() != "repro"  # some version string followed
+
+
+def test_report_smoke(capsys):
+    rc = cli.main(["report", "--scale", "tiny", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "== Section 3: marketplace dynamics ==" in out
+    assert "== Section 4: task design ==" in out
+    assert "== Section 5: workers ==" in out
+    assert "Table 1 (disagreement):" in out
+
+
+def test_simulate_smoke(tmp_path, capsys):
+    out_dir = tmp_path / "dataset"
+    rc = cli.main([
+        "simulate", "--scale", "tiny", "--seed", "7", "--out", str(out_dir),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in out and "instances" in out
+    assert out_dir.is_dir() and any(out_dir.iterdir())
+
+
+def test_cache_smoke(capsys):
+    rc = cli.main(["cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "cache dir:" in out
+
+
+def test_traced_report_writes_trace(tmp_path, capsys):
+    """Acceptance: a traced report prints the tree and writes a JSON trace
+    covering simulate → release → enrichment → figures."""
+    trace_path = tmp_path / "trace.json"
+    rc = cli.main([
+        "report", "--scale", "tiny", "--seed", "7", "--no-cache",
+        "--trace", "--trace-out", str(trace_path),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert not obs.enabled()  # the CLI turned tracing back off
+    assert "== trace ==" in out
+    assert f"trace written to {trace_path}" in out
+    assert "cli.report" in out and "study.build" in out
+
+    doc = json.loads(trace_path.read_text())
+    assert doc["schema"] == obs.TRACE_SCHEMA_VERSION
+    names = {span["name"] for span in doc["spans"]}
+    for expected in (
+        "cli.report", "study.build", "simulate", "simulate.instances",
+        "release", "enrichment", "enrichment.clustering", "cluster.minhash",
+        "design.extract",
+    ):
+        assert expected in names, f"span {expected!r} missing from trace"
+    assert any(name.startswith("figures.") for name in names)
+    root = next(s for s in doc["spans"] if s["parent"] == -1)
+    assert root["name"] == "cli.report"
+    assert root["attrs"]["scale"] == "tiny"
+    assert doc["metrics"]["counters"]["cluster.minhash_docs"] > 0
+
+
+def test_trace_command_summarizes(tmp_path, capsys):
+    obs.enable(name="unit")
+    with obs.span("alpha"):
+        with obs.span("beta", rows=3):
+            pass
+    path = obs.write_trace_json(obs.finish(), tmp_path / "t.json")
+
+    rc = cli.main(["trace", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "span" in out and "count" in out  # summary table header
+    assert "alpha" in out and "beta" in out
+    assert "trace 'unit': 2 spans" in out  # the tree is printed too
+
+    rc = cli.main(["trace", str(path), "--no-tree"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "trace 'unit'" not in out
+
+
+def test_trace_command_rejects_missing_and_garbage(tmp_path, capsys):
+    rc = cli.main(["trace", str(tmp_path / "missing.json")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "cannot read trace" in captured.err
+
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text('{"nope": true}')
+    rc = cli.main(["trace", str(garbage)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "cannot read trace" in captured.err

@@ -63,10 +63,17 @@ class TestMapChunks:
 
     def test_unpicklable_function_falls_back_to_serial(self):
         # Lambdas cannot cross a process boundary; map_chunks must degrade
-        # to the serial path instead of raising.
+        # to the serial path instead of raising — but not silently: it warns
+        # and bumps the parallel.serial_fallback counter.
+        from repro import obs
+
+        fallbacks = obs.counter("parallel.serial_fallback")
+        before = fallbacks.value
         items = list(range(64))
-        result = map_chunks(lambda x: x + 1, items, workers=2)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            result = map_chunks(lambda x: x + 1, items, workers=2)
         assert result == [x + 1 for x in items]
+        assert fallbacks.value == before + 1
 
     def test_numpy_payloads_round_trip(self):
         arrays = [np.arange(i, i + 5) for i in range(64)]
