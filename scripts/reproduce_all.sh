@@ -5,12 +5,15 @@
 #
 # Produces, under the output directory (default: ./reproduction_output):
 #   test_output.txt    - full unit/integration/property test run
+#   test_workers2.txt  - the same suite with REPRO_WORKERS=2 (pool paths hot)
 #   bench_guard.txt    - substrate perf guard vs BENCH_substrate.json
 #   bench_output.txt   - per-figure benchmark run (paper shapes asserted)
 #   bench_report.txt   - the paper-vs-measured report (copied from repo root)
 #   validation.txt     - the calibration checklist at small scale
 #   trace_medium.json  - span trace of an uncached medium-scale report run
 #   trace_summary.txt  - per-phase wall/CPU totals from that trace
+#   report_clean.txt   - medium-scale report, healthy environment
+#   report_faulted.txt - the same report under injected faults (must diff clean)
 #   figures/           - every paper figure as SVG
 #   dataset/           - an exported released dataset (small scale)
 #   workload.json      - the derived crowdsourcing workload
@@ -21,32 +24,46 @@ cd "$(dirname "$0")/.."
 OUT="${1:-reproduction_output}"
 mkdir -p "$OUT"
 
-echo "== 1/8 tests =="
+echo "== 1/10 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/8 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 2/10 tests again with a live process pool (REPRO_WORKERS=2) =="
+REPRO_WORKERS=2 python -m pytest tests/ 2>&1 | tee "$OUT/test_workers2.txt" | tail -1
+
+echo "== 3/10 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 3/8 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 4/10 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 4/8 validation checklist =="
+echo "== 5/10 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 5/8 traced medium-scale report (writes trace_medium.json) =="
+echo "== 6/10 traced medium-scale report (writes trace_medium.json) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     --trace --trace-out "$OUT/trace_medium.json" > /dev/null
 python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
 head -7 "$OUT/trace_summary.txt"
 
-echo "== 6/8 SVG figures =="
+echo "== 7/10 failure injection (faulted medium report must match the clean one) =="
+python -m repro report --scale medium --seed 7 --no-cache \
+    > "$OUT/report_clean.txt"
+REPRO_CACHE_DIR="$OUT/fault_cache" REPRO_WORKERS=2 PYTHONWARNINGS=ignore \
+    python -m repro report --scale medium --seed 7 \
+    --faults 'cache.write:fail@1,pool.spawn:fail@1,pool.chunk:fail@1' \
+    > "$OUT/report_faulted.txt"
+diff "$OUT/report_clean.txt" "$OUT/report_faulted.txt"   # set -e: a diff is fatal
+rm -rf "$OUT/fault_cache"
+echo "faulted run identical to clean run"
+
+echo "== 8/10 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 7/8 dataset export =="
+echo "== 9/10 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 8/8 workload derivation =="
+echo "== 10/10 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
 echo "done: $OUT"

@@ -25,7 +25,25 @@ default ``~/.cache/repro-study``): tables as ``.npz`` (object columns
 pickled inside the archive), the HTML corpus and batch→cluster map as npz
 object/int arrays, plus a human-readable ``manifest.json``.  Entries are
 written to a temp directory and atomically renamed, so concurrent builders
-never observe a partial entry; unreadable entries are treated as misses.
+never observe a partial entry.
+
+Failure handling
+----------------
+The manifest records a SHA-256 checksum per data file, verified before any
+file is deserialized.  An entry that fails verification — or that raises
+any deserialization error (truncated archive, corrupt pickled object
+column) — is *quarantined*: renamed to a hidden ``.quarantine-*`` directory
+(best effort), counted in ``cache.corrupt``, and reported as a plain miss,
+so the next build rebuilds and re-writes the entry instead of crashing or
+reusing damage.  A failed write warns (``RuntimeWarning``) and counts in
+``cache.write_failed`` but never loses the in-memory study.  Cache listing
+and clearing tolerate concurrent eviction (entries vanishing
+mid-iteration) and skip in-progress ``.<key>-*`` temp directories.
+
+Deterministic fault injection (:mod:`repro.faults`): ``cache.write:fail``
+makes the entry write raise, ``cache.load:fail`` makes reading an existing
+entry raise, and ``cache.load:corrupt`` truncates a data file on disk so
+the checksum/quarantine defenses themselves are exercised.
 """
 
 from __future__ import annotations
@@ -35,14 +53,19 @@ import enum
 import hashlib
 import json
 import os
+import pickle
 import shutil
+import stat as stat_module
 import tempfile
+import warnings
+import zipfile
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataset.release import ReleasedDataset
@@ -58,7 +81,8 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 _DEFAULT_CACHE_DIR = "~/.cache/repro-study"
 
 #: Bump when the on-disk layout changes incompatibly.
-_SCHEMA_VERSION = 1
+#: v2: per-file SHA-256 checksums in the manifest, verified on load.
+_SCHEMA_VERSION = 2
 
 #: Packages/modules (relative to the ``repro`` package root) whose source
 #: determines the cached bytes.  Figures/analysis/reporting run on top of
@@ -82,6 +106,23 @@ _MISSES = obs.counter("cache.miss")
 _WRITES = obs.counter("cache.write")
 _BYTES_WRITTEN = obs.counter("cache.bytes_written")
 _BYTES_READ = obs.counter("cache.bytes_read")
+#: Entries that failed checksum verification or deserialization (each is
+#: also a miss) and writes that could not be persisted.
+_CORRUPT = obs.counter("cache.corrupt")
+_WRITE_FAILED = obs.counter("cache.write_failed")
+
+#: Exceptions a damaged on-disk entry can raise while being read: plain
+#: I/O and JSON/shape errors, plus everything a truncated ``.npz`` throws
+#: (bad zip structure, short reads, corrupt pickled object columns).
+_ENTRY_READ_ERRORS = (
+    OSError,
+    KeyError,
+    ValueError,  # includes json.JSONDecodeError
+    EOFError,
+    pickle.UnpicklingError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 _TABLE_FILES = {
     "batch_catalog": "released_batch_catalog.npz",
@@ -177,9 +218,39 @@ def _load_table(path: Path, column_order: list[str]) -> "Table":
 
 def _entry_size_bytes(entry: Path) -> int:
     try:
-        return sum(f.stat().st_size for f in entry.iterdir() if f.is_file())
+        files = list(entry.iterdir())
     except OSError:
         return 0
+    total = 0
+    for f in files:
+        try:
+            st = f.stat()
+        except OSError:
+            continue  # deleted by a concurrent eviction mid-iteration
+        if stat_module.S_ISREG(st.st_mode):
+            total += st.st_size
+    return total
+
+
+def _sha256_file(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _quarantine_entry(entry: Path) -> None:
+    """Move a damaged entry out of its key slot (best effort).
+
+    The hidden ``.quarantine-*`` name keeps it around for forensics while
+    making the key slot free for a rebuild; if the rename races or fails,
+    fall back to deleting the entry outright.  Either way the next build
+    sees a clean miss and re-writes the entry.
+    """
+    target = entry.parent / f".quarantine-{entry.name[:16]}"
+    try:
+        if target.exists():
+            shutil.rmtree(target, ignore_errors=True)
+        entry.rename(target)
+    except OSError:
+        shutil.rmtree(entry, ignore_errors=True)
 
 
 def store_study(
@@ -190,12 +261,23 @@ def store_study(
     """Persist the released + enriched layers; returns the entry path.
 
     Best-effort: any I/O failure leaves the cache unchanged and returns
-    ``None`` (the caller already has the in-memory study).
+    ``None`` (the caller already has the in-memory study) — but visibly:
+    a failed write raises a ``RuntimeWarning`` and counts in
+    ``cache.write_failed`` so a cache that never warms is diagnosable.
     """
     with obs.span("cache.store") as sp:
         entry = _store_study(config, released, enriched)
         if entry is not None:
             sp.set("entry", entry.name[:16])
+        else:
+            sp.set("result", "write_failed")
+            _WRITE_FAILED.inc()
+            warnings.warn(
+                "repro.cache: failed to persist the study entry "
+                "(cache left unchanged; the in-memory study is unaffected)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return entry
 
 
@@ -215,6 +297,7 @@ def _store_study(
     except OSError:
         return None
     try:
+        faults.check("cache.write")
         column_orders: dict[str, list[str]] = {}
         column_orders["batch_catalog"] = _save_table(
             released.batch_catalog, tmp / _TABLE_FILES["batch_catalog"]
@@ -246,11 +329,18 @@ def _store_study(
             tmp / "cluster_of_batch.npz", batch_id=cb_ids, cluster_id=cb_clusters
         )
 
+        # Per-file content checksums, verified before any load deserializes
+        # a byte — a flipped bit or truncated file is a quarantined miss,
+        # never a crash or a silently wrong study.
+        checksums = {
+            f.name: _sha256_file(f) for f in sorted(tmp.iterdir())
+        }
         manifest = {
             "schema": _SCHEMA_VERSION,
             "key": key,
             "config": _jsonable(config),
             "column_orders": column_orders,
+            "checksums": checksums,
             "num_instances": released.instances.num_rows,
             "num_sampled_batches": released.num_sampled_batches,
             "num_clusters": enriched.num_clusters,
@@ -283,6 +373,22 @@ def load_study(
     return loaded
 
 
+def _corrupt_entry(entry: Path) -> None:
+    """Injected ``cache.load:corrupt``: truncate one data file on disk.
+
+    Deliberately physical — the real checksum/deserialization defenses are
+    the thing under test, not a simulated error path.
+    """
+    target = entry / _TABLE_FILES["labels"]
+    if not target.is_file():
+        candidates = sorted(entry.glob("*.npz"))
+        if not candidates:
+            return
+        target = candidates[0]
+    data = target.read_bytes()
+    target.write_bytes(data[: len(data) // 2])
+
+
 def _load_study(
     config: "SimulationConfig",
 ) -> tuple["ReleasedDataset", "EnrichedDataset"] | None:
@@ -290,9 +396,19 @@ def _load_study(
     if not entry.is_dir():
         return None
     try:
+        kind = faults.fire("cache.load")
+        if kind == "corrupt":
+            _corrupt_entry(entry)
+        elif kind == "fail":
+            raise faults.InjectedFault("injected fault: cache.load:fail")
         manifest = json.loads((entry / "manifest.json").read_text())
         if manifest.get("schema") != _SCHEMA_VERSION:
+            # A different (older/newer) layout, not damage: plain miss, and
+            # leave the entry alone for whichever code version owns it.
             return None
+        for filename, expected in manifest["checksums"].items():
+            if _sha256_file(entry / filename) != expected:
+                raise ValueError(f"checksum mismatch in {filename}")
         orders = manifest["column_orders"]
         tables = {
             name: _load_table(entry / filename, orders[name])
@@ -308,7 +424,11 @@ def _load_study(
                 int(b): int(c)
                 for b, c in zip(archive["batch_id"], archive["cluster_id"])
             }
-    except (OSError, KeyError, ValueError, json.JSONDecodeError):
+    except _ENTRY_READ_ERRORS:
+        # The entry exists but cannot be read back: quarantine it so the
+        # next build re-writes a healthy one, and count the damage.
+        _CORRUPT.inc()
+        _quarantine_entry(entry)
         return None
     _BYTES_READ.inc(_entry_size_bytes(entry))
 
@@ -330,35 +450,53 @@ def _load_study(
 
 
 def clear_cache() -> int:
-    """Remove every cache entry; returns the number of entries removed."""
+    """Remove every cache entry; returns the number of entries removed.
+
+    Hidden ``.<key>-*`` temp directories (in-progress writes) and
+    ``.quarantine-*`` corpses are swept too but *not* counted — they were
+    never readable entries.
+    """
     root = cache_dir()
     if not root.is_dir():
         return 0
+    try:
+        children = sorted(root.iterdir())
+    except OSError:
+        return 0
     removed = 0
-    for entry in root.iterdir():
-        if entry.is_dir():
-            shutil.rmtree(entry, ignore_errors=True)
+    for entry in children:
+        if not entry.is_dir():
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        if not entry.name.startswith("."):
             removed += 1
     return removed
 
 
 def list_entries() -> list[dict[str, Any]]:
-    """Manifests of every readable cache entry (for ``repro cache``)."""
+    """Manifests of every readable cache entry (for ``repro cache``).
+
+    Robust against concurrent eviction: entries or files vanishing between
+    listing and reading are skipped, never raised.  Hidden temp/quarantine
+    directories are not entries and are skipped.
+    """
     root = cache_dir()
     if not root.is_dir():
         return []
+    try:
+        children = sorted(root.iterdir())
+    except OSError:
+        return []
     entries = []
-    for entry in sorted(root.iterdir()):
-        manifest_path = entry / "manifest.json"
-        if not manifest_path.is_file():
+    for entry in children:
+        if entry.name.startswith("."):
             continue
+        manifest_path = entry / "manifest.json"
         try:
             manifest = json.loads(manifest_path.read_text())
         except (OSError, json.JSONDecodeError):
             continue
         manifest["path"] = str(entry)
-        manifest["size_bytes"] = sum(
-            f.stat().st_size for f in entry.iterdir() if f.is_file()
-        )
+        manifest["size_bytes"] = _entry_size_bytes(entry)
         entries.append(manifest)
     return entries

@@ -18,6 +18,11 @@ Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
 the run records a hierarchical span trace (see :mod:`repro.obs`), prints
 the timing tree afterwards, and writes a JSON trace file for later
 ``repro trace`` / ``scripts/bench_guard.py --trace-diff`` consumption.
+
+They also accept ``--faults SPEC`` (or ``REPRO_FAULTS``): deterministic
+fault injection into the cache/pool/dataset failure paths (see
+:mod:`repro.faults`) — a faulted run must still produce the identical
+study, or fail loudly.
 """
 
 from __future__ import annotations
@@ -70,6 +75,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--trace-mem", action="store_true",
         help="add tracemalloc allocation/peak numbers to every span "
         "(implies the cost of tracemalloc; also REPRO_TRACE_MEM=1)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'cache.write:fail@2,pool.spawn:fail' (see repro.faults; "
+        "also REPRO_FAULTS)",
     )
 
 
@@ -230,12 +241,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"instances={entry.get('num_instances'):,} "
             f"({entry.get('size_bytes', 0) / 1e6:.1f} MB)"
         )
-    counters = obs.metrics_snapshot()["counters"]
-    session = {
-        name: value
-        for name, value in counters.items()
-        if name.startswith("cache.") and value
-    }
+    session = obs.nonzero_counters("cache.")
     if session:
         traffic = " ".join(f"{k.split('.', 1)[1]}={v}" for k, v in session.items())
         print(f"this process: {traffic}")
@@ -366,7 +372,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    from repro import obs
+    from repro import faults, obs
+
+    fault_spec = getattr(args, "faults", None)
+    if fault_spec is not None:
+        try:
+            faults.configure(fault_spec)
+        except faults.FaultSpecError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
 
     want_trace = bool(getattr(args, "trace", False)) or obs.env_enabled()
     if not want_trace or args.command == "trace":

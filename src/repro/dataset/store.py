@@ -16,8 +16,10 @@ a reloaded dataset.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
+from repro import faults
 from repro.dataset.release import ReleasedDataset
 from repro.tables import read_csv, write_csv
 
@@ -33,10 +35,19 @@ def save_dataset(released: ReleasedDataset, root: str | Path) -> Path:
 
     Returns the dataset directory.  Refuses to overwrite a directory that
     already contains a manifest with different content shape.
+
+    Failure-safe: any pre-existing manifest is removed *first* and the new
+    one is written last (atomically), so a save that dies midway — disk
+    full, or an injected ``dataset.save:fail`` fault (:mod:`repro.faults`)
+    — can never pair a stale manifest with partial files; the partial
+    directory fails :func:`load_dataset` loudly instead.
     """
     root = Path(root)
     html_dir = root / "html"
     html_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = root / "manifest.json"
+    manifest_path.unlink(missing_ok=True)
+    faults.check("dataset.save")
 
     write_csv(released.batch_catalog, root / "batch_catalog.csv")
     write_csv(released.instances, root / "instances.csv")
@@ -49,7 +60,9 @@ def save_dataset(released: ReleasedDataset, root: str | Path) -> Path:
         "num_sampled_batches": released.num_sampled_batches,
         "num_instances": released.instances.num_rows,
     }
-    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    tmp_path = root / ".manifest.json.tmp"
+    tmp_path.write_text(json.dumps(manifest, indent=2))
+    os.replace(tmp_path, manifest_path)
     return root
 
 

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the study pipeline's failure paths.
+
+A degraded run — broken process pool, corrupt cache entry, full disk — must
+produce either the identical study or a loud, diagnosable failure; never a
+silently wrong or double-executed one.  This module makes those failure
+paths *testable*: named injection sites threaded through :mod:`repro.cache`,
+:mod:`repro.parallel`, and :mod:`repro.dataset.store` fire deterministic
+faults on demand, so every ``except`` clause in the pipeline is an
+exercised, metered code path instead of dead insurance.
+
+Spec grammar
+------------
+A fault spec is a comma-separated list of rules::
+
+    rule  :=  site ":" kind [ "@" n ]
+
+    REPRO_FAULTS='cache.write:fail@2,pool.spawn:fail,cache.load:corrupt@1'
+
+``site`` names an injection point (see :data:`SITES`), ``kind`` selects what
+happens there, and ``@n`` (1-based) fires the fault at exactly the *n*-th
+arrival at that site — omit it to fire at **every** arrival.  Arrivals are
+counted per site, per process (forked pool workers inherit the parent's
+rules and counts at fork time and count on independently), and reset by
+:func:`configure`.
+
+Sites and kinds
+---------------
+- ``cache.write:fail`` — the entry write raises :class:`InjectedFault`
+- ``cache.load:fail`` — reading an existing entry raises
+- ``cache.load:corrupt`` — a data file of the entry is truncated on disk
+- ``pool.spawn:fail`` — one pool-creation attempt raises
+- ``pool.chunk:fail`` — the worker chunk raises (simulated worker crash)
+- ``pool.chunk:hang`` — the worker chunk sleeps past any configured timeout
+- ``dataset.save:fail`` — :func:`repro.dataset.save_dataset` raises
+
+Injected faults raise :class:`InjectedFault` (an :class:`OSError` subclass)
+so they travel the *same* recovery paths a real I/O failure would; the
+``corrupt`` kind instead physically truncates the entry so the real
+checksum/unpickling defenses are the thing being exercised.
+
+Configuration is read lazily from the ``REPRO_FAULTS`` environment variable
+(so library use needs no code change) or installed explicitly with
+:func:`configure` (the CLI ``--faults`` flag).  A malformed spec raises
+:class:`FaultSpecError` at first use — loud, never ignored.  Every fired
+fault increments the ``faults.injected`` counter.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro import obs
+
+#: Environment variable holding the fault spec for library use.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Injection-site registry: site name -> kinds valid at that site.
+SITES: dict[str, tuple[str, ...]] = {
+    "cache.write": ("fail",),
+    "cache.load": ("fail", "corrupt"),
+    "pool.spawn": ("fail",),
+    "pool.chunk": ("fail", "hang"),
+    "dataset.save": ("fail",),
+}
+
+_INJECTED = obs.counter("faults.injected")
+
+_RULE_RE = re.compile(
+    r"^(?P<site>[a-z_.]+):(?P<kind>[a-z_]+)(?:@(?P<at>[^@]*))?$"
+)
+
+
+class FaultSpecError(ValueError):
+    """Raised for a malformed or unknown fault spec."""
+
+
+class InjectedFault(OSError):
+    """The exception raised by ``fail``-kind injection sites.
+
+    Subclasses :class:`OSError` so injected faults exercise the same
+    ``except`` clauses that real I/O failures hit.
+    """
+
+
+def parse(spec: str) -> tuple[tuple[str, str, int | None], ...]:
+    """Parse a spec string into ``(site, kind, at)`` rules.
+
+    ``at`` is the 1-based arrival the rule fires on, or ``None`` for every
+    arrival.  Raises :class:`FaultSpecError` on any malformed rule.
+    """
+    rules: list[tuple[str, str, int | None]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = _RULE_RE.match(part)
+        if match is None:
+            raise FaultSpecError(
+                f"malformed fault rule {part!r} (expected site:kind[@n])"
+            )
+        site, kind = match["site"], match["kind"]
+        kinds = SITES.get(site)
+        if kinds is None:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} (known: {', '.join(sorted(SITES))})"
+            )
+        if kind not in kinds:
+            raise FaultSpecError(
+                f"fault site {site!r} has no kind {kind!r} "
+                f"(valid: {', '.join(kinds)})"
+            )
+        at: int | None = None
+        if match["at"] is not None:
+            try:
+                at = int(match["at"])
+            except ValueError:
+                raise FaultSpecError(
+                    f"fault rule {part!r}: @n must be an integer"
+                ) from None
+            if at < 1:
+                raise FaultSpecError(f"fault rule {part!r}: @n must be >= 1")
+        rules.append((site, kind, at))
+    return tuple(rules)
+
+
+def _compile(
+    rules: tuple[tuple[str, str, int | None], ...]
+) -> dict[str, list[tuple[str, int | None]]]:
+    compiled: dict[str, list[tuple[str, int | None]]] = {}
+    for site, kind, at in rules:
+        compiled.setdefault(site, []).append((kind, at))
+    return compiled
+
+
+# Explicitly installed rules (configure) win over the lazily parsed env
+# spec; the env parse is cached against the raw spec string so fire() costs
+# one os.environ lookup when nothing changed.
+_explicit: dict[str, list[tuple[str, int | None]]] | None = None
+_env_spec: str | None = None
+_env_rules: dict[str, list[tuple[str, int | None]]] = {}
+_arrivals: dict[str, int] = {}
+
+
+def configure(spec: str | None) -> None:
+    """Install an explicit fault spec (``--faults``); ``None`` reverts to env.
+
+    Resets every site's arrival counter either way, so a fresh ``@n`` count
+    starts with the new rules.
+    """
+    global _explicit, _env_spec
+    _arrivals.clear()
+    if spec is None:
+        _explicit = None
+        _env_spec = None  # force a re-parse of the environment next fire()
+    else:
+        _explicit = _compile(parse(spec))
+
+
+def _current() -> dict[str, list[tuple[str, int | None]]]:
+    global _env_spec, _env_rules
+    if _explicit is not None:
+        return _explicit
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if spec != _env_spec:
+        _env_rules = _compile(parse(spec))
+        _env_spec = spec
+        _arrivals.clear()
+    return _env_rules
+
+
+def active() -> bool:
+    """Whether any fault rules are currently installed."""
+    return bool(_current())
+
+
+def arrival_counts() -> dict[str, int]:
+    """Arrivals recorded per site since the last :func:`configure` (debugging)."""
+    return dict(_arrivals)
+
+
+def fire(site: str) -> str | None:
+    """Record an arrival at ``site``; return the fault kind to inject, if any.
+
+    Sites with no installed rules return ``None`` without counting, so the
+    disabled path is one dict lookup.
+    """
+    rules = _current().get(site)
+    if not rules:
+        return None
+    n = _arrivals[site] = _arrivals.get(site, 0) + 1
+    for kind, at in rules:
+        if at is None or at == n:
+            _INJECTED.inc()
+            return kind
+    return None
+
+
+def check(site: str) -> str | None:
+    """Like :func:`fire`, but raises :class:`InjectedFault` on ``fail``.
+
+    Convenience for sites whose only fault kind is an I/O failure; other
+    kinds are returned to the caller to act on.
+    """
+    kind = fire(site)
+    if kind == "fail":
+        raise InjectedFault(f"injected fault: {site}:fail")
+    return kind

@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     gauge,
     histogram,
     merge_counter_deltas,
+    nonzero_counters,
 )
 from repro.obs.metrics import reset as reset_metrics
 from repro.obs.metrics import snapshot as metrics_snapshot
@@ -85,6 +86,7 @@ __all__ = [
     "load_trace",
     "merge_counter_deltas",
     "metrics_snapshot",
+    "nonzero_counters",
     "render_tree",
     "reset_metrics",
     "span",

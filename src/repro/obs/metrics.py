@@ -18,6 +18,14 @@ same structure embedded in trace files by :mod:`repro.obs.export` — and
 traced command).  Worker processes forked by :mod:`repro.parallel` report
 counter *deltas* back to the parent, which merges them with
 ``merge_counter_deltas`` so parallel runs converge to the serial counts.
+
+Failure paths are first-class citizens of the registry: every degradation
+the pipeline survives leaves a countable trace (``cache.corrupt``,
+``cache.write_failed``, ``parallel.serial_fallback``,
+``parallel.pool_retries``, ``parallel.timeout``, ``faults.injected``), so a
+degraded-but-correct run is distinguishable from a healthy one by metrics
+alone.  ``nonzero_counters(prefix)`` is the query helper for exactly that
+kind of triage.
 """
 
 from __future__ import annotations
@@ -149,6 +157,21 @@ class MetricsRegistry:
             if isinstance(inst, Counter)
         }
 
+    def nonzero_counters(self, prefix: str = "") -> dict[str, int]:
+        """Nonzero counters whose name starts with ``prefix``, name-sorted.
+
+        The triage query: ``nonzero_counters("cache.")`` shows this
+        process's cache traffic, ``nonzero_counters("parallel.")`` whether
+        (and why) any map degraded.
+        """
+        return {
+            name: value
+            for name in sorted(self._instruments)
+            if isinstance((inst := self._instruments[name]), Counter)
+            and (value := inst.value)
+            and name.startswith(prefix)
+        }
+
     def merge_counter_deltas(self, deltas: Mapping[str, int]) -> None:
         """Fold counter increments observed in a worker process back in."""
         for name, delta in deltas.items():
@@ -184,3 +207,4 @@ histogram = REGISTRY.histogram
 snapshot = REGISTRY.snapshot
 reset = REGISTRY.reset
 merge_counter_deltas = REGISTRY.merge_counter_deltas
+nonzero_counters = REGISTRY.nonzero_counters

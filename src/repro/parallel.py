@@ -2,7 +2,8 @@
 
 The enrichment pipeline is embarrassingly parallel over batch HTML
 (shingling for clustering, feature extraction for design parameters), so a
-plain order-preserving ``Pool.map`` with chunking is all that is needed.
+plain order-preserving chunked map over a process pool is all that is
+needed.
 
 Parallelism is opt-in and controlled by the ``REPRO_WORKERS`` environment
 variable:
@@ -10,47 +11,99 @@ variable:
 - unset, empty, or ``1`` — serial (the default; deterministic and safe in
   every environment);
 - ``auto`` or ``0`` — one worker per CPU;
-- any other integer — that many workers.
+- any other positive integer — that many workers;
+- anything else (garbage, negative) — serial, with a ``RuntimeWarning`` and
+  a ``parallel.serial_fallback`` increment so a misconfigured fleet is
+  diagnosable from its metrics.
 
-``map_chunks`` always preserves input order and falls back to a serial loop
-whenever multiprocessing is unavailable (missing semaphores in sandboxes,
-unpicklable callables, interpreter shutdown), so callers never need to
-branch on the environment.  Results are identical either way because the
-mapped functions are pure.  The degradation is *visible*: it raises a
-``RuntimeWarning`` and bumps the ``parallel.serial_fallback`` counter so a
-silently-serial run can be diagnosed from its metrics.
+Failure semantics — the load-bearing part:
 
-With span tracing enabled (:mod:`repro.obs`), the pool path switches to
-explicit chunks run through :class:`_ChunkRunner`: each worker records a
+- **Pool-infrastructure failures** (missing semaphores in sandboxes,
+  unpicklable callables, a worker crash, interpreter shutdown) degrade to
+  the serial loop.  The degradation is *visible*: a ``RuntimeWarning`` and a
+  ``parallel.serial_fallback`` counter increment.  Results are identical
+  either way because the mapped functions are pure.
+- **Pool creation** is retried up to :data:`_POOL_SPAWN_ATTEMPTS` times
+  with exponential backoff (``parallel.pool_retries`` counts retries)
+  before the serial fallback engages.
+- **Mapped-function exceptions** are *not* infrastructure failures: each
+  worker guards the mapped call and ships the exception back as a value, so
+  the original exception type re-raises in the parent immediately — the
+  workload is never re-executed serially just to reproduce a deterministic
+  error.
+- **Hung chunks**: with a timeout (``timeout=`` argument or the
+  ``REPRO_POOL_TIMEOUT`` env var, seconds), each chunk result is awaited at
+  most that long; a stall bumps ``parallel.timeout``, tears the pool down,
+  and falls back to the serial loop.
+
+Fault-injection sites (:mod:`repro.faults`): ``pool.spawn:fail`` makes one
+pool-creation attempt raise, ``pool.chunk:fail`` crashes a worker chunk,
+``pool.chunk:hang`` stalls one past the timeout — all three must leave the
+mapped results byte-identical to a serial run.
+
+With span tracing enabled (:mod:`repro.obs`), each worker records a
 ``parallel.chunk`` span (plus any spans the mapped function opens) and its
 counter increments, and ships both back to the parent, where they fold into
-the enclosing ``parallel.map`` span.
+the enclosing ``parallel.map`` span.  Untraced pool runs still ship counter
+deltas back, so parallel runs converge to the serial counts either way.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import time
 import warnings
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro import obs
+from repro import faults, obs
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Environment variable selecting the worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable setting the per-chunk result timeout in seconds.
+POOL_TIMEOUT_ENV = "REPRO_POOL_TIMEOUT"
 
 #: Below this many items the fork/pickle overhead outweighs any fan-out win.
 _MIN_PARALLEL_ITEMS = 32
 
+#: Pool-creation attempts before degrading to the serial loop.
+_POOL_SPAWN_ATTEMPTS = 3
+#: First retry backoff; doubles per attempt.
+_POOL_SPAWN_BACKOFF_S = 0.05
+#: How long an injected ``pool.chunk:hang`` fault sleeps.
+_HANG_SLEEP_S = 30.0
+
 _FALLBACKS = obs.counter("parallel.serial_fallback")
 _POOL_MAPS = obs.counter("parallel.pool_maps")
+_POOL_RETRIES = obs.counter("parallel.pool_retries")
+_TIMEOUTS = obs.counter("parallel.timeout")
 _WORKERS_GAUGE = obs.gauge("parallel.workers")
 
 
+class PoolTimeoutError(RuntimeError):
+    """A worker chunk exceeded the configured result timeout."""
+
+
+def _misconfigured(raw: str, why: str) -> int:
+    _FALLBACKS.inc()
+    warnings.warn(
+        f"repro.parallel: {WORKERS_ENV}={raw!r} {why}; running serial",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return 1
+
+
 def worker_count(workers: int | None = None) -> int:
-    """Resolve the effective worker count (``workers`` overrides the env)."""
+    """Resolve the effective worker count (``workers`` overrides the env).
+
+    Bad env input (non-integer garbage, negative counts) resolves to serial
+    — but loudly: a ``RuntimeWarning`` plus a ``parallel.serial_fallback``
+    increment, never a silent 1.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip().lower()
         if not raw:
@@ -60,47 +113,160 @@ def worker_count(workers: int | None = None) -> int:
         try:
             workers = int(raw)
         except ValueError:
-            return 1
+            return _misconfigured(raw, "is not an integer or 'auto'")
+        if workers < 0:
+            return _misconfigured(raw, "is negative")
     if workers == 0:
         return os.cpu_count() or 1
     return max(1, workers)
 
 
-class _ChunkRunner:
-    """Run one chunk of items in a worker under a local span collector.
+def chunk_timeout(timeout: float | None = None) -> float | None:
+    """Resolve the per-chunk result timeout (argument over env, ``None`` off)."""
+    if timeout is not None:
+        return timeout if timeout > 0 else None
+    raw = os.environ.get(POOL_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"repro.parallel: {POOL_TIMEOUT_ENV}={raw!r} is not a number; "
+            f"chunk timeouts disabled",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value if value > 0 else None
 
-    Picklable as long as the mapped function is.  Returns the chunk's
-    results plus the spans and counter deltas recorded while computing
-    them, for folding back into the parent process's trace.
+
+def _shippable(exc: Exception) -> Exception:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        return RuntimeError(f"unpicklable {type(exc).__name__}: {exc}")
+    return exc
+
+
+class _ChunkRunner:
+    """Run one chunk of items in a worker, guarding mapped-function errors.
+
+    Picklable as long as the mapped function is.  Returns ``(guarded,
+    spans, deltas)`` where ``guarded`` holds ``(True, result)`` per item —
+    or ``(False, exc)`` if the mapped function raised, shipped back as a
+    value so the parent re-raises the *original* exception instead of
+    mistaking it for a pool failure.  Injected ``pool.chunk`` faults raise
+    out of the runner, i.e. they look exactly like a worker crash.
+
+    ``spans``/``deltas`` carry the worker's trace spans and counter
+    increments back to the parent (spans only when tracing is on).
     """
 
-    __slots__ = ("func",)
+    __slots__ = ("func", "traced")
 
-    def __init__(self, func: Callable[[_T], _R]):
+    def __init__(self, func: Callable[[_T], _R], traced: bool):
         self.func = func
+        self.traced = traced
+
+    def _run(self, chunk: Sequence[_T]) -> list[tuple[bool, object]]:
+        kind = faults.fire("pool.chunk")
+        if kind == "fail":
+            raise faults.InjectedFault("injected fault: pool.chunk:fail")
+        if kind == "hang":
+            time.sleep(_HANG_SLEEP_S)
+        guarded: list[tuple[bool, object]] = []
+        for item in chunk:
+            try:
+                guarded.append((True, self.func(item)))
+            except Exception as exc:
+                guarded.append((False, _shippable(exc)))
+                break  # the parent raises at the first error anyway
+        return guarded
 
     def __call__(
         self, chunk: Sequence[_T]
-    ) -> tuple[list[_R], list[obs.SpanRecord], dict[str, int]]:
-        with obs.worker_collector() as collector:
-            with obs.span("parallel.chunk", items=len(chunk)):
-                results = [self.func(item) for item in chunk]
-        return results, collector.spans, collector.counter_deltas
+    ) -> tuple[
+        list[tuple[bool, object]],
+        list[obs.SpanRecord] | None,
+        dict[str, int] | None,
+    ]:
+        if self.traced:
+            with obs.worker_collector() as collector:
+                with obs.span("parallel.chunk", items=len(chunk)):
+                    guarded = self._run(chunk)
+            return guarded, collector.spans, collector.counter_deltas
+        before = obs.REGISTRY.counter_values()
+        guarded = self._run(chunk)
+        deltas = {
+            name: value - before.get(name, 0)
+            for name, value in obs.REGISTRY.counter_values().items()
+            if value != before.get(name, 0)
+        }
+        return guarded, None, deltas
 
 
-def _traced_pool_map(
-    pool, func: Callable[[_T], _R], seq: Sequence[_T], chunk_size: int, n: int
-) -> list[_R]:
+def _create_pool(ctx, n: int):
+    """Create a pool, retrying transient failures with bounded backoff."""
+    for attempt in range(1, _POOL_SPAWN_ATTEMPTS + 1):
+        try:
+            faults.check("pool.spawn")
+            return ctx.Pool(processes=n)
+        except Exception:
+            if attempt == _POOL_SPAWN_ATTEMPTS:
+                raise
+            _POOL_RETRIES.inc()
+            time.sleep(_POOL_SPAWN_BACKOFF_S * (2 ** (attempt - 1)))
+    raise RuntimeError("unreachable")  # pragma: no cover
+
+
+def _pool_map(
+    func: Callable[[_T], _R],
+    seq: Sequence[_T],
+    n: int,
+    chunk_size: int,
+    timeout: float | None,
+) -> list[tuple[bool, object]]:
+    """Map over the pool; returns guarded per-item results in input order.
+
+    Raises on any pool-infrastructure problem (spawn failure after retries,
+    worker crash, pickling error, chunk timeout) — the caller's cue to fall
+    back to the serial loop.
+    """
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    _WORKERS_GAUGE.set(n)
     chunks = [seq[i:i + chunk_size] for i in range(0, len(seq), chunk_size)]
+    runner = _ChunkRunner(func, traced=obs.enabled())
     with obs.span(
         "parallel.map", items=len(seq), workers=n, chunks=len(chunks)
     ):
-        results: list[_R] = []
-        for part, spans, deltas in pool.map(_ChunkRunner(func), chunks, chunksize=1):
-            results.extend(part)
-            obs.fold_spans(spans)
-            obs.merge_counter_deltas(deltas)
-        return results
+        with _create_pool(ctx, n) as pool:
+            _POOL_MAPS.inc()
+            pending = [pool.apply_async(runner, (chunk,)) for chunk in chunks]
+            parts = []
+            for res in pending:
+                try:
+                    parts.append(res.get(timeout))
+                except mp.TimeoutError:
+                    _TIMEOUTS.inc()
+                    raise PoolTimeoutError(
+                        f"worker chunk result not ready within {timeout:g}s"
+                    ) from None
+        # Fold spans/deltas only after every chunk arrived: a failure above
+        # abandons the whole pool result, so nothing is double-counted when
+        # the serial fallback recomputes it.
+        guarded: list[tuple[bool, object]] = []
+        for part, spans, deltas in parts:
+            guarded.extend(part)
+            if spans:
+                obs.fold_spans(spans)
+            if deltas:
+                obs.merge_counter_deltas(deltas)
+        return guarded
 
 
 def map_chunks(
@@ -109,12 +275,19 @@ def map_chunks(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    timeout: float | None = None,
 ) -> list[_R]:
     """Order-preserving parallel map with a serial fallback.
 
     ``func`` must be a picklable top-level function for the parallel path;
     anything else degrades to the serial loop (with a ``RuntimeWarning``
-    and a ``parallel.serial_fallback`` counter increment).
+    and a ``parallel.serial_fallback`` counter increment).  An exception
+    raised *by ``func``* is not a degradation: it re-raises with its
+    original type, without re-executing the workload.
+
+    ``timeout`` bounds how long each chunk's result may take (seconds;
+    default off, or the ``REPRO_POOL_TIMEOUT`` env var); a stall counts in
+    ``parallel.timeout`` and degrades to the serial loop.
     """
     seq: Sequence[_T] = items if isinstance(items, (list, tuple)) else list(items)
     n = worker_count(workers)
@@ -123,16 +296,7 @@ def map_chunks(
     if chunk_size is None:
         chunk_size = max(1, len(seq) // (n * 4))
     try:
-        import multiprocessing as mp
-
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else None)
-        _WORKERS_GAUGE.set(n)
-        with ctx.Pool(processes=n) as pool:
-            _POOL_MAPS.inc()
-            if obs.enabled():
-                return _traced_pool_map(pool, func, seq, chunk_size, n)
-            return pool.map(func, seq, chunksize=chunk_size)
+        guarded = _pool_map(func, seq, n, chunk_size, chunk_timeout(timeout))
     except Exception as exc:
         _FALLBACKS.inc()
         warnings.warn(
@@ -142,3 +306,9 @@ def map_chunks(
             stacklevel=2,
         )
         return [func(item) for item in seq]
+    results: list[_R] = []
+    for ok, value in guarded:
+        if not ok:
+            raise value  # the mapped function's own exception, original type
+        results.append(value)
+    return results

@@ -122,6 +122,12 @@ def build_study(
     the ``REPRO_NO_CACHE`` environment variable is set.  A warm hit loads
     the released + enriched layers from disk — byte-identical to a cold
     build — and defers simulation until ``study.state`` is touched.
+
+    Degraded environments never change the result: a corrupt or unreadable
+    cache entry is quarantined and rebuilt, a failed entry write keeps the
+    in-memory study, and pool failures in the enrichment fan-out degrade to
+    serial — all counted in the metrics registry and provable with
+    deterministic fault injection (:mod:`repro.faults`, ``REPRO_FAULTS``).
     """
     from repro import cache as study_cache
     from repro.figures.suite import FigureSuite
@@ -156,7 +162,8 @@ def build_study(
             released = release_dataset(state, config)
         enriched = enrich_dataset(released, config)
         if use_cache:
-            study_cache.store_study(config, released, enriched)
+            stored = study_cache.store_study(config, released, enriched)
+            sp.set("cache_stored", stored is not None)
         sp.set("source", "built")
         sp.set("instances", released.instances.num_rows)
         return Study(

@@ -31,10 +31,24 @@ class TestWorkerCount:
         monkeypatch.setenv(parallel.WORKERS_ENV, value)
         assert worker_count() >= 1
 
-    @pytest.mark.parametrize("value", ["", "  ", "banana", "-2"])
-    def test_env_garbage_falls_back_to_serial(self, monkeypatch, value):
+    @pytest.mark.parametrize("value", ["", "  "])
+    def test_env_unset_or_blank_is_quietly_serial(self, monkeypatch, value):
         monkeypatch.setenv(parallel.WORKERS_ENV, value)
         assert worker_count() == 1
+
+    @pytest.mark.parametrize("value", ["banana", "-2", "1.5"])
+    def test_env_garbage_falls_back_to_serial_loudly(self, monkeypatch, value):
+        # Bad input still resolves to serial, but never silently: a
+        # RuntimeWarning plus a parallel.serial_fallback increment make a
+        # misconfigured fleet diagnosable from its metrics.
+        from repro import obs
+
+        fallbacks = obs.counter("parallel.serial_fallback")
+        monkeypatch.setenv(parallel.WORKERS_ENV, value)
+        before = fallbacks.value
+        with pytest.warns(RuntimeWarning, match="running serial"):
+            assert worker_count() == 1
+        assert fallbacks.value == before + 1
 
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv(parallel.WORKERS_ENV, "7")
