@@ -18,6 +18,13 @@ Exit status is 1 on any regression, 0 otherwise.  ``--update-baseline``
 rewrites ``BENCH_substrate.json`` with the measured numbers (also done
 automatically when no baseline exists yet).
 
+Every benchmark run also appends a ``kind="bench"`` record to the
+persistent run ledger (:mod:`repro.obs.ledger`, honoring
+``REPRO_LEDGER_DIR``/``REPRO_NO_LEDGER``), so ``BENCH_*.json`` deltas are
+tracked over time instead of one-shot: ``--history`` prints the mean-time
+trajectory of every bench across recorded runs, and ``repro runs`` can
+list/diff/dashboard them alongside study runs.
+
 Trace modes (no benchmarks are run):
 
 - ``--trace-summary TRACE.json`` prints per-span-name wall/CPU totals from
@@ -134,6 +141,86 @@ def _trace_totals(path: str) -> dict[str, dict[str, float]]:
     return aggregate_by_name(load_trace(path))
 
 
+def _ledger():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import ledger
+
+    return ledger
+
+
+def record_bench_run(current: dict, regressions: list[str]) -> None:
+    """Append this benchmark run to the persistent run ledger (best effort).
+
+    Bench means become the record's ``phases`` so the same drift/dashboard
+    machinery that watches study phases charts the bench trajectory too.
+    """
+    ledger = _ledger()
+    if not ledger.ledger_enabled():
+        return
+    means = current["means_seconds"]
+    record = ledger.build_record(
+        kind="bench",
+        command="bench_guard",
+        config={"bench_file": current["bench_file"]},
+        extra={
+            "total_wall_s": round(sum(means.values()), 6),
+            "phases": {
+                name: {"count": 1, "wall_s": mean, "cpu_s": 0.0}
+                for name, mean in means.items()
+            },
+            "speedups_vs_seed": current["speedups_vs_seed"],
+            "regressions": regressions,
+        },
+    )
+    ledger.append_record(record)
+
+
+def history() -> int:
+    """Print the mean-time trajectory of every bench from the run ledger."""
+    ledger = _ledger()
+    records = [
+        r for r in ledger.read_records() if r.get("kind") == "bench"
+    ]
+    if not records:
+        print(
+            f"bench_guard: no bench runs recorded in {ledger.ledger_path()}"
+        )
+        return 0
+    shown = records[-8:]
+    print(
+        f"bench_guard: mean-time trajectory over {len(records)} recorded "
+        f"run(s) (showing last {len(shown)}; ms per bench)"
+    )
+    header = "".join(
+        f"{r['run_id'][9:15]:>9}" for r in shown
+    )
+    print(f"  {'bench':<28}{header}")
+    names = sorted({
+        name for record in shown for name in (record.get("phases") or {})
+    })
+    for name in names:
+        cells = []
+        for record in shown:
+            agg = (record.get("phases") or {}).get(name)
+            cells.append(
+                f"{agg['wall_s'] * 1e3:>9.2f}" if agg else f"{'-':>9}"
+            )
+        print(f"  {name:<28}{''.join(cells)}")
+    print(f"  {'-- speedups vs seed --':<28}")
+    speedup_names = sorted({
+        name
+        for record in shown
+        for name in (record.get("speedups_vs_seed") or {})
+    })
+    for name in speedup_names:
+        cells = []
+        for record in shown:
+            ratio = (record.get("speedups_vs_seed") or {}).get(name)
+            cells.append(f"{ratio:>8.1f}x" if ratio else f"{'-':>9}")
+        print(f"  {name:<28}{''.join(cells)}")
+    return 0
+
+
 def trace_summary(path: str) -> int:
     try:
         totals = _trace_totals(path)
@@ -219,8 +306,15 @@ def main() -> int:
         metavar=("CURRENT", "BASE"),
         help="diff two JSON traces phase by phase and exit 1 on regression",
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="print the bench trajectory from the run ledger and exit",
+    )
     args = parser.parse_args()
 
+    if args.history:
+        return history()
     if args.trace_summary:
         return trace_summary(args.trace_summary)
     if args.trace_diff:
@@ -237,11 +331,13 @@ def main() -> int:
 
     if args.update_baseline or not BASELINE_PATH.exists():
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        record_bench_run(current, [])
         print(f"bench_guard: baseline written to {BASELINE_PATH.name}")
         return 0
 
     baseline = json.loads(BASELINE_PATH.read_text())
     regressions = compare(current, baseline, args.tolerance)
+    record_bench_run(current, regressions)
     if regressions:
         print("\nbench_guard: PERFORMANCE REGRESSIONS:", file=sys.stderr)
         for line in regressions:

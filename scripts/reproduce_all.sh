@@ -17,6 +17,8 @@
 #   figures/           - every paper figure as SVG
 #   dataset/           - an exported released dataset (small scale)
 #   workload.json      - the derived crowdsourcing workload
+#   ledger/            - the persistent run ledger recorded by this pipeline
+#   runs_report.html   - dashboard over the ledger (repro runs report)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,32 +26,39 @@ cd "$(dirname "$0")/.."
 OUT="${1:-reproduction_output}"
 mkdir -p "$OUT"
 
-echo "== 1/10 tests =="
+# Every study/bench run below records into a pipeline-local ledger, so the
+# final drift check compares this pipeline's runs against each other.
+export REPRO_LEDGER_DIR="$OUT/ledger"
+
+echo "== 1/11 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/10 tests again with a live process pool (REPRO_WORKERS=2) =="
+echo "== 2/11 tests again with a live process pool (REPRO_WORKERS=2) =="
 REPRO_WORKERS=2 python -m pytest tests/ 2>&1 | tee "$OUT/test_workers2.txt" | tail -1
 
-echo "== 3/10 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 3/11 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 4/10 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 4/11 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 5/10 validation checklist =="
+echo "== 5/11 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 6/10 traced medium-scale report (writes trace_medium.json) =="
+echo "== 6/11 traced medium-scale report (writes trace_medium.json) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     --trace --trace-out "$OUT/trace_medium.json" > /dev/null
 python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
 head -7 "$OUT/trace_summary.txt"
 
-echo "== 7/10 failure injection (faulted medium report must match the clean one) =="
+echo "== 7/11 failure injection (faulted medium report must match the clean one) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     > "$OUT/report_clean.txt"
+# REPRO_NO_LEDGER: a deliberately degraded diagnostic run must not become a
+# baseline (or a candidate) for the drift check in step 11.
 REPRO_CACHE_DIR="$OUT/fault_cache" REPRO_WORKERS=2 PYTHONWARNINGS=ignore \
+    REPRO_NO_LEDGER=1 \
     python -m repro report --scale medium --seed 7 \
     --faults 'cache.write:fail@1,pool.spawn:fail@1,pool.chunk:fail@1' \
     > "$OUT/report_faulted.txt"
@@ -57,13 +66,19 @@ diff "$OUT/report_clean.txt" "$OUT/report_faulted.txt"   # set -e: a diff is fat
 rm -rf "$OUT/fault_cache"
 echo "faulted run identical to clean run"
 
-echo "== 8/10 SVG figures =="
+echo "== 8/11 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 9/10 dataset export =="
+echo "== 9/11 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 10/10 workload derivation =="
+echo "== 10/11 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
+
+echo "== 11/11 run ledger: history, dashboard, drift check =="
+python -m repro runs list
+python scripts/bench_guard.py --history
+python -m repro runs report --out "$OUT/runs_report.html"
+python -m repro runs check   # set -e: perf/fidelity drift is fatal
 
 echo "done: $OUT"

@@ -57,6 +57,7 @@ import pickle
 import shutil
 import stat as stat_module
 import tempfile
+import time
 import warnings
 import zipfile
 import zlib
@@ -110,6 +111,9 @@ _BYTES_READ = obs.counter("cache.bytes_read")
 #: also a miss) and writes that could not be persisted.
 _CORRUPT = obs.counter("cache.corrupt")
 _WRITE_FAILED = obs.counter("cache.write_failed")
+#: Entry read/write latency distributions (seconds).
+_LOAD_SECONDS = obs.histogram("cache.load_seconds")
+_STORE_SECONDS = obs.histogram("cache.store_seconds")
 
 #: Exceptions a damaged on-disk entry can raise while being read: plain
 #: I/O and JSON/shape errors, plus everything a truncated ``.npz`` throws
@@ -266,7 +270,9 @@ def store_study(
     ``cache.write_failed`` so a cache that never warms is diagnosable.
     """
     with obs.span("cache.store") as sp:
+        t0 = time.perf_counter()
         entry = _store_study(config, released, enriched)
+        _STORE_SECONDS.observe(time.perf_counter() - t0)
         if entry is not None:
             sp.set("entry", entry.name[:16])
         else:
@@ -363,7 +369,9 @@ def load_study(
 ) -> tuple["ReleasedDataset", "EnrichedDataset"] | None:
     """Load a cached entry for ``config``; ``None`` on miss or corruption."""
     with obs.span("cache.load") as sp:
+        t0 = time.perf_counter()
         loaded = _load_study(config)
+        _LOAD_SECONDS.observe(time.perf_counter() - t0)
         if loaded is None:
             _MISSES.inc()
             sp.set("result", "miss")

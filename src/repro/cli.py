@@ -13,6 +13,10 @@ Commands
     Estimate the within-batch worker learning curve.
 ``trace``
     Summarize a JSON trace file written by a ``--trace`` run.
+``runs``
+    Inspect the persistent run ledger (``list``/``show``/``diff``/
+    ``check``/``report``); ``check`` exits nonzero on perf or fidelity
+    drift (see :mod:`repro.obs.drift`).
 
 Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
 the run records a hierarchical span trace (see :mod:`repro.obs`), prints
@@ -23,15 +27,25 @@ They also accept ``--faults SPEC`` (or ``REPRO_FAULTS``): deterministic
 fault injection into the cache/pool/dataset failure paths (see
 :mod:`repro.faults`) — a faulted run must still produce the identical
 study, or fail loudly.
+
+Independently of ``--trace``, every study-building command appends a run
+record to the ledger (:mod:`repro.obs.ledger`) — silently, so command
+output stays byte-stable — unless ``REPRO_NO_LEDGER`` is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 SCALES = ("tiny", "small", "medium")
+
+#: Commands that build a study and therefore record a ledger run.
+_STUDY_COMMANDS = frozenset(
+    {"simulate", "report", "learning", "figures", "validate", "workload"}
+)
 
 #: Default JSON trace path for ``--trace`` runs without ``--trace-out``.
 DEFAULT_TRACE_OUT = "repro_trace.json"
@@ -220,13 +234,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     if args.clear:
         removed = study_cache.clear_cache()
-        print(f"removed {removed} cache entries from {study_cache.cache_dir()}")
+        if args.json:
+            print(json.dumps({
+                "cache_dir": str(study_cache.cache_dir()),
+                "removed": removed,
+            }))
+        else:
+            print(
+                f"removed {removed} cache entries from "
+                f"{study_cache.cache_dir()}"
+            )
         return 0
     entries = study_cache.list_entries()
     total_bytes = sum(entry.get("size_bytes", 0) for entry in entries)
     total_instances = sum(entry.get("num_instances", 0) for entry in entries)
     obs.gauge("cache.entries").set(len(entries))
     obs.gauge("cache.size_bytes").set(total_bytes)
+    if args.json:
+        print(json.dumps({
+            "cache_dir": str(study_cache.cache_dir()),
+            "num_entries": len(entries),
+            "total_bytes": total_bytes,
+            "total_instances": total_instances,
+            "entries": [
+                {
+                    "key": entry.get("key"),
+                    "scale": _scale_name(entry.get("config", {})),
+                    "seed": entry.get("config", {}).get("seed"),
+                    "num_instances": entry.get("num_instances"),
+                    "size_bytes": entry.get("size_bytes", 0),
+                    "path": entry.get("path"),
+                }
+                for entry in entries
+            ],
+            "session_counters": obs.nonzero_counters("cache."),
+        }, indent=1))
+        return 0
     print(
         f"cache dir: {study_cache.cache_dir()} "
         f"({len(entries)} entries, {total_bytes / 1e6:.1f} MB, "
@@ -256,17 +299,186 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
+    metrics = doc.get("metrics", {})
+    if args.json:
+        print(json.dumps({
+            "schema": doc.get("schema"),
+            "name": doc.get("name"),
+            "created_unix": doc.get("created_unix"),
+            "total_wall_s": doc.get("total_wall_s"),
+            "num_spans": len(doc.get("spans", [])),
+            "spans_by_name": obs.aggregate_by_name(doc),
+            "counters": {
+                k: v for k, v in metrics.get("counters", {}).items() if v
+            },
+            "gauges": {
+                k: v
+                for k, v in metrics.get("gauges", {}).items()
+                if v is not None
+            },
+            "histograms": {
+                k: v
+                for k, v in metrics.get("histograms", {}).items()
+                if v.get("count")
+            },
+        }, indent=1))
+        return 0
     print(obs.summarize_trace(doc, top=args.top))
     if not args.no_tree:
         print()
         print(obs.render_tree(doc))
-    counters = doc.get("metrics", {}).get("counters", {})
+    counters = metrics.get("counters", {})
     nonzero = {name: value for name, value in counters.items() if value}
     if nonzero:
         print()
         print("counters:")
         for name, value in sorted(nonzero.items()):
             print(f"  {name:<36} {value:>12,}")
+    histograms = obs.summarize_histograms(doc)
+    if histograms:
+        print()
+        print(histograms)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# repro runs — the persistent run ledger
+# --------------------------------------------------------------------- #
+
+
+def _read_ledger(args: argparse.Namespace) -> list[dict]:
+    from repro import obs
+
+    return obs.ledger.read_records(getattr(args, "ledger", None))
+
+
+def _resolve_run(records: list[dict], ref: str) -> dict | None:
+    from repro import obs
+
+    record = obs.ledger.find_record(records, ref)
+    if record is None:
+        print(
+            f"no unique run matching {ref!r} "
+            f"({len(records)} records in the ledger)",
+            file=sys.stderr,
+        )
+    return record
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = _read_ledger(args)
+    if not records:
+        print(f"no runs recorded in {obs.ledger.ledger_path()}")
+        return 0
+    print(
+        f"{'run id':<24} {'kind':<6} {'command':<9} {'scale':<7} "
+        f"{'seed':>5} {'wall':>9}  {'faults'}"
+    )
+    for record in records:
+        config = record.get("config") or {}
+        print(
+            f"{record.get('run_id', '?'):<24} "
+            f"{record.get('kind', '?'):<6} "
+            f"{record.get('command', '?'):<9} "
+            f"{str(config.get('scale', '-')):<7} "
+            f"{str(config.get('seed', '-')):>5} "
+            f"{record.get('total_wall_s', 0.0):>8.3f}s  "
+            f"{config.get('faults') or '-'}"
+        )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    records = _read_ledger(args)
+    record = _resolve_run(records, args.run)
+    if record is None:
+        return 2
+    config = record.get("config") or {}
+    print(f"run {record['run_id']} ({record.get('kind')}/{record.get('command')})")
+    print(f"  git sha:    {record.get('git_sha') or '-'}")
+    print(
+        f"  config:     scale={config.get('scale')} seed={config.get('seed')} "
+        f"workers={config.get('workers')} cache={config.get('cache')} "
+        f"faults={config.get('faults') or '-'}"
+    )
+    print(f"  total wall: {record.get('total_wall_s', 0.0):.3f}s")
+    cache = record.get("cache") or {}
+    print(
+        f"  cache:      {cache.get('entries', 0)} entries, "
+        f"{cache.get('size_bytes', 0) / 1e6:.1f} MB"
+    )
+    phases = record.get("phases") or {}
+    if phases:
+        print(f"\n  {'phase':<34} {'count':>5} {'wall':>10} {'cpu':>10}")
+        ranked = sorted(phases.items(), key=lambda kv: -kv[1].get("wall_s", 0))
+        for name, agg in ranked:
+            print(
+                f"  {name:<34} {agg.get('count', 0):>5} "
+                f"{agg.get('wall_s', 0.0):>9.3f}s {agg.get('cpu_s', 0.0):>9.3f}s"
+            )
+    counters = record.get("counters") or {}
+    if counters:
+        print("\n  counters:")
+        for name, value in sorted(counters.items()):
+            print(f"    {name:<34} {value:>12,}")
+    fidelity = record.get("fidelity") or {}
+    if fidelity:
+        print(f"\n  {'fidelity probe':<34} {'paper':>10} {'measured':>10} {'dev':>7}")
+        for name, probe in sorted(fidelity.items()):
+            print(
+                f"  {name:<34} {probe.get('paper'):>10g} "
+                f"{probe.get('measured'):>10.4g} {probe.get('deviation'):>7.3f}"
+            )
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = _read_ledger(args)
+    a = _resolve_run(records, args.run_a)
+    b = _resolve_run(records, args.run_b)
+    if a is None or b is None:
+        return 2
+    print(obs.drift.render_diff(a, b))
+    return 0
+
+
+def _cmd_runs_check(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = _read_ledger(args)
+    comparable = sum(
+        1 for group in obs.drift.group_records(records).values()
+        if len(group) >= 2
+    )
+    if not comparable:
+        print(
+            f"drift check: nothing to compare yet "
+            f"({len(records)} run(s), no group has two)"
+        )
+        return 0
+    findings = obs.drift.check_drift(records)
+    if not findings:
+        print(
+            f"drift check: OK — {comparable} group(s) within tolerance "
+            f"of their rolling baselines"
+        )
+        return 0
+    print(f"drift check: {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  {finding.render()}")
+    return 1
+
+
+def _cmd_runs_report(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = _read_ledger(args)
+    path = obs.dashboard.write_dashboard(records, args.out)
+    print(f"wrote run dashboard ({len(records)} runs) to {path}")
     return 0
 
 
@@ -330,6 +542,10 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the on-disk study cache"
     )
     cache.add_argument("--clear", action="store_true", help="remove all entries")
+    cache.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text listing",
+    )
     cache.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser(
@@ -346,7 +562,56 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--no-tree", action="store_true", help="skip the full timing tree"
     )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the per-span aggregates and metrics as JSON",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    runs = sub.add_parser(
+        "runs", help="inspect the persistent run ledger (see repro.obs.ledger)"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger", default=None, metavar="PATH",
+            help="ledger JSONL file (default: $REPRO_LEDGER_DIR/runs.jsonl "
+            "or .repro-ledger/runs.jsonl)",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    _add_ledger_arg(runs_list)
+    runs_list.set_defaults(func=_cmd_runs_list)
+
+    runs_show = runs_sub.add_parser("show", help="show one run in full")
+    runs_show.add_argument("run", help="run id, unique prefix, or 'latest'")
+    _add_ledger_arg(runs_show)
+    runs_show.set_defaults(func=_cmd_runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs (phase timings + fidelity)"
+    )
+    runs_diff.add_argument("run_a", help="baseline run id/prefix")
+    runs_diff.add_argument("run_b", help="candidate run id/prefix or 'latest'")
+    _add_ledger_arg(runs_diff)
+    runs_diff.set_defaults(func=_cmd_runs_diff)
+
+    runs_check = runs_sub.add_parser(
+        "check",
+        help="flag perf/fidelity drift vs rolling baselines (exit 1 on drift)",
+    )
+    _add_ledger_arg(runs_check)
+    runs_check.set_defaults(func=_cmd_runs_check)
+
+    runs_report = runs_sub.add_parser(
+        "report", help="write a self-contained HTML dashboard"
+    )
+    runs_report.add_argument(
+        "--out", default="repro_runs.html", help="output HTML path"
+    )
+    _add_ledger_arg(runs_report)
+    runs_report.set_defaults(func=_cmd_runs_report)
 
     validate = sub.add_parser(
         "validate", help="check a simulated world against the paper's claims"
@@ -368,6 +633,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_config(args: argparse.Namespace, fault_spec: str | None) -> dict:
+    """The configuration block a ledger record captures for this command."""
+    import os
+
+    from repro import cache as study_cache, faults, parallel
+
+    raw_workers = os.environ.get(parallel.WORKERS_ENV, "").strip()
+    return {
+        "scale": getattr(args, "scale", None),
+        "seed": getattr(args, "seed", None),
+        "workers": raw_workers or None,
+        "faults": fault_spec or os.environ.get(faults.FAULTS_ENV, "").strip() or None,
+        "cache": study_cache.cache_enabled(_cache_arg(args)),
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -383,13 +664,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     want_trace = bool(getattr(args, "trace", False)) or obs.env_enabled()
-    if not want_trace or args.command == "trace":
+    if args.command == "trace":
+        return args.func(args)
+    # Study-building commands record a run in the persistent ledger even
+    # without --trace: tracing is enabled internally so the record gets
+    # per-phase timings, but nothing is printed or written unless asked.
+    record_run = args.command in _STUDY_COMMANDS and obs.ledger.ledger_enabled()
+    if not want_trace and not record_run:
         return args.func(args)
 
     obs.enable(
         name=f"repro {args.command}",
         mem=True if getattr(args, "trace_mem", False) else None,
     )
+    if record_run:
+        obs.ledger.begin_collection()
     try:
         with obs.span(
             f"cli.{args.command}",
@@ -399,12 +688,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             rc = args.func(args)
     finally:
         trace = obs.finish()
-    if trace is not None:
+        fidelity = obs.ledger.end_collection() if record_run else None
+    if trace is None:
+        return rc
+    doc = obs.trace_to_dict(trace)
+    if record_run:
+        record = obs.ledger.build_record(
+            kind="study",
+            command=args.command,
+            config=_run_config(args, fault_spec),
+            trace_doc=doc,
+            fidelity=fidelity,
+            extra={"rc": rc},
+        )
+        obs.ledger.append_record(record)
+    if want_trace:
         out = getattr(args, "trace_out", None) or DEFAULT_TRACE_OUT
-        path = obs.write_trace_json(trace, out)
+        path = obs.write_trace_json(doc, out)
         print()
         print("== trace ==")
-        print(obs.render_tree(trace))
+        print(obs.render_tree(doc))
         print(f"trace written to {path}")
     return rc
 

@@ -32,6 +32,9 @@ Sites and kinds
 - ``pool.chunk:fail`` — the worker chunk raises (simulated worker crash)
 - ``pool.chunk:hang`` — the worker chunk sleeps past any configured timeout
 - ``dataset.save:fail`` — :func:`repro.dataset.save_dataset` raises
+- ``ledger.append:fail`` — the run-ledger record write raises
+- ``phase.release:sleep`` — the study ``release`` phase stalls for
+  :data:`SLOW_PHASE_SLEEP_S` seconds (exercises drift detection)
 
 Injected faults raise :class:`InjectedFault` (an :class:`OSError` subclass)
 so they travel the *same* recovery paths a real I/O failure would; the
@@ -62,7 +65,14 @@ SITES: dict[str, tuple[str, ...]] = {
     "pool.spawn": ("fail",),
     "pool.chunk": ("fail", "hang"),
     "dataset.save": ("fail",),
+    "ledger.append": ("fail",),
+    "phase.release": ("sleep",),
 }
+
+#: How long an injected ``phase.release:sleep`` fault stalls the phase —
+#: large against a tiny-scale build so drift detection must flag it, small
+#: enough that acceptance tests stay fast.
+SLOW_PHASE_SLEEP_S = 0.75
 
 _INJECTED = obs.counter("faults.injected")
 

@@ -24,6 +24,7 @@ from repro.obs.export import (
     aggregate_by_name,
     load_trace,
     render_tree,
+    summarize_histograms,
     summarize_trace,
     trace_to_dict,
     write_trace_json,
@@ -38,7 +39,9 @@ from repro.obs.metrics import (
     counter,
     gauge,
     histogram,
+    histogram_deltas,
     merge_counter_deltas,
+    merge_histogram_deltas,
     nonzero_counters,
 )
 from repro.obs.metrics import reset as reset_metrics
@@ -60,6 +63,12 @@ from repro.obs.trace import (
     worker_collector,
 )
 
+# The run ledger / drift / dashboard layers sit on top of metrics+export and
+# lazily import repro.cache/repro.faults inside functions, so importing them
+# last keeps `import repro.obs` cycle-free while exposing them as
+# obs.ledger / obs.drift / obs.dashboard submodule attributes.
+from repro.obs import dashboard, drift, ledger  # noqa: E402
+
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "TRACE_ENV",
@@ -75,7 +84,9 @@ __all__ = [
     "aggregate_by_name",
     "counter",
     "current_trace",
+    "dashboard",
     "disable",
+    "drift",
     "enable",
     "enabled",
     "env_enabled",
@@ -83,13 +94,17 @@ __all__ = [
     "fold_spans",
     "gauge",
     "histogram",
+    "histogram_deltas",
+    "ledger",
     "load_trace",
     "merge_counter_deltas",
+    "merge_histogram_deltas",
     "metrics_snapshot",
     "nonzero_counters",
     "render_tree",
     "reset_metrics",
     "span",
+    "summarize_histograms",
     "summarize_trace",
     "trace_to_dict",
     "traced",

@@ -1,0 +1,230 @@
+"""Self-contained HTML dashboard over the run ledger (``repro runs report``).
+
+One static HTML file, no external assets: charts are inline SVG built with
+the same :mod:`repro.reporting.svg` substrate the paper figures use, so the
+dashboard needs nothing but a browser.  Sections:
+
+- **Runs** — every ledger record: id, kind/command, config, git SHA, wall.
+- **Phase timings** — per comparability group, a line chart of each major
+  phase's wall time across runs (regressions are visible as upticks).
+- **Counter trends** — selected counters (cache traffic, serial fallbacks,
+  injected faults) across runs.
+- **Fidelity** — the latest run's paper-vs-measured probe table.
+- **Drift** — the findings of :func:`repro.obs.drift.check_drift`, i.e.
+  exactly what ``repro runs check`` would fail on.
+
+Groups with fewer than two runs get a table row but no chart (a one-point
+polyline is not a trend).
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs import drift as drift_mod
+
+#: At most this many phases charted per group (largest by latest wall time).
+_MAX_PHASES = 8
+#: Counters worth trending (prefix match).
+_TREND_COUNTERS = (
+    "cache.hit", "cache.miss", "cache.corrupt", "cache.write_failed",
+    "parallel.serial_fallback", "parallel.timeout", "faults.injected",
+    "ledger.corrupt",
+)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _chart(
+    title: str, series: dict[str, tuple[list[float], list[float]]],
+    *, y_label: str,
+) -> str:
+    from repro.reporting.svg import PALETTE, SvgChart
+
+    plotted = {k: v for k, v in series.items() if len(v[0]) >= 2}
+    if not plotted:
+        return ""
+    all_x = [x for xs, _ in plotted.values() for x in xs]
+    all_y = [y for _, ys in plotted.values() for y in ys]
+    chart = SvgChart(
+        title=title, width=560, height=240,
+        x_min=min(all_x), x_max=max(all_x),
+        y_min=0.0, y_max=(max(all_y) or 1.0) * 1.05,
+        x_label="run #", y_label=y_label,
+    )
+    for i, (label, (xs, ys)) in enumerate(sorted(plotted.items())):
+        chart.add_line(xs, ys, color=PALETTE[i % len(PALETTE)], label=label)
+    return chart.render()
+
+
+def _runs_table(records: list[dict[str, Any]]) -> str:
+    rows = [
+        "<tr><th>#</th><th>run id</th><th>kind</th><th>command</th>"
+        "<th>scale</th><th>seed</th><th>faults</th><th>git</th>"
+        "<th>wall (s)</th><th>cache</th></tr>"
+    ]
+    for i, record in enumerate(records):
+        config = record.get("config") or {}
+        cache = record.get("cache") or {}
+        rows.append(
+            "<tr>"
+            f"<td>{i}</td>"
+            f"<td><code>{_esc(record.get('run_id'))}</code></td>"
+            f"<td>{_esc(record.get('kind'))}</td>"
+            f"<td>{_esc(record.get('command'))}</td>"
+            f"<td>{_esc(config.get('scale', '-'))}</td>"
+            f"<td>{_esc(config.get('seed', '-'))}</td>"
+            f"<td>{_esc(config.get('faults') or '-')}</td>"
+            f"<td><code>{_esc(record.get('git_sha') or '-')}</code></td>"
+            f"<td>{record.get('total_wall_s', 0.0):.3f}</td>"
+            f"<td>{cache.get('entries', 0)} entries</td>"
+            "</tr>"
+        )
+    return f"<table>{''.join(rows)}</table>"
+
+
+def _phase_section(groups: dict[tuple, list[dict[str, Any]]]) -> str:
+    parts: list[str] = []
+    for group in groups.values():
+        label = drift_mod.group_label(group[-1])
+        latest_phases = group[-1].get("phases") or {}
+        top = sorted(
+            latest_phases,
+            key=lambda name: -latest_phases[name].get("wall_s", 0.0),
+        )[:_MAX_PHASES]
+        series: dict[str, tuple[list[float], list[float]]] = {}
+        for phase in top:
+            xs, ys = [], []
+            for i, record in enumerate(group):
+                agg = (record.get("phases") or {}).get(phase)
+                if agg is not None:
+                    xs.append(float(i))
+                    ys.append(float(agg.get("wall_s", 0.0)))
+            series[phase] = (xs, ys)
+        svg = _chart(label, series, y_label="wall (s)")
+        if svg:
+            parts.append(f"<div class='chart'>{svg}</div>")
+        else:
+            parts.append(
+                f"<p class='note'>{_esc(label)}: {len(group)} run(s) — "
+                f"need at least two comparable runs to chart a trend.</p>"
+            )
+    return "".join(parts) or "<p class='note'>no runs recorded yet.</p>"
+
+
+def _counter_section(records: list[dict[str, Any]]) -> str:
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for name in _TREND_COUNTERS:
+        xs, ys = [], []
+        for i, record in enumerate(records):
+            value = (record.get("counters") or {}).get(name)
+            if value is not None:
+                xs.append(float(i))
+                ys.append(float(value))
+        if xs:
+            series[name] = (xs, ys)
+    svg = _chart("counters across runs", series, y_label="count")
+    return f"<div class='chart'>{svg}</div>" if svg else (
+        "<p class='note'>no counter trends yet (counters chart after two "
+        "runs record the same counter).</p>"
+    )
+
+
+def _fidelity_section(records: list[dict[str, Any]]) -> str:
+    latest = next(
+        (r for r in reversed(records) if r.get("fidelity")), None
+    )
+    if latest is None:
+        return "<p class='note'>no fidelity probes recorded yet.</p>"
+    rows = [
+        "<tr><th>probe</th><th>paper</th><th>measured</th>"
+        "<th>deviation</th></tr>"
+    ]
+    for name, probe in sorted(latest["fidelity"].items()):
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(name)}</td>"
+            f"<td>{probe.get('paper'):g}</td>"
+            f"<td>{probe.get('measured'):.4g}</td>"
+            f"<td>{probe.get('deviation'):.3f}</td>"
+            "</tr>"
+        )
+    return (
+        f"<p class='note'>latest probed run: "
+        f"<code>{_esc(latest.get('run_id'))}</code></p>"
+        f"<table>{''.join(rows)}</table>"
+    )
+
+
+def _drift_section(records: list[dict[str, Any]]) -> str:
+    findings = drift_mod.check_drift(records)
+    if not findings:
+        return (
+            "<p class='ok'>no drift: every group's latest run is within "
+            "tolerance of its rolling baseline.</p>"
+        )
+    rows = [
+        "<tr><th>kind</th><th>group</th><th>subject</th>"
+        "<th>baseline</th><th>latest</th><th>run</th></tr>"
+    ]
+    for f in findings:
+        rows.append(
+            "<tr class='bad'>"
+            f"<td>{_esc(f.kind)}</td><td>{_esc(f.group)}</td>"
+            f"<td>{_esc(f.subject)}</td><td>{f.baseline:.4g}</td>"
+            f"<td>{f.latest:.4g}</td>"
+            f"<td><code>{_esc(f.run_id)}</code></td></tr>"
+        )
+    return f"<table>{''.join(rows)}</table>"
+
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 70em;
+       color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em;
+     border-bottom: 1px solid #ddd; padding-bottom: 0.2em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ddd; padding: 0.3em 0.6em; text-align: left; }
+th { background: #f5f5f5; }
+tr.bad td { background: #fdecea; }
+.chart { margin: 1em 0; }
+.note { color: #666; font-size: 0.9em; }
+.ok { color: #1a7f37; }
+code { font-size: 0.95em; }
+"""
+
+
+def render_dashboard(records: list[dict[str, Any]]) -> str:
+    """The full dashboard document for a list of ledger records."""
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    groups = drift_mod.group_records(records)
+    return (
+        "<!doctype html>\n<html><head><meta charset='utf-8'>"
+        "<title>repro run ledger</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>repro run ledger</h1>"
+        f"<p class='note'>{len(records)} run(s), {len(groups)} group(s); "
+        f"generated {stamp}.</p>"
+        f"<h2>Drift</h2>{_drift_section(records)}"
+        f"<h2>Runs</h2>{_runs_table(records)}"
+        f"<h2>Phase timings</h2>{_phase_section(groups)}"
+        f"<h2>Counter trends</h2>{_counter_section(records)}"
+        f"<h2>Fidelity (paper vs measured)</h2>{_fidelity_section(records)}"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    records: list[dict[str, Any]], path: str | Path
+) -> Path:
+    """Render and write the dashboard; returns the resolved path."""
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(records))
+    return out

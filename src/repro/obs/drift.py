@@ -1,0 +1,260 @@
+"""Drift detection over the run ledger: perf and fidelity regressions.
+
+Given the chronological records of :mod:`repro.obs.ledger`, this module
+answers one question: *did the latest run of each configuration get slower,
+or less faithful to the paper, than its own recent history?*
+
+Baseline policy
+---------------
+Records group by ``(kind, command, scale, seed, workers)`` — runs that are
+comparable by construction.  The fault spec is deliberately **not** part of
+the key: a faulted run must be judged against its clean baseline, because
+the whole point of fault-grammar slowdowns is to show up as drift.  Within
+a group the *latest* record is the candidate and the per-phase / per-probe
+baseline is the **median of the preceding records** (up to
+:data:`BASELINE_WINDOW` of them) — a median, not a mean, so one historical
+outlier cannot mask or fake a regression.
+
+Tolerances
+----------
+- **Phase timing**: the candidate's phase wall time must exceed the
+  baseline median by more than ``timing_tolerance`` (relative, default
+  50%) *and* by more than ``noise_floor_s`` (absolute, default 0.25 s).
+  The two-sided guard keeps millisecond phases from flagging on scheduler
+  jitter while still catching an injected 0.75 s sleep at tiny scale.
+- **Fidelity**: each probe's deviation-from-paper (``|measured/paper - 1|``,
+  recorded by the ledger) must not grow by more than
+  ``fidelity_tolerance`` (absolute, default 0.05) over the baseline median
+  deviation.  Moving *toward* the paper value is never drift.
+
+``check_drift`` evaluates only each group's latest record — the CI
+question — while ``compare_records`` diffs two arbitrary runs for the
+``repro runs diff`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Any, Mapping
+
+#: Preceding same-group records the baseline median is taken over.
+BASELINE_WINDOW = 5
+#: Relative phase slowdown beyond which timing drift is flagged.
+TIMING_TOLERANCE = 0.50
+#: Absolute slowdown (seconds) a phase must also exceed — jitter guard.
+NOISE_FLOOR_S = 0.25
+#: Allowed absolute growth of a probe's deviation-from-paper.
+FIDELITY_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One flagged regression in one run."""
+
+    kind: str  # "timing" | "fidelity"
+    run_id: str
+    group: str
+    subject: str  # phase name or probe name
+    baseline: float
+    latest: float
+
+    def render(self) -> str:
+        if self.kind == "timing":
+            ratio = self.latest / self.baseline if self.baseline > 0 else float("inf")
+            return (
+                f"[TIMING]   {self.group}: phase '{self.subject}' "
+                f"{self.latest:.3f}s vs baseline median {self.baseline:.3f}s "
+                f"({ratio:.1f}x) in run {self.run_id}"
+            )
+        return (
+            f"[FIDELITY] {self.group}: probe '{self.subject}' deviation "
+            f"{self.latest:.3f} vs baseline median {self.baseline:.3f} "
+            f"in run {self.run_id}"
+        )
+
+
+def group_key(record: Mapping[str, Any]) -> tuple:
+    """Comparability key; faults excluded so faulted runs face clean baselines."""
+    config = record.get("config") or {}
+    return (
+        record.get("kind"),
+        record.get("command"),
+        config.get("scale"),
+        config.get("seed"),
+        config.get("workers"),
+    )
+
+
+def group_label(record: Mapping[str, Any]) -> str:
+    kind, command, scale, seed, workers = group_key(record)
+    label = f"{kind}/{command}"
+    if scale is not None:
+        label += f" scale={scale}"
+    if seed is not None:
+        label += f" seed={seed}"
+    if workers:
+        label += f" workers={workers}"
+    return label
+
+
+def group_records(
+    records: list[dict[str, Any]]
+) -> dict[tuple, list[dict[str, Any]]]:
+    """Records partitioned by :func:`group_key`, preserving ledger order."""
+    groups: dict[tuple, list[dict[str, Any]]] = {}
+    for record in records:
+        groups.setdefault(group_key(record), []).append(record)
+    return groups
+
+
+def _phase_walls(record: Mapping[str, Any]) -> dict[str, float]:
+    return {
+        name: float(agg.get("wall_s", 0.0))
+        for name, agg in (record.get("phases") or {}).items()
+    }
+
+
+def _fidelity_devs(record: Mapping[str, Any]) -> dict[str, float]:
+    return {
+        name: float(probe.get("deviation", 0.0))
+        for name, probe in (record.get("fidelity") or {}).items()
+    }
+
+
+def compare_records(
+    baseline_records: list[dict[str, Any]],
+    candidate: Mapping[str, Any],
+    *,
+    timing_tolerance: float = TIMING_TOLERANCE,
+    noise_floor_s: float = NOISE_FLOOR_S,
+    fidelity_tolerance: float = FIDELITY_TOLERANCE,
+) -> list[DriftFinding]:
+    """Findings for ``candidate`` against the median of ``baseline_records``.
+
+    Phases or probes absent from either side are skipped — a cached run has
+    no ``release`` phase, and that is not a regression.
+    """
+    if not baseline_records:
+        return []
+    label = group_label(candidate)
+    run_id = str(candidate.get("run_id"))
+    findings: list[DriftFinding] = []
+
+    base_walls = [_phase_walls(r) for r in baseline_records]
+    for phase, latest in sorted(_phase_walls(candidate).items()):
+        history = [w[phase] for w in base_walls if phase in w]
+        if not history:
+            continue
+        base = median(history)
+        if latest > base * (1.0 + timing_tolerance) and latest - base > noise_floor_s:
+            findings.append(DriftFinding(
+                kind="timing", run_id=run_id, group=label,
+                subject=phase, baseline=base, latest=latest,
+            ))
+
+    base_devs = [_fidelity_devs(r) for r in baseline_records]
+    for probe, latest_dev in sorted(_fidelity_devs(candidate).items()):
+        history = [d[probe] for d in base_devs if probe in d]
+        if not history:
+            continue
+        base = median(history)
+        if latest_dev > base + fidelity_tolerance:
+            findings.append(DriftFinding(
+                kind="fidelity", run_id=run_id, group=label,
+                subject=probe, baseline=base, latest=latest_dev,
+            ))
+    return findings
+
+
+def check_drift(
+    records: list[dict[str, Any]],
+    *,
+    baseline_window: int = BASELINE_WINDOW,
+    timing_tolerance: float = TIMING_TOLERANCE,
+    noise_floor_s: float = NOISE_FLOOR_S,
+    fidelity_tolerance: float = FIDELITY_TOLERANCE,
+) -> list[DriftFinding]:
+    """Evaluate each group's latest record against its rolling baseline.
+
+    Groups with no preceding record (nothing to compare against) produce
+    no findings — an empty or single-run ledger always passes.
+    """
+    findings: list[DriftFinding] = []
+    for group in group_records(records).values():
+        if len(group) < 2:
+            continue
+        baseline = group[-1 - baseline_window:-1]
+        findings.extend(compare_records(
+            baseline, group[-1],
+            timing_tolerance=timing_tolerance,
+            noise_floor_s=noise_floor_s,
+            fidelity_tolerance=fidelity_tolerance,
+        ))
+    return findings
+
+
+def render_diff(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    *,
+    fidelity_tolerance: float = FIDELITY_TOLERANCE,
+) -> str:
+    """Human-readable diff of two records (``repro runs diff A B``).
+
+    Phase timings side by side, fidelity deviations side by side, and a
+    final verdict line counting probes whose deviation grew beyond
+    ``fidelity_tolerance``.
+    """
+    lines = [
+        f"runs {a.get('run_id')} -> {b.get('run_id')}",
+        f"  group: {group_label(a)} -> {group_label(b)}",
+        f"  total wall: {a.get('total_wall_s', 0.0):.3f}s -> "
+        f"{b.get('total_wall_s', 0.0):.3f}s",
+        "",
+        f"  {'phase':<32} {'A wall':>10} {'B wall':>10} {'delta':>9}",
+    ]
+    walls_a, walls_b = _phase_walls(a), _phase_walls(b)
+    for phase in sorted(set(walls_a) | set(walls_b)):
+        wa, wb = walls_a.get(phase), walls_b.get(phase)
+        if wa is None or wb is None:
+            side = "A" if wa is not None else "B"
+            value = wa if wa is not None else wb
+            lines.append(
+                f"  {phase:<32} {'-' if wa is None else f'{wa:9.3f}s':>10} "
+                f"{'-' if wb is None else f'{wb:9.3f}s':>10} "
+                f"{'only ' + side:>9}"
+            )
+            continue
+        delta = (wb - wa) / wa * 100 if wa > 0 else 0.0
+        lines.append(
+            f"  {phase:<32} {wa:9.3f}s {wb:9.3f}s {delta:+8.1f}%"
+        )
+
+    devs_a, devs_b = _fidelity_devs(a), _fidelity_devs(b)
+    shared = sorted(set(devs_a) & set(devs_b))
+    drifted: list[str] = []
+    if shared:
+        lines.append("")
+        lines.append(
+            f"  {'fidelity probe':<32} {'A dev':>10} {'B dev':>10}"
+        )
+        for probe in shared:
+            da, db = devs_a[probe], devs_b[probe]
+            marker = ""
+            if db > da + fidelity_tolerance:
+                drifted.append(probe)
+                marker = "  <- drift"
+            lines.append(f"  {probe:<32} {da:>10.4f} {db:>10.4f}{marker}")
+        lines.append("")
+        if drifted:
+            lines.append(
+                f"fidelity drift: {len(drifted)} probe(s) moved away from "
+                f"the paper beyond tolerance ({', '.join(drifted)})"
+            )
+        else:
+            lines.append(
+                f"fidelity drift: none ({len(shared)} probes within "
+                f"tolerance {fidelity_tolerance:g})"
+            )
+    return "\n".join(lines)

@@ -200,6 +200,34 @@ def summarize_trace(trace: Trace | Mapping[str, Any], *, top: int = 30) -> str:
     return "\n".join(lines)
 
 
+def summarize_histograms(trace: Trace | Mapping[str, Any]) -> str:
+    """Per-histogram one-liners (count / mean / p50-ish bucket) from the
+    embedded metrics snapshot; empty string when nothing was observed."""
+    doc = _as_doc(trace)
+    hists = (doc.get("metrics") or {}).get("histograms") or {}
+    lines: list[str] = []
+    for name in sorted(hists):
+        snap = hists[name]
+        count = snap.get("count", 0)
+        if not count:
+            continue
+        mean = snap.get("sum", 0.0) / count
+        half = count / 2
+        p50 = "+Inf"
+        for bucket in snap.get("buckets", []):
+            if bucket["count"] >= half:
+                p50 = bucket["le"]
+                break
+        p50_s = p50 if isinstance(p50, str) else f"{p50:g}s"
+        lines.append(
+            f"{name:<36} {count:>6} {_fmt_ms(mean)} mean   p50 <= {p50_s}"
+        )
+    if not lines:
+        return ""
+    header = f"{'histogram':<36} {'count':>6} {'per-observation':>16}"
+    return "\n".join([header, *lines])
+
+
 def aggregate_by_name(
     trace: Trace | Mapping[str, Any]
 ) -> dict[str, dict[str, float]]:

@@ -1,0 +1,348 @@
+"""Persistent run ledger: a flight recorder for study and benchmark runs.
+
+One trace (:mod:`repro.obs.trace`) dies with its process; the ledger is the
+cross-run memory.  After every study-building CLI command (and every
+``scripts/bench_guard.py`` benchmark run) a schema-versioned JSON record is
+appended to a JSONL file under the ledger directory, capturing:
+
+- identity — run id, creation time, best-effort git SHA, record ``kind``
+  (``study`` or ``bench``) and the command that produced it;
+- configuration — scale, seed, worker count, fault spec, cache mode;
+- performance — total wall time plus per-phase wall/CPU totals folded from
+  the span tree (:func:`repro.obs.export.aggregate_by_name`);
+- metrics — the final nonzero counters, gauges, and histogram snapshots;
+- cache state — entry count and total bytes of the study cache;
+- fidelity — paper-vs-measured probes (:func:`fidelity_probes`) with the
+  paper's published value, the measured value, and the relative deviation.
+
+The drift engine (:mod:`repro.obs.drift`) and the ``repro runs`` CLI family
+consume these records: ``list``/``show``/``diff`` for inspection, ``check``
+for a CI gate, ``report`` for an HTML dashboard
+(:mod:`repro.obs.dashboard`).
+
+Durability rules mirror :mod:`repro.cache`: appends are best-effort (a full
+disk never loses the run itself, it warns and counts
+``ledger.append_failed``), reads skip corrupt or truncated lines while
+counting ``ledger.corrupt`` — a half-written record from a crashed process
+must not poison every later ``repro runs`` invocation.  The
+``ledger.append:fail`` fault site (:mod:`repro.faults`) makes the failure
+path deterministic in tests.
+
+The ledger directory is ``.repro-ledger/`` in the current working
+directory, overridden by ``REPRO_LEDGER_DIR``; ``REPRO_NO_LEDGER`` disables
+recording entirely.  Recording is silent on stdout so command output stays
+byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import aggregate_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.figures.suite import FigureSuite
+    from repro.study import Study
+
+#: Bump when the record layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the ledger directory.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+#: Any non-empty value disables run recording.
+NO_LEDGER_ENV = "REPRO_NO_LEDGER"
+
+_DEFAULT_LEDGER_DIR = ".repro-ledger"
+_LEDGER_FILE = "runs.jsonl"
+
+_APPENDS = obs_metrics.counter("ledger.append")
+_APPEND_FAILED = obs_metrics.counter("ledger.append_failed")
+#: Lines (or whole records) that could not be parsed back — each is skipped,
+#: never fatal, so one crashed writer cannot brick `repro runs`.
+_CORRUPT = obs_metrics.counter("ledger.corrupt")
+
+#: Fidelity probes: ledger key -> (figure method, result key, paper value).
+#: The paper values are the same published statistics `repro validate`
+#: checks; deviation is |measured / paper - 1| so drift is comparable
+#: across probes of very different magnitudes.
+FIDELITY_PROBES: dict[str, tuple[str, str, float]] = {
+    "busiest_over_median": ("headline_load_variation", "busiest_over_median", 30.0),
+    "lightest_over_median": ("headline_load_variation", "lightest_over_median", 0.0004),
+    "weekday_weekend_ratio": ("fig03_weekday", "weekday_weekend_ratio", 2.0),
+    "pickup_dominance_ratio": ("fig13_latency", "pickup_dominance_ratio", 40.0),
+    "one_day_worker_fraction": ("fig30_lifetimes", "one_day_worker_fraction", 0.527),
+    "one_day_task_share": ("fig30_lifetimes", "one_day_task_share", 0.024),
+    "top10_worker_task_share": ("fig29_workload", "top10_task_share", 0.80),
+    "top10_source_task_share": ("fig27_source_quality", "top10_task_share", 0.95),
+    "top5_country_share": ("fig28_geography", "top5_share", 0.50),
+}
+
+
+def ledger_dir() -> Path:
+    """The ledger root (``REPRO_LEDGER_DIR`` env var or ``.repro-ledger``)."""
+    raw = os.environ.get(LEDGER_DIR_ENV, "").strip() or _DEFAULT_LEDGER_DIR
+    return Path(raw).expanduser()
+
+
+def ledger_path() -> Path:
+    """The JSONL file every record appends to."""
+    return ledger_dir() / _LEDGER_FILE
+
+
+def ledger_enabled(explicit: bool | None = None) -> bool:
+    """Whether runs should be recorded (``REPRO_NO_LEDGER`` disables)."""
+    if explicit is not None:
+        return explicit
+    return not os.environ.get(NO_LEDGER_ENV, "").strip()
+
+
+def new_run_id(created_unix: float | None = None) -> str:
+    """``YYYYMMDDTHHMMSS-xxxxxx``: sortable timestamp plus random suffix."""
+    created = time.time() if created_unix is None else created_unix
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(created))
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+_git_sha_cache: str | None = None
+
+
+def git_sha() -> str | None:
+    """Best-effort HEAD SHA (cached per process; ``None`` outside a repo)."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                capture_output=True, text=True, timeout=5,
+            )
+            _git_sha_cache = out.stdout.strip() if out.returncode == 0 else ""
+        except Exception:
+            _git_sha_cache = ""
+    return _git_sha_cache or None
+
+
+def fidelity_probes(figures: "FigureSuite") -> dict[str, dict[str, float]]:
+    """Paper-vs-measured probes from a study's figure suite.
+
+    Returns ``{probe: {paper, measured, deviation}}`` where ``deviation``
+    is ``|measured / paper - 1|``.  A probe whose figure method raises is
+    skipped — a tiny degenerate sample must not block recording the run.
+    """
+    probes: dict[str, dict[str, float]] = {}
+    results: dict[str, Mapping[str, Any]] = {}
+    for name, (method, key, paper) in FIDELITY_PROBES.items():
+        if method not in results:
+            try:
+                results[method] = getattr(figures, method)()
+            except Exception:
+                results[method] = {}
+        measured = results[method].get(key)
+        if measured is None:
+            continue
+        measured = float(measured)
+        probes[name] = {
+            "paper": paper,
+            "measured": measured,
+            "deviation": abs(measured / paper - 1.0),
+        }
+    return probes
+
+
+def _cache_stats() -> dict[str, int]:
+    from repro import cache as study_cache
+
+    entries = study_cache.list_entries()
+    return {
+        "entries": len(entries),
+        "size_bytes": sum(e.get("size_bytes", 0) for e in entries),
+    }
+
+
+def build_record(
+    *,
+    kind: str,
+    command: str,
+    config: Mapping[str, Any],
+    trace_doc: Mapping[str, Any] | None = None,
+    fidelity: Mapping[str, Mapping[str, float]] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    created_unix: float | None = None,
+) -> dict[str, Any]:
+    """Assemble a schema-v1 ledger record (pure; does not touch disk).
+
+    ``trace_doc`` is a schema-v1 trace document (:func:`trace_to_dict`);
+    its span forest folds into per-phase totals and its embedded metrics
+    snapshot becomes the record's counters/gauges/histograms.
+    """
+    created = time.time() if created_unix is None else created_unix
+    record: dict[str, Any] = {
+        "schema": LEDGER_SCHEMA_VERSION,
+        "run_id": new_run_id(created),
+        "created_unix": created,
+        "kind": kind,
+        "command": command,
+        "git_sha": git_sha(),
+        "config": dict(config),
+    }
+    if trace_doc is not None:
+        phases = {
+            name: {
+                "count": int(agg["count"]),
+                "wall_s": round(agg["wall_s"], 6),
+                "cpu_s": round(agg["cpu_s"], 6),
+            }
+            for name, agg in sorted(aggregate_by_name(trace_doc).items())
+        }
+        snap = trace_doc.get("metrics") or {}
+        record["total_wall_s"] = trace_doc.get("total_wall_s", 0.0)
+        record["phases"] = phases
+        record["counters"] = {
+            k: v for k, v in (snap.get("counters") or {}).items() if v
+        }
+        record["gauges"] = {
+            k: v for k, v in (snap.get("gauges") or {}).items() if v is not None
+        }
+        record["histograms"] = {
+            k: v
+            for k, v in (snap.get("histograms") or {}).items()
+            if v.get("count")
+        }
+    record["cache"] = _cache_stats()
+    if fidelity:
+        record["fidelity"] = {k: dict(v) for k, v in sorted(fidelity.items())}
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_record(
+    record: Mapping[str, Any], path: str | Path | None = None
+) -> Path | None:
+    """Append one record to the ledger file; best-effort like a cache write.
+
+    Returns the path on success.  On any failure (including the injected
+    ``ledger.append:fail`` fault) the run itself is unaffected: warn,
+    count ``ledger.append_failed``, return ``None``.
+    """
+    from repro import faults
+
+    out = Path(path) if path is not None else ledger_path()
+    try:
+        faults.check("ledger.append")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with out.open("a") as handle:
+            handle.write(line + "\n")
+    except OSError:
+        _APPEND_FAILED.inc()
+        warnings.warn(
+            f"repro.obs.ledger: failed to append run record to {out} "
+            f"(the run itself is unaffected)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    _APPENDS.inc()
+    return out
+
+
+def read_records(path: str | Path | None = None) -> list[dict[str, Any]]:
+    """Every readable schema-v1 record, in append (chronological) order.
+
+    Corrupt or truncated lines — a crashed writer, a flipped bit — are
+    skipped and counted in ``ledger.corrupt``.  Records from a different
+    schema version are skipped silently (not damage, just another era).
+    """
+    source = Path(path) if path is not None else ledger_path()
+    if not source.is_file():
+        return []
+    try:
+        text = source.read_text()
+    except OSError:
+        _CORRUPT.inc()
+        return []
+    records: list[dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            _CORRUPT.inc()
+            continue
+        if not isinstance(record, dict) or "run_id" not in record:
+            _CORRUPT.inc()
+            continue
+        if record.get("schema") != LEDGER_SCHEMA_VERSION:
+            continue
+        records.append(record)
+    return records
+
+
+def find_record(
+    records: list[dict[str, Any]], ref: str
+) -> dict[str, Any] | None:
+    """Resolve a run reference: exact id, unique id prefix, or ``latest``.
+
+    ``latest`` (or ``-1``) is the newest record; ties on a prefix return
+    ``None`` rather than guessing.
+    """
+    if not records:
+        return None
+    if ref in ("latest", "-1"):
+        return records[-1]
+    exact = [r for r in records if r["run_id"] == ref]
+    if exact:
+        return exact[-1]
+    prefixed = [r for r in records if r["run_id"].startswith(ref)]
+    if len(prefixed) == 1:
+        return prefixed[0]
+    return None
+
+
+# --------------------------------------------------------------------- #
+# CLI run collection
+# --------------------------------------------------------------------- #
+#
+# CLI command functions build a Study, print, and drop it — by the time
+# main() emits the ledger record the figures suite is gone.  A collection
+# is a short-lived hook: begin_collection() arms it, build_study() calls
+# note_study() on every build (cached or cold), and end_collection()
+# returns the captured fidelity probes.  Library use of build_study never
+# arms a collection, so it stays zero-cost there.
+
+_collection: dict[str, Any] | None = None
+
+
+def begin_collection() -> None:
+    """Arm the run collector for one CLI command."""
+    global _collection
+    _collection = {"fidelity": None}
+
+
+def collecting() -> bool:
+    """Whether a CLI run collection is currently armed."""
+    return _collection is not None
+
+
+def note_study(study: "Study") -> None:
+    """Record the study a CLI command built (no-op unless collecting)."""
+    if _collection is not None and _collection["fidelity"] is None:
+        _collection["fidelity"] = fidelity_probes(study.figures)
+
+
+def end_collection() -> dict[str, dict[str, float]] | None:
+    """Disarm the collector and return the captured fidelity probes."""
+    global _collection
+    captured, _collection = _collection, None
+    if captured is None:
+        return None
+    return captured["fidelity"]

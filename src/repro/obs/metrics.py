@@ -115,6 +115,33 @@ class Histogram:
         cumulative.append({"le": "+Inf", "count": running + self._counts[-1]})
         return {"buckets": cumulative, "sum": self.total, "count": self.count}
 
+    def raw(self) -> dict[str, Any]:
+        """Non-cumulative state, suitable for diffing and re-merging.
+
+        Unlike :meth:`snapshot` (cumulative ``le`` export for human/JSON
+        consumers), ``raw`` exposes the per-bucket counts directly so two
+        captures can be subtracted and the difference folded into another
+        registry (worker-process delta shipping).
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self._counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def merge_raw(self, raw: Mapping[str, Any]) -> None:
+        """Fold a :meth:`raw` capture (or delta of two) into this histogram."""
+        if tuple(float(b) for b in raw["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge capture with bounds "
+                f"{raw['bounds']} into bounds {list(self.bounds)}"
+            )
+        for i, n in enumerate(raw["counts"]):
+            self._counts[i] += n
+        self.total += raw["sum"]
+        self.count += raw["count"]
+
 
 class MetricsRegistry:
     """Name-addressed instrument store (one per process)."""
@@ -178,6 +205,27 @@ class MetricsRegistry:
             if delta:
                 self.counter(name).inc(delta)
 
+    def histogram_values(self) -> dict[str, dict[str, Any]]:
+        """Raw (non-cumulative) state of every histogram (for worker deltas)."""
+        return {
+            name: inst.raw()
+            for name, inst in self._instruments.items()
+            if isinstance(inst, Histogram)
+        }
+
+    def merge_histogram_deltas(
+        self, deltas: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Fold histogram observations made in a worker process back in.
+
+        Each delta is a :meth:`Histogram.raw`-shaped dict (typically the
+        difference of two captures, see :func:`histogram_deltas`); unknown
+        names create the instrument with the shipped bounds.
+        """
+        for name, raw in deltas.items():
+            if raw["count"]:
+                self.histogram(name, raw["bounds"]).merge_raw(raw)
+
     def snapshot(self) -> dict[str, Any]:
         """The whole registry as plain JSON-able dicts."""
         counters: dict[str, int] = {}
@@ -198,6 +246,35 @@ class MetricsRegistry:
             inst.reset()
 
 
+def histogram_deltas(
+    before: Mapping[str, Mapping[str, Any]],
+    after: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Per-histogram difference of two :meth:`MetricsRegistry.histogram_values`
+    captures, keeping only histograms that saw observations in between."""
+    deltas: dict[str, dict[str, Any]] = {}
+    for name, now in after.items():
+        was = before.get(name)
+        if was is None:
+            if now["count"]:
+                deltas[name] = {
+                    "bounds": list(now["bounds"]),
+                    "counts": list(now["counts"]),
+                    "sum": now["sum"],
+                    "count": now["count"],
+                }
+            continue
+        if now["count"] == was["count"]:
+            continue
+        deltas[name] = {
+            "bounds": list(now["bounds"]),
+            "counts": [n - w for n, w in zip(now["counts"], was["counts"])],
+            "sum": now["sum"] - was["sum"],
+            "count": now["count"] - was["count"],
+        }
+    return deltas
+
+
 #: The process-global registry every ``repro`` instrument lives in.
 REGISTRY = MetricsRegistry()
 
@@ -208,3 +285,4 @@ snapshot = REGISTRY.snapshot
 reset = REGISTRY.reset
 merge_counter_deltas = REGISTRY.merge_counter_deltas
 nonzero_counters = REGISTRY.nonzero_counters
+merge_histogram_deltas = REGISTRY.merge_histogram_deltas

@@ -283,23 +283,26 @@ def traced(name: str | None = None, **attrs: Any) -> Callable[[_F], _F]:
 
 
 class worker_collector:
-    """Collect spans and counter deltas inside a forked worker.
+    """Collect spans and metric deltas inside a forked worker.
 
     Replaces the (possibly fork-inherited) global trace with a fresh local
     one for the duration of the block, then restores it.  After exit,
-    ``spans`` holds the records produced inside the block and
-    ``counter_deltas`` the counter increments, both picklable for the trip
-    back to the parent process.
+    ``spans`` holds the records produced inside the block,
+    ``counter_deltas`` the counter increments, and ``histogram_deltas`` the
+    histogram observations made inside the block, all picklable for the
+    trip back to the parent process.
     """
 
     def __init__(self) -> None:
         self.spans: list[SpanRecord] = []
         self.counter_deltas: dict[str, int] = {}
+        self.histogram_deltas: dict[str, dict[str, Any]] = {}
 
     def __enter__(self) -> "worker_collector":
         global _enabled, _trace
         self._prev = (_enabled, _trace, getattr(_tls, "stack", None))
         self._counters0 = metrics.REGISTRY.counter_values()
+        self._hists0 = metrics.REGISTRY.histogram_values()
         _trace = Trace("worker")
         _tls.stack = []
         _enabled = True
@@ -314,6 +317,9 @@ class worker_collector:
             for name, value in after.items()
             if value != self._counters0.get(name, 0)
         }
+        self.histogram_deltas = metrics.histogram_deltas(
+            self._hists0, metrics.REGISTRY.histogram_values()
+        )
         _enabled, _trace, stack = self._prev
         _tls.stack = stack if stack is not None else []
         return False

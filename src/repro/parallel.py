@@ -20,9 +20,10 @@ Failure semantics — the load-bearing part:
 
 - **Pool-infrastructure failures** (missing semaphores in sandboxes,
   unpicklable callables, a worker crash, interpreter shutdown) degrade to
-  the serial loop.  The degradation is *visible*: a ``RuntimeWarning`` and a
-  ``parallel.serial_fallback`` counter increment.  Results are identical
-  either way because the mapped functions are pure.
+  the serial loop.  The degradation is *visible*: a ``RuntimeWarning``
+  (emitted once per process per cause, so a long run does not spam) and a
+  ``parallel.serial_fallback`` counter increment *per event*.  Results are
+  identical either way because the mapped functions are pure.
 - **Pool creation** is retried up to :data:`_POOL_SPAWN_ATTEMPTS` times
   with exponential backoff (``parallel.pool_retries`` counts retries)
   before the serial fallback engages.
@@ -81,17 +82,38 @@ _POOL_MAPS = obs.counter("parallel.pool_maps")
 _POOL_RETRIES = obs.counter("parallel.pool_retries")
 _TIMEOUTS = obs.counter("parallel.timeout")
 _WORKERS_GAUGE = obs.gauge("parallel.workers")
+_CHUNK_SECONDS = obs.histogram("parallel.chunk_seconds")
 
 
 class PoolTimeoutError(RuntimeError):
     """A worker chunk exceeded the configured result timeout."""
 
 
+# A long run hitting the same degradation on every map (bad REPRO_WORKERS,
+# unpicklable closure, sandbox without semaphores) would repeat an identical
+# RuntimeWarning hundreds of times; the warning is a human signal, so each
+# *cause* warns once per process while parallel.serial_fallback keeps
+# counting every event for metrics-based triage.
+_WARNED_CAUSES: set[str] = set()
+
+
+def _warn_once(cause: str, message: str, stacklevel: int = 3) -> None:
+    if cause in _WARNED_CAUSES:
+        return
+    _WARNED_CAUSES.add(cause)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel + 1)
+
+
+def reset_warnings() -> None:
+    """Forget which causes already warned (tests asserting on warnings)."""
+    _WARNED_CAUSES.clear()
+
+
 def _misconfigured(raw: str, why: str) -> int:
     _FALLBACKS.inc()
-    warnings.warn(
+    _warn_once(
+        f"workers_env:{raw}",
         f"repro.parallel: {WORKERS_ENV}={raw!r} {why}; running serial",
-        RuntimeWarning,
         stacklevel=3,
     )
     return 1
@@ -131,10 +153,10 @@ def chunk_timeout(timeout: float | None = None) -> float | None:
     try:
         value = float(raw)
     except ValueError:
-        warnings.warn(
+        _warn_once(
+            f"timeout_env:{raw}",
             f"repro.parallel: {POOL_TIMEOUT_ENV}={raw!r} is not a number; "
             f"chunk timeouts disabled",
-            RuntimeWarning,
             stacklevel=2,
         )
         return None
@@ -154,14 +176,17 @@ class _ChunkRunner:
     """Run one chunk of items in a worker, guarding mapped-function errors.
 
     Picklable as long as the mapped function is.  Returns ``(guarded,
-    spans, deltas)`` where ``guarded`` holds ``(True, result)`` per item —
-    or ``(False, exc)`` if the mapped function raised, shipped back as a
-    value so the parent re-raises the *original* exception instead of
-    mistaking it for a pool failure.  Injected ``pool.chunk`` faults raise
-    out of the runner, i.e. they look exactly like a worker crash.
+    spans, deltas, hist_deltas)`` where ``guarded`` holds ``(True,
+    result)`` per item — or ``(False, exc)`` if the mapped function
+    raised, shipped back as a value so the parent re-raises the *original*
+    exception instead of mistaking it for a pool failure.  Injected
+    ``pool.chunk`` faults raise out of the runner, i.e. they look exactly
+    like a worker crash.
 
-    ``spans``/``deltas`` carry the worker's trace spans and counter
-    increments back to the parent (spans only when tracing is on).
+    ``spans``/``deltas``/``hist_deltas`` carry the worker's trace spans,
+    counter increments, and histogram observations (including the runner's
+    own ``parallel.chunk_seconds`` timing) back to the parent (spans only
+    when tracing is on).
     """
 
     __slots__ = ("func", "traced")
@@ -176,6 +201,7 @@ class _ChunkRunner:
             raise faults.InjectedFault("injected fault: pool.chunk:fail")
         if kind == "hang":
             time.sleep(_HANG_SLEEP_S)
+        t0 = time.perf_counter()
         guarded: list[tuple[bool, object]] = []
         for item in chunk:
             try:
@@ -183,6 +209,7 @@ class _ChunkRunner:
             except Exception as exc:
                 guarded.append((False, _shippable(exc)))
                 break  # the parent raises at the first error anyway
+        _CHUNK_SECONDS.observe(time.perf_counter() - t0)
         return guarded
 
     def __call__(
@@ -191,20 +218,30 @@ class _ChunkRunner:
         list[tuple[bool, object]],
         list[obs.SpanRecord] | None,
         dict[str, int] | None,
+        dict[str, dict] | None,
     ]:
         if self.traced:
             with obs.worker_collector() as collector:
                 with obs.span("parallel.chunk", items=len(chunk)):
                     guarded = self._run(chunk)
-            return guarded, collector.spans, collector.counter_deltas
+            return (
+                guarded,
+                collector.spans,
+                collector.counter_deltas,
+                collector.histogram_deltas,
+            )
         before = obs.REGISTRY.counter_values()
+        hists_before = obs.REGISTRY.histogram_values()
         guarded = self._run(chunk)
         deltas = {
             name: value - before.get(name, 0)
             for name, value in obs.REGISTRY.counter_values().items()
             if value != before.get(name, 0)
         }
-        return guarded, None, deltas
+        hist_deltas = obs.histogram_deltas(
+            hists_before, obs.REGISTRY.histogram_values()
+        )
+        return guarded, None, deltas, hist_deltas or None
 
 
 def _create_pool(ctx, n: int):
@@ -260,12 +297,14 @@ def _pool_map(
         # abandons the whole pool result, so nothing is double-counted when
         # the serial fallback recomputes it.
         guarded: list[tuple[bool, object]] = []
-        for part, spans, deltas in parts:
+        for part, spans, deltas, hist_deltas in parts:
             guarded.extend(part)
             if spans:
                 obs.fold_spans(spans)
             if deltas:
                 obs.merge_counter_deltas(deltas)
+            if hist_deltas:
+                obs.merge_histogram_deltas(hist_deltas)
         return guarded
 
 
@@ -299,10 +338,10 @@ def map_chunks(
         guarded = _pool_map(func, seq, n, chunk_size, chunk_timeout(timeout))
     except Exception as exc:
         _FALLBACKS.inc()
-        warnings.warn(
+        _warn_once(
+            f"pool_unavailable:{type(exc).__name__}",
             f"repro.parallel: process pool unavailable ({exc!r}); "
             f"degrading to a serial loop over {len(seq)} items",
-            RuntimeWarning,
             stacklevel=2,
         )
         return [func(item) for item in seq]

@@ -143,7 +143,7 @@ def build_study(
                 released, enriched = loaded
                 sp.set("source", "cache")
                 lazy = _LazyState(config)
-                return Study(
+                study = Study(
                     config=config,
                     state=lazy,
                     released=released,
@@ -152,13 +152,23 @@ def build_study(
                         state=lazy, released=released, enriched=enriched
                     ),
                 )
+                obs.ledger.note_study(study)
+                return study
 
+        from repro import faults
         from repro.dataset.release import release_dataset
         from repro.enrichment.pipeline import enrich_dataset
         from repro.simulator.engine import simulate_marketplace
 
         state = simulate_marketplace(config)
         with obs.span("release"):
+            if faults.fire("phase.release") == "sleep":
+                # Deterministic phase slowdown: lets the acceptance tests
+                # (and reproduce_all.sh) prove drift detection flags the
+                # right phase without depending on a genuinely slow machine.
+                import time
+
+                time.sleep(faults.SLOW_PHASE_SLEEP_S)
             released = release_dataset(state, config)
         enriched = enrich_dataset(released, config)
         if use_cache:
@@ -166,7 +176,7 @@ def build_study(
             sp.set("cache_stored", stored is not None)
         sp.set("source", "built")
         sp.set("instances", released.instances.num_rows)
-        return Study(
+        study = Study(
             config=config,
             state=state,
             released=released,
@@ -175,3 +185,5 @@ def build_study(
                 state=state, released=released, enriched=enriched
             ),
         )
+        obs.ledger.note_study(study)
+        return study

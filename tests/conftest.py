@@ -31,6 +31,22 @@ def _isolated_study_cache(tmp_path_factory):
         os.environ["REPRO_CACHE_DIR"] = previous
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_ledger(tmp_path_factory):
+    """Point the run ledger at a per-session temp dir.
+
+    CLI smoke tests record real ledger entries; those must never land in
+    the developer's (or CI pipeline's) ``.repro-ledger``.
+    """
+    previous = os.environ.get("REPRO_LEDGER_DIR")
+    os.environ["REPRO_LEDGER_DIR"] = str(tmp_path_factory.mktemp("run_ledger"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_LEDGER_DIR", None)
+    else:
+        os.environ["REPRO_LEDGER_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def study() -> Study:
     """The canonical tiny study (seed 7) used across the test suite."""

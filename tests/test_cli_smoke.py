@@ -108,6 +108,40 @@ def test_trace_command_summarizes(tmp_path, capsys):
     assert "trace 'unit'" not in out
 
 
+def test_cache_json_mode(capsys):
+    rc = cli.main(["cache", "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    doc = json.loads(out)
+    assert {"cache_dir", "num_entries", "total_bytes", "total_instances",
+            "entries", "session_counters"} <= set(doc)
+    assert doc["num_entries"] == len(doc["entries"])
+    for entry in doc["entries"]:
+        assert {"key", "scale", "seed", "num_instances",
+                "size_bytes", "path"} <= set(entry)
+
+
+def test_trace_json_mode(tmp_path, capsys):
+    obs.enable(name="unit")
+    with obs.span("alpha"):
+        with obs.span("beta"):
+            pass
+    obs.counter("unit.json_events").inc(2)
+    path = obs.write_trace_json(obs.finish(), tmp_path / "t.json")
+
+    rc = cli.main(["trace", str(path), "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    doc = json.loads(out)
+    assert doc["schema"] == obs.TRACE_SCHEMA_VERSION
+    assert doc["name"] == "unit" and doc["num_spans"] == 2
+    assert set(doc["spans_by_name"]) == {"alpha", "beta"}
+    assert doc["counters"]["unit.json_events"] == 2
+    # Only observed histograms and non-None gauges survive the filter.
+    assert all(h["count"] for h in doc["histograms"].values())
+    assert all(v is not None for v in doc["gauges"].values())
+
+
 def test_trace_command_rejects_missing_and_garbage(tmp_path, capsys):
     rc = cli.main(["trace", str(tmp_path / "missing.json")])
     captured = capsys.readouterr()

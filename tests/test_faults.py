@@ -24,9 +24,16 @@ from repro.parallel import map_chunks
 
 @pytest.fixture(autouse=True)
 def _clean_faults(monkeypatch):
-    """Every test starts and ends with no fault rules installed."""
+    """Every test starts and ends with no fault rules installed.
+
+    Also forgets which serial-fallback causes already warned, so each test
+    can assert on its own RuntimeWarning despite warn-once-per-process.
+    """
+    from repro import parallel
+
     monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
     faults.configure(None)
+    parallel.reset_warnings()
     yield
     faults.configure(None)
 

@@ -1,0 +1,355 @@
+"""Run ledger and drift detection (:mod:`repro.obs.ledger` / ``.drift``).
+
+Covers the record schema round-trip, the durability rules (best-effort
+appends under the ``ledger.append:fail`` fault, corrupt lines skipped with
+the ``ledger.corrupt`` counter), the drift thresholds in both directions,
+and the ``repro runs`` CLI family driven in-process — including the
+acceptance scenario: two clean tiny runs diff with zero fidelity drift,
+and a fault-grammar-injected slow phase makes ``repro runs check`` exit
+nonzero naming the offending phase.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, faults, obs, parallel
+from repro.obs import drift, ledger
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate(tmp_path, monkeypatch):
+    """Fresh ledger dir + clean fault/trace state around every test."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    faults.configure(None)
+    parallel.reset_warnings()
+    yield
+    faults.configure(None)
+    parallel.reset_warnings()
+    obs.finish()
+
+
+def _traced_doc() -> dict:
+    """A tiny real trace document: two phases plus a counter."""
+    obs.enable(name="unit")
+    with obs.span("release"):
+        with obs.span("enrichment"):
+            pass
+    obs.counter("unit.events").inc(3)
+    return obs.trace_to_dict(obs.finish())
+
+
+def _record(
+    run_id: str,
+    *,
+    kind: str = "study",
+    command: str = "report",
+    scale: str = "tiny",
+    seed: int = 7,
+    workers: str | None = None,
+    faults_spec: str | None = None,
+    phases: dict[str, float] | None = None,
+    fidelity: dict[str, float] | None = None,
+) -> dict:
+    """Synthetic schema-v1 record with the given phase walls / probe devs."""
+    return {
+        "schema": ledger.LEDGER_SCHEMA_VERSION,
+        "run_id": run_id,
+        "created_unix": 0.0,
+        "kind": kind,
+        "command": command,
+        "config": {
+            "scale": scale, "seed": seed,
+            "workers": workers, "faults": faults_spec, "cache": False,
+        },
+        "total_wall_s": sum((phases or {}).values()),
+        "phases": {
+            name: {"count": 1, "wall_s": wall, "cpu_s": wall}
+            for name, wall in (phases or {}).items()
+        },
+        "fidelity": {
+            probe: {"paper": 1.0, "measured": 1.0 + dev, "deviation": dev}
+            for probe, dev in (fidelity or {}).items()
+        },
+    }
+
+
+class TestLedgerRoundTrip:
+    def test_build_append_read_round_trip(self):
+        doc = _traced_doc()
+        record = ledger.build_record(
+            kind="study", command="report",
+            config={"scale": "tiny", "seed": 7},
+            trace_doc=doc,
+            fidelity={"probe": {"paper": 2.0, "measured": 2.1, "deviation": 0.05}},
+            extra={"rc": 0},
+        )
+        path = ledger.append_record(record)
+        assert path == ledger.ledger_path() and path.is_file()
+
+        loaded = ledger.read_records()
+        assert len(loaded) == 1
+        (back,) = loaded
+        assert back["schema"] == ledger.LEDGER_SCHEMA_VERSION
+        assert back["run_id"] == record["run_id"]
+        assert back["kind"] == "study" and back["command"] == "report"
+        assert back["config"]["scale"] == "tiny" and back["rc"] == 0
+        assert set(back["phases"]) == {"release", "enrichment"}
+        assert back["phases"]["release"]["count"] == 1
+        assert back["counters"].get("unit.events") == 3
+        assert back["fidelity"]["probe"]["deviation"] == pytest.approx(0.05)
+        assert "entries" in back["cache"]
+
+    def test_append_failure_is_best_effort(self):
+        """An injected append failure warns, counts, and loses only the
+        record — never the run."""
+        faults.configure("ledger.append:fail@1")
+        failed_before = ledger._APPEND_FAILED.value
+        with pytest.warns(RuntimeWarning, match="failed to append"):
+            result = ledger.append_record(_record("r1"))
+        assert result is None
+        assert ledger._APPEND_FAILED.value == failed_before + 1
+        assert ledger.read_records() == []
+
+        # The fault fired once; the very next append succeeds.
+        assert ledger.append_record(_record("r2")) is not None
+        assert [r["run_id"] for r in ledger.read_records()] == ["r2"]
+
+    def test_corrupt_lines_skipped_and_counted(self):
+        ledger.append_record(_record("good-1"))
+        path = ledger.ledger_path()
+        with path.open("a") as handle:
+            handle.write("{not json at all\n")                    # corrupt
+            truncated = json.dumps(_record("half-written"))
+            handle.write(truncated[: len(truncated) // 2] + "\n")  # corrupt
+            handle.write(json.dumps(["a", "list"]) + "\n")         # corrupt
+            handle.write(json.dumps({"schema": 1}) + "\n")         # no run_id
+            future = dict(_record("from-the-future"), schema=999)
+            handle.write(json.dumps(future) + "\n")                # other era
+        ledger.append_record(_record("good-2"))
+
+        corrupt_before = ledger._CORRUPT.value
+        records = ledger.read_records()
+        assert [r["run_id"] for r in records] == ["good-1", "good-2"]
+        # 4 damaged lines counted; the schema-999 record is skipped silently.
+        assert ledger._CORRUPT.value == corrupt_before + 4
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert ledger.read_records(tmp_path / "nope.jsonl") == []
+
+    def test_find_record_resolution(self):
+        records = [_record("20260101T000000-aaa111"),
+                   _record("20260101T000001-bbb222"),
+                   _record("20260102T000000-bbb333")]
+        assert ledger.find_record(records, "latest")["run_id"].endswith("bbb333")
+        assert ledger.find_record(records, "-1") is records[-1]
+        assert ledger.find_record(records, "20260101T000000-aaa111") is records[0]
+        assert ledger.find_record(records, "20260101T000001") is records[1]
+        assert ledger.find_record(records, "2026") is None      # ambiguous
+        assert ledger.find_record(records, "zzz") is None       # no match
+        assert ledger.find_record([], "latest") is None
+
+
+class TestDriftThresholds:
+    BASE = [_record(f"b{i}", phases={"release": 0.10, "figures": 0.50})
+            for i in range(3)]
+
+    def test_regression_is_flagged_with_phase_name(self):
+        slow = _record("cand", phases={"release": 0.90, "figures": 0.50})
+        findings = drift.check_drift(self.BASE + [slow])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.kind == "timing" and finding.subject == "release"
+        assert finding.run_id == "cand"
+        assert "release" in finding.render() and "cand" in finding.render()
+
+    def test_within_tolerance_passes(self):
+        ok = _record("cand", phases={"release": 0.12, "figures": 0.55})
+        assert drift.check_drift(self.BASE + [ok]) == []
+
+    def test_noise_floor_guards_millisecond_phases(self):
+        """A 20x relative blowup on a 10 ms phase is jitter, not drift."""
+        base = [_record(f"b{i}", phases={"blip": 0.010}) for i in range(3)]
+        jitter = _record("cand", phases={"blip": 0.200})
+        assert drift.check_drift(base + [jitter]) == []
+
+    def test_relative_tolerance_guards_slow_phases(self):
+        """+0.3 s on a 1 s phase clears the noise floor but not the 50%
+        relative bar."""
+        base = [_record(f"b{i}", phases={"big": 1.00}) for i in range(3)]
+        slower = _record("cand", phases={"big": 1.30})
+        assert drift.check_drift(base + [slower]) == []
+
+    def test_median_baseline_resists_outliers(self):
+        """One historically slow run cannot mask a real regression."""
+        base = [_record("b0", phases={"release": 0.10}),
+                _record("b1", phases={"release": 5.00}),
+                _record("b2", phases={"release": 0.10})]
+        slow = _record("cand", phases={"release": 0.90})
+        findings = drift.check_drift(base + [slow])
+        assert [f.subject for f in findings] == ["release"]
+        assert findings[0].baseline == pytest.approx(0.10)
+
+    def test_fidelity_drift_flagged_and_direction_matters(self):
+        base = [_record(f"b{i}", fidelity={"probe": 0.01}) for i in range(3)]
+        worse = _record("cand", fidelity={"probe": 0.10})
+        findings = drift.check_drift(base + [worse])
+        assert [f.kind for f in findings] == ["fidelity"]
+        assert findings[0].subject == "probe"
+        # Moving *toward* the paper value is never drift.
+        better = _record("cand2", fidelity={"probe": 0.0})
+        assert drift.check_drift(base + [better]) == []
+
+    def test_groups_are_independent(self):
+        """A slow seed-8 run is not judged against the seed-7 baseline."""
+        other = _record("cand", seed=8, phases={"release": 9.0})
+        assert drift.check_drift(self.BASE + [other]) == []
+
+    def test_faults_excluded_from_group_key(self):
+        """A faulted run faces the clean baseline — that is the point."""
+        faulted = _record("cand", faults_spec="phase.release:sleep",
+                          phases={"release": 0.90, "figures": 0.50})
+        assert drift.group_key(faulted) == drift.group_key(self.BASE[0])
+        findings = drift.check_drift(self.BASE + [faulted])
+        assert [f.subject for f in findings] == ["release"]
+
+    def test_single_run_and_empty_ledger_pass(self):
+        assert drift.check_drift([]) == []
+        assert drift.check_drift([self.BASE[0]]) == []
+
+    def test_absent_phases_are_not_drift(self):
+        """A cached run has no release phase; that is not a regression."""
+        cached = _record("cand", phases={"figures": 0.50})
+        assert drift.check_drift(self.BASE + [cached]) == []
+
+    def test_render_diff_verdict_lines(self):
+        a = _record("ra", phases={"release": 0.10},
+                    fidelity={"probe": 0.01, "other": 0.02})
+        b = _record("rb", phases={"release": 0.12, "extra": 0.30},
+                    fidelity={"probe": 0.01, "other": 0.02})
+        text = drift.render_diff(a, b)
+        assert "runs ra -> rb" in text
+        assert "release" in text and "only B" in text
+        assert "fidelity drift: none (2 probes within tolerance" in text
+
+        drifted = _record("rc", phases={"release": 0.10},
+                          fidelity={"probe": 0.30, "other": 0.02})
+        text = drift.render_diff(a, drifted)
+        assert "<- drift" in text
+        assert "fidelity drift: 1 probe(s) moved away from the paper" in text
+
+
+class TestRunsCli:
+    def _seed_ledger(self, records):
+        for record in records:
+            assert ledger.append_record(record) is not None
+
+    def test_runs_list_empty_and_populated(self, capsys):
+        assert cli.main(["runs", "list"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+        self._seed_ledger([_record("run-aa"), _record("run-bb")])
+        assert cli.main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "run-aa" in out and "run-bb" in out
+
+    def test_runs_show(self, capsys):
+        self._seed_ledger([
+            _record("run-aa", phases={"release": 0.2},
+                    fidelity={"probe": 0.01}),
+        ])
+        assert cli.main(["runs", "show", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "run run-aa" in out and "release" in out and "probe" in out
+
+        assert cli.main(["runs", "show", "missing"]) == 2
+        assert "no unique run" in capsys.readouterr().err
+
+    def test_runs_diff_and_bad_refs(self, capsys):
+        self._seed_ledger([
+            _record("run-aa", fidelity={"probe": 0.01}),
+            _record("run-bb", fidelity={"probe": 0.01}),
+        ])
+        assert cli.main(["runs", "diff", "run-aa", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "runs run-aa -> run-bb" in out
+        assert "fidelity drift: none" in out
+
+        assert cli.main(["runs", "diff", "run-aa", "nope"]) == 2
+
+    def test_runs_check_verdicts(self, capsys):
+        assert cli.main(["runs", "check"]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+        self._seed_ledger([_record(f"b{i}", phases={"release": 0.1})
+                           for i in range(3)])
+        assert cli.main(["runs", "check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        self._seed_ledger([_record("slow", phases={"release": 0.9})])
+        assert cli.main(["runs", "check"]) == 1
+        out = capsys.readouterr().out
+        assert "[TIMING]" in out and "'release'" in out
+
+    def test_runs_report_writes_dashboard(self, tmp_path, capsys):
+        self._seed_ledger([_record(f"r{i}", phases={"release": 0.1})
+                           for i in range(2)])
+        out_path = tmp_path / "dash.html"
+        assert cli.main(["runs", "report", "--out", str(out_path)]) == 0
+        assert "wrote run dashboard (2 runs)" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert "<svg" in html and "release" in html
+
+    def test_explicit_ledger_flag(self, tmp_path, capsys):
+        alt = tmp_path / "alt.jsonl"
+        ledger.append_record(_record("elsewhere"), alt)
+        assert cli.main(["runs", "list", "--ledger", str(alt)]) == 0
+        assert "elsewhere" in capsys.readouterr().out
+
+    def test_no_ledger_env_disables_recording(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+        assert cli.main(["report", "--scale", "tiny", "--seed", "7"]) == 0
+        capsys.readouterr()
+        assert ledger.read_records() == []
+
+
+class TestAcceptance:
+    """ISSUE acceptance: clean runs diff drift-free; an injected slow
+    phase makes ``repro runs check`` exit nonzero naming that phase."""
+
+    def test_two_clean_runs_then_injected_slow_phase(self, capsys):
+        for _ in range(2):
+            assert cli.main([
+                "report", "--scale", "tiny", "--seed", "7", "--no-cache",
+            ]) == 0
+        capsys.readouterr()
+
+        records = ledger.read_records()
+        assert len(records) == 2
+        first = records[0]["run_id"]
+        assert records[0]["run_id"] != records[1]["run_id"]
+        for record in records:
+            assert record["kind"] == "study" and record["command"] == "report"
+            assert record["phases"].get("release", {}).get("count") == 1
+            assert len(record.get("fidelity") or {}) >= 5
+
+        assert cli.main(["runs", "diff", first, "latest"]) == 0
+        assert "fidelity drift: none" in capsys.readouterr().out
+
+        assert cli.main(["runs", "check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        # Third run with the fault-grammar slow phase: check must fail
+        # and name the offending phase.
+        assert cli.main([
+            "report", "--scale", "tiny", "--seed", "7", "--no-cache",
+            "--faults", "phase.release:sleep",
+        ]) == 0
+        faults.configure(None)
+        capsys.readouterr()
+
+        assert cli.main(["runs", "check"]) == 1
+        out = capsys.readouterr().out
+        assert "[TIMING]" in out and "'release'" in out

@@ -188,6 +188,82 @@ class TestMetrics:
         assert all(isinstance(v, int) for v in snap["counters"].values())
 
 
+class TestHistogramShipping:
+    """Raw export / merge: how worker-process histograms reach the parent."""
+
+    def test_raw_merge_raw_roundtrip(self):
+        src = obs.Histogram("ship.src", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            src.observe(value)
+        dst = obs.Histogram("ship.dst", bounds=(0.1, 1.0))
+        dst.observe(0.5)
+        dst.merge_raw(src.raw())
+        snap = dst.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        counts = {b["le"]: b["count"] for b in snap["buckets"]}
+        assert counts == {0.1: 1, 1.0: 3, "+Inf": 4}
+
+    def test_merge_raw_rejects_mismatched_bounds(self):
+        a = obs.Histogram("ship.a", bounds=(0.1, 1.0))
+        b = obs.Histogram("ship.b", bounds=(0.5, 2.0))
+        b.observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge_raw(b.raw())
+
+    def test_histogram_deltas_only_observed(self):
+        h = obs.REGISTRY.histogram("ship.delta", bounds=(0.1, 1.0))
+        before = obs.REGISTRY.histogram_values()
+        h.observe(0.5)
+        h.observe(2.0)
+        deltas = obs.histogram_deltas(before, obs.REGISTRY.histogram_values())
+        assert set(deltas) == {"ship.delta"}
+        assert deltas["ship.delta"]["count"] == 2
+        # Nothing observed → nothing shipped.
+        assert obs.histogram_deltas(
+            obs.REGISTRY.histogram_values(), obs.REGISTRY.histogram_values()
+        ) == {}
+
+    def test_merge_histogram_deltas_creates_unknown_instrument(self):
+        src = obs.Histogram("ship.fresh", bounds=(0.25, 4.0))
+        src.observe(1.0)
+        obs.merge_histogram_deltas({"ship.fresh": src.raw()})
+        snap = obs.metrics_snapshot()["histograms"]["ship.fresh"]
+        assert snap["count"] >= 1
+
+    def test_worker_collector_ships_histogram_deltas(self):
+        obs.REGISTRY.histogram("ship.worker", bounds=(0.1, 1.0))
+        obs.enable(name="hist")
+        try:
+            with obs.worker_collector() as collector:
+                obs.REGISTRY.histogram("ship.worker", bounds=(0.1, 1.0)).observe(0.5)
+        finally:
+            obs.finish()
+        assert collector.histogram_deltas["ship.worker"]["count"] == 1
+
+    def test_histograms_in_trace_export_and_summary(self):
+        obs.REGISTRY.histogram("ship.export", bounds=(0.1, 1.0)).observe(0.5)
+        obs.enable(name="hist")
+        with obs.span("root"):
+            pass
+        doc = obs.trace_to_dict(obs.finish())
+        assert doc["metrics"]["histograms"]["ship.export"]["count"] >= 1
+        summary = obs.summarize_histograms(doc)
+        assert "ship.export" in summary
+        assert "mean" in summary and "p50" in summary
+
+    def test_summarize_histograms_empty_when_nothing_observed(self):
+        obs.enable(name="hist")
+        doc = obs.trace_to_dict(obs.finish())
+        unobserved = {
+            name: snap
+            for name, snap in doc["metrics"]["histograms"].items()
+            if not snap["count"]
+        }
+        doc["metrics"]["histograms"] = unobserved
+        assert obs.summarize_histograms(doc) == ""
+
+
 # --------------------------------------------------------------------- #
 # Exporters
 # --------------------------------------------------------------------- #

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,14 @@ def _square(x):
 
 def _shout(s):
     return s.upper()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    """Warn-once-per-cause state must not leak between tests."""
+    parallel.reset_warnings()
+    yield
+    parallel.reset_warnings()
 
 
 class TestWorkerCount:
@@ -94,6 +104,46 @@ class TestMapChunks:
         out = map_chunks(_square, arrays, workers=2)
         for i, arr in enumerate(out):
             assert np.array_equal(arr, np.arange(i, i + 5) ** 2)
+
+
+class TestWarnOnce:
+    def test_repeated_fallback_warns_once_but_counts_every_event(self):
+        # The identical degradation hit twice must not spam two identical
+        # RuntimeWarnings — but parallel.serial_fallback still counts both.
+        from repro import obs
+
+        fallbacks = obs.counter("parallel.serial_fallback")
+        before = fallbacks.value
+        items = list(range(64))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                assert map_chunks(lambda x: x + 1, items, workers=2) == [
+                    x + 1 for x in items
+                ]
+        runtime = [w for w in caught if w.category is RuntimeWarning]
+        assert len(runtime) == 1
+        assert "process pool unavailable" in str(runtime[0].message)
+        assert fallbacks.value == before + 3
+
+    def test_distinct_causes_each_warn(self, monkeypatch):
+        # A different cause is new information and gets its own warning.
+        items = list(range(64))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            map_chunks(lambda x: x, items, workers=2)  # unpicklable
+            monkeypatch.setenv(parallel.WORKERS_ENV, "banana")
+            worker_count()  # misconfigured env
+        runtime = [w for w in caught if w.category is RuntimeWarning]
+        assert len(runtime) == 2
+
+    def test_reset_warnings_allows_rewarn(self):
+        items = list(range(64))
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            map_chunks(lambda x: x, items, workers=2)
+        parallel.reset_warnings()
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            map_chunks(lambda x: x, items, workers=2)
 
 
 class TestPipelineInvariance:
