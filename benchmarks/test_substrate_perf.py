@@ -227,6 +227,40 @@ def test_perf_cluster_batches_traced(benchmark):
     assert len(mapping) == len(corpus)
 
 
+def test_perf_shard_merge_groupby(benchmark):
+    """Streaming mergeable group-by over 8 partitions of the synthetic
+    table — the out-of-core merge kernel (:mod:`repro.shard.merge`)."""
+    from repro.shard.merge import merge_group_by
+
+    table = _synthetic_table(200_000)
+    parts = [
+        table.take(np.arange(i, table.num_rows, 8)) for i in range(8)
+    ]
+    spec = {"med": ("value", "median"), "total": ("weight", "sum")}
+
+    def run():
+        return merge_group_by(parts, "key", spec)
+
+    out = benchmark(run)
+    assert out.num_rows == len(set(table["key"]))
+
+
+def test_perf_cluster_two_level(benchmark):
+    """Two-level (per-shard, then representatives) clustering of the bench
+    corpus over 4 shards — the scalable alternative the sharded pipeline
+    offers next to the exact pooled pass (:mod:`repro.shard.cluster`)."""
+    from repro.shard.cluster import cluster_batches_two_level
+
+    corpus = _bench_corpus(num_docs=120, tokens_per_doc=800)
+
+    def run():
+        return cluster_batches_two_level(corpus, num_shards=4)
+
+    mapping = benchmark(run)
+    assert len(mapping) == len(corpus)
+    assert max(mapping.values()) < len(corpus)
+
+
 def _best_time(fn, repeats: int = 5) -> float:
     best = float("inf")
     for _ in range(repeats):

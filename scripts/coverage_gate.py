@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Coverage gate: the sharded pipeline must stay thoroughly tested.
+
+Gates
+-----
+- ``src/repro/shard*``: **>= 85%** line coverage, enforced always.  The
+  shard package is the byte-identity-critical code path; the differential
+  suite must keep touching essentially all of it.
+- repo-wide ``src/repro``: **>= 80%**, enforced when the ``coverage``
+  package (the engine behind ``pytest-cov``, declared in the ``dev``
+  extra) is importable, and *visibly skipped* otherwise — measuring the
+  whole package with the fallback tracer would slow the suite severely.
+
+Fallback
+--------
+Environments without ``coverage`` still get the shard gate: line events
+are collected with :func:`sys.settrace`, scoped so that only frames whose
+code lives under ``src/repro/shard`` are line-traced (every other frame
+returns ``None`` from the trace function, so the rest of the suite runs
+at near-native speed).  Executable lines are derived from the compiled
+code objects (``co_lines``), minus ``pragma: no cover`` exclusions.
+
+Usage::
+
+    python scripts/coverage_gate.py [pytest args...]
+
+Default pytest targets are the shard-focused suites; pass explicit paths
+to widen the run (with ``coverage`` installed, the repo-wide gate wants
+the full ``tests/`` directory).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+MIN_SHARD_PCT = 85.0
+MIN_REPO_PCT = 80.0
+
+#: Suites that exercise the shard package end to end.
+DEFAULT_TESTS = [
+    "tests/test_shard_equivalence.py",
+    "tests/test_shard_merge_properties.py",
+]
+
+
+def shard_files() -> list[Path]:
+    return sorted((SRC / "repro" / "shard").glob("*.py"))
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers that can execute, from the compiled code objects.
+
+    ``pragma: no cover`` excludes its line; when that line opens a block
+    (ends with ``:``), the whole indented block is excluded with it.
+    """
+    source = path.read_text()
+    lines: set[int] = set()
+
+    def walk(code) -> None:
+        for _, _, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                walk(const)
+
+    walk(compile(source, str(path), "exec"))
+
+    raw = source.splitlines()
+    excluded: set[int] = set()
+    for i, text in enumerate(raw, start=1):
+        if "pragma: no cover" not in text:
+            continue
+        excluded.add(i)
+        if text.rstrip().rstrip("#").strip().endswith(":") or text.split("#")[0].rstrip().endswith(":"):
+            indent = len(text) - len(text.lstrip())
+            for j in range(i + 1, len(raw) + 1):
+                body = raw[j - 1]
+                if body.strip() and (len(body) - len(body.lstrip())) <= indent:
+                    break
+                excluded.add(j)
+    return lines - excluded
+
+
+def render(rows: list[tuple[str, int, int]]) -> float:
+    """Print a per-file table; returns the aggregate percentage."""
+    total_exec = total_hit = 0
+    print(f"  {'file':<44} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for name, n_exec, n_hit in rows:
+        total_exec += n_exec
+        total_hit += n_hit
+        pct = 100.0 * n_hit / n_exec if n_exec else 100.0
+        print(f"  {name:<44} {n_exec:>6} {n_hit:>6} {pct:>6.1f}%")
+    aggregate = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"  {'TOTAL':<44} {total_exec:>6} {total_hit:>6} {aggregate:>6.1f}%")
+    return aggregate
+
+
+def run_with_coverage_package(test_args: list[str]) -> int:
+    import coverage
+    import pytest
+
+    cov = coverage.Coverage(source=[str(SRC / "repro")])
+    cov.start()
+    rc = pytest.main(["-q", *test_args])
+    cov.stop()
+    if rc != 0:
+        print(f"coverage gate: pytest failed (rc={rc})", file=sys.stderr)
+        return rc
+
+    shard_rows, repo_rows = [], []
+    for filename in cov.get_data().measured_files():
+        path = Path(filename)
+        try:
+            _, executable, _, missing, _ = cov.analysis2(filename)
+        except Exception:
+            continue
+        row = (
+            str(path.relative_to(SRC)),
+            len(executable),
+            len(executable) - len(missing),
+        )
+        repo_rows.append(row)
+        if path.is_relative_to(SRC / "repro" / "shard"):
+            shard_rows.append(row)
+
+    print("\ncoverage (src/repro/shard):")
+    shard_pct = render(sorted(shard_rows))
+    print("\ncoverage (src/repro, repo-wide):")
+    repo_pct = render(sorted(repo_rows))
+
+    ok = True
+    if shard_pct < MIN_SHARD_PCT:
+        print(
+            f"coverage gate: FAIL — src/repro/shard at {shard_pct:.1f}% "
+            f"< {MIN_SHARD_PCT:.0f}%",
+            file=sys.stderr,
+        )
+        ok = False
+    if repo_pct < MIN_REPO_PCT:
+        print(
+            f"coverage gate: FAIL — src/repro at {repo_pct:.1f}% "
+            f"< {MIN_REPO_PCT:.0f}%",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"coverage gate: OK — shard {shard_pct:.1f}% "
+            f"(>= {MIN_SHARD_PCT:.0f}%), repo {repo_pct:.1f}% "
+            f"(>= {MIN_REPO_PCT:.0f}%)"
+        )
+    return 0 if ok else 1
+
+
+def run_with_settrace(test_args: list[str]) -> int:
+    targets = {str(p): p for p in shard_files()}
+    executed: dict[str, set[int]] = {name: set() for name in targets}
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename in targets:
+            return local_trace
+        return None
+
+    import pytest
+
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        rc = pytest.main(["-q", *test_args])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+    if rc != 0:
+        print(f"coverage gate: pytest failed (rc={rc})", file=sys.stderr)
+        return rc
+
+    rows = []
+    for name, path in sorted(targets.items()):
+        lines = executable_lines(path)
+        hit = executed[name] & lines
+        rows.append((str(path.relative_to(SRC)), len(lines), len(hit)))
+    print("\ncoverage (src/repro/shard, settrace fallback):")
+    shard_pct = render(rows)
+    print(
+        f"coverage gate: repo-wide {MIN_REPO_PCT:.0f}% gate SKIPPED — "
+        f"the 'coverage' package (pytest-cov) is not installed; the "
+        f"settrace fallback scopes line collection to src/repro/shard"
+    )
+    if shard_pct < MIN_SHARD_PCT:
+        print(
+            f"coverage gate: FAIL — src/repro/shard at {shard_pct:.1f}% "
+            f"< {MIN_SHARD_PCT:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"coverage gate: OK — shard {shard_pct:.1f}% (>= {MIN_SHARD_PCT:.0f}%)"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+    for name in list(sys.modules):
+        if name == "repro" or name.startswith("repro."):
+            # The gate must observe these modules' import-time lines too.
+            del sys.modules[name]
+    test_args = argv or DEFAULT_TESTS
+    try:
+        import coverage  # noqa: F401 - availability probe
+    except ImportError:
+        return run_with_settrace(test_args)
+    return run_with_coverage_package(test_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Measure peak RSS and wall time: sharded vs monolithic study build.
+
+``ru_maxrss`` is a process-lifetime high-water mark, so each configuration
+runs in its own fresh subprocess with a private cold cache directory (the
+study cache is off; the shard spill store is on — spilling is what bounds
+the sharded build's memory).  Prints a comparison table and the peak-RSS
+ratio the acceptance criterion reads (sharded < 60% of monolithic at
+``large`` scale).
+
+Usage::
+
+    python scripts/shard_rss.py [--scale large] [--shards 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _child(scale: str, shards: int) -> None:
+    import resource
+    import time
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import build_study
+
+    t0 = time.perf_counter()
+    study = build_study(
+        scale, seed=7, cache=False, shards=shards if shards > 1 else None
+    )
+    wall = time.perf_counter() - t0
+    # Linux reports ru_maxrss in KiB.
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "wall_s": round(wall, 2),
+        "peak_rss_mb": round(rss_kib / 1024.0, 1),
+        "instances": study.released.instances.num_rows,
+        "clusters": study.enriched.num_clusters,
+    }))
+
+
+def _measure(scale: str, shards: int, env_extra: dict) -> dict:
+    import os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = tmp  # cold and hermetic; spill lives here
+        env["REPRO_NO_LEDGER"] = "1"
+        env.update(env_extra)
+        out = subprocess.run(
+            [sys.executable, __file__, "--child", scale, str(shards)],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="large")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--workers", default=None,
+        help="REPRO_WORKERS for the sharded run (default: serial)",
+    )
+    parser.add_argument("--child", nargs=2, metavar=("SCALE", "SHARDS"))
+    args = parser.parse_args(argv)
+
+    if args.child:
+        _child(args.child[0], int(args.child[1]))
+        return 0
+
+    print(f"measuring monolithic {args.scale} build (fresh process)...")
+    mono = _measure(args.scale, 1, {})
+    print(
+        f"measuring sharded {args.scale} build "
+        f"(--shards {args.shards}, fresh process)..."
+    )
+    extra = {"REPRO_WORKERS": args.workers} if args.workers else {}
+    sharded = _measure(args.scale, args.shards, extra)
+
+    assert sharded["instances"] == mono["instances"]
+    ratio = sharded["peak_rss_mb"] / mono["peak_rss_mb"]
+    print(f"\n{'build':<28} {'wall':>9} {'peak RSS':>10} {'instances':>11}")
+    for name, r in (
+        (f"monolithic {args.scale}", mono),
+        (f"sharded {args.scale} (K={args.shards})", sharded),
+    ):
+        print(
+            f"{name:<28} {r['wall_s']:>8.1f}s {r['peak_rss_mb']:>8.1f}MB "
+            f"{r['instances']:>11,}"
+        )
+    print(f"\npeak RSS ratio (sharded / monolithic): {ratio:.2f}")
+    if ratio >= 0.60:
+        print("FAIL: sharded peak RSS is not < 60% of monolithic", file=sys.stderr)
+        return 1
+    print("OK: sharded peak RSS < 60% of monolithic")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

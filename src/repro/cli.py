@@ -40,7 +40,7 @@ import json
 import sys
 from typing import Sequence
 
-SCALES = ("tiny", "small", "medium")
+SCALES = ("tiny", "small", "medium", "large")
 
 #: Commands that build a study and therefore record a ledger run.
 _STUDY_COMMANDS = frozenset(
@@ -70,6 +70,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="simulation seed (default: 7)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="build the study over N batch-partitioned shards "
+        "(memory-bounded, byte-identical; see repro.shard; "
+        "also REPRO_SHARDS)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -108,7 +114,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.dataset import save_dataset
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     path = save_dataset(study.released, args.out)
     print(
         f"wrote {study.released.instances.num_rows:,} instances across "
@@ -125,7 +133,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         render_comparison_rows,
     )
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     figures = study.figures
 
     load = figures.headline_load_variation()
@@ -189,7 +199,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.workloads import derive_workload
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     spec = derive_workload(study.enriched, min_support=args.min_support)
     if args.out:
         spec.save(args.out)
@@ -203,7 +215,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.validation import validate_study
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     report = validate_study(study)
     print(report.render())
     return 0 if report.ok else 1
@@ -213,7 +227,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.figures.render_svg import render_all_figures
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     paths = render_all_figures(study.figures, args.out)
     print(f"wrote {len(paths)} SVG figures to {args.out}")
     return 0
@@ -400,8 +416,8 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
     print(f"  git sha:    {record.get('git_sha') or '-'}")
     print(
         f"  config:     scale={config.get('scale')} seed={config.get('seed')} "
-        f"workers={config.get('workers')} cache={config.get('cache')} "
-        f"faults={config.get('faults') or '-'}"
+        f"workers={config.get('workers')} shards={config.get('shards') or '-'} "
+        f"cache={config.get('cache')} faults={config.get('faults') or '-'}"
     )
     print(f"  total wall: {record.get('total_wall_s', 0.0):.3f}s")
     cache = record.get("cache") or {}
@@ -486,7 +502,9 @@ def _cmd_learning(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.analysis.learning import learning_curve
 
-    study = build_study(args.scale, seed=args.seed, cache=_cache_arg(args))
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
     curve = learning_curve(study.released)
     print(
         f"fitted within-batch learning exponent: {curve.learning_exponent:.3f}"
@@ -639,11 +657,18 @@ def _run_config(args: argparse.Namespace, fault_spec: str | None) -> dict:
 
     from repro import cache as study_cache, faults, parallel
 
+    from repro.shard.partition import SHARDS_ENV
+
     raw_workers = os.environ.get(parallel.WORKERS_ENV, "").strip()
+    shards = getattr(args, "shards", None)
+    if shards is None:
+        raw_shards = os.environ.get(SHARDS_ENV, "").strip()
+        shards = raw_shards or None
     return {
         "scale": getattr(args, "scale", None),
         "seed": getattr(args, "seed", None),
         "workers": raw_workers or None,
+        "shards": shards,
         "faults": fault_spec or os.environ.get(faults.FAULTS_ENV, "").strip() or None,
         "cache": study_cache.cache_enabled(_cache_arg(args)),
     }

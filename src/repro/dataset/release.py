@@ -47,11 +47,29 @@ class ReleasedDataset:
 
 
 def _render_batch_html(
-    state: MarketplaceState, batch_ids: np.ndarray, rng: np.random.Generator
+    state: MarketplaceState,
+    batch_ids: np.ndarray,
+    rng: np.random.Generator,
+    render_mask: np.ndarray | None = None,
 ) -> dict[int, str]:
+    """Render sample-task HTML for ``batch_ids`` (in order).
+
+    The render loop consumes RNG draws *sequentially* (item token, footer
+    coin, footer revision), so a shard cannot simply skip foreign batches.
+    ``render_mask`` (bool per position in ``batch_ids``) makes non-owned
+    batches *replay* exactly the draws a render would consume without
+    building the string — keeping the stream, and therefore every rendered
+    byte, identical to the monolithic run.
+    """
     tasks = state.tasks
     html: dict[int, str] = {}
-    for batch_id in batch_ids:
+    for pos, batch_id in enumerate(batch_ids):
+        if render_mask is not None and not render_mask[pos]:
+            # Draw replay: mirror the render path's RNG consumption below.
+            rng.integers(10**8)
+            if rng.random() < 0.15:
+                rng.integers(100)
+            continue
         t = int(state.batches.task_idx[batch_id])
         item_token = f"unit-{int(rng.integers(10**8)):08d}"
         rendered = render_task_html(
@@ -77,11 +95,25 @@ def _render_batch_html(
 
 
 def release_dataset(
-    state: MarketplaceState, config: SimulationConfig
+    state: MarketplaceState,
+    config: SimulationConfig,
+    *,
+    shard: int | None = None,
+    num_shards: int | None = None,
 ) -> ReleasedDataset:
-    """Apply the §2.2 sampling lens to the simulated marketplace."""
+    """Apply the §2.2 sampling lens to the simulated marketplace.
+
+    With ``shard``/``num_shards`` set (matching the sharded
+    :func:`repro.simulator.engine.simulate_marketplace` call that produced
+    ``state``), the batch catalog and sampling mask are still computed in
+    full — they are global and cheap — but HTML is rendered only for the
+    shard's own sampled batches (foreign batches replay their RNG draws)
+    and the instance table covers only the shard's rows.
+    """
+    from repro.simulator.engine import _validate_shard
     from repro.simulator.rng import StreamFactory
 
+    sharded = _validate_shard(shard, num_shards)
     rng = StreamFactory(config.seed).stream("release")
     num_batches = state.batches.num_batches
 
@@ -89,6 +121,10 @@ def release_dataset(
     if not sampled.any():
         sampled[rng.integers(num_batches)] = True
     sampled_ids = np.flatnonzero(sampled)
+
+    render_mask = None
+    if sharded:
+        render_mask = sampled_ids % num_shards == shard
 
     batch_catalog = Table(
         {
@@ -100,7 +136,7 @@ def release_dataset(
         copy=False,
     )
 
-    batch_html = _render_batch_html(state, sampled_ids, rng)
+    batch_html = _render_batch_html(state, sampled_ids, rng, render_mask)
 
     log = state.instances
     keep = sampled[log.batch_idx]
@@ -108,7 +144,7 @@ def release_dataset(
     source_names = np.array(state.sources.names, dtype=object)
     instances = Table(
         {
-            "instance_id": np.flatnonzero(keep).astype(np.int64),
+            "instance_id": log.global_ids[keep].astype(np.int64),
             "batch_id": log.batch_idx[keep],
             "item_id": log.item_id[keep],
             "worker_id": worker,

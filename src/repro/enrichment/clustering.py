@@ -348,6 +348,31 @@ class _UnionFind:
         self.size[rx] += self.size[ry]
 
 
+def _validate_lsh_params(threshold: float, num_perm: int, bands: int) -> None:
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if num_perm % bands != 0:
+        raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
+
+
+def shingle_corpus(
+    html_by_batch: Mapping[int, str]
+) -> tuple[list[int], list[np.ndarray]]:
+    """Shingle every document, returning ``(sorted batch ids, arrays)``.
+
+    The shingle phase is embarrassingly parallel per document, which makes
+    it the piece a shard can precompute locally; :func:`cluster_shingled`
+    then runs over the union.  Fans out over ``REPRO_WORKERS`` processes
+    (serial by default); the result is invariant to the worker count.
+    """
+    batch_ids = sorted(html_by_batch)
+    with obs.span("cluster.shingle", docs=len(batch_ids)):
+        all_arrays = map_chunks(
+            _shingle_array, [html_by_batch[b] for b in batch_ids]
+        )
+    return batch_ids, all_arrays
+
+
 def cluster_batches(
     html_by_batch: Mapping[int, str],
     *,
@@ -366,16 +391,36 @@ def cluster_batches(
     signatures, candidate generation, and verification are batched numpy.
     The result is invariant to the worker count.
     """
-    if not 0 < threshold <= 1:
-        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
-    if num_perm % bands != 0:
-        raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
+    _validate_lsh_params(threshold, num_perm, bands)
+    batch_ids, all_arrays = shingle_corpus(html_by_batch)
+    return cluster_shingled(
+        batch_ids,
+        all_arrays,
+        threshold=threshold,
+        num_perm=num_perm,
+        bands=bands,
+        seed=seed,
+    )
 
-    batch_ids = sorted(html_by_batch)
-    with obs.span("cluster.shingle", docs=len(batch_ids)):
-        all_arrays = map_chunks(
-            _shingle_array, [html_by_batch[b] for b in batch_ids]
-        )
+
+def cluster_shingled(
+    batch_ids: Sequence[int],
+    all_arrays: Sequence[np.ndarray],
+    *,
+    threshold: float = 0.60,
+    num_perm: int = 64,
+    bands: int = 16,
+    seed: int = 1234,
+) -> dict[int, int]:
+    """Cluster pre-shingled documents (``batch_ids`` aligned with arrays).
+
+    This is the clustering back half of :func:`cluster_batches`; callers
+    must pass batch ids in sorted order for the cluster numbering (dense,
+    by first appearance) to match it.  The sharded pipeline shingles per
+    shard, then runs this single global pass over the union — identical
+    inputs in identical order, therefore an identical partition.
+    """
+    _validate_lsh_params(threshold, num_perm, bands)
 
     # Batches of one task often have byte-identical templates; dedupe exact
     # shingle sets so minhash/LSH only runs on distinct interfaces.

@@ -64,45 +64,65 @@ def enrich_dataset(
         with obs.span("enrichment.metrics"):
             metrics = compute_batch_metrics(released)
 
-        with obs.span("enrichment.cluster_table"):
-            batch_table = hash_join(design, metrics, on="batch_id", how="left")
-            cluster_ids = np.array(
-                [cluster_of_batch[int(b)] for b in batch_table["batch_id"]],
-                dtype=np.int64,
-            )
-            batch_table = batch_table.with_column("cluster_id", cluster_ids)
+        enriched = assemble_enrichment(
+            released, config, cluster_of_batch, design, metrics
+        )
+        sp.set("clusters", enriched.cluster_table.num_rows)
+    return enriched
 
-            catalog = released.batch_catalog.select(["batch_id", "created_at"])
-            batch_table = hash_join(
-                batch_table, catalog, on="batch_id", how="left"
-            )
 
-            grouped = group_by(batch_table, "cluster_id")
-            cluster_table = grouped.agg(
-                {
-                    "num_batches": ("batch_id", "count"),
-                    "num_instances": ("num_instances", "sum"),
-                    "num_words": ("num_words", "median"),
-                    "num_text_boxes": ("num_text_boxes", "median"),
-                    "num_examples": ("num_examples", "median"),
-                    "num_images": ("num_images", "median"),
-                    "num_items": ("num_items", "median"),
-                    "disagreement": ("disagreement", _nanmedian),
-                    "task_time": ("task_time", _nanmedian),
-                    "pickup_time": ("pickup_time", _nanmedian),
-                    "first_time": ("created_at", "min"),
-                }
-            )
+def assemble_enrichment(
+    released: ReleasedDataset,
+    config: SimulationConfig,
+    cluster_of_batch: dict[int, int],
+    design: Table,
+    metrics: Table,
+) -> EnrichedDataset:
+    """Assemble the batch/cluster tables from precomputed per-batch parts.
 
-        with obs.span("enrichment.labels"):
-            label_rng = StreamFactory(config.seed).stream("labels")
-            labels = annotate_clusters(
-                cluster_of_batch, released.batch_html, label_rng
-            )
-            cluster_table = hash_join(
-                cluster_table, labels, on="cluster_id", how="left"
-            )
-        sp.set("clusters", cluster_table.num_rows)
+    The back half of :func:`enrich_dataset`, split out so the sharded
+    pipeline (:mod:`repro.shard`) can merge per-shard ``design``/``metrics``
+    tables and a globally clustered ``cluster_of_batch`` map, then build
+    byte-identical final tables through exactly this code path.
+    """
+    with obs.span("enrichment.cluster_table"):
+        batch_table = hash_join(design, metrics, on="batch_id", how="left")
+        cluster_ids = np.array(
+            [cluster_of_batch[int(b)] for b in batch_table["batch_id"]],
+            dtype=np.int64,
+        )
+        batch_table = batch_table.with_column("cluster_id", cluster_ids)
+
+        catalog = released.batch_catalog.select(["batch_id", "created_at"])
+        batch_table = hash_join(
+            batch_table, catalog, on="batch_id", how="left"
+        )
+
+        grouped = group_by(batch_table, "cluster_id")
+        cluster_table = grouped.agg(
+            {
+                "num_batches": ("batch_id", "count"),
+                "num_instances": ("num_instances", "sum"),
+                "num_words": ("num_words", "median"),
+                "num_text_boxes": ("num_text_boxes", "median"),
+                "num_examples": ("num_examples", "median"),
+                "num_images": ("num_images", "median"),
+                "num_items": ("num_items", "median"),
+                "disagreement": ("disagreement", _nanmedian),
+                "task_time": ("task_time", _nanmedian),
+                "pickup_time": ("pickup_time", _nanmedian),
+                "first_time": ("created_at", "min"),
+            }
+        )
+
+    with obs.span("enrichment.labels"):
+        label_rng = StreamFactory(config.seed).stream("labels")
+        labels = annotate_clusters(
+            cluster_of_batch, released.batch_html, label_rng
+        )
+        cluster_table = hash_join(
+            cluster_table, labels, on="cluster_id", how="left"
+        )
 
     return EnrichedDataset(
         cluster_of_batch=cluster_of_batch,

@@ -35,6 +35,11 @@ Sites and kinds
 - ``ledger.append:fail`` — the run-ledger record write raises
 - ``phase.release:sleep`` — the study ``release`` phase stalls for
   :data:`SLOW_PHASE_SLEEP_S` seconds (exercises drift detection)
+- ``shard.save:fail`` — spilling a shard partial to disk raises (the
+  sharded build keeps the partial in memory instead)
+- ``shard.load:fail`` — reading a spilled shard partial raises
+- ``shard.load:corrupt`` — a data file of the shard partial is truncated
+  on disk (exercises checksum verification + in-process rebuild)
 
 Injected faults raise :class:`InjectedFault` (an :class:`OSError` subclass)
 so they travel the *same* recovery paths a real I/O failure would; the
@@ -67,6 +72,8 @@ SITES: dict[str, tuple[str, ...]] = {
     "dataset.save": ("fail",),
     "ledger.append": ("fail",),
     "phase.release": ("sleep",),
+    "shard.save": ("fail",),
+    "shard.load": ("fail", "corrupt"),
 }
 
 #: How long an injected ``phase.release:sleep`` fault stalls the phase —

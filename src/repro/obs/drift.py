@@ -6,7 +6,8 @@ or less faithful to the paper, than its own recent history?*
 
 Baseline policy
 ---------------
-Records group by ``(kind, command, scale, seed, workers)`` — runs that are
+Records group by ``(kind, command, scale, seed, workers, shards)`` — runs
+that are
 comparable by construction.  The fault spec is deliberately **not** part of
 the key: a faulted run must be judged against its clean baseline, because
 the whole point of fault-grammar slowdowns is to show up as drift.  Within
@@ -83,11 +84,12 @@ def group_key(record: Mapping[str, Any]) -> tuple:
         config.get("scale"),
         config.get("seed"),
         config.get("workers"),
+        config.get("shards"),
     )
 
 
 def group_label(record: Mapping[str, Any]) -> str:
-    kind, command, scale, seed, workers = group_key(record)
+    kind, command, scale, seed, workers, shards = group_key(record)
     label = f"{kind}/{command}"
     if scale is not None:
         label += f" scale={scale}"
@@ -95,6 +97,8 @@ def group_label(record: Mapping[str, Any]) -> str:
         label += f" seed={seed}"
     if workers:
         label += f" workers={workers}"
+    if shards:
+        label += f" shards={shards}"
     return label
 
 

@@ -315,6 +315,7 @@ def map_chunks(
     workers: int | None = None,
     chunk_size: int | None = None,
     timeout: float | None = None,
+    min_items: int | None = None,
 ) -> list[_R]:
     """Order-preserving parallel map with a serial fallback.
 
@@ -327,10 +328,17 @@ def map_chunks(
     ``timeout`` bounds how long each chunk's result may take (seconds;
     default off, or the ``REPRO_POOL_TIMEOUT`` env var); a stall counts in
     ``parallel.timeout`` and degrades to the serial loop.
+
+    ``min_items`` overrides the built-in "too few items to be worth a pool"
+    threshold (default :data:`_MIN_PARALLEL_ITEMS`).  Coarse fan-outs whose
+    items are whole pipeline stages — e.g. one shard build per item in
+    :mod:`repro.shard` — pass a small value so even a handful of items
+    parallelizes.
     """
     seq: Sequence[_T] = items if isinstance(items, (list, tuple)) else list(items)
     n = worker_count(workers)
-    if n <= 1 or len(seq) < _MIN_PARALLEL_ITEMS:
+    floor = _MIN_PARALLEL_ITEMS if min_items is None else max(1, min_items)
+    if n <= 1 or len(seq) < floor:
         return [func(item) for item in seq]
     if chunk_size is None:
         chunk_size = max(1, len(seq) // (n * 4))

@@ -1,0 +1,257 @@
+"""Orchestration: build shards, spill, load, and merge into one study.
+
+The flow for ``K`` shards:
+
+1. **Fan out** one task per shard over :func:`repro.parallel.map_chunks`
+   (``REPRO_WORKERS`` controls the pool; serial by default).  Each task
+   simulates its shard (full-size numeric RNG replay, shard-sliced
+   materialization), applies the release lens, computes the per-batch
+   enrichment parts (design, metrics, shingles), and **spills** the
+   partial to the shard store — returning only a marker, so a serial
+   build's peak memory is one shard's working set.
+2. **Merge** loads the partials back *lean* — the per-batch pieces
+   eagerly, the instance tables as read-on-demand views over the store
+   (an entry that went missing or corrupt is quarantined and rebuilt in
+   process) — runs the unchanged single-level clustering over the pooled
+   shingles and frees them, streams the instance union together column
+   by column in global order, and assembles the final tables through
+   :func:`repro.enrichment.pipeline.assemble_enrichment` — the same code
+   path the monolithic build uses, which is why the result is
+   byte-identical.
+
+Observability: ``shard.built`` counts shard builds, ``shard.rebuilt``
+counts merge-time rebuilds after a failed load, and the merge wall time
+lands in the ``shard.merge_seconds`` histogram plus the ``shard.merge``
+span.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import cache as study_cache
+from repro import obs
+from repro.parallel import map_chunks
+from repro.shard import store
+from repro.shard.store import ShardPartial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.pipeline import EnrichedDataset
+    from repro.simulator.config import SimulationConfig
+
+_SHARDS_BUILT = obs.counter("shard.built")
+_SHARDS_REBUILT = obs.counter("shard.rebuilt")
+_MERGE_SECONDS = obs.histogram("shard.merge_seconds")
+
+
+def build_shard_partial(
+    config: "SimulationConfig", num_shards: int, shard: int
+) -> ShardPartial:
+    """Simulate, release, and pre-enrich one shard."""
+    from repro.dataset.release import release_dataset
+    from repro.enrichment.clustering import shingle_corpus
+    from repro.enrichment.design import extract_design_parameters
+    from repro.enrichment.metrics import compute_batch_metrics
+    from repro.simulator.engine import simulate_marketplace
+
+    with obs.span("shard.build", shard=shard, num_shards=num_shards) as sp:
+        state = simulate_marketplace(
+            config, shard=shard, num_shards=num_shards
+        )
+        released = release_dataset(
+            state, config, shard=shard, num_shards=num_shards
+        )
+        catalog = released.batch_catalog if shard == 0 else None
+        del state  # free the ground-truth world before enrichment parts
+        design = extract_design_parameters(released.batch_html)
+        metrics = compute_batch_metrics(released)
+        shingle_ids, shingle_arrays = shingle_corpus(released.batch_html)
+        sp.set("instances", released.instances.num_rows)
+    _SHARDS_BUILT.inc()
+    return ShardPartial(
+        shard=shard,
+        num_shards=num_shards,
+        catalog=catalog,
+        instances=released.instances,
+        design=design,
+        metrics=metrics,
+        batch_html=released.batch_html,
+        shingle_ids=np.asarray(shingle_ids, dtype=np.int64),
+        shingle_arrays=shingle_arrays,
+    )
+
+
+def _shard_task(
+    args: tuple["SimulationConfig", int, int, bool]
+) -> tuple[str, int, ShardPartial | None]:
+    """Build (or reuse) one shard; spill when the store is enabled.
+
+    Returns ``(status, shard, partial-or-None)`` where a ``None`` partial
+    means it was spilled and the merge should load it from the store —
+    keeping both the fan-out pickling and the serial build's peak memory
+    to one shard.
+    """
+    config, num_shards, shard, spill = args
+    if spill:
+        partial = store.load_partial(config, num_shards, shard)
+        if partial is not None:
+            return ("reused", shard, None)
+    partial = build_shard_partial(config, num_shards, shard)
+    if spill and store.store_partial(config, partial) is not None:
+        return ("spilled", shard, None)
+    return ("inline", shard, partial)
+
+
+def build_released_enriched(
+    config: "SimulationConfig",
+    num_shards: int,
+    *,
+    spill: bool | None = None,
+) -> tuple["ReleasedDataset", "EnrichedDataset"]:
+    """Build the released + enriched layers over ``num_shards`` shards.
+
+    Byte-identical to ``release_dataset(simulate_marketplace(config),
+    config)`` + ``enrich_dataset(...)`` for any shard count (the
+    differential suite pins this).  ``spill`` controls the on-disk shard
+    store; ``None`` follows :func:`repro.cache.cache_enabled`.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    use_store = study_cache.cache_enabled(spill)
+
+    with obs.span("shard.pipeline", num_shards=num_shards) as sp:
+        tasks = [
+            (config, num_shards, shard, use_store)
+            for shard in range(num_shards)
+        ]
+        results = map_chunks(_shard_task, tasks, chunk_size=1, min_items=2)
+
+        t0 = time.perf_counter()
+        with obs.span("shard.merge", num_shards=num_shards):
+            partials: list[ShardPartial] = []
+            for status, shard, partial in sorted(
+                results, key=lambda r: r[1]
+            ):
+                if partial is None:
+                    partial = store.load_partial(
+                        config, num_shards, shard, lean=True
+                    )
+                if partial is None:
+                    # Spilled but unreadable at merge time (evicted,
+                    # corrupt, injected fault): rebuild in process.
+                    _SHARDS_REBUILT.inc()
+                    partial = build_shard_partial(config, num_shards, shard)
+                partials.append(partial)
+            released, enriched = merge_partials(config, partials)
+        _MERGE_SECONDS.observe(time.perf_counter() - t0)
+        sp.set("instances", released.instances.num_rows)
+        sp.set("clusters", enriched.num_clusters)
+    return released, enriched
+
+
+def merge_partials(
+    config: "SimulationConfig", partials: list[ShardPartial]
+) -> tuple["ReleasedDataset", "EnrichedDataset"]:
+    """Merge shard partials into the monolithic released/enriched layers.
+
+    Exactness per layer: instance rows are concatenated and stably sorted
+    by global instance id (each shard is already internally ordered);
+    design/metrics rows likewise by batch id; the batch catalog is global
+    and carried verbatim by shard 0; clustering runs the unchanged
+    single-level pass over the pooled shingle arrays in global sorted
+    order; and the final tables come out of the same
+    :func:`~repro.enrichment.pipeline.assemble_enrichment` the monolithic
+    pipeline uses.
+
+    Consumes ``partials`` destructively to keep the union-sized pieces
+    from coexisting: the shingle pool is clustered and freed before the
+    instance tables are merged, and the instance merge walks the union
+    column by column — reading straight from the spill store when a
+    partial was loaded lean — so the peak is roughly the merged output
+    plus one column, not the output plus every shard's table.
+    """
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.clustering import cluster_shingled
+    from repro.enrichment.pipeline import assemble_enrichment
+    from repro.tables import concat_tables
+
+    if not partials:
+        raise ValueError("cannot merge zero shard partials")
+    catalog = next(
+        (p.catalog for p in partials if p.catalog is not None), None
+    )
+    if catalog is None:
+        raise ValueError("no shard partial carries the batch catalog")
+
+    batch_html: dict[int, str] = {}
+    for partial in partials:
+        batch_html.update(partial.batch_html)
+        partial.batch_html = {}
+
+    shingle_ids = np.concatenate([p.shingle_ids for p in partials])
+    shingle_arrays = [
+        array for p in partials for array in p.shingle_arrays
+    ]
+    for partial in partials:
+        partial.shingle_arrays = []
+    order = np.argsort(shingle_ids, kind="stable")
+    with obs.span("shard.merge.cluster", docs=len(order)):
+        cluster_of_batch = cluster_shingled(
+            [int(b) for b in shingle_ids[order]],
+            [shingle_arrays[i] for i in order],
+        )
+    shingle_arrays.clear()
+
+    design = concat_tables([p.design for p in partials])
+    design = design.take(np.argsort(design["batch_id"], kind="stable"))
+    metrics = concat_tables([p.metrics for p in partials])
+    metrics = metrics.take(np.argsort(metrics["batch_id"], kind="stable"))
+
+    instance_tables = [p.instances for p in partials]
+    for partial in partials:
+        partial.instances = None  # type: ignore[assignment]
+    instances = _merge_sorted_by(instance_tables, "instance_id")
+
+    released = ReleasedDataset(
+        batch_catalog=catalog,
+        batch_html=batch_html,
+        instances=instances,
+    )
+    enriched = assemble_enrichment(
+        released, config, cluster_of_batch, design, metrics
+    )
+    return released, enriched
+
+
+def _merge_sorted_by(tables: list, key: str):
+    """Concatenate tables and stable-sort the rows by ``key``, column-wise.
+
+    Byte-identical to ``concat_tables(tables).take(argsort(table[key],
+    kind="stable"))``, but each column of the union is fetched (for a
+    :class:`~repro.shard.store.SpilledTable`, read from disk), placed into
+    the output, and freed before the next one — peak memory is the merged
+    output plus about one column, not two whole extra tables.  Consumes
+    ``tables`` destructively.
+    """
+    from repro.tables import Table
+
+    names = list(tables[0].column_names)
+    key_column = np.concatenate([t[key] for t in tables])
+    order = np.argsort(key_column, kind="stable")
+    merged = {}
+    for name in names:
+        if name == key:
+            column = key_column
+        else:
+            parts = [t[name] for t in tables]
+            column = np.concatenate(parts)
+            parts.clear()
+        merged[name] = column[order]
+        del column
+    del key_column
+    tables.clear()
+    return Table(merged, copy=False)

@@ -1,0 +1,125 @@
+"""Two-level minhash/LSH clustering: within shards, then across them.
+
+The sharded study pipeline gets *exact* clustering for free — shards
+precompute shingles and the merge runs the unchanged single-level
+:func:`repro.enrichment.clustering.cluster_shingled` over their union, so
+the partition is identical by construction.  That global pass still holds
+every signature at once, though, which eventually outgrows memory.
+
+:func:`cluster_batches_two_level` is the scalable alternative: cluster
+each shard independently, then run LSH + exact-Jaccard verification over
+one *representative* document per within-shard cluster, and union the
+clusters whose representatives match.  It is approximate — a cross-shard
+pair merges only if their representatives are similar enough — but for
+near-duplicate corpora (the regime HTML template reuse produces) the
+representative is interchangeable with any member, so recall relative to
+the single-level pass stays at least as high as the LSH candidate recall.
+``tests/test_shard_merge_properties.py`` pins recall >= single-level on
+generated near-duplicate batches.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.enrichment.clustering import (
+    _jaccard_sorted,
+    _UnionFind,
+    _validate_lsh_params,
+    cluster_shingled,
+    minhash_signatures,
+    shingle_corpus,
+)
+from repro.shard.partition import shard_of_batches
+
+_LEVEL2_PAIRS = obs.counter("cluster.two_level_pairs")
+
+
+def cluster_batches_two_level(
+    html_by_batch: Mapping[int, str],
+    *,
+    num_shards: int,
+    threshold: float = 0.60,
+    num_perm: int = 64,
+    bands: int = 16,
+    seed: int = 1234,
+) -> dict[int, int]:
+    """Cluster batches in two levels: per shard, then shard representatives.
+
+    Returns ``batch_id -> cluster_id`` with cluster ids dense from 0 in
+    order of first appearance over the globally sorted batch ids — the
+    same numbering convention as
+    :func:`repro.enrichment.clustering.cluster_batches`.
+    """
+    _validate_lsh_params(threshold, num_perm, bands)
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+
+    all_ids = np.array(sorted(html_by_batch), dtype=np.int64)
+    owner = shard_of_batches(all_ids, num_shards)
+
+    # Level 1: cluster each shard's documents independently.  Nodes of the
+    # second level are (shard, local cluster) pairs; each contributes its
+    # first member (in sorted batch-id order) as representative.
+    node_of_batch: dict[int, int] = {}
+    rep_arrays: list[np.ndarray] = []
+    with obs.span("cluster.two_level.local", shards=num_shards):
+        for shard in range(num_shards):
+            shard_ids = all_ids[owner == shard]
+            if not len(shard_ids):
+                continue
+            corpus = {int(b): html_by_batch[int(b)] for b in shard_ids}
+            batch_ids, arrays = shingle_corpus(corpus)
+            local = cluster_shingled(
+                batch_ids,
+                arrays,
+                threshold=threshold,
+                num_perm=num_perm,
+                bands=bands,
+                seed=seed,
+            )
+            base = len(rep_arrays)
+            seen: dict[int, int] = {}
+            for batch_id, arr in zip(batch_ids, arrays):
+                local_cluster = local[batch_id]
+                node = seen.get(local_cluster)
+                if node is None:
+                    node = seen[local_cluster] = base + len(seen)
+                    rep_arrays.append(arr)
+                node_of_batch[batch_id] = node
+
+    # Level 2: LSH over the representatives, exact-Jaccard verify, union.
+    rows = num_perm // bands
+    uf = _UnionFind(len(rep_arrays))
+    with obs.span("cluster.two_level.reps", nodes=len(rep_arrays)):
+        signatures = minhash_signatures(
+            rep_arrays, num_perm=num_perm, seed=seed
+        )
+        candidates: set[tuple[int, int]] = set()
+        for band in range(bands):
+            lo, hi = band * rows, (band + 1) * rows
+            buckets: dict[bytes, int] = {}
+            for i in range(len(rep_arrays)):
+                anchor = buckets.setdefault(
+                    signatures[i, lo:hi].tobytes(), i
+                )
+                if anchor != i:
+                    candidates.add((anchor, i))
+        _LEVEL2_PAIRS.inc(len(candidates))
+        for anchor, other in sorted(candidates):
+            if uf.find(anchor) == uf.find(other):
+                continue
+            if _jaccard_sorted(rep_arrays[anchor], rep_arrays[other]) >= threshold:
+                uf.union(anchor, other)
+
+    cluster_of_root: dict[int, int] = {}
+    result: dict[int, int] = {}
+    for batch_id in all_ids.tolist():
+        root = uf.find(node_of_batch[batch_id])
+        if root not in cluster_of_root:
+            cluster_of_root[root] = len(cluster_of_root)
+        result[batch_id] = cluster_of_root[root]
+    return result

@@ -1,0 +1,64 @@
+"""Shard partitioning key and ``REPRO_SHARDS`` resolution.
+
+Batches are the partition unit: every analysis groups by batch (or by
+cluster, which is a set of batches), items never span batches, and the
+batch id is stable across the monolithic and sharded runs.  The key is
+plain modulo — ``batch_id % num_shards`` — which balances shards well
+because batch sizes are i.i.d. in batch id.
+
+``simulate_marketplace`` keeps an inline copy of this expression (the
+engine cannot import this package without a cycle); the differential
+equivalence suite pins the two against each other.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro import obs
+
+#: Environment variable selecting the shard count for ``build_study``.
+SHARDS_ENV = "REPRO_SHARDS"
+
+_MISCONFIGURED = obs.counter("shard.misconfigured")
+
+
+def shard_of_batches(batch_ids: np.ndarray, num_shards: int) -> np.ndarray:
+    """Owning shard of each batch id (``batch_id % num_shards``)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return np.asarray(batch_ids, dtype=np.int64) % num_shards
+
+
+def resolve_shards(explicit: int | None = None) -> int:
+    """Resolve the effective shard count (``explicit`` overrides the env).
+
+    Mirrors :func:`repro.parallel.worker_count`'s posture toward bad
+    input: garbage or non-positive values in ``REPRO_SHARDS`` resolve to 1
+    (monolithic) — but loudly, with a ``RuntimeWarning`` and a
+    ``shard.misconfigured`` counter increment, never silently.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError(f"shards must be >= 1, got {explicit}")
+        return int(explicit)
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        _MISCONFIGURED.inc()
+        warnings.warn(
+            f"repro.shard: {SHARDS_ENV}={raw!r} is not a positive integer; "
+            f"running monolithic",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return value

@@ -1,0 +1,324 @@
+"""Spill-to-disk store for per-shard pipeline partials.
+
+A shard partial is everything the merge needs from one shard: its slice of
+the released instance table, the per-batch design/metrics tables, the
+rendered HTML, and precomputed shingle arrays (so the global clustering
+pass at merge time does not re-shingle).  Shard 0 additionally carries the
+batch catalog, which is global and identical across shards.
+
+Layout and failure handling follow the :mod:`repro.cache` schema-v2
+conventions: entries live under a hidden ``.shards/`` directory inside the
+cache root, keyed by ``study_key(config)`` (so any code or config change
+invalidates automatically) plus the shard count; each entry is written to
+a temp directory and atomically renamed; the manifest records a SHA-256
+checksum per data file, verified before any byte is deserialized; a
+damaged entry is quarantined and reported as a miss so the shard is
+rebuilt in process.  A failed spill warns, counts in
+``shard.store_failed``, and keeps the in-memory partial — degraded
+environments never change the result.
+
+Fault-injection sites (:mod:`repro.faults`): ``shard.save:fail`` makes the
+spill raise, ``shard.load:fail`` makes reading an entry raise, and
+``shard.load:corrupt`` truncates a data file on disk so the checksum and
+quarantine defenses themselves are exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import faults, obs
+from repro.cache import (
+    _ENTRY_READ_ERRORS,
+    _jsonable,
+    _load_table,
+    _quarantine_entry,
+    _save_table,
+    _sha256_file,
+    cache_dir,
+    study_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.config import SimulationConfig
+    from repro.tables import Table
+
+#: Bump when the shard-partial layout changes incompatibly.
+SHARD_SCHEMA_VERSION = 1
+
+_SPILLS = obs.counter("shard.spilled")
+_LOAD_HITS = obs.counter("shard.load_hit")
+_STORE_FAILED = obs.counter("shard.store_failed")
+_CORRUPT = obs.counter("shard.corrupt")
+_SPILL_SECONDS = obs.histogram("shard.spill_seconds")
+_LOAD_SECONDS = obs.histogram("shard.load_seconds")
+
+_TABLE_FILES = {
+    "instances": "instances.npz",
+    "design": "design.npz",
+    "metrics": "metrics.npz",
+}
+_CATALOG_FILE = "catalog.npz"
+
+
+class SpilledTable:
+    """Read-on-demand view of one spilled table.
+
+    Each column access opens the archive, reads that single member, and
+    returns it without retaining a reference — so a merge that walks the
+    union column by column holds one shard-column at a time instead of
+    every shard's whole table.  Handed out only after the entry's
+    checksums have been verified (:func:`load_partial` with ``lean``).
+    """
+
+    def __init__(self, path: Path, column_order: list[str]) -> None:
+        self._path = path
+        self._column_names = list(column_order)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._column_names)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        with np.load(self._path, allow_pickle=True) as archive:
+            return archive[name]
+
+
+@dataclass
+class ShardPartial:
+    """One shard's contribution to the merged study."""
+
+    shard: int
+    num_shards: int
+    #: The global batch catalog — identical across shards, carried only by
+    #: shard 0 (``None`` elsewhere).
+    catalog: "Table | None"
+    instances: "Table | SpilledTable"
+    design: "Table"
+    metrics: "Table"
+    batch_html: dict[int, str]
+    #: Sorted batch ids with HTML, aligned with ``shingle_arrays``.
+    shingle_ids: np.ndarray
+    shingle_arrays: list[np.ndarray]
+
+
+def shard_store_dir(config: "SimulationConfig", num_shards: int) -> Path:
+    """Entry directory for ``(config, num_shards)`` under the cache root.
+
+    Hidden (dot-prefixed) so :func:`repro.cache.list_entries` and
+    ``clear_cache`` treat shard spills as internal scratch, not entries.
+    """
+    return cache_dir() / ".shards" / f"{study_key(config)[:32]}-k{num_shards}"
+
+
+def _entry_dir(
+    config: "SimulationConfig", num_shards: int, shard: int
+) -> Path:
+    return shard_store_dir(config, num_shards) / f"shard-{shard:04d}"
+
+
+def store_partial(
+    config: "SimulationConfig", partial: ShardPartial
+) -> Path | None:
+    """Spill ``partial`` to disk; returns the entry path, ``None`` on failure.
+
+    Best-effort with the :mod:`repro.cache` posture: any I/O failure (or an
+    injected ``shard.save:fail``) leaves the store unchanged and returns
+    ``None`` — visibly, via a ``RuntimeWarning`` and ``shard.store_failed``
+    — and the caller keeps using the in-memory partial.
+    """
+    t0 = time.perf_counter()
+    final = _entry_dir(config, partial.num_shards, partial.shard)
+    root = final.parent
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(prefix=f".{final.name}-", dir=root))
+    except OSError:
+        tmp = None
+    entry: Path | None = None
+    if tmp is not None:
+        try:
+            faults.check("shard.save")
+            column_orders = {
+                name: _save_table(getattr(partial, name), tmp / filename)
+                for name, filename in _TABLE_FILES.items()
+            }
+            if partial.catalog is not None:
+                column_orders["catalog"] = _save_table(
+                    partial.catalog, tmp / _CATALOG_FILE
+                )
+
+            html_ids = np.array(sorted(partial.batch_html), dtype=np.int64)
+            html_docs = np.array(
+                [partial.batch_html[int(b)] for b in html_ids], dtype=object
+            )
+            np.savez(tmp / "html.npz", batch_id=html_ids, html=html_docs)
+
+            counts = np.array(
+                [len(a) for a in partial.shingle_arrays], dtype=np.int64
+            )
+            flat = (
+                np.concatenate(partial.shingle_arrays)
+                if partial.shingle_arrays
+                else np.empty(0, dtype=np.uint64)
+            )
+            np.savez(
+                tmp / "shingles.npz",
+                batch_id=np.asarray(partial.shingle_ids, dtype=np.int64),
+                counts=counts,
+                flat=flat.astype(np.uint64, copy=False),
+            )
+
+            checksums = {f.name: _sha256_file(f) for f in sorted(tmp.iterdir())}
+            manifest = {
+                "schema": SHARD_SCHEMA_VERSION,
+                "shard": partial.shard,
+                "num_shards": partial.num_shards,
+                "config": _jsonable(config),
+                "column_orders": column_orders,
+                "checksums": checksums,
+                "num_instances": partial.instances.num_rows,
+                "num_batches": len(partial.batch_html),
+            }
+            (tmp / "manifest.json").write_text(json.dumps(manifest, indent=2))
+            if final.exists():
+                shutil.rmtree(final, ignore_errors=True)
+            os.replace(tmp, final)
+            entry = final
+        except OSError:
+            entry = None
+        finally:
+            if tmp.exists() and tmp != final:
+                shutil.rmtree(tmp, ignore_errors=True)
+    if entry is None:
+        _STORE_FAILED.inc()
+        warnings.warn(
+            f"repro.shard: failed to spill shard {partial.shard} of "
+            f"{partial.num_shards} (keeping it in memory; the merged study "
+            f"is unaffected)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    else:
+        _SPILLS.inc()
+    _SPILL_SECONDS.observe(time.perf_counter() - t0)
+    return entry
+
+
+def _corrupt_entry(entry: Path) -> None:
+    """Injected ``shard.load:corrupt``: truncate one data file on disk."""
+    target = entry / _TABLE_FILES["metrics"]
+    if not target.is_file():
+        candidates = sorted(entry.glob("*.npz"))
+        if not candidates:
+            return
+        target = candidates[0]
+    data = target.read_bytes()
+    target.write_bytes(data[: len(data) // 2])
+
+
+def load_partial(
+    config: "SimulationConfig", num_shards: int, shard: int, *,
+    lean: bool = False,
+) -> ShardPartial | None:
+    """Load a spilled shard partial; ``None`` on miss or damage.
+
+    Damage — a checksum mismatch, truncated archive, or injected
+    ``shard.load`` fault — quarantines the entry (counted in
+    ``shard.corrupt``) and reports a miss, so the caller rebuilds the
+    shard in process instead of crashing or consuming bad bytes.
+
+    With ``lean``, the (large) instance table comes back as a
+    :class:`SpilledTable` read-on-demand view instead of an in-memory
+    table, so a column-wise merge over many shards is bounded by one
+    column's worth of shard data; everything else (design, metrics, HTML,
+    shingles, catalog) is batch-sized and loads eagerly as usual.  The
+    view is only handed out after the whole entry's checksums verify.
+    """
+    t0 = time.perf_counter()
+    entry = _entry_dir(config, num_shards, shard)
+    if not entry.is_dir():
+        return None
+    try:
+        kind = faults.fire("shard.load")
+        if kind == "corrupt":
+            _corrupt_entry(entry)
+        elif kind == "fail":
+            raise faults.InjectedFault("injected fault: shard.load:fail")
+        manifest = json.loads((entry / "manifest.json").read_text())
+        if manifest.get("schema") != SHARD_SCHEMA_VERSION:
+            return None
+        for filename, expected in manifest["checksums"].items():
+            if _sha256_file(entry / filename) != expected:
+                raise ValueError(f"checksum mismatch in {filename}")
+        orders = manifest["column_orders"]
+        tables: dict[str, "Table | SpilledTable"] = {
+            name: _load_table(entry / filename, orders[name])
+            for name, filename in _TABLE_FILES.items()
+            if not (lean and name == "instances")
+        }
+        if lean:
+            tables["instances"] = SpilledTable(
+                entry / _TABLE_FILES["instances"], orders["instances"]
+            )
+        catalog = None
+        if "catalog" in orders:
+            catalog = _load_table(entry / _CATALOG_FILE, orders["catalog"])
+        with np.load(entry / "html.npz", allow_pickle=True) as archive:
+            batch_html = {
+                int(b): str(doc)
+                for b, doc in zip(archive["batch_id"], archive["html"])
+            }
+        with np.load(entry / "shingles.npz") as archive:
+            shingle_ids = archive["batch_id"].astype(np.int64)
+            counts = archive["counts"]
+            flat = archive["flat"].astype(np.uint64)
+        shingle_arrays = [
+            a for a in np.split(flat, np.cumsum(counts)[:-1])
+        ] if len(counts) else []
+    except _ENTRY_READ_ERRORS:
+        _CORRUPT.inc()
+        _quarantine_entry(entry)
+        return None
+    _LOAD_HITS.inc()
+    _LOAD_SECONDS.observe(time.perf_counter() - t0)
+    return ShardPartial(
+        shard=shard,
+        num_shards=num_shards,
+        catalog=catalog,
+        instances=tables["instances"],
+        design=tables["design"],
+        metrics=tables["metrics"],
+        batch_html=batch_html,
+        shingle_ids=shingle_ids,
+        shingle_arrays=shingle_arrays,
+    )
+
+
+def clear_shards() -> int:
+    """Remove every spilled shard set; returns how many were removed."""
+    root = cache_dir() / ".shards"
+    if not root.is_dir():
+        return 0
+    try:
+        children = sorted(root.iterdir())
+    except OSError:
+        return 0
+    removed = 0
+    for entry in children:
+        if not entry.is_dir():
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        if not entry.name.startswith("."):
+            removed += 1
+    return removed

@@ -163,11 +163,20 @@ class Calibration:
 
 
 #: Scale presets: (distinct tasks, workers, median instances per batch).
+#: ``large`` is ~3x medium by instance volume — big enough that the
+#: monolithic in-memory pipeline becomes uncomfortable and the sharded
+#: executor (:mod:`repro.shard`) pays off.
 _PRESETS = {
     "tiny": dict(num_distinct_tasks=70, num_workers=700, instance_scale=0.15),
     "small": dict(num_distinct_tasks=300, num_workers=2800, instance_scale=0.40),
     "medium": dict(num_distinct_tasks=1100, num_workers=11000, instance_scale=0.80),
+    "large": dict(num_distinct_tasks=2200, num_workers=22000, instance_scale=1.20),
 }
+
+
+def preset_names() -> list[str]:
+    """The valid ``scale`` arguments of :meth:`SimulationConfig.preset`."""
+    return sorted(_PRESETS)
 
 
 @dataclass(frozen=True)
@@ -207,9 +216,11 @@ class SimulationConfig:
 
     @classmethod
     def preset(cls, scale: str, *, seed: int = 7) -> "SimulationConfig":
-        """A named scale preset: ``tiny``, ``small``, or ``medium``."""
+        """A named scale preset (one of :func:`preset_names`)."""
         if scale not in _PRESETS:
-            raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_PRESETS)}")
+            raise ValueError(
+                f"unknown scale {scale!r}; choose from {preset_names()}"
+            )
         return cls(seed=seed, **_PRESETS[scale])
 
     def with_seed(self, seed: int) -> "SimulationConfig":

@@ -44,10 +44,22 @@ class InstanceLog:
     end_time: np.ndarray  # int: seconds since epoch (completion)
     trust: np.ndarray  # float in [0, 1]
     response: np.ndarray  # object: worker's answer string
+    #: Global instance ids.  ``None`` means the log is dense (row i == id i,
+    #: e.g. hand-built logs in repro.abtest); a sharded simulation carries
+    #: the monolithic ids of its slice here so downstream layers keep global
+    #: numbering.
+    instance_id: np.ndarray | None = None
 
     @property
     def num_instances(self) -> int:
         return len(self.batch_idx)
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        """Global instance ids, materializing ``arange`` for dense logs."""
+        if self.instance_id is not None:
+            return self.instance_id
+        return np.arange(self.num_instances, dtype=np.int64)
 
 
 @dataclass
@@ -95,8 +107,37 @@ def _expand_batches(batches: BatchSchedule) -> tuple[np.ndarray, np.ndarray, np.
     return batch_of_instance, position, item_id
 
 
-def simulate_marketplace(config: SimulationConfig) -> MarketplaceState:
-    """Run the full generative model for ``config``.  Deterministic in seed."""
+def _validate_shard(shard: int | None, num_shards: int | None) -> bool:
+    """Validate a ``(shard, num_shards)`` pair; True when shard mode is on."""
+    if shard is None and num_shards is None:
+        return False
+    if shard is None or num_shards is None:
+        raise ValueError("shard and num_shards must be given together")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if not 0 <= shard < num_shards:
+        raise ValueError(f"shard must be in [0, {num_shards}), got {shard}")
+    return True
+
+
+def simulate_marketplace(
+    config: SimulationConfig,
+    *,
+    shard: int | None = None,
+    num_shards: int | None = None,
+) -> MarketplaceState:
+    """Run the full generative model for ``config``.  Deterministic in seed.
+
+    With ``shard``/``num_shards`` set, the world layers (sources, envelope,
+    tasks, batches, workers) are generated in full — they are cheap and the
+    generative couplings (daily worker allocation, weekly load) span all
+    batches — but the expensive instance *materialization* (answer strings,
+    the event-log columns) is restricted to batches with
+    ``batch_id % num_shards == shard``.  Numeric RNG draws are replayed at
+    full size so the union of all shards is byte-identical to the monolithic
+    run (see :mod:`repro.shard`).
+    """
+    sharded = _validate_shard(shard, num_shards)
     streams = StreamFactory(config.seed)
 
     with obs.span("simulate", seed=config.seed, weeks=config.num_weeks) as sp:
@@ -111,7 +152,21 @@ def simulate_marketplace(config: SimulationConfig) -> MarketplaceState:
         with obs.span("simulate.workers"):
             workers = generate_workers(config, sources, envelope, streams)
 
-        instances = simulate_instances(config, tasks, batches, workers, streams)
+        keep_batches = None
+        if sharded:
+            # Partition key: batch id modulo shard count.  Must agree with
+            # repro.shard.partition.shard_of_batches (kept inline here to
+            # avoid an import cycle with the shard package).
+            keep_batches = (
+                np.arange(batches.num_batches, dtype=np.int64) % num_shards
+                == shard
+            )
+            sp.set("shard", shard)
+            sp.set("num_shards", num_shards)
+
+        instances = simulate_instances(
+            config, tasks, batches, workers, streams, keep_batches=keep_batches
+        )
         sp.set("instances", instances.num_instances)
     return MarketplaceState(
         config=config,
@@ -130,6 +185,8 @@ def simulate_instances(
     batches: BatchSchedule,
     workers: WorkerPool,
     streams: StreamFactory,
+    *,
+    keep_batches: np.ndarray | None = None,
 ) -> InstanceLog:
     """Simulate the instance-level event log for a given world.
 
@@ -137,9 +194,15 @@ def simulate_instances(
     experiments (see :mod:`repro.abtest`) can run the identical pickup /
     allocation / timing / answer machinery over hand-built task and batch
     populations.
+
+    ``keep_batches`` (bool per batch) restricts the *materialized* log to
+    those batches while replaying every numeric RNG draw at full size, so a
+    kept row carries exactly the bytes the monolithic run would give it.
     """
     with obs.span("simulate.instances") as sp:
-        log = _simulate_instances(config, tasks, batches, workers, streams)
+        log = _simulate_instances(
+            config, tasks, batches, workers, streams, keep_batches=keep_batches
+        )
         sp.set("rows", log.num_instances)
     _ROWS_SIMULATED.inc(log.num_instances)
     return log
@@ -151,7 +214,14 @@ def _simulate_instances(
     batches: BatchSchedule,
     workers: WorkerPool,
     streams: StreamFactory,
+    *,
+    keep_batches: np.ndarray | None = None,
 ) -> InstanceLog:
+    if keep_batches is not None:
+        return _simulate_instances_sharded(
+            config, tasks, batches, workers, streams, keep_batches
+        )
+
     cal = config.calibration
     timing_rng = streams.stream("timing")
     answer_rng = streams.stream("answers")
@@ -247,6 +317,149 @@ def _simulate_instances(
         end_time=end_time.astype(np.int64),
         trust=trust,
         response=response,
+    )
+
+
+def _simulate_instances_sharded(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    batches: BatchSchedule,
+    workers: WorkerPool,
+    streams: StreamFactory,
+    keep_batches: np.ndarray,
+) -> InstanceLog:
+    """Shard-mode twin of :func:`_simulate_instances`: same draws, bounded
+    memory.
+
+    Every RNG call is replayed with the monolithic size and order (the
+    timing/allocation/answer streams are shared across shards), but each
+    full-length array is sliced down to this shard's rows at its first
+    opportunity and the full-length original freed — elementwise arithmetic
+    commutes with row selection, so a kept row still carries exactly the
+    bytes the monolithic run would give it (the differential suite in
+    ``tests/test_shard_equivalence.py`` pins this).  The only full-length
+    arrays that must *persist* across stages are the pickup → start-time →
+    allocation chain: worker allocation draws couple globally per pickup
+    day, so it cannot run on a slice.
+    """
+    cal = config.calibration
+    timing_rng = streams.stream("timing")
+    answer_rng = streams.stream("answers")
+    alloc_rng = streams.stream("allocation")
+
+    batch_of_instance, position, item_id = _expand_batches(batches)
+    n = len(batch_of_instance)
+    horizon_sec = config.num_weeks * WEEK_SECONDS
+
+    keep = keep_batches[batch_of_instance]
+    sel = np.flatnonzero(keep)
+    del keep
+    item_sel = item_id[sel]
+    del item_id  # answers only read this shard's item rows
+
+    # ------------------------------------------------------------------ #
+    # Pickup times.  The product accumulates in place, in the monolithic
+    # association order ((target * sequence) * noise), so the bytes match.
+    # ------------------------------------------------------------------ #
+    with obs.span("simulate.instances.pickup"):
+        task_of_instance = batches.task_idx[batch_of_instance]
+        task_sel = task_of_instance[sel]
+        pickup = (
+            tasks.base_pickup_time[task_of_instance]
+            * _weekly_load_factor(config, batches)[batch_of_instance]
+            ** cal.pickup_load_exponent
+        )
+        del task_of_instance
+        batch_sel = batch_of_instance[sel]
+        batch_start = batches.start_time[batch_of_instance]
+        del batch_of_instance
+        pickup *= (
+            1.0 + position / cal.pickup_parallelism
+        ) ** cal.pickup_sequence_exponent
+        del position
+        pickup *= np.exp(
+            timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n)
+        )
+        start_time = np.minimum(
+            batch_start + pickup.astype(np.int64), horizon_sec - 1
+        )
+        del batch_start, pickup
+
+    # ------------------------------------------------------------------ #
+    # Worker assignment — the one stage that must stay full length: each
+    # pickup day's allocation draws depend on every instance landing on it.
+    # ------------------------------------------------------------------ #
+    with obs.span("simulate.instances.allocation"):
+        start_days = start_time // DAY_SECONDS
+        worker_id = allocate_workers(start_days, workers, alloc_rng, cal)
+        del start_days
+        start_sel = start_time[sel]
+        del start_time
+        worker_sel = worker_id[sel]
+        del worker_id
+
+    # ------------------------------------------------------------------ #
+    # Task times.  ``_within_batch_experience`` runs on the slice alone:
+    # its (batch, worker) runs never cross shards (batches are whole within
+    # a shard) and slicing preserves the stable lexsort's tie order, so the
+    # within-run ranks are unchanged.
+    # ------------------------------------------------------------------ #
+    with obs.span("simulate.instances.timing"):
+        task_time = (
+            tasks.base_task_time[task_sel]
+            * np.exp(
+                timing_rng.normal(
+                    0.0, cal.task_time_instance_noise_sd, size=n
+                )[sel]
+            )
+            * workers.speed[worker_sel]
+        )
+        if cal.within_batch_learning_exponent:
+            experience = _within_batch_experience(
+                batch_sel, worker_sel, start_sel
+            )
+            task_time = task_time * (
+                (1.0 + experience) ** -cal.within_batch_learning_exponent
+            )
+        end_time = start_sel + np.maximum(task_time.astype(np.int64), 1)
+
+    # ------------------------------------------------------------------ #
+    # Trust scores.
+    # ------------------------------------------------------------------ #
+    trust = np.clip(
+        workers.accuracy[worker_sel]
+        + answer_rng.normal(0.0, cal.trust_noise_sd, size=n)[sel],
+        0.0,
+        1.0,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Answers.
+    # ------------------------------------------------------------------ #
+    with obs.span("simulate.instances.answers"):
+        response = _generate_responses_sharded(
+            config,
+            tasks,
+            batches,
+            workers,
+            answer_rng,
+            n=n,
+            sel=sel,
+            task_sel=task_sel,
+            item_sel=item_sel,
+            worker_sel=worker_sel,
+        )
+
+    return InstanceLog(
+        batch_idx=batch_sel,
+        task_idx=task_sel,
+        item_id=item_sel,
+        worker_id=worker_sel,
+        start_time=start_sel.astype(np.int64),
+        end_time=end_time.astype(np.int64),
+        trust=trust,
+        response=response,
+        instance_id=sel.astype(np.int64),
     )
 
 
@@ -366,7 +579,6 @@ def _generate_responses(
         [ops[0] in TEXT_RESPONSE_OPERATORS for ops in tasks.operators]
     )
     pool_array, pool_offsets = _build_choice_pool(num_choices, textual)
-
     response = pool_array[pool_offsets[task_of_instance] + answer_idx]
 
     # Subjective free-form tasks: every response is unique.
@@ -376,5 +588,70 @@ def _generate_responses(
         unique_ids = np.flatnonzero(subjective_inst)
         response[unique_ids] = np.array(
             [f"freeform response #{i}" for i in unique_ids], dtype=object
+        )
+    return response
+
+
+def _generate_responses_sharded(
+    config: SimulationConfig,
+    tasks: TaskPopulation,
+    batches: BatchSchedule,
+    workers: WorkerPool,
+    rng: np.random.Generator,
+    *,
+    n: int,
+    sel: np.ndarray,
+    task_sel: np.ndarray,
+    item_sel: np.ndarray,
+    worker_sel: np.ndarray,
+) -> np.ndarray:
+    """Shard-mode :func:`_generate_responses`: draws at full size ``n`` (the
+    answer stream must match the monolithic run byte for byte), everything
+    derived — modal probabilities, correctness, answer indices, and the
+    object-string materialization — only on the ``sel`` rows this shard
+    owns.  Subjective responses are keyed by *global* instance id so the
+    union of shards reproduces the monolithic strings exactly.
+    """
+    cal = config.calibration
+
+    num_choices = tasks.num_choices.astype(np.int64)
+    q_task = modal_probability_for_disagreement(
+        tasks.target_disagreement, num_choices
+    )
+
+    # The per-item modal answers stay full length: items are globally
+    # indexed, and their array is item-sized, far below instance-sized.
+    total_items = int(batches.num_items.sum())
+    m_of_batch = num_choices[batches.task_idx]
+    m_of_item = np.repeat(m_of_batch, batches.num_items)
+    true_answer_of_item = (
+        rng.random(total_items) * m_of_item
+    ).astype(np.int64)
+
+    m_sel = m_of_item[item_sel]
+    true_sel = true_answer_of_item[item_sel]
+    del m_of_item, true_answer_of_item
+
+    q_sel = np.clip(
+        q_task[task_sel]
+        + cal.worker_accuracy_coupling
+        * (workers.accuracy[worker_sel] - cal.mean_worker_accuracy),
+        0.02,
+        0.999,
+    )
+    correct = rng.random(n)[sel] < q_sel
+    wrong_offset = 1 + (rng.random(n)[sel] * (m_sel - 1)).astype(np.int64)
+    answer_idx = np.where(correct, true_sel, (true_sel + wrong_offset) % m_sel)
+
+    textual = np.array(
+        [ops[0] in TEXT_RESPONSE_OPERATORS for ops in tasks.operators]
+    )
+    pool_array, pool_offsets = _build_choice_pool(num_choices, textual)
+    response = pool_array[pool_offsets[task_sel] + answer_idx]
+    subjective_local = np.flatnonzero(tasks.subjective[task_sel])
+    if len(subjective_local):
+        response[subjective_local] = np.array(
+            [f"freeform response #{i}" for i in sel[subjective_local]],
+            dtype=object,
         )
     return response

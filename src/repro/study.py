@@ -109,13 +109,14 @@ class Study:
 
 
 def build_study(
-    scale: str = "tiny", seed: int = 7, *, cache: bool | None = None
+    scale: str = "tiny", seed: int = 7, *, cache: bool | None = None,
+    shards: int | None = None,
 ) -> Study:
     """Simulate the marketplace and run the full enrichment pipeline.
 
     ``scale`` is one of ``"tiny"`` (unit tests, seconds), ``"small"``
-    (examples), ``"medium"`` (benchmarks).  The same seed always yields the
-    same study.
+    (examples), ``"medium"`` (benchmarks), ``"large"`` (out-of-core; built
+    sharded).  The same seed always yields the same study.
 
     ``cache`` controls the on-disk study cache (:mod:`repro.cache`):
     ``True``/``False`` force it on/off; ``None`` (default) enables it unless
@@ -123,20 +124,31 @@ def build_study(
     the released + enriched layers from disk — byte-identical to a cold
     build — and defers simulation until ``study.state`` is touched.
 
+    ``shards`` selects the sharded, memory-bounded executor
+    (:mod:`repro.shard`): ``K > 1`` builds K batch-partitioned shards and
+    merges them — byte-identical to the monolithic build, proven by the
+    differential equivalence suite; ``None`` (default) reads the
+    ``REPRO_SHARDS`` environment variable; 1 is the monolithic path.
+
     Degraded environments never change the result: a corrupt or unreadable
     cache entry is quarantined and rebuilt, a failed entry write keeps the
-    in-memory study, and pool failures in the enrichment fan-out degrade to
+    in-memory study, a damaged shard spill is quarantined and the shard
+    rebuilt in process, and pool failures in any fan-out degrade to
     serial — all counted in the metrics registry and provable with
     deterministic fault injection (:mod:`repro.faults`, ``REPRO_FAULTS``).
     """
     from repro import cache as study_cache
     from repro.figures.suite import FigureSuite
+    from repro.shard.partition import resolve_shards
     from repro.simulator.config import SimulationConfig
 
     config = SimulationConfig.preset(scale, seed=seed)
     use_cache = study_cache.cache_enabled(cache)
+    num_shards = resolve_shards(shards)
 
     with obs.span("study.build", scale=scale, seed=seed, cache=use_cache) as sp:
+        if num_shards > 1:
+            sp.set("shards", num_shards)
         if use_cache:
             loaded = study_cache.load_study(config)
             if loaded is not None:
@@ -160,22 +172,31 @@ def build_study(
         from repro.enrichment.pipeline import enrich_dataset
         from repro.simulator.engine import simulate_marketplace
 
-        state = simulate_marketplace(config)
-        with obs.span("release"):
-            if faults.fire("phase.release") == "sleep":
-                # Deterministic phase slowdown: lets the acceptance tests
-                # (and reproduce_all.sh) prove drift detection flags the
-                # right phase without depending on a genuinely slow machine.
-                import time
+        if num_shards > 1:
+            from repro.shard.build import build_released_enriched
 
-                time.sleep(faults.SLOW_PHASE_SLEEP_S)
-            released = release_dataset(state, config)
-        enriched = enrich_dataset(released, config)
+            released, enriched = build_released_enriched(config, num_shards)
+            state = None  # never retain the full world; _LazyState covers it
+        else:
+            state = simulate_marketplace(config)
+            with obs.span("release"):
+                if faults.fire("phase.release") == "sleep":
+                    # Deterministic phase slowdown: lets the acceptance
+                    # tests (and reproduce_all.sh) prove drift detection
+                    # flags the right phase without depending on a
+                    # genuinely slow machine.
+                    import time
+
+                    time.sleep(faults.SLOW_PHASE_SLEEP_S)
+                released = release_dataset(state, config)
+            enriched = enrich_dataset(released, config)
         if use_cache:
             stored = study_cache.store_study(config, released, enriched)
             sp.set("cache_stored", stored is not None)
         sp.set("source", "built")
         sp.set("instances", released.instances.num_rows)
+        if state is None:
+            state = _LazyState(config)
         study = Study(
             config=config,
             state=state,

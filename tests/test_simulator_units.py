@@ -35,9 +35,22 @@ def envelope(config, streams):
 
 class TestConfig:
     def test_presets_exist(self):
-        for scale in ("tiny", "small", "medium"):
+        for scale in ("tiny", "small", "medium", "large"):
             cfg = SimulationConfig.preset(scale)
             assert cfg.num_distinct_tasks > 0
+
+    def test_preset_names_round_trip(self):
+        # Every advertised name constructs, and nothing constructible is
+        # unadvertised: the error message derives from the same registry.
+        from repro.simulator.config import preset_names
+
+        assert preset_names() == sorted(preset_names())
+        for scale in preset_names():
+            assert SimulationConfig.preset(scale).num_workers > 0
+        with pytest.raises(ValueError) as err:
+            SimulationConfig.preset("galactic")
+        for scale in preset_names():
+            assert scale in str(err.value)
 
     def test_unknown_preset(self):
         with pytest.raises(ValueError, match="unknown scale"):
