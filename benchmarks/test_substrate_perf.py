@@ -23,10 +23,11 @@ from repro.enrichment.clustering import (
     cluster_batches,
     minhash_signature,
     minhash_signatures,
+    shingle_arrays,
     shingles,
 )
 from repro.ml import DecisionTreeClassifier
-from repro.tables import Table, group_by, hash_join
+from repro.tables import DictColumn, Table, col, group_by, hash_join
 
 
 def _synthetic_table(n: int, seed: int = 0) -> Table:
@@ -103,6 +104,115 @@ def test_perf_table_filter(benchmark):
     assert 0 < out.num_rows < table.num_rows
 
 
+_DICT_KEY_CARDINALITY = 40
+
+
+def _string_key_table(n: int, seed: int = 3) -> tuple[Table, Table]:
+    """The same table with a dictionary-encoded and a plain-object string
+    key column (long descriptive keys like the §3.1 traffic sources,
+    group-by shaped like the per-source rollups)."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, _DICT_KEY_CARDINALITY, size=n).astype(np.int32)
+    uniques = np.array(
+        [
+            f"traffic-source/{i:03d}/landing-page-campaign-{i * 7919:08x}"
+            for i in range(_DICT_KEY_CARDINALITY)
+        ],
+        dtype=object,
+    )
+    value = rng.normal(size=n)
+    encoded = Table(
+        {"key": DictColumn(codes, uniques), "value": value}, copy=False
+    )
+    plain = Table(
+        {"key": uniques[codes], "value": value}, copy=False
+    )
+    return encoded, plain
+
+
+def test_perf_dict_group_by(benchmark):
+    """Group-by on a dictionary-encoded string key: the kernel densifies
+    int32 codes and never hashes a row's string."""
+    encoded, plain = _string_key_table(400_000)
+
+    def run():
+        return group_by(encoded, "key").agg(
+            {"n": ("value", "count"), "mean": ("value", "mean")}
+        )
+
+    out = benchmark(run)
+    assert out.num_rows == _DICT_KEY_CARDINALITY
+    ref = group_by(plain, "key").agg(
+        {"n": ("value", "count"), "mean": ("value", "mean")}
+    )
+    assert list(out["key"]) == list(ref["key"])
+
+
+def test_perf_dict_group_by_naive(benchmark):
+    """Seed path: the same group-by over a plain ``object`` key column,
+    which factorizes by hashing every row's string."""
+    _encoded, plain = _string_key_table(400_000)
+
+    def run():
+        return group_by(plain, "key").agg(
+            {"n": ("value", "count"), "mean": ("value", "mean")}
+        )
+
+    out = benchmark(run)
+    assert out.num_rows == _DICT_KEY_CARDINALITY
+
+
+def _filter_chain_table(n: int = 500_000) -> Table:
+    rng = np.random.default_rng(5)
+    return Table(
+        {
+            "key": rng.integers(0, n // 100 + 1, size=n),
+            "value": rng.normal(size=n),
+            "weight": rng.exponential(size=n),
+            "label": np.array(
+                [f"l{int(v)}" for v in rng.integers(0, 30, size=n)],
+                dtype=object,
+            ),
+        },
+        copy=False,
+    )
+
+
+def test_perf_fused_filter_project(benchmark):
+    """Three chained filters + projection as one lazy fused kernel: one
+    full-length mask, later predicates on compressed columns, one gather."""
+    table = _filter_chain_table()
+
+    def run():
+        return (
+            table.lazy()
+            .filter(col("value") > -1.0)
+            .filter(col("weight") < 2.0)
+            .filter(col("value") < 1.0)
+            .select(["key", "value"])
+            .collect()
+        )
+
+    out = benchmark(run)
+    assert 0 < out.num_rows < table.num_rows
+    assert out.column_names == ["key", "value"]
+
+
+def test_perf_fused_filter_project_naive(benchmark):
+    """Seed path: each filter materializes a full intermediate table (every
+    column gathered per step) before the final projection."""
+    table = _filter_chain_table()
+
+    def run():
+        step1 = table.filter(table["value"] > -1.0)
+        step2 = step1.filter(step1["weight"] < 2.0)
+        step3 = step2.filter(step2["value"] < 1.0)
+        return step3.select(["key", "value"])
+
+    out = benchmark(run)
+    assert 0 < out.num_rows < table.num_rows
+
+
 def test_perf_minhash_signature(benchmark):
     tokens = " ".join(f"tok{i % 997}" for i in range(3_000))
     shingle_set = shingles(f"<div>{tokens}</div>")
@@ -171,15 +281,20 @@ def test_perf_minhash_batch_naive(benchmark):
 
 
 def test_perf_shingle_extraction(benchmark):
-    """Batched shingling (per-distinct-token CRC32, vectorized polynomial
-    windows) of the bench corpus."""
+    """Batched shingling of the bench corpus: one byte-level tokenize +
+    CRC32 pass over the whole chunk, flat polynomial windows, grouped
+    row-wise dedup (the ``shingle_corpus`` chunk kernel)."""
     corpus = _bench_corpus()
+    docs = list(corpus.values())
 
     def run():
-        return [_shingle_array(doc) for doc in corpus.values()]
+        return shingle_arrays(docs)
 
     arrays = benchmark(run)
     assert len(arrays) == len(corpus)
+    assert all(
+        np.array_equal(a, _shingle_array(d)) for a, d in zip(arrays[:3], docs[:3])
+    )
 
 
 def test_perf_shingle_extraction_naive(benchmark):

@@ -51,9 +51,16 @@ BENCH_FILE = "benchmarks/test_substrate_perf.py"
 REPORT_PATH = REPO_ROOT / "bench_report.txt"
 
 #: Benches whose speedup over the seed implementation the study relies on
-#: (the vectorized minhash + group-by fast paths); their ratios must never
-#: silently decay.
-GUARDED_SPEEDUPS = ("minhash_batch", "group_by_median")
+#: (the vectorized minhash + group-by fast paths, the byte-level shingle
+#: tokenizer, and the lazy-plan fused/dictionary kernels); their ratios
+#: must never silently decay.
+GUARDED_SPEEDUPS = (
+    "minhash_batch",
+    "group_by_median",
+    "shingle_extraction",
+    "dict_group_by",
+    "fused_filter_project",
+)
 
 
 def run_benchmarks(min_rounds: int) -> dict:

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Coverage gate: the sharded pipeline must stay thoroughly tested.
+"""Coverage gate: the byte-identity-critical packages must stay tested.
 
 Gates
 -----
-- ``src/repro/shard*``: **>= 85%** line coverage, enforced always.  The
+- ``src/repro/shard``: **>= 85%** line coverage, enforced always.  The
   shard package is the byte-identity-critical code path; the differential
   suite must keep touching essentially all of it.
+- ``src/repro/tables``: **>= 85%**, enforced always.  The lazy query
+  engine (plans, fused kernels, dictionary columns) underpins every
+  analysis table; its property suites must keep touching all of it.
 - repo-wide ``src/repro``: **>= 80%**, enforced when the ``coverage``
   package (the engine behind ``pytest-cov``, declared in the ``dev``
   extra) is importable, and *visibly skipped* otherwise — measuring the
@@ -13,20 +16,21 @@ Gates
 
 Fallback
 --------
-Environments without ``coverage`` still get the shard gate: line events
-are collected with :func:`sys.settrace`, scoped so that only frames whose
-code lives under ``src/repro/shard`` are line-traced (every other frame
-returns ``None`` from the trace function, so the rest of the suite runs
-at near-native speed).  Executable lines are derived from the compiled
-code objects (``co_lines``), minus ``pragma: no cover`` exclusions.
+Environments without ``coverage`` still get the per-package gates: line
+events are collected with :func:`sys.settrace`, scoped so that only
+frames whose code lives under a gated package are line-traced (every
+other frame returns ``None`` from the trace function, so the rest of the
+suite runs at near-native speed).  Executable lines are derived from the
+compiled code objects (``co_lines``), minus ``pragma: no cover``
+exclusions.
 
 Usage::
 
     python scripts/coverage_gate.py [pytest args...]
 
-Default pytest targets are the shard-focused suites; pass explicit paths
-to widen the run (with ``coverage`` installed, the repo-wide gate wants
-the full ``tests/`` directory).
+Default pytest targets are the shard- and tables-focused suites; pass
+explicit paths to widen the run (with ``coverage`` installed, the
+repo-wide gate wants the full ``tests/`` directory).
 """
 
 from __future__ import annotations
@@ -38,18 +42,30 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-MIN_SHARD_PCT = 85.0
+#: Per-package minimum line coverage, enforced in every environment.
+PACKAGE_GATES: dict[str, float] = {
+    "shard": 85.0,
+    "tables": 85.0,
+}
 MIN_REPO_PCT = 80.0
 
-#: Suites that exercise the shard package end to end.
+#: Suites that exercise the gated packages end to end.
 DEFAULT_TESTS = [
     "tests/test_shard_equivalence.py",
     "tests/test_shard_merge_properties.py",
+    "tests/test_tables_table.py",
+    "tests/test_tables_expr.py",
+    "tests/test_tables_groupby.py",
+    "tests/test_tables_join_io.py",
+    "tests/test_tables_properties.py",
+    "tests/test_tables_plan.py",
+    "tests/test_tables_dict.py",
+    "tests/test_stats_bootstrap_pivot.py",
 ]
 
 
-def shard_files() -> list[Path]:
-    return sorted((SRC / "repro" / "shard").glob("*.py"))
+def package_files(package: str) -> list[Path]:
+    return sorted((SRC / "repro" / package).glob("*.py"))
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -113,7 +129,8 @@ def run_with_coverage_package(test_args: list[str]) -> int:
         print(f"coverage gate: pytest failed (rc={rc})", file=sys.stderr)
         return rc
 
-    shard_rows, repo_rows = [], []
+    package_rows: dict[str, list] = {name: [] for name in PACKAGE_GATES}
+    repo_rows = []
     for filename in cov.get_data().measured_files():
         path = Path(filename)
         try:
@@ -126,22 +143,26 @@ def run_with_coverage_package(test_args: list[str]) -> int:
             len(executable) - len(missing),
         )
         repo_rows.append(row)
-        if path.is_relative_to(SRC / "repro" / "shard"):
-            shard_rows.append(row)
+        for name in PACKAGE_GATES:
+            if path.is_relative_to(SRC / "repro" / name):
+                package_rows[name].append(row)
 
-    print("\ncoverage (src/repro/shard):")
-    shard_pct = render(sorted(shard_rows))
+    package_pcts = {}
+    for name in PACKAGE_GATES:
+        print(f"\ncoverage (src/repro/{name}):")
+        package_pcts[name] = render(sorted(package_rows[name]))
     print("\ncoverage (src/repro, repo-wide):")
     repo_pct = render(sorted(repo_rows))
 
     ok = True
-    if shard_pct < MIN_SHARD_PCT:
-        print(
-            f"coverage gate: FAIL — src/repro/shard at {shard_pct:.1f}% "
-            f"< {MIN_SHARD_PCT:.0f}%",
-            file=sys.stderr,
-        )
-        ok = False
+    for name, minimum in PACKAGE_GATES.items():
+        if package_pcts[name] < minimum:
+            print(
+                f"coverage gate: FAIL — src/repro/{name} at "
+                f"{package_pcts[name]:.1f}% < {minimum:.0f}%",
+                file=sys.stderr,
+            )
+            ok = False
     if repo_pct < MIN_REPO_PCT:
         print(
             f"coverage gate: FAIL — src/repro at {repo_pct:.1f}% "
@@ -150,16 +171,22 @@ def run_with_coverage_package(test_args: list[str]) -> int:
         )
         ok = False
     if ok:
+        summary = ", ".join(
+            f"{name} {package_pcts[name]:.1f}% (>= {minimum:.0f}%)"
+            for name, minimum in PACKAGE_GATES.items()
+        )
         print(
-            f"coverage gate: OK — shard {shard_pct:.1f}% "
-            f"(>= {MIN_SHARD_PCT:.0f}%), repo {repo_pct:.1f}% "
+            f"coverage gate: OK — {summary}, repo {repo_pct:.1f}% "
             f"(>= {MIN_REPO_PCT:.0f}%)"
         )
     return 0 if ok else 1
 
 
 def run_with_settrace(test_args: list[str]) -> int:
-    targets = {str(p): p for p in shard_files()}
+    package_of = {
+        str(p): name for name in PACKAGE_GATES for p in package_files(name)
+    }
+    targets = {path: Path(path) for path in package_of}
     executed: dict[str, set[int]] = {name: set() for name in targets}
 
     def local_trace(frame, event, arg):
@@ -185,28 +212,39 @@ def run_with_settrace(test_args: list[str]) -> int:
         print(f"coverage gate: pytest failed (rc={rc})", file=sys.stderr)
         return rc
 
-    rows = []
-    for name, path in sorted(targets.items()):
+    rows_by_package: dict[str, list] = {name: [] for name in PACKAGE_GATES}
+    for filename, path in sorted(targets.items()):
         lines = executable_lines(path)
-        hit = executed[name] & lines
-        rows.append((str(path.relative_to(SRC)), len(lines), len(hit)))
-    print("\ncoverage (src/repro/shard, settrace fallback):")
-    shard_pct = render(rows)
+        hit = executed[filename] & lines
+        rows_by_package[package_of[filename]].append(
+            (str(path.relative_to(SRC)), len(lines), len(hit))
+        )
+    package_pcts = {}
+    for name in PACKAGE_GATES:
+        print(f"\ncoverage (src/repro/{name}, settrace fallback):")
+        package_pcts[name] = render(rows_by_package[name])
+    gated = ", ".join(f"src/repro/{name}" for name in PACKAGE_GATES)
     print(
         f"coverage gate: repo-wide {MIN_REPO_PCT:.0f}% gate SKIPPED — "
         f"the 'coverage' package (pytest-cov) is not installed; the "
-        f"settrace fallback scopes line collection to src/repro/shard"
+        f"settrace fallback scopes line collection to {gated}"
     )
-    if shard_pct < MIN_SHARD_PCT:
-        print(
-            f"coverage gate: FAIL — src/repro/shard at {shard_pct:.1f}% "
-            f"< {MIN_SHARD_PCT:.0f}%",
-            file=sys.stderr,
-        )
+    failed = False
+    for name, minimum in PACKAGE_GATES.items():
+        if package_pcts[name] < minimum:
+            print(
+                f"coverage gate: FAIL — src/repro/{name} at "
+                f"{package_pcts[name]:.1f}% < {minimum:.0f}%",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
         return 1
-    print(
-        f"coverage gate: OK — shard {shard_pct:.1f}% (>= {MIN_SHARD_PCT:.0f}%)"
+    summary = ", ".join(
+        f"{name} {package_pcts[name]:.1f}% (>= {minimum:.0f}%)"
+        for name, minimum in PACKAGE_GATES.items()
     )
+    print(f"coverage gate: OK — {summary}")
     return 0
 
 

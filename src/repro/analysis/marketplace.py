@@ -19,7 +19,7 @@ from repro.stats.timeseries import (
     bucket_by_week,
     week_index,
 )
-from repro.tables import Table
+from repro.tables import Table, col
 from repro.taxonomy.labels import (
     is_complex_data,
     is_complex_goal,
@@ -43,7 +43,7 @@ class ArrivalSeries:
 
 
 def _catalog_sampled(released: ReleasedDataset) -> Table:
-    return released.batch_catalog.filter(released.batch_catalog["sampled"])
+    return released.batch_catalog.lazy().filter(col("sampled")).collect()
 
 
 def weekly_arrivals(

@@ -27,7 +27,7 @@ from repro.enrichment.labels import split_labels
 from repro.enrichment.pipeline import EnrichedDataset
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.ttest import TTestResult, welch_t_test
-from repro.tables import Table
+from repro.tables import Table, col
 
 #: The paper's §4.1 prune threshold for subjective tasks.
 DISAGREEMENT_PRUNE_THRESHOLD = 0.5
@@ -80,14 +80,14 @@ def analysis_clusters(enriched: EnrichedDataset, *, metric: str) -> Table:
     """
     if metric not in METRICS:
         raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
-    ct = enriched.cluster_table
-    values = ct[metric]
-    keep = ~np.isnan(values)
-    labeled = np.array([g is not None and g != "" for g in ct["goals"]])
-    keep &= labeled
+    frame = (
+        enriched.cluster_table.lazy()
+        .filter(col(metric).notnan())
+        .filter(col("goals").notnull() & col("goals").ne(""))
+    )
     if metric == "disagreement":
-        keep &= ~(values > DISAGREEMENT_PRUNE_THRESHOLD)
-    return ct.filter(keep)
+        frame = frame.filter(~(col(metric) > DISAGREEMENT_PRUNE_THRESHOLD))
+    return frame.collect()
 
 
 def bin_comparison(clusters: Table, feature: str, metric: str) -> BinComparison:

@@ -15,7 +15,7 @@ import numpy as np
 from repro.htmlgen import render_task_html
 from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import MarketplaceState
-from repro.tables import Table
+from repro.tables import DictColumn, Table, dict_encode
 
 
 @dataclass
@@ -142,14 +142,20 @@ def release_dataset(
     keep = sampled[log.batch_idx]
     worker = log.worker_id[keep]
     source_names = np.array(state.sources.names, dtype=object)
+    # The simulator already holds per-worker source *codes*; carrying them
+    # as a dictionary column means group-bys and joins on "source" (and
+    # "country") never hash a string.
+    source = DictColumn(
+        state.workers.source_idx[worker].astype(np.int32), source_names
+    )
     instances = Table(
         {
             "instance_id": log.global_ids[keep].astype(np.int64),
             "batch_id": log.batch_idx[keep],
             "item_id": log.item_id[keep],
             "worker_id": worker,
-            "source": source_names[state.workers.source_idx[worker]],
-            "country": state.workers.country[worker],
+            "source": source,
+            "country": dict_encode(state.workers.country[worker]),
             "start_time": log.start_time[keep],
             "end_time": log.end_time[keep],
             "trust": log.trust[keep],

@@ -9,9 +9,12 @@ Pipeline: token shingles → 64-permutation minhash signatures → LSH banding
 to find candidate pairs → exact Jaccard verification at ``threshold`` →
 union-find to form clusters.
 
-Every stage is vectorized: token hashes come from a table-driven CRC32
-computed for all distinct tokens of a document at once, shingle hashes from
-a numpy polynomial scan over the token-hash array, signatures from a single
+Every stage is vectorized: ASCII documents are tokenized and CRC32-hashed in
+one byte-level numpy pass over a whole corpus chunk (token spans come from a
+character-class mask plus a tag-pairing scan over ``<``/``>`` positions only,
+so no per-token Python strings are built; non-ASCII documents fall back to
+the regex tokenizer), shingle hashes from a flat polynomial scan over every
+document's windows at once, signatures from a single
 ``(num_perm × total_shingles)`` pass with ``minimum.reduceat`` per document,
 and Jaccard verification from sorted-array intersection.  The scalar helpers
 (:func:`shingles`, :func:`minhash_signature`, :func:`jaccard`) are exact
@@ -33,6 +36,9 @@ _PAIRS_COMPARED = obs.counter("cluster.pairs_compared")
 _PAIRS_MERGED = obs.counter("cluster.pairs_merged")
 #: Documents pushed through the batched minhash signature kernel.
 _MINHASH_DOCS = obs.counter("cluster.minhash_docs")
+#: Documents shingled (fast byte-level path + regex fallback respectively).
+_SHINGLE_DOCS = obs.counter("cluster.shingle_docs")
+_SHINGLE_FALLBACK_DOCS = obs.counter("cluster.shingle_fallback_docs")
 
 _TOKEN_RE = re.compile(r"<[^>]+>|[^\s<>]+")
 
@@ -96,15 +102,7 @@ def _crc32_batch(tokens: Sequence[bytes]) -> np.ndarray:
     lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
     flat = np.frombuffer(b"".join(tokens), dtype=np.uint8)
     offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
-    crc = np.full(n, 0xFFFFFFFF, dtype=np.uint32)
-    for j in range(int(lengths.max())):
-        active = lengths > j
-        byte = flat[offsets[active] + j].astype(np.uint32)
-        state = crc[active]
-        crc[active] = _CRC32_TABLE[(state ^ byte) & np.uint32(0xFF)] ^ (
-            state >> np.uint32(8)
-        )
-    return (crc ^ np.uint32(0xFFFFFFFF)).astype(np.uint64)
+    return _crc32_spans(flat, offsets, lengths)
 
 
 def _poly_step(acc: np.ndarray, h: np.ndarray) -> np.ndarray:
@@ -120,54 +118,236 @@ def _poly_step(acc: np.ndarray, h: np.ndarray) -> np.ndarray:
     return (hi_term + lo * _POLY_BASE_U64 + h) & _SHINGLE_MASK
 
 
-#: Cross-document CRC32 memo: HTML corpora reuse a small tag/word
-#: vocabulary, so most distinct tokens of a document were already hashed
-#: while processing earlier documents.  Per-process (workers each grow
-#: their own copy) and value-deterministic, so results never depend on it.
-_CRC_MEMO: dict[bytes, int] = {}
-_CRC_MEMO_MAX = 1 << 20
+#: Character-class tables for the byte-level ASCII tokenizer, derived from
+#: the tokenizer regex's own character classes so the two paths can never
+#: disagree on what counts as whitespace or a word character.
+_WS_RE = re.compile(r"\s")
+_WORD_LUT = np.array(
+    [not _WS_RE.match(chr(i)) and chr(i) not in "<>" for i in range(128)],
+    dtype=bool,
+)
+_LT_BYTE, _GT_BYTE = 0x3C, 0x3E  # "<", ">"
+
+
+def _tag_spans(lts: np.ndarray, gts: np.ndarray) -> tuple[list[int], list[int]]:
+    """Pair ``<`` positions with ``>`` positions the way the regex scan does.
+
+    A ``<`` at ``p`` matches the first ``>`` after it at ``q`` iff
+    ``q > p + 1`` (``<[^>]+>`` needs at least one inner character); the whole
+    span is one token and any ``<`` inside it is swallowed.  ``<>`` consumes
+    both characters without producing a token, and a ``<`` with no later
+    ``>`` kills every remaining ``<``.  Only special-character positions are
+    visited, so this loop is O(tags), not O(bytes).
+    """
+    starts: list[int] = []
+    ends: list[int] = []
+    li, gi, nl, ng = 0, 0, len(lts), len(gts)
+    cursor = -1
+    while li < nl:
+        p = lts[li]
+        if p < cursor:
+            li += 1
+            continue
+        while gi < ng and gts[gi] <= p:
+            gi += 1
+        if gi == ng:
+            break
+        q = gts[gi]
+        if q == p + 1:
+            gi += 1
+            li += 1
+            cursor = q + 1
+            continue
+        starts.append(p)
+        ends.append(q)
+        cursor = q + 1
+        li += 1
+    return starts, ends
+
+
+def _token_spans_ascii(
+    flat: np.ndarray, doc_offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Regex-equivalent token spans of a flat ASCII byte buffer.
+
+    ``doc_offsets`` holds ``n + 1`` document boundaries (documents are
+    separated by one space so no run straddles them).  Returns token
+    ``(starts, lengths, per-document counts)``.  Word runs come from one
+    boolean-mask diff over the whole buffer; tag spans from
+    :func:`_tag_spans`; word runs inside a tag span are replaced by the
+    span's single token.
+    """
+    word = _WORD_LUT[flat]
+    lt_pos = np.flatnonzero(flat == _LT_BYTE)
+    gt_pos = np.flatnonzero(flat == _GT_BYTE)
+    span_starts: list[int] = []
+    span_ends: list[int] = []
+    if len(lt_pos) and len(gt_pos):
+        lt_doc = np.searchsorted(lt_pos, doc_offsets)
+        gt_doc = np.searchsorted(gt_pos, doc_offsets)
+        for d in range(len(doc_offsets) - 1):
+            ls = lt_pos[lt_doc[d]:lt_doc[d + 1]]
+            if not len(ls):
+                continue
+            gs = gt_pos[gt_doc[d]:gt_doc[d + 1]]
+            if not len(gs):
+                continue
+            s, e = _tag_spans(ls, gs)
+            span_starts.extend(s)
+            span_ends.extend(e)
+    run_bounds = np.flatnonzero(np.diff(np.r_[False, word, False]))
+    run_starts = run_bounds[0::2]
+    run_ends = run_bounds[1::2]
+    if span_starts:
+        sp_s = np.asarray(span_starts, dtype=np.int64)
+        sp_e = np.asarray(span_ends, dtype=np.int64)
+        # A word run never contains < or >, so it is either fully inside a
+        # tag span or fully outside; inside runs are part of the tag token.
+        idx = np.searchsorted(sp_s, run_starts, side="right") - 1
+        inside = (idx >= 0) & (run_starts <= sp_e[np.maximum(idx, 0)])
+        run_starts = run_starts[~inside]
+        run_ends = run_ends[~inside]
+        ins = np.searchsorted(run_starts, sp_s)
+        tok_starts = np.insert(run_starts, ins, sp_s)
+        tok_ends = np.insert(run_ends, ins, sp_e + 1)
+    else:
+        tok_starts = run_starts
+        tok_ends = run_ends
+    counts = np.diff(np.searchsorted(tok_starts, doc_offsets))
+    return tok_starts, tok_ends - tok_starts, counts
+
+
+def _crc32_spans(
+    flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """CRC32 of many byte spans of ``flat``, one byte per iteration."""
+    n = len(starts)
+    crc = np.full(n, 0xFFFFFFFF, dtype=np.uint32)
+    if n:
+        for j in range(int(lengths.max())):
+            active = lengths > j
+            byte = flat[starts[active] + j].astype(np.uint32)
+            state = crc[active]
+            crc[active] = _CRC32_TABLE[(state ^ byte) & np.uint32(0xFF)] ^ (
+                state >> np.uint32(8)
+            )
+    return (crc ^ np.uint32(0xFFFFFFFF)).astype(np.uint64)
+
+
+def _doc_hashes(htmls: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """uint64 token-hash stream of every document: ``(h_flat, doc lengths)``.
+
+    ASCII documents (after unit-noise stripping) are concatenated into one
+    byte buffer and tokenized + CRC32-hashed in a single vectorized pass;
+    non-ASCII documents fall back to the regex tokenizer per document.  The
+    hash stream is identical either way — CRC32 of the UTF-8 token bytes.
+    """
+    n = len(htmls)
+    # Both unit-noise alternatives contain the literal "unit"; the substring
+    # probe skips the regex scan for the vast majority of documents.
+    cleaned = [_UNIT_RE.sub("", h) if "unit" in h else h for h in htmls]
+    ascii_mask = [h.isascii() for h in cleaned]
+    fallback: dict[int, np.ndarray] = {}
+    for i, ok in enumerate(ascii_mask):
+        if not ok:
+            toks = _TOKEN_RE.findall(cleaned[i])
+            fallback[i] = _crc32_batch([t.encode() for t in toks])
+    if fallback:
+        _SHINGLE_FALLBACK_DOCS.inc(len(fallback))
+    ascii_ids = [i for i in range(n) if ascii_mask[i]]
+    lengths = np.zeros(n, dtype=np.int64)
+    if ascii_ids:
+        bufs = [cleaned[i].encode() for i in ascii_ids]
+        sizes = np.fromiter(
+            (len(b) for b in bufs), dtype=np.int64, count=len(bufs)
+        )
+        flat = np.frombuffer(b" ".join(bufs), dtype=np.uint8)
+        doc_offsets = np.r_[0, np.cumsum(sizes + 1)]
+        doc_offsets[-1] -= 1
+        tok_starts, tok_lens, counts = _token_spans_ascii(flat, doc_offsets)
+        crcs = _crc32_spans(flat, tok_starts, tok_lens)
+        lengths[ascii_ids] = counts
+    else:
+        crcs = np.empty(0, dtype=np.uint64)
+        counts = np.empty(0, dtype=np.int64)
+    for i, fh in fallback.items():
+        lengths[i] = len(fh)
+    if not fallback:
+        return crcs, lengths
+    pieces: list[np.ndarray] = []
+    bounds = np.r_[0, np.cumsum(counts)]
+    ai = 0
+    for i in range(n):
+        if ascii_mask[i]:
+            pieces.append(crcs[bounds[ai]:bounds[ai + 1]])
+            ai += 1
+        else:
+            pieces.append(fallback[i])
+    return np.concatenate(pieces), lengths
+
+
+def shingle_arrays(htmls: Sequence[str], *, k: int = 4) -> list[np.ndarray]:
+    """Sorted unique uint64 shingle hashes of many documents at once.
+
+    Batched equivalent of calling :func:`_shingle_array` per document: the
+    whole chunk is tokenized and hashed in one byte-level pass, every
+    document's k-windows are combined in ``k - 1`` flat polynomial steps
+    (documents grouped by window geometry), and deduplication is one
+    row-wise sort per group instead of one ``np.unique`` per document.
+    """
+    htmls = list(htmls)
+    n = len(htmls)
+    out: list[np.ndarray | None] = [None] * n
+    if not n:
+        return out
+    _SHINGLE_DOCS.inc(n)
+    h_flat, lengths = _doc_hashes(htmls)
+    nonempty = np.flatnonzero(lengths > 0)
+    for i in np.flatnonzero(lengths == 0):
+        out[i] = np.zeros(1, dtype=np.uint64)
+    if not nonempty.size:
+        return out
+    all_offsets = np.r_[0, np.cumsum(lengths)[:-1]]
+    offsets = all_offsets[nonempty]
+    lens = lengths[nonempty]
+    widths = np.minimum(lens, k)
+    ms = lens - widths + 1
+    # Group documents sharing (window width, window count): each group's
+    # windows form a dense (docs × windows) grid.
+    geometry = widths * (int(ms.max()) + 1) + ms
+    for key in np.unique(geometry):
+        sel = np.flatnonzero(geometry == key)
+        w = int(widths[sel[0]])
+        m = int(ms[sel[0]])
+        nd = len(sel)
+        starts = np.tile(np.arange(m, dtype=np.int64), nd) + np.repeat(
+            offsets[sel], m
+        )
+        acc = h_flat[starts]
+        for j in range(1, w):
+            acc = _poly_step(acc, h_flat[starts + j])
+        grid = np.sort(acc.reshape(nd, m), axis=1)
+        gf = grid.ravel()
+        keep = np.empty(nd * m, dtype=bool)
+        keep[1:] = gf[1:] != gf[:-1]
+        keep[0::m] = True
+        cnt = np.add.reduceat(keep, np.arange(0, nd * m, m))
+        kv = gf[keep]
+        hi = np.cumsum(cnt)
+        lo = 0
+        for di, bound in zip(sel, hi):
+            out[int(nonempty[di])] = kv[lo:int(bound)]
+            lo = int(bound)
+    return out
 
 
 def _shingle_array(html: str, *, k: int = 4) -> np.ndarray:
-    """Sorted unique uint64 shingle hashes of the HTML token stream.
+    """Sorted unique uint64 shingle hashes of one HTML token stream.
 
-    Array-level equivalent of :func:`shingles`: tokens are hashed once per
-    *distinct* token (memoized, batched CRC32), then all k-windows are
-    combined in ``k - 1`` vectorized polynomial steps.
+    Single-document view of :func:`shingle_arrays` (kept as the scalar
+    kernel behind :func:`shingles` and the benchmarks).
     """
-    token_bytes = [t.encode() for t in _tokens(html)]
-    vocab: dict[bytes, int] = {}
-    # setdefault evaluates len(vocab) eagerly but discards it on hits, so
-    # codes stay dense in first-appearance order.
-    id_list = [vocab.setdefault(tb, len(vocab)) for tb in token_bytes]
-    if not vocab:
-        return np.zeros(1, dtype=np.uint64)
-    ids = np.array(id_list, dtype=np.int64)
-
-    memo = _CRC_MEMO
-    crcs = np.empty(len(vocab), dtype=np.uint64)
-    misses: list[bytes] = []
-    miss_idx: list[int] = []
-    for i, tb in enumerate(vocab):
-        value = memo.get(tb)
-        if value is None:
-            misses.append(tb)
-            miss_idx.append(i)
-        else:
-            crcs[i] = value
-    if misses:
-        miss_crcs = _crc32_batch(misses)
-        crcs[miss_idx] = miss_crcs
-        if len(memo) < _CRC_MEMO_MAX:
-            for tb, value in zip(misses, miss_crcs.tolist()):
-                memo[tb] = value
-    h = crcs[ids]
-    width = min(k, len(h))
-    m = len(h) - width + 1
-    acc = h[:m].copy()
-    for j in range(1, width):
-        acc = _poly_step(acc, h[j:j + m])
-    return np.unique(acc)
+    return shingle_arrays([html], k=k)[0]
 
 
 def shingles(html: str, *, k: int = 4) -> set[int]:
@@ -355,21 +535,36 @@ def _validate_lsh_params(threshold: float, num_perm: int, bands: int) -> None:
         raise ValueError(f"bands ({bands}) must divide num_perm ({num_perm})")
 
 
+#: Documents per :func:`shingle_arrays` call in :func:`shingle_corpus`:
+#: large enough to amortize the batched kernel's setup, small enough to
+#: fan out across workers.
+_SHINGLE_DOC_CHUNK = 64
+
+
+def _shingle_chunk(htmls: Sequence[str]) -> list[np.ndarray]:
+    return shingle_arrays(htmls)
+
+
 def shingle_corpus(
     html_by_batch: Mapping[int, str]
 ) -> tuple[list[int], list[np.ndarray]]:
     """Shingle every document, returning ``(sorted batch ids, arrays)``.
 
-    The shingle phase is embarrassingly parallel per document, which makes
-    it the piece a shard can precompute locally; :func:`cluster_shingled`
-    then runs over the union.  Fans out over ``REPRO_WORKERS`` processes
-    (serial by default); the result is invariant to the worker count.
+    The shingle phase is embarrassingly parallel per document chunk, which
+    makes it the piece a shard can precompute locally;
+    :func:`cluster_shingled` then runs over the union.  Fans out over
+    ``REPRO_WORKERS`` processes (serial by default); the result is invariant
+    to the worker count and the chunk size.
     """
     batch_ids = sorted(html_by_batch)
+    docs = [html_by_batch[b] for b in batch_ids]
+    chunks = [
+        docs[i:i + _SHINGLE_DOC_CHUNK]
+        for i in range(0, len(docs), _SHINGLE_DOC_CHUNK)
+    ]
     with obs.span("cluster.shingle", docs=len(batch_ids)):
-        all_arrays = map_chunks(
-            _shingle_array, [html_by_batch[b] for b in batch_ids]
-        )
+        per_chunk = map_chunks(_shingle_chunk, chunks, min_items=2)
+        all_arrays = [array for chunk in per_chunk for array in chunk]
     return batch_ids, all_arrays
 
 

@@ -27,7 +27,7 @@ from repro.enrichment.labels import annotate_clusters
 from repro.enrichment.metrics import compute_batch_metrics
 from repro.simulator.config import SimulationConfig
 from repro.simulator.rng import StreamFactory
-from repro.tables import Table, group_by, hash_join
+from repro.tables import Table, col, hash_join
 
 
 @dataclass
@@ -86,33 +86,41 @@ def assemble_enrichment(
     byte-identical final tables through exactly this code path.
     """
     with obs.span("enrichment.cluster_table"):
-        batch_table = hash_join(design, metrics, on="batch_id", how="left")
-        cluster_ids = np.array(
-            [cluster_of_batch[int(b)] for b in batch_table["batch_id"]],
-            dtype=np.int64,
-        )
-        batch_table = batch_table.with_column("cluster_id", cluster_ids)
-
         catalog = released.batch_catalog.select(["batch_id", "created_at"])
-        batch_table = hash_join(
-            batch_table, catalog, on="batch_id", how="left"
+        batch_table = (
+            design.lazy()
+            .join(metrics, on="batch_id", how="left")
+            .with_column(
+                "cluster_id",
+                col("batch_id").map_values(
+                    lambda b: cluster_of_batch[int(b)],
+                    name="cluster_of",
+                    dtype=np.int64,
+                ),
+            )
+            .join(catalog, on="batch_id", how="left")
+            .collect()
         )
 
-        grouped = group_by(batch_table, "cluster_id")
-        cluster_table = grouped.agg(
-            {
-                "num_batches": ("batch_id", "count"),
-                "num_instances": ("num_instances", "sum"),
-                "num_words": ("num_words", "median"),
-                "num_text_boxes": ("num_text_boxes", "median"),
-                "num_examples": ("num_examples", "median"),
-                "num_images": ("num_images", "median"),
-                "num_items": ("num_items", "median"),
-                "disagreement": ("disagreement", _nanmedian),
-                "task_time": ("task_time", _nanmedian),
-                "pickup_time": ("pickup_time", _nanmedian),
-                "first_time": ("created_at", "min"),
-            }
+        cluster_table = (
+            batch_table.lazy()
+            .group_by("cluster_id")
+            .agg(
+                {
+                    "num_batches": ("batch_id", "count"),
+                    "num_instances": ("num_instances", "sum"),
+                    "num_words": ("num_words", "median"),
+                    "num_text_boxes": ("num_text_boxes", "median"),
+                    "num_examples": ("num_examples", "median"),
+                    "num_images": ("num_images", "median"),
+                    "num_items": ("num_items", "median"),
+                    "disagreement": ("disagreement", _nanmedian),
+                    "task_time": ("task_time", _nanmedian),
+                    "pickup_time": ("pickup_time", _nanmedian),
+                    "first_time": ("created_at", "min"),
+                }
+            )
+            .collect()
         )
 
     with obs.span("enrichment.labels"):

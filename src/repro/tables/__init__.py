@@ -12,18 +12,30 @@ arrays:
 - :func:`~repro.tables.groupby.group_by` — sort-based grouped aggregation
   (count, sum, mean, median, min, max, nunique, percentiles, first, collect).
 - :func:`~repro.tables.join.hash_join` — inner and left equi-joins.
+- :class:`~repro.tables.plan.LazyFrame` — lazy logical plans with filter
+  fusion, projection pushdown, and parallel kernel dispatch; start one with
+  ``table.lazy()`` and run it with ``collect()``.
 - :mod:`~repro.tables.io` — CSV and JSONL round-trips with type inference.
 
 Design notes
 ------------
 Columns are plain ``numpy.ndarray`` objects.  Numeric columns use ``int64`` /
 ``float64`` / ``bool``; string columns use ``object`` dtype (variable-length
-unicode arrays waste memory and copy on every widening write).  A ``Table``
-never aliases caller-owned mutable state: constructors copy unless told not
-to, and all operations return new tables.
+unicode arrays waste memory and copy on every widening write) or a
+:class:`~repro.tables.column.DictColumn` — int32 codes plus a unique-values
+table — so group-by keys, join keys, and shingling operate on integers.  A
+``Table`` never aliases caller-owned mutable state: constructors copy unless
+told not to, and all operations return new tables.
 """
 
-from repro.tables.column import as_column, column_kind, is_numeric
+from repro.tables.column import (
+    DictColumn,
+    as_column,
+    column_kind,
+    concat_dict_columns,
+    dict_encode,
+    is_numeric,
+)
 from repro.tables.expr import Expr, col, lit
 from repro.tables.groupby import GroupedTable, group_by
 from repro.tables.io import (
@@ -34,21 +46,27 @@ from repro.tables.io import (
 )
 from repro.tables.join import hash_join
 from repro.tables.pivot import normalize_rows, pivot
+from repro.tables.plan import LazyFrame, optimize
 from repro.tables.table import Table, concat_tables
 
 __all__ = [
+    "DictColumn",
     "Expr",
     "GroupedTable",
+    "LazyFrame",
     "Table",
     "as_column",
     "col",
     "column_kind",
+    "concat_dict_columns",
     "concat_tables",
+    "dict_encode",
     "group_by",
     "hash_join",
     "is_numeric",
     "lit",
     "normalize_rows",
+    "optimize",
     "pivot",
     "read_csv",
     "read_jsonl",

@@ -19,22 +19,142 @@ join code can rely on a closed set of representations.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 _KINDS = ("int", "float", "bool", "str")
 
+_CODE_DTYPE = np.int32
+
 
 class ColumnTypeError(TypeError):
     """Raised when values cannot be normalized into a supported column kind."""
 
 
-def column_kind(values: np.ndarray) -> str:
+class DictColumn:
+    """A dictionary-encoded string column: int32 codes plus a uniques table.
+
+    ``uniques[codes]`` reconstructs the logical object array.  The uniques
+    table holds distinct values (``str`` or ``None``); nothing forces every
+    unique to be referenced, so row subsets can slice the codes array and
+    keep sharing the dictionary.  Instances are immutable by convention,
+    like the plain numpy columns they stand in for.
+    """
+
+    __slots__ = ("codes", "uniques", "_materialized")
+
+    def __init__(self, codes: np.ndarray, uniques: np.ndarray):
+        if codes.dtype != _CODE_DTYPE:
+            codes = codes.astype(_CODE_DTYPE)
+        if uniques.dtype != object:
+            uniques = uniques.astype(object)
+        self.codes = codes
+        self.uniques = uniques
+        self._materialized: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(object)
+
+    def materialize(self) -> np.ndarray:
+        """The logical object array (cached after the first call)."""
+        if self._materialized is None:
+            self._materialized = self.uniques[self.codes]
+        return self._materialized
+
+    def take(self, indices: np.ndarray) -> "DictColumn":
+        return DictColumn(self.codes[indices], self.uniques)
+
+    def filter(self, mask: np.ndarray) -> "DictColumn":
+        return DictColumn(self.codes[mask], self.uniques)
+
+    def dense_codes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Densified ``(codes, uniques)`` in first-appearance order.
+
+        Byte-identical to ``factorize(self.materialize())``: only codes that
+        actually occur survive, renumbered by first appearance, so group-by
+        and join on a dictionary column order groups exactly like the object
+        path does.
+        """
+        # O(n) scatter instead of np.unique's sort: a reversed fancy-index
+        # assignment leaves each code's *first* row index behind (last write
+        # wins), so only the tiny per-unique argsort pays O(u log u).
+        codes = self.codes
+        first = np.full(len(self.uniques), -1, dtype=np.int64)
+        first[codes[::-1]] = np.arange(len(codes) - 1, -1, -1, dtype=np.int64)
+        used = np.flatnonzero(first >= 0)
+        order = np.argsort(first[used], kind="stable")
+        rank = np.empty(len(self.uniques), dtype=np.int64)
+        rank[used[order]] = np.arange(len(used), dtype=np.int64)
+        return rank[codes], self.uniques[used[order]]
+
+    def __getstate__(self):
+        return (self.codes, self.uniques)
+
+    def __setstate__(self, state):
+        self.codes, self.uniques = state
+        self._materialized = None
+
+    def __repr__(self) -> str:
+        return f"DictColumn({len(self.codes)} rows, {len(self.uniques)} uniques)"
+
+
+def dict_encode(values: np.ndarray | DictColumn) -> DictColumn:
+    """Dictionary-encode an object column (no-op for ``DictColumn`` input)."""
+    if isinstance(values, DictColumn):
+        return values
+    start = time.perf_counter()
+    codes, uniques = factorize(values)
+    column = DictColumn(codes.astype(_CODE_DTYPE), uniques)
+    from repro.obs import metrics
+
+    metrics.histogram("dict.encode_seconds").observe(time.perf_counter() - start)
+    metrics.counter("dict.encoded_columns").inc()
+    return column
+
+
+def concat_dict_columns(parts: Sequence[DictColumn]) -> DictColumn:
+    """Concatenate dictionary columns, unifying their dictionaries.
+
+    The merged dictionary keeps the first part's uniques order and appends
+    values unseen so far in the order later parts introduce them.
+    """
+    if not parts:
+        return DictColumn(np.empty(0, dtype=_CODE_DTYPE), np.empty(0, dtype=object))
+    mapping: dict[Any, int] = {}
+    merged: list[Any] = []
+    remapped: list[np.ndarray] = []
+    for part in parts:
+        remap = np.empty(len(part.uniques), dtype=_CODE_DTYPE)
+        for old_code, value in enumerate(part.uniques):
+            new_code = mapping.get(value)
+            if new_code is None:
+                new_code = len(merged)
+                mapping[value] = new_code
+                merged.append(value)
+            remap[old_code] = new_code
+        if len(part.codes) and len(remap):
+            remapped.append(remap[part.codes])
+        else:
+            remapped.append(part.codes)
+    uniques = np.empty(len(merged), dtype=object)
+    uniques[:] = merged
+    return DictColumn(np.concatenate(remapped) if remapped else
+                      np.empty(0, dtype=_CODE_DTYPE), uniques)
+
+
+def column_kind(values: np.ndarray | DictColumn) -> str:
     """Return the engine kind (``int``/``float``/``bool``/``str``) of an array.
 
     Raises :class:`ColumnTypeError` for unsupported dtypes.
     """
+    if isinstance(values, DictColumn):
+        return "str"
     kind = values.dtype.kind
     if kind in ("i", "u"):
         return "int"
@@ -77,6 +197,8 @@ def as_column(values: Iterable[Any], *, copy: bool = True) -> np.ndarray:
     ``copy=False`` permits aliasing an already well-typed numpy array; the
     caller then promises not to mutate it.
     """
+    if isinstance(values, DictColumn):
+        return values
     if isinstance(values, np.ndarray):
         if values.ndim != 1:
             raise ColumnTypeError(f"columns must be 1-D, got shape {values.shape}")
@@ -121,7 +243,13 @@ def factorize(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     Returns ``(codes, uniques)`` where ``uniques[codes]`` reconstructs the
     input.  Order of uniques follows first appearance for object columns and
     sorted order for numeric columns (both are deterministic).
+
+    ``DictColumn`` input skips the hash loop entirely: its codes are
+    densified into first-appearance order, matching the object path byte for
+    byte without touching a Python string.
     """
+    if isinstance(values, DictColumn):
+        return values.dense_codes()
     if values.dtype == object:
         mapping: dict[Any, int] = {}
         codes = np.empty(len(values), dtype=np.int64)

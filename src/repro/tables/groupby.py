@@ -22,7 +22,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
-from repro.tables.column import factorize
+from repro.tables.column import DictColumn, factorize
 from repro.tables.table import SchemaError, Table
 
 #: Aggregations supported by :meth:`GroupedTable.agg`, mapping name to a
@@ -65,7 +65,9 @@ class GroupedTable:
         # unbounded Python int to detect int64 overflow before it happens.
         cardinality = 1
         for key in keys:
-            codes, uniques = factorize(table[key])
+            # table.column keeps DictColumn keys as codes: factorize then
+            # densifies without hashing a single string.
+            codes, uniques = factorize(table.column(key))
             num_uniques = max(len(uniques), 1)
             if cardinality > (_INT64_MAX - (num_uniques - 1)) // num_uniques:
                 # The key-code product would overflow int64: re-factorize the
@@ -102,8 +104,16 @@ class GroupedTable:
         self._order = order
         self._starts = starts
         # Representative row per group, used to read back the key values.
+        # Dictionary keys decode just one representative per group instead
+        # of materializing the whole column.
         rep_rows = order[starts]
-        self._key_uniques = [table[k][rep_rows] for k in keys]
+        self._key_uniques = []
+        for k in keys:
+            raw = table.column(k)
+            if isinstance(raw, DictColumn):
+                self._key_uniques.append(raw.uniques[raw.codes[rep_rows]])
+            else:
+                self._key_uniques.append(raw[rep_rows])
 
     @property
     def num_groups(self) -> int:
@@ -191,12 +201,16 @@ class GroupedTable:
         ``len(set(seg))`` for object columns."""
         if self.num_groups == 0:
             return np.empty(0, dtype=np.int64)
-        values = self._table[in_name]
-        if values.dtype == object:
-            codes, _ = factorize(values)
+        raw = self._table.column(in_name)
+        if isinstance(raw, DictColumn):
+            # Codes are distinct exactly when values are (uniques table has
+            # no duplicates), so count distinct codes directly.
+            ordered = raw.codes[self._order]
+        elif raw.dtype == object:
+            codes, _ = factorize(raw)
             ordered = codes[self._order]
         else:
-            ordered = values[self._order]
+            ordered = raw[self._order]
         group_ids = self._group_ids()
         perm = np.lexsort((ordered, group_ids))
         sorted_vals = ordered[perm]
@@ -264,14 +278,19 @@ class GroupedTable:
         for out_name, (in_name, how) in spec.items():
             if out_name in out:
                 raise SchemaError(f"duplicate output column {out_name!r}")
+            # count/nunique never touch the values (or work on codes), so
+            # resolve them before materializing dictionary columns.
+            if how == "count":
+                out[out_name] = counts.astype(np.int64)
+                continue
+            if how == "nunique":
+                out[out_name] = self._group_nunique(in_name)
+                continue
             values = self._table[in_name]
             ordered = values[self._order]
 
             if callable(how):
                 out[out_name] = [how(seg) for seg in self._segment_values(in_name)]
-                continue
-            if how == "count":
-                out[out_name] = counts.astype(np.int64)
                 continue
             if how == "collect":
                 segs = self._segment_values(in_name)
@@ -283,9 +302,6 @@ class GroupedTable:
             if how in ("first", "last"):
                 offsets = self._starts if how == "first" else ends - 1
                 out[out_name] = ordered[offsets]
-                continue
-            if how == "nunique":
-                out[out_name] = self._group_nunique(in_name)
                 continue
 
             if ordered.dtype == object:

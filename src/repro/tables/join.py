@@ -1,21 +1,102 @@
-"""Hash equi-joins between tables."""
+"""Hash equi-joins between tables.
+
+The join is fully vectorized: each key column is encoded into shared integer
+codes (dictionary columns remap their uniques tables and never hash a row's
+string; numeric columns go through one ``np.unique`` over both sides), the
+per-key codes combine into a single int64 group id exactly as group-by does,
+and matches resolve through a sorted right-side index with ``searchsorted``
+probes.  Output row order is identical to the classic nested dict-of-lists
+build: left rows in order, and for each left row its right matches in their
+original right-table order.
+
+``NaN`` join keys never match anything — not even other ``NaN`` keys — which
+mirrors Python float equality in the tuple-key formulation.  ``None`` keys
+match each other (``None`` is a singleton).
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.tables.table import SchemaError, Table
+from repro.tables.column import _CODE_DTYPE, DictColumn, factorize
+from repro.tables.table import SchemaError, Table, _gather
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
-def _key_tuples(table: Table, keys: Sequence[str]) -> list[tuple]:
-    arrays = [table[k] for k in keys]
-    n = table.num_rows
-    return [
-        tuple(a[i] if a.dtype == object else a[i].item() for a in arrays)
-        for i in range(n)
-    ]
+def _key_codes(
+    lraw: np.ndarray | DictColumn, rraw: np.ndarray | DictColumn
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Encode one key column of both sides into shared int64 codes.
+
+    Returns ``(left_codes, right_codes, cardinality)`` where equal non-NaN
+    values share a code and every code is in ``[0, cardinality)``.  NaN rows
+    receive side-specific sentinel codes so they can never match across
+    sides.
+    """
+    if isinstance(lraw, DictColumn) and isinstance(rraw, DictColumn):
+        if lraw.uniques is rraw.uniques:
+            return (
+                lraw.codes.astype(np.int64),
+                rraw.codes.astype(np.int64),
+                max(len(lraw.uniques), 1),
+            )
+        mapping = {value: code for code, value in enumerate(lraw.uniques)}
+        remap = np.empty(len(rraw.uniques), dtype=np.int64)
+        next_code = len(mapping)
+        for code, value in enumerate(rraw.uniques):
+            shared = mapping.get(value)
+            if shared is None:
+                # Right-only value: give it a fresh code (it cannot match).
+                shared = next_code
+                next_code += 1
+            remap[code] = shared
+        rcodes = remap[rraw.codes] if len(rraw.codes) else np.empty(0, dtype=np.int64)
+        return lraw.codes.astype(np.int64), rcodes, max(next_code, 1)
+
+    larr = lraw.materialize() if isinstance(lraw, DictColumn) else lraw
+    rarr = rraw.materialize() if isinstance(rraw, DictColumn) else rraw
+    n_left = len(larr)
+    if larr.dtype == object or rarr.dtype == object:
+        both = np.concatenate([larr.astype(object), rarr.astype(object)])
+        codes, uniques = factorize(both)
+        return codes[:n_left], codes[n_left:], max(len(uniques), 1)
+    both = np.concatenate([larr, rarr])
+    if both.dtype.kind == "f" and np.isnan(both).any():
+        uniques = np.unique(both[~np.isnan(both)])
+        codes = np.searchsorted(uniques, both).astype(np.int64)
+        lcodes, rcodes = codes[:n_left].copy(), codes[n_left:].copy()
+        lcodes[np.isnan(larr)] = len(uniques)
+        rcodes[np.isnan(rarr)] = len(uniques) + 1
+        return lcodes, rcodes, len(uniques) + 2
+    uniques, inverse = np.unique(both, return_inverse=True)
+    inverse = inverse.astype(np.int64)
+    return inverse[:n_left], inverse[n_left:], max(len(uniques), 1)
+
+
+def _combined_codes(
+    left: Table, right: Table, keys: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine per-key codes into one int64 id per row, group-by style."""
+    n_left, n_right = left.num_rows, right.num_rows
+    combined_l = np.zeros(n_left, dtype=np.int64)
+    combined_r = np.zeros(n_right, dtype=np.int64)
+    cardinality = 1
+    for key in keys:
+        lcodes, rcodes, card = _key_codes(left.column(key), right.column(key))
+        if cardinality > (_INT64_MAX - (card - 1)) // card:
+            # The code product would overflow int64: densify jointly first.
+            both = np.concatenate([combined_l, combined_r])
+            uniques, inverse = np.unique(both, return_inverse=True)
+            inverse = inverse.astype(np.int64)
+            combined_l, combined_r = inverse[:n_left], inverse[n_left:]
+            cardinality = max(len(uniques), 1)
+        combined_l = combined_l * card + lcodes
+        combined_r = combined_r * card + rcodes
+        cardinality *= card
+    return combined_l, combined_r
 
 
 def hash_join(
@@ -40,47 +121,83 @@ def hash_join(
         if key not in left or key not in right:
             raise SchemaError(f"join key {key!r} missing from one side")
 
-    index: dict[tuple, list[int]] = {}
-    for i, key in enumerate(_key_tuples(right, keys)):
-        index.setdefault(key, []).append(i)
+    n_left, n_right = left.num_rows, right.num_rows
+    combined_l, combined_r = _combined_codes(left, right, keys)
 
-    left_idx: list[int] = []
-    right_idx: list[int] = []
-    matched: list[bool] = []
-    for i, key in enumerate(_key_tuples(left, keys)):
-        rows = index.get(key)
-        if rows:
-            for j in rows:
-                left_idx.append(i)
-                right_idx.append(j)
-                matched.append(True)
-        elif how == "left":
-            left_idx.append(i)
-            right_idx.append(0)  # placeholder, masked below
-            matched.append(False)
+    # Sorted right-side index: stable order keeps each key group's rows in
+    # original right-table order, matching the append order of a dict build.
+    right_order = np.argsort(combined_r, kind="stable")
+    sorted_r = combined_r[right_order]
+    group_starts = np.flatnonzero(np.r_[True, sorted_r[1:] != sorted_r[:-1]])
+    group_values = sorted_r[group_starts] if n_right else sorted_r[:0]
+    group_counts = np.diff(np.r_[group_starts, n_right])
 
-    left_take = np.asarray(left_idx, dtype=np.int64)
-    right_take = np.asarray(right_idx, dtype=np.int64)
-    match_mask = np.asarray(matched, dtype=bool)
+    if len(group_values):
+        pos = np.searchsorted(group_values, combined_l)
+        clamped = np.minimum(pos, len(group_values) - 1)
+        found = group_values[clamped] == combined_l
+    else:
+        clamped = np.zeros(n_left, dtype=np.int64)
+        found = np.zeros(n_left, dtype=bool)
 
-    out: dict[str, np.ndarray] = {}
+    matches_per_left = np.where(found, group_counts[clamped], 0)
+    base_per_left = np.where(found, group_starts[clamped] if n_right else 0, 0)
+    out_counts = matches_per_left if how == "inner" else np.maximum(matches_per_left, 1)
+
+    total = int(out_counts.sum())
+    left_take = np.repeat(np.arange(n_left, dtype=np.int64), out_counts)
+    match_mask = np.repeat(found, out_counts)
+    # Position of each output row within its left row's match run; adding the
+    # run's base start indexes straight into the sorted right order.
+    run_offsets = np.cumsum(out_counts) - out_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_offsets, out_counts)
+    right_rows = (
+        right_order[np.repeat(base_per_left, out_counts) + within]
+        if n_right
+        else np.zeros(total, dtype=np.int64)
+    )
+
+    out: dict[str, Any] = {}
     for name in left.column_names:
-        out[name] = left[name][left_take]
+        out[name] = _gather(left.column(name), left_take)
 
     key_set = set(keys)
+    fill_missing = how == "left" and not bool(match_mask.all())
     for name in right.column_names:
         if name in key_set:
             continue
         target = name if name not in out else f"{name}{suffix}"
         if target in out:
             raise SchemaError(f"join output column collision: {target!r}")
-        values = right[name][right_take] if len(right_take) else right[name][:0]
-        if how == "left" and not match_mask.all():
-            if values.dtype == object:
-                values = values.copy()
-                values[~match_mask] = None
-            else:
-                values = values.astype(np.float64)
-                values[~match_mask] = np.nan
+        raw = right.column(name)
+        if isinstance(raw, DictColumn):
+            codes = raw.codes[right_rows] if n_right else np.zeros(total, dtype=_CODE_DTYPE)
+            uniques = raw.uniques
+            if fill_missing:
+                none_code = next(
+                    (c for c, v in enumerate(uniques) if v is None), None
+                )
+                if none_code is None:
+                    uniques = np.concatenate(
+                        [uniques, np.array([None], dtype=object)]
+                    )
+                    none_code = len(uniques) - 1
+                codes = codes.copy()
+                codes[~match_mask] = none_code
+            out[target] = DictColumn(codes, uniques)
+            continue
+        if n_right:
+            values = raw[right_rows] if total else raw[:0]
+            if fill_missing:
+                if values.dtype == object:
+                    values = values.copy()
+                    values[~match_mask] = None
+                else:
+                    values = values.astype(np.float64)
+                    values[~match_mask] = np.nan
+        elif raw.dtype == object:
+            values = np.full(total, None, dtype=object)
+        else:
+            values = np.full(total, np.nan, dtype=np.float64)
         out[target] = values
     return Table(out, copy=False)

@@ -1,0 +1,796 @@
+"""Lazy logical plans over :class:`~repro.tables.table.Table`.
+
+The eager table API executes every operator immediately and copies the
+surviving columns between steps.  A :class:`LazyFrame` instead records the
+operator chain as a small logical plan::
+
+    scan -> filter -> project -> group_by -> join -> sort
+
+and only runs it at :meth:`LazyFrame.collect`.  Before execution the plan
+passes through an optimizer that
+
+- **fuses** adjacent filters (and a trailing projection) into one
+  single-pass kernel — each predicate after the first is evaluated on a
+  compressed view holding only the columns it references, and the surviving
+  rows are gathered exactly once at the end (``plan.fused_ops``);
+- **pushes projections down** below joins and group-bys so upstream
+  operators stop materializing columns nobody reads (``plan.pushdowns``).
+
+The executor memoizes shared subplans (``plan.cache_hit``/``cache_miss``)
+and, when ``REPRO_WORKERS`` enables a pool, dispatches the two sides of a
+join and the first full-length filter mask of large scans through
+:mod:`repro.parallel` (``plan.parallel_branches``).
+
+Setting ``REPRO_TABLES_EAGER=1`` skips the optimizer and the parallel
+dispatch entirely, executing the recorded plan node by node through the
+eager operators — the differential reference used by the byte-identity
+harness in ``scripts/reproduce_all.sh``.
+
+Every rewrite preserves eager semantics bit for bit: predicates evaluate in
+their original order on exactly the rows that survived the preceding
+predicates, so data-dependent expressions (divisions, logs) see the same
+operands either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro import obs, parallel
+from repro.tables.column import DictColumn
+from repro.tables.expr import Expr
+from repro.tables.groupby import group_by
+from repro.tables.join import hash_join
+from repro.tables.table import SchemaError, Table, _gather
+
+_FUSED_OPS = obs.counter("plan.fused_ops")
+_PUSHDOWNS = obs.counter("plan.pushdowns")
+_CACHE_HIT = obs.counter("plan.cache_hit")
+_CACHE_MISS = obs.counter("plan.cache_miss")
+_PARALLEL_BRANCHES = obs.counter("plan.parallel_branches")
+_COLLECTS = obs.counter("plan.collects")
+
+#: Environment variable: execute plans unoptimized, node by node, through
+#: the eager operators (the byte-identity reference).
+EAGER_ENV = "REPRO_TABLES_EAGER"
+
+#: A join side is only worth shipping to a worker process when its subtree
+#: scans at least this many rows (pickling the scan dominates below that).
+_PARALLEL_BRANCH_MIN_ROWS = 1 << 20
+#: Full-length filter masks partition across the pool above this row count.
+_PARALLEL_MASK_MIN_ROWS = 1 << 18
+
+
+def _eager_mode() -> bool:
+    return bool(os.environ.get(EAGER_ENV, "").strip())
+
+
+# --------------------------------------------------------------------- #
+# Logical plan nodes
+# --------------------------------------------------------------------- #
+
+
+class PlanNode:
+    __slots__ = ()
+
+
+class Scan(PlanNode):
+    __slots__ = ("table",)
+
+    def __init__(self, table: Table):
+        self.table = table
+
+
+class Filter(PlanNode):
+    """One predicate: an :class:`Expr`, a callable, or a boolean mask."""
+
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PlanNode, predicate: Any):
+        self.child = child
+        self.predicate = predicate
+
+
+class FusedFilter(PlanNode):
+    """Optimizer-made: a predicate chain plus optional trailing projection,
+    executed as one single-gather kernel."""
+
+    __slots__ = ("child", "predicates", "projection")
+
+    def __init__(
+        self,
+        child: PlanNode,
+        predicates: tuple[Any, ...],
+        projection: tuple[str, ...] | None,
+    ):
+        self.child = child
+        self.predicates = predicates
+        self.projection = projection
+
+
+class Project(PlanNode):
+    __slots__ = ("child", "names")
+
+    def __init__(self, child: PlanNode, names: tuple[str, ...]):
+        self.child = child
+        self.names = names
+
+
+class WithColumn(PlanNode):
+    """Add or replace a column; ``values`` is an :class:`Expr` or array-like."""
+
+    __slots__ = ("child", "name", "values")
+
+    def __init__(self, child: PlanNode, name: str, values: Any):
+        self.child = child
+        self.name = name
+        self.values = values
+
+
+class Rename(PlanNode):
+    __slots__ = ("child", "mapping")
+
+    def __init__(self, child: PlanNode, mapping: Mapping[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+
+
+class GroupByAgg(PlanNode):
+    __slots__ = ("child", "keys", "spec")
+
+    def __init__(self, child: PlanNode, keys: tuple[str, ...], spec: Mapping):
+        self.child = child
+        self.keys = keys
+        self.spec = dict(spec)
+
+
+class Join(PlanNode):
+    __slots__ = ("left", "right", "on", "how", "suffix")
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        on: tuple[str, ...],
+        how: str,
+        suffix: str,
+    ):
+        self.left = left
+        self.right = right
+        self.on = on
+        self.how = how
+        self.suffix = suffix
+
+
+class Sort(PlanNode):
+    __slots__ = ("child", "names", "descending")
+
+    def __init__(self, child: PlanNode, names: tuple[str, ...], descending: bool):
+        self.child = child
+        self.names = names
+        self.descending = descending
+
+
+class Distinct(PlanNode):
+    __slots__ = ("child", "names")
+
+    def __init__(self, child: PlanNode, names: tuple[str, ...] | None):
+        self.child = child
+        self.names = names
+
+
+class Head(PlanNode):
+    __slots__ = ("child", "n")
+
+    def __init__(self, child: PlanNode, n: int):
+        self.child = child
+        self.n = n
+
+
+def _children(node: PlanNode) -> tuple[PlanNode, ...]:
+    if isinstance(node, Scan):
+        return ()
+    if isinstance(node, Join):
+        return (node.left, node.right)
+    return (node.child,)
+
+
+def _schema(node: PlanNode) -> list[str]:
+    """Output column names of a node, without executing anything."""
+    if isinstance(node, Scan):
+        return node.table.column_names
+    if isinstance(node, Project):
+        return list(node.names)
+    if isinstance(node, FusedFilter) and node.projection is not None:
+        return list(node.projection)
+    if isinstance(node, WithColumn):
+        names = _schema(node.child)
+        return names if node.name in names else names + [node.name]
+    if isinstance(node, Rename):
+        return [node.mapping.get(n, n) for n in _schema(node.child)]
+    if isinstance(node, GroupByAgg):
+        return list(node.keys) + [k for k in node.spec if k not in node.keys]
+    if isinstance(node, Join):
+        names = _simulate_join_names(
+            _schema(node.left), _schema(node.right), node.on, node.suffix
+        )
+        return [out for _side, _src, out in names]
+    return _schema(_children(node)[0])
+
+
+def _simulate_join_names(
+    left_names: Sequence[str],
+    right_names: Sequence[str],
+    keys: Sequence[str],
+    suffix: str,
+) -> list[tuple[str, str, str]]:
+    """Replicate the join's output-naming pass on names alone.
+
+    Returns ``(side, source, output)`` triples in output order; raises
+    :class:`SchemaError` on the same collisions the real join would hit.
+    """
+    out: list[tuple[str, str, str]] = []
+    taken = set()
+    for name in left_names:
+        out.append(("left", name, name))
+        taken.add(name)
+    key_set = set(keys)
+    for name in right_names:
+        if name in key_set:
+            continue
+        target = name if name not in taken else f"{name}{suffix}"
+        if target in taken:
+            raise SchemaError(f"join output column collision: {target!r}")
+        out.append(("right", name, target))
+        taken.add(target)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# The fused filter(+project) kernel
+# --------------------------------------------------------------------- #
+
+
+def _validate_mask(mask: np.ndarray, length: int) -> np.ndarray:
+    mask = np.asarray(mask)
+    if mask.dtype != bool or mask.shape != (length,):
+        raise SchemaError(
+            f"filter mask must be bool of length {length}, "
+            f"got dtype {mask.dtype} shape {mask.shape}"
+        )
+    return mask
+
+
+def _slice_column(column: np.ndarray | DictColumn, lo: int, hi: int):
+    if isinstance(column, DictColumn):
+        return DictColumn(column.codes[lo:hi], column.uniques)
+    return column[lo:hi]
+
+
+def _mask_chunk(item: tuple[Table, Expr]) -> np.ndarray:
+    sub, predicate = item
+    return np.asarray(predicate.evaluate(sub))
+
+
+def _fn_picklable(fn: Any) -> bool:
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True
+
+
+def _expr_picklable(expr: Expr) -> bool:
+    if expr.kind in ("map", "lit") and not isinstance(
+        expr.payload, (str, int, float, bool, frozenset, tuple, type(None))
+    ):
+        if not _fn_picklable(expr.payload):
+            return False
+    return all(_expr_picklable(child) for child in expr.children)
+
+
+def _full_length_mask(table: Table, predicate: Any, workers: int) -> np.ndarray:
+    """Evaluate the first predicate of a chain over every row.
+
+    Large expression masks partition row ranges across the worker pool —
+    elementwise expressions are chunk-independent, so the concatenated mask
+    is byte-identical to a serial evaluation.
+    """
+    n = table.num_rows
+    if (
+        isinstance(predicate, Expr)
+        and workers > 1
+        and n >= _PARALLEL_MASK_MIN_ROWS
+        and predicate.columns()
+        and _expr_picklable(predicate)
+    ):
+        cols = sorted(predicate.columns())
+        bounds = np.linspace(0, n, workers * 2 + 1).astype(np.int64)
+        items = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                sub = Table(
+                    {c: _slice_column(table.column(c), int(lo), int(hi)) for c in cols},
+                    copy=False,
+                )
+                items.append((sub, predicate))
+        _PARALLEL_BRANCHES.inc()
+        masks = parallel.map_chunks(_mask_chunk, items, min_items=1, chunk_size=1)
+        return _validate_mask(np.concatenate(masks), n)
+    if callable(predicate):
+        return _validate_mask(predicate(table), n)
+    return _validate_mask(predicate, n)
+
+
+def _apply_filter(
+    table: Table,
+    predicates: Sequence[Any],
+    projection: Sequence[str] | None = None,
+    workers: int = 1,
+) -> Table:
+    """Apply a predicate chain and optional projection in a single pass.
+
+    The first predicate produces surviving row indices; each later predicate
+    evaluates on a *compressed* view containing only the columns it
+    references (callables and raw masks fall back to a full intermediate),
+    preserving exact sequential semantics.  Rows are gathered from the
+    source table exactly once, at the end, for just the projected columns.
+    """
+    if projection is not None:
+        missing = [n for n in projection if n not in table]
+        if missing:
+            raise SchemaError(f"unknown columns in select: {missing}")
+    idx: np.ndarray | None = None
+    for predicate in predicates:
+        if idx is None:
+            mask = _full_length_mask(table, predicate, workers)
+            idx = np.flatnonzero(mask)
+            continue
+        if isinstance(predicate, Expr):
+            cols = predicate.columns()
+            sub = Table(
+                {c: _gather(table.column(c), idx) for c in cols}, copy=False
+            )
+            mask = _validate_mask(predicate.evaluate(sub), len(idx))
+        elif callable(predicate):
+            sub = table.take(idx)
+            mask = _validate_mask(predicate(sub), len(idx))
+        else:
+            mask = _validate_mask(predicate, len(idx))
+        idx = idx[mask]
+    if idx is None:
+        return table if projection is None else table.select(list(projection))
+    names = list(projection) if projection is not None else table.column_names
+    return Table({n: _gather(table.column(n), idx) for n in names}, copy=False)
+
+
+# --------------------------------------------------------------------- #
+# Optimizer
+# --------------------------------------------------------------------- #
+
+
+def optimize(node: PlanNode) -> PlanNode:
+    """Rewrite a plan bottom-up: filter fusion, project collapsing, and
+    projection pushdown below joins and group-bys."""
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Join):
+        node = Join(
+            optimize(node.left), optimize(node.right), node.on, node.how, node.suffix
+        )
+        return node
+    child = optimize(_children(node)[0])
+
+    if isinstance(node, FusedFilter):
+        # Already-rewritten plans (e.g. explain() after an explicit
+        # optimize()) pass through unchanged: optimize is idempotent.
+        return FusedFilter(child, node.predicates, node.projection)
+
+    if isinstance(node, Filter):
+        if isinstance(child, Filter):
+            _FUSED_OPS.inc()
+            return FusedFilter(child.child, (child.predicate, node.predicate), None)
+        if isinstance(child, FusedFilter) and child.projection is None:
+            _FUSED_OPS.inc()
+            return FusedFilter(
+                child.child, child.predicates + (node.predicate,), None
+            )
+        return Filter(child, node.predicate)
+
+    if isinstance(node, Project):
+        names = node.names
+        if isinstance(child, Project) and set(names) <= set(child.names):
+            return Project(child.child, names)
+        if isinstance(child, Filter):
+            _FUSED_OPS.inc()
+            return FusedFilter(child.child, (child.predicate,), names)
+        if isinstance(child, FusedFilter) and child.projection is None:
+            _FUSED_OPS.inc()
+            return FusedFilter(child.child, child.predicates, names)
+        if isinstance(child, Join):
+            pushed = _pushdown_join(child, set(names))
+            if pushed is not None:
+                return Project(pushed, names)
+        return Project(child, names)
+
+    if isinstance(node, GroupByAgg):
+        needed = list(dict.fromkeys(list(node.keys) + [
+            in_name for (in_name, _how) in node.spec.values()
+        ]))
+        rewritten = _pushdown_into(child, needed)
+        return GroupByAgg(rewritten, node.keys, node.spec)
+
+    if isinstance(node, WithColumn):
+        return WithColumn(child, node.name, node.values)
+    if isinstance(node, Rename):
+        return Rename(child, node.mapping)
+    if isinstance(node, Sort):
+        return Sort(child, node.names, node.descending)
+    if isinstance(node, Distinct):
+        return Distinct(child, node.names)
+    if isinstance(node, Head):
+        return Head(child, node.n)
+    raise AssertionError(f"unknown plan node {type(node).__name__}")
+
+
+def _pushdown_into(child: PlanNode, needed: Sequence[str]) -> PlanNode:
+    """Narrow ``child`` so it materializes only the ``needed`` columns.
+
+    Filters gain a fused projection; joins prune the columns gathered from
+    each side.  Anything else is left alone (projection there would just
+    add a pass).
+    """
+    child_schema = _schema(child)
+    if any(n not in child_schema for n in needed):
+        return child  # let execution raise the schema error unoptimized
+    if set(child_schema) == set(needed):
+        return child
+    ordered = tuple(n for n in child_schema if n in set(needed))
+    if isinstance(child, Filter):
+        _PUSHDOWNS.inc()
+        return FusedFilter(child.child, (child.predicate,), ordered)
+    if isinstance(child, FusedFilter) and child.projection is None:
+        _PUSHDOWNS.inc()
+        return FusedFilter(child.child, child.predicates, ordered)
+    if isinstance(child, Join):
+        pushed = _pushdown_join(child, set(needed))
+        if pushed is not None:
+            return pushed
+    return child
+
+
+def _pushdown_join(node: Join, needed: set[str]) -> Join | None:
+    """Prune join inputs to the columns the output actually needs.
+
+    Key columns always stay, and a side keeps any column whose *name* also
+    exists on the other side: those drive the suffix-collision decisions,
+    and pruning them would silently rename the surviving columns.  The
+    pruned plan is verified by re-simulating the naming pass — if the kept
+    outputs would differ at all, the pushdown is abandoned.
+    """
+    left_names = _schema(node.left)
+    right_names = _schema(node.right)
+    try:
+        full = _simulate_join_names(left_names, right_names, node.on, node.suffix)
+    except SchemaError:
+        return None  # execution will raise identically; do not rewrite
+    keys = set(node.on)
+    left_keep = [
+        n for n in left_names
+        if n in needed or n in keys or n in right_names
+    ]
+    right_keep = [
+        src for side, src, out in full
+        if side == "right" and (out in needed or src in keys)
+    ]
+    right_keep = list(dict.fromkeys(
+        [k for k in node.on if k in right_names] + right_keep
+    ))
+    # Preserve right-side column order.
+    right_keep = [n for n in right_names if n in set(right_keep)]
+    if len(left_keep) == len(left_names) and len(right_keep) == len(right_names):
+        return None
+    pruned = _simulate_join_names(left_keep, right_keep, node.on, node.suffix)
+    kept_outputs = {out for _s, _src, out in pruned}
+    expected = {
+        out for side, src, out in full
+        if (side == "left" and src in left_keep)
+        or (side == "right" and src in right_keep)
+    }
+    if kept_outputs != expected or not needed <= kept_outputs:
+        return None
+    left = node.left
+    right = node.right
+    if len(left_keep) != len(left_names):
+        _PUSHDOWNS.inc()
+        left = optimize(Project(left, tuple(left_keep)))
+    if len(right_keep) != len(right_names):
+        _PUSHDOWNS.inc()
+        right = optimize(Project(right, tuple(right_keep)))
+    return Join(left, right, node.on, node.how, node.suffix)
+
+
+# --------------------------------------------------------------------- #
+# Executor
+# --------------------------------------------------------------------- #
+
+
+def _max_scan_rows(node: PlanNode) -> int:
+    if isinstance(node, Scan):
+        return node.table.num_rows
+    return max((_max_scan_rows(c) for c in _children(node)), default=0)
+
+
+def _plan_picklable(node: PlanNode) -> bool:
+    if isinstance(node, (Filter, FusedFilter)):
+        predicates = (
+            node.predicates if isinstance(node, FusedFilter) else (node.predicate,)
+        )
+        for predicate in predicates:
+            if isinstance(predicate, Expr):
+                if not _expr_picklable(predicate):
+                    return False
+            elif callable(predicate):
+                if not _fn_picklable(predicate):
+                    return False
+    if isinstance(node, GroupByAgg):
+        for _in, how in node.spec.values():
+            if callable(how) and not _fn_picklable(how):
+                return False
+    if isinstance(node, WithColumn):
+        if isinstance(node.values, Expr) and not _expr_picklable(node.values):
+            return False
+    return all(_plan_picklable(c) for c in _children(node))
+
+
+def _collect_branch(node: PlanNode) -> Table:
+    # Workers pin themselves to serial execution: no nested pools.
+    return _execute(node, {}, workers=1)
+
+
+def _execute(node: PlanNode, memo: dict[int, Table], workers: int) -> Table:
+    cached = memo.get(id(node))
+    if cached is not None:
+        _CACHE_HIT.inc()
+        return cached
+    _CACHE_MISS.inc()
+
+    if isinstance(node, Scan):
+        result = node.table
+    elif isinstance(node, Filter):
+        result = _apply_filter(
+            _execute(node.child, memo, workers), (node.predicate,), None, workers
+        )
+    elif isinstance(node, FusedFilter):
+        result = _apply_filter(
+            _execute(node.child, memo, workers),
+            node.predicates,
+            node.projection,
+            workers,
+        )
+    elif isinstance(node, Project):
+        result = _execute(node.child, memo, workers).select(list(node.names))
+    elif isinstance(node, WithColumn):
+        table = _execute(node.child, memo, workers)
+        values = node.values
+        if isinstance(values, Expr):
+            values = values.evaluate(table)
+        result = table.with_column(node.name, values)
+    elif isinstance(node, Rename):
+        result = _execute(node.child, memo, workers).rename(node.mapping)
+    elif isinstance(node, GroupByAgg):
+        table = _execute(node.child, memo, workers)
+        result = group_by(table, list(node.keys)).agg(node.spec)
+    elif isinstance(node, Join):
+        sides = _execute_join_sides(node, memo, workers)
+        result = hash_join(
+            sides[0], sides[1], list(node.on), how=node.how, suffix=node.suffix
+        )
+    elif isinstance(node, Sort):
+        result = _execute(node.child, memo, workers).sort_by(
+            list(node.names), descending=node.descending
+        )
+    elif isinstance(node, Distinct):
+        table = _execute(node.child, memo, workers)
+        result = table.distinct(list(node.names) if node.names is not None else None)
+    elif isinstance(node, Head):
+        result = _execute(node.child, memo, workers).head(node.n)
+    else:
+        raise AssertionError(f"unknown plan node {type(node).__name__}")
+
+    memo[id(node)] = result
+    return result
+
+
+def _execute_join_sides(
+    node: Join, memo: dict[int, Table], workers: int
+) -> list[Table]:
+    """Execute both join inputs, shipping them to the pool when independent
+    and heavy enough that the pickling round-trip pays for itself."""
+    sides = (node.left, node.right)
+    if (
+        workers > 1
+        and all(not isinstance(s, Scan) for s in sides)
+        and all(id(s) not in memo for s in sides)
+        and all(_max_scan_rows(s) >= _PARALLEL_BRANCH_MIN_ROWS for s in sides)
+        and all(_plan_picklable(s) for s in sides)
+    ):
+        _PARALLEL_BRANCHES.inc()
+        results = parallel.map_chunks(
+            _collect_branch, list(sides), min_items=1, chunk_size=1
+        )
+        for side, table in zip(sides, results):
+            memo[id(side)] = table
+        return list(results)
+    return [_execute(side, memo, workers) for side in sides]
+
+
+# --------------------------------------------------------------------- #
+# The user-facing builder
+# --------------------------------------------------------------------- #
+
+
+class LazyGroupBy:
+    """Intermediate of :meth:`LazyFrame.group_by`; call :meth:`agg`."""
+
+    __slots__ = ("_frame", "_keys")
+
+    def __init__(self, frame: "LazyFrame", keys: tuple[str, ...]):
+        self._frame = frame
+        self._keys = keys
+
+    def agg(self, spec: Mapping) -> "LazyFrame":
+        return LazyFrame(GroupByAgg(self._frame._node, self._keys, spec))
+
+
+class LazyFrame:
+    """A deferred chain of table operators; run it with :meth:`collect`."""
+
+    __slots__ = ("_node", "_cached")
+
+    def __init__(self, node: PlanNode):
+        self._node = node
+        self._cached: Table | None = None
+
+    @classmethod
+    def scan(cls, table: Table) -> "LazyFrame":
+        return cls(Scan(table))
+
+    # Builders --------------------------------------------------------- #
+
+    def filter(self, predicate: Any) -> "LazyFrame":
+        return LazyFrame(Filter(self._node, predicate))
+
+    def select(self, names: Sequence[str]) -> "LazyFrame":
+        names = list(names)
+        schema = _schema(self._node)
+        missing = [n for n in names if n not in schema]
+        if missing:
+            raise SchemaError(f"unknown columns in select: {missing}")
+        return LazyFrame(Project(self._node, tuple(names)))
+
+    def drop(self, names: Sequence[str]) -> "LazyFrame":
+        doomed = set(names)
+        schema = _schema(self._node)
+        missing = doomed - set(schema)
+        if missing:
+            raise SchemaError(f"unknown columns in drop: {sorted(missing)}")
+        return LazyFrame(
+            Project(self._node, tuple(n for n in schema if n not in doomed))
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "LazyFrame":
+        schema = _schema(self._node)
+        missing = set(mapping) - set(schema)
+        if missing:
+            raise SchemaError(f"unknown columns in rename: {sorted(missing)}")
+        return LazyFrame(Rename(self._node, mapping))
+
+    def with_column(self, name: str, values: Any) -> "LazyFrame":
+        return LazyFrame(WithColumn(self._node, name, values))
+
+    def group_by(self, keys: str | Sequence[str]) -> LazyGroupBy:
+        keys = (keys,) if isinstance(keys, str) else tuple(keys)
+        return LazyGroupBy(self, keys)
+
+    def join(
+        self,
+        other: "LazyFrame | Table",
+        on: str | Sequence[str],
+        *,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "LazyFrame":
+        right = other._node if isinstance(other, LazyFrame) else Scan(other)
+        on = (on,) if isinstance(on, str) else tuple(on)
+        return LazyFrame(Join(self._node, right, on, how, suffix))
+
+    def sort_by(
+        self, names: str | Sequence[str], *, descending: bool = False
+    ) -> "LazyFrame":
+        names = (names,) if isinstance(names, str) else tuple(names)
+        return LazyFrame(Sort(self._node, names, descending))
+
+    def distinct(self, names: Sequence[str] | None = None) -> "LazyFrame":
+        return LazyFrame(
+            Distinct(self._node, tuple(names) if names is not None else None)
+        )
+
+    def head(self, n: int = 10) -> "LazyFrame":
+        return LazyFrame(Head(self._node, n))
+
+    # Execution -------------------------------------------------------- #
+
+    def collect(self) -> Table:
+        """Optimize and execute the plan (memoized per frame)."""
+        if self._cached is not None:
+            _CACHE_HIT.inc()
+            return self._cached
+        _COLLECTS.inc()
+        node = self._node
+        workers = 1
+        if not _eager_mode():
+            node = optimize(node)
+            workers = parallel.worker_count()
+        self._cached = _execute(node, {}, workers)
+        return self._cached
+
+    def explain(self) -> str:
+        """Render the optimized plan (or the raw plan in eager mode)."""
+        node = self._node if _eager_mode() else optimize(self._node)
+        lines: list[str] = []
+
+        def render(n: PlanNode, depth: int) -> None:
+            pad = "  " * depth
+            if isinstance(n, Scan):
+                lines.append(f"{pad}scan[{n.table.num_rows} rows x "
+                             f"{n.table.num_columns} cols]")
+            elif isinstance(n, Filter):
+                lines.append(f"{pad}filter[{_describe(n.predicate)}]")
+                render(n.child, depth + 1)
+            elif isinstance(n, FusedFilter):
+                preds = " & ".join(_describe(p) for p in n.predicates)
+                proj = f" -> {list(n.projection)}" if n.projection else ""
+                lines.append(f"{pad}fused_filter[{preds}]{proj}")
+                render(n.child, depth + 1)
+            elif isinstance(n, Project):
+                lines.append(f"{pad}project{list(n.names)}")
+                render(n.child, depth + 1)
+            elif isinstance(n, WithColumn):
+                lines.append(f"{pad}with_column[{n.name}]")
+                render(n.child, depth + 1)
+            elif isinstance(n, Rename):
+                lines.append(f"{pad}rename{n.mapping}")
+                render(n.child, depth + 1)
+            elif isinstance(n, GroupByAgg):
+                lines.append(f"{pad}group_by{list(n.keys)} -> {list(n.spec)}")
+                render(n.child, depth + 1)
+            elif isinstance(n, Join):
+                lines.append(f"{pad}join[{n.how} on {list(n.on)}]")
+                render(n.left, depth + 1)
+                render(n.right, depth + 1)
+            elif isinstance(n, Sort):
+                arrow = "desc" if n.descending else "asc"
+                lines.append(f"{pad}sort{list(n.names)} {arrow}")
+                render(n.child, depth + 1)
+            elif isinstance(n, Distinct):
+                lines.append(f"{pad}distinct{list(n.names or [])}")
+                render(n.child, depth + 1)
+            elif isinstance(n, Head):
+                lines.append(f"{pad}head[{n.n}]")
+                render(n.child, depth + 1)
+
+        render(node, 0)
+        return "\n".join(lines)
+
+
+def _describe(predicate: Any) -> str:
+    if isinstance(predicate, Expr):
+        return predicate.description
+    if callable(predicate):
+        return getattr(predicate, "__name__", "callable")
+    return "mask"

@@ -6,11 +6,31 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.tables.column import as_column, column_kind
+from repro.tables.column import (
+    DictColumn,
+    as_column,
+    column_kind,
+    concat_dict_columns,
+)
 
 
 class SchemaError(ValueError):
     """Raised for malformed table construction or unknown column access."""
+
+
+def _gather(column: np.ndarray | DictColumn, selector: np.ndarray):
+    """Row-subset a column by boolean mask or index array.
+
+    Dictionary columns slice only their codes; the uniques table is shared
+    with the parent so repeated filters never re-encode strings.
+    """
+    if isinstance(column, DictColumn):
+        return column.take(selector) if selector.dtype != bool else column.filter(selector)
+    return column[selector]
+
+
+def _as_array(column: np.ndarray | DictColumn) -> np.ndarray:
+    return column.materialize() if isinstance(column, DictColumn) else column
 
 
 class Table:
@@ -111,6 +131,19 @@ class Table:
 
     def __getitem__(self, name: str) -> np.ndarray:
         try:
+            return _as_array(self._columns[name])
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray | DictColumn:
+        """Raw column storage: the ndarray, or the :class:`DictColumn` itself.
+
+        ``table[name]`` always materializes; kernels that can run on codes
+        (group-by, join, shingling) use this accessor instead.
+        """
+        try:
             return self._columns[name]
         except KeyError:
             raise SchemaError(
@@ -150,12 +183,12 @@ class Table:
         if not -self.num_rows <= index < self.num_rows:
             raise IndexError(f"row {index} out of range for {self.num_rows} rows")
         return {name: array[index].item() if array.dtype != object else array[index]
-                for name, array in self._columns.items()}
+                for name, array in ((n, _as_array(a)) for n, a in self._columns.items())}
 
     def to_rows(self) -> list[dict[str, Any]]:
         """Materialize all rows (intended for small tables and tests)."""
         names = self.column_names
-        arrays = [self._columns[n] for n in names]
+        arrays = [_as_array(self._columns[n]) for n in names]
         out = []
         for i in range(self.num_rows):
             out.append(
@@ -167,8 +200,11 @@ class Table:
         return out
 
     def to_dict(self) -> dict[str, np.ndarray]:
-        """Shallow copy of the column mapping (arrays are aliased)."""
-        return dict(self._columns)
+        """Shallow copy of the column mapping (arrays are aliased).
+
+        Dictionary columns are materialized to their logical object arrays.
+        """
+        return {n: _as_array(a) for n, a in self._columns.items()}
 
     # ------------------------------------------------------------------ #
     # Relational operations
@@ -219,24 +255,20 @@ class Table:
 
         ``mask`` may be a boolean array or a callable mapping this table to
         one (e.g. ``t.filter(lambda t: t["x"] > 0)``).
+
+        This is a thin shim over the plan executor's fused filter kernel;
+        chained filters fuse into one gather when built through
+        :meth:`lazy` instead.
         """
-        if callable(mask):
-            mask = mask(self)
-        mask = np.asarray(mask)
-        if mask.dtype != bool or mask.shape != (self.num_rows,):
-            raise SchemaError(
-                f"filter mask must be bool of length {self.num_rows}, "
-                f"got dtype {mask.dtype} shape {mask.shape}"
-            )
-        return Table(
-            {n: a[mask] for n, a in self._columns.items()}, copy=False
-        )
+        from repro.tables.plan import _apply_filter
+
+        return _apply_filter(self, (mask,))
 
     def take(self, indices: Any) -> "Table":
         """Select rows by integer position (duplicates and reordering allowed)."""
         indices = np.asarray(indices, dtype=np.int64)
         return Table(
-            {n: a[indices] for n, a in self._columns.items()}, copy=False
+            {n: _gather(a, indices) for n, a in self._columns.items()}, copy=False
         )
 
     def head(self, n: int = 10) -> "Table":
@@ -274,6 +306,12 @@ class Table:
                 keep[i] = True
         return self.filter(keep)
 
+    def lazy(self) -> "Any":
+        """Start a lazy plan rooted at this table (see :mod:`repro.tables.plan`)."""
+        from repro.tables.plan import LazyFrame
+
+        return LazyFrame.scan(self)
+
     def map_rows(self, fn: Callable[[dict[str, Any]], Any], *, name: str) -> "Table":
         """Add a column computed row-by-row (slow path; prefer vector ops)."""
         values = [fn(self.row(i)) for i in range(self.num_rows)]
@@ -308,7 +346,11 @@ def concat_tables(tables: Sequence[Table]) -> Table:
             )
     columns = {}
     for name in names:
-        parts = [t[name] for t in tables]
+        raw = [t.column(name) for t in tables]
+        if all(isinstance(p, DictColumn) for p in raw):
+            columns[name] = concat_dict_columns(raw)
+            continue
+        parts = [_as_array(p) for p in raw]
         if any(p.dtype == object for p in parts):
             parts = [p.astype(object) for p in parts]
         columns[name] = np.concatenate(parts)
