@@ -444,6 +444,27 @@ def test_tracing_disabled_overhead_under_3_percent():
     )
 
 
+def test_sampler_enabled_overhead_under_3_percent():
+    """Acceptance: at the default 50 ms interval, continuous resource
+    sampling costs <3% of wall time on any kernel.
+
+    Measured as per-tick cost against the sampling period rather than an
+    A/B kernel timing: the daemon thread performs exactly one
+    ``sample_once`` per interval regardless of workload, so tick cost /
+    interval bounds the steady-state overhead deterministically.
+    """
+    from repro.obs.sampler import DEFAULT_INTERVAL_MS, ResourceSampler
+
+    sampler = ResourceSampler(interval_ms=DEFAULT_INTERVAL_MS)
+    sampler.sample_once()  # warm the /proc readers and the cache-dir import
+    tick_cost = _best_time(sampler.sample_once, repeats=20)
+    interval_s = DEFAULT_INTERVAL_MS / 1000.0
+    assert tick_cost < 0.03 * interval_s, (
+        f"one resource sample costs {tick_cost * 1e6:.0f} us, not <3% of "
+        f"the {DEFAULT_INTERVAL_MS:.0f} ms sampling period"
+    )
+
+
 def test_perf_decision_tree_fit(benchmark):
     rng = np.random.default_rng(3)
     X = rng.normal(size=(4_000, 4))

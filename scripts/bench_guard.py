@@ -22,8 +22,10 @@ Every benchmark run also appends a ``kind="bench"`` record to the
 persistent run ledger (:mod:`repro.obs.ledger`, honoring
 ``REPRO_LEDGER_DIR``/``REPRO_NO_LEDGER``), so ``BENCH_*.json`` deltas are
 tracked over time instead of one-shot: ``--history`` prints the mean-time
-trajectory of every bench across recorded runs, and ``repro runs`` can
-list/diff/dashboard them alongside study runs.
+trajectory of every bench across recorded runs (add ``--top N`` for the
+latest run's ``plan.op.*`` operator hotspots, fed by the lazy-plan
+profiler), and ``repro runs`` can list/diff/dashboard them alongside
+study runs.
 
 Trace modes (no benchmarks are run):
 
@@ -182,7 +184,50 @@ def record_bench_run(current: dict, regressions: list[str]) -> None:
     ledger.append_record(record)
 
 
-def history() -> int:
+def _print_op_hotspots(ledger, top: int) -> None:
+    """The latest recorded run's ``plan.op.*`` phases, ranked by wall time.
+
+    Study runs fold every lazy-plan operator execution into these phases
+    (see ``repro.tables.plan``), so the hotspot listing points at the
+    operator — group_by, fused_filter, join — not just the pipeline stage.
+    """
+    latest = next(
+        (
+            r for r in reversed(ledger.read_records())
+            if any(
+                name.startswith("plan.op.")
+                for name in (r.get("phases") or {})
+            )
+        ),
+        None,
+    )
+    if latest is None:
+        print(
+            "bench_guard: no recorded run carries plan.op.* operator phases"
+        )
+        return
+    ops = sorted(
+        (
+            (name.removeprefix("plan.op."), agg)
+            for name, agg in latest["phases"].items()
+            if name.startswith("plan.op.")
+        ),
+        key=lambda kv: -kv[1].get("wall_s", 0.0),
+    )[:top]
+    print(
+        f"\nbench_guard: top {len(ops)} plan operators by wall time "
+        f"(run {latest['run_id']})"
+    )
+    print(f"  {'operator':<20} {'count':>6} {'wall':>12} {'cpu':>12}")
+    for name, agg in ops:
+        print(
+            f"  {name:<20} {agg.get('count', 0):>6.0f} "
+            f"{agg.get('wall_s', 0.0) * 1e3:>9.2f} ms "
+            f"{agg.get('cpu_s', 0.0) * 1e3:>9.2f} ms"
+        )
+
+
+def history(top: int = 0) -> int:
     """Print the mean-time trajectory of every bench from the run ledger."""
     ledger = _ledger()
     records = [
@@ -192,6 +237,8 @@ def history() -> int:
         print(
             f"bench_guard: no bench runs recorded in {ledger.ledger_path()}"
         )
+        if top:
+            _print_op_hotspots(ledger, top)
         return 0
     shown = records[-8:]
     print(
@@ -225,6 +272,8 @@ def history() -> int:
             ratio = (record.get("speedups_vs_seed") or {}).get(name)
             cells.append(f"{ratio:>8.1f}x" if ratio else f"{'-':>9}")
         print(f"  {name:<28}{''.join(cells)}")
+    if top:
+        _print_op_hotspots(ledger, top)
     return 0
 
 
@@ -318,10 +367,18 @@ def main() -> int:
         action="store_true",
         help="print the bench trajectory from the run ledger and exit",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --history: also list the latest run's top-N plan.op.* "
+        "operator hotspots from the ledger",
+    )
     args = parser.parse_args()
 
     if args.history:
-        return history()
+        return history(args.top)
     if args.trace_summary:
         return trace_summary(args.trace_summary)
     if args.trace_diff:

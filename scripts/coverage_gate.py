@@ -9,6 +9,9 @@ Gates
 - ``src/repro/tables``: **>= 85%**, enforced always.  The lazy query
   engine (plans, fused kernels, dictionary columns) underpins every
   analysis table; its property suites must keep touching all of it.
+- ``src/repro/obs``: **>= 85%**, enforced always.  The observability
+  stack (tracing, metrics, sampler, ledger, drift, dashboard) is what
+  every perf/fidelity/RSS guard trusts; untested telemetry lies.
 - repo-wide ``src/repro``: **>= 80%**, enforced when the ``coverage``
   package (the engine behind ``pytest-cov``, declared in the ``dev``
   extra) is importable, and *visibly skipped* otherwise — measuring the
@@ -46,6 +49,7 @@ SRC = REPO / "src"
 PACKAGE_GATES: dict[str, float] = {
     "shard": 85.0,
     "tables": 85.0,
+    "obs": 85.0,
 }
 MIN_REPO_PCT = 80.0
 
@@ -61,6 +65,10 @@ DEFAULT_TESTS = [
     "tests/test_tables_plan.py",
     "tests/test_tables_dict.py",
     "tests/test_stats_bootstrap_pivot.py",
+    "tests/test_obs.py",
+    "tests/test_sampler.py",
+    "tests/test_ledger.py",
+    "tests/test_cli_smoke.py",
 ]
 
 

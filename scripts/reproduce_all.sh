@@ -18,6 +18,8 @@
 #   report_sharded.txt - the same report built over 4 shards (must diff clean)
 #   report_eager.txt   - the same report with the lazy query engine disabled
 #                        via REPRO_TABLES_EAGER=1 (must diff clean)
+#   report_sampled.txt - the same report with --sample resource telemetry
+#                        recording a utilization timeline (must diff clean)
 #   figures/           - every paper figure as SVG
 #   dataset/           - an exported released dataset (small scale)
 #   workload.json      - the derived crowdsourcing workload
@@ -34,32 +36,32 @@ mkdir -p "$OUT"
 # final drift check compares this pipeline's runs against each other.
 export REPRO_LEDGER_DIR="$OUT/ledger"
 
-echo "== 1/14 tests =="
+echo "== 1/15 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/14 tests again with a live process pool (REPRO_WORKERS=2) =="
+echo "== 2/15 tests again with a live process pool (REPRO_WORKERS=2) =="
 REPRO_WORKERS=2 python -m pytest tests/ 2>&1 | tee "$OUT/test_workers2.txt" | tail -1
 
-echo "== 3/14 coverage gate (src/repro/{shard,tables} >= 85%) =="
+echo "== 3/15 coverage gate (src/repro/{shard,tables,obs} >= 85%) =="
 python scripts/coverage_gate.py 2>&1 | tee "$OUT/coverage_gate.txt" | tail -2
 
-echo "== 4/14 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 4/15 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 5/14 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 5/15 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 6/14 validation checklist =="
+echo "== 6/15 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 7/14 traced medium-scale report (writes trace_medium.json) =="
+echo "== 7/15 traced medium-scale report (writes trace_medium.json) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     --trace --trace-out "$OUT/trace_medium.json" > /dev/null
 python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
 head -7 "$OUT/trace_summary.txt"
 
-echo "== 8/14 failure injection (faulted medium report must match the clean one) =="
+echo "== 8/15 failure injection (faulted medium report must match the clean one) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     > "$OUT/report_clean.txt"
 # REPRO_NO_LEDGER: a deliberately degraded diagnostic run must not become a
@@ -73,7 +75,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_faulted.txt"   # set -e: a diff is fat
 rm -rf "$OUT/fault_cache"
 echo "faulted run identical to clean run"
 
-echo "== 9/14 sharded execution (4-shard medium report must match the monolithic one) =="
+echo "== 9/15 sharded execution (4-shard medium report must match the monolithic one) =="
 # A private cache dir forces a genuine sharded build: the diff must prove
 # byte identity of the pipeline, not a warm hit on the monolithic entry.
 REPRO_CACHE_DIR="$OUT/shard_cache" \
@@ -83,7 +85,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_sharded.txt"   # set -e: a diff is fat
 rm -rf "$OUT/shard_cache"
 echo "sharded run identical to monolithic run"
 
-echo "== 10/14 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
+echo "== 10/15 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
 # A private cache dir forces a genuine eager rebuild; the diff proves the
 # plan optimizer and parallel kernel dispatch never change a single byte.
 REPRO_CACHE_DIR="$OUT/eager_cache" REPRO_TABLES_EAGER=1 REPRO_NO_LEDGER=1 \
@@ -93,19 +95,33 @@ diff "$OUT/report_clean.txt" "$OUT/report_eager.txt"   # set -e: a diff is fatal
 rm -rf "$OUT/eager_cache"
 echo "eager-engine run identical to lazy-engine run"
 
-echo "== 11/14 SVG figures =="
+echo "== 11/15 resource telemetry (sampled 4-shard medium report must match the clean one) =="
+# The sampler writes only into the run record, never to stdout: a sampled
+# build must stay byte-identical.  A private cache dir forces a genuine
+# sharded build so the record carries per-shard utilization intervals.
+REPRO_CACHE_DIR="$OUT/sample_cache" \
+    python -m repro report --scale medium --seed 7 --shards 4 --sample 25 \
+    > "$OUT/report_sampled.txt"
+diff "$OUT/report_clean.txt" "$OUT/report_sampled.txt"   # set -e: a diff is fatal
+rm -rf "$OUT/sample_cache"
+echo "sampled run identical to clean run"
+python -m repro plan --scale tiny --seed 7 | tail -7
+
+echo "== 12/15 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 12/14 dataset export =="
+echo "== 13/15 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 13/14 workload derivation =="
+echo "== 14/15 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
-echo "== 14/14 run ledger: history, dashboard, drift check =="
+echo "== 15/15 run ledger: history, dashboard, drift check =="
 python -m repro runs list
-python scripts/bench_guard.py --history
+python scripts/bench_guard.py --history --top 5
 python -m repro runs report --out "$OUT/runs_report.html"
-python -m repro runs check   # set -e: perf/fidelity drift is fatal
+# The step-11 sampled run must have landed a utilization timeline panel.
+grep -q "Utilization timeline" "$OUT/runs_report.html"
+python -m repro runs check   # set -e: perf/fidelity/RSS drift is fatal
 
 echo "done: $OUT"

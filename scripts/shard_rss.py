@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Measure peak RSS and wall time: sharded vs monolithic study build.
 
-``ru_maxrss`` is a process-lifetime high-water mark, so each configuration
-runs in its own fresh subprocess with a private cold cache directory (the
-study cache is off; the shard spill store is on — spilling is what bounds
-the sharded build's memory).  Prints a comparison table and the peak-RSS
-ratio the acceptance criterion reads (sharded < 60% of monolithic at
-``large`` scale).
+Peak RSS is a process-lifetime high-water mark, so each configuration runs
+in its own fresh subprocess with a private cold cache directory (the study
+cache is off; the shard spill store is on — spilling is what bounds the
+sharded build's memory).  Inside the child, a
+:class:`repro.obs.sampler.ResourceSampler` records the continuous RSS
+timeline; the reported peak is the sampler's timeline peak sharpened by
+the kernel's exact high-water mark (``repro.obs.sampler.peak_rss_mb``).
+Prints a comparison table and the peak-RSS ratio the acceptance criterion
+reads (sharded < 60% of monolithic at ``large`` scale).
 
 Usage::
 
@@ -26,22 +29,28 @@ REPO = Path(__file__).resolve().parent.parent
 
 
 def _child(scale: str, shards: int) -> None:
-    import resource
     import time
 
     sys.path.insert(0, str(REPO / "src"))
     from repro import build_study
+    from repro.obs import sampler
 
+    sampling = sampler.ResourceSampler(interval_ms=20.0).start()
     t0 = time.perf_counter()
     study = build_study(
         scale, seed=7, cache=False, shards=shards if shards > 1 else None
     )
     wall = time.perf_counter() - t0
-    # Linux reports ru_maxrss in KiB.
-    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    timeline = sampling.stop()
     print(json.dumps({
         "wall_s": round(wall, 2),
-        "peak_rss_mb": round(rss_kib / 1024.0, 1),
+        # The timeline can only undershoot between samples; the kernel's
+        # high-water mark (also surfaced by the sampler module) is exact.
+        "peak_rss_mb": round(
+            max(timeline["peak_rss_mb"], sampler.peak_rss_mb()), 1
+        ),
+        "num_samples": timeline["num_samples"],
+        "mean_cpu_pct": timeline["mean_cpu_pct"],
         "instances": study.released.instances.num_rows,
         "clusters": study.enriched.num_clusters,
     }))

@@ -11,12 +11,17 @@ Commands
     Run a task-design A/B experiment on the simulator (vary one feature).
 ``learning``
     Estimate the within-batch worker learning curve.
+``plan``
+    Build a study and run a representative lazy query under
+    ``explain(analyze=True)`` — the annotated operator tree plus a
+    ranked operator-hotspot listing (see :mod:`repro.tables.plan`).
 ``trace``
-    Summarize a JSON trace file written by a ``--trace`` run.
+    Summarize a JSON trace file written by a ``--trace`` run
+    (``--json --top N`` adds a ``plan.op.*`` operator-hotspot listing).
 ``runs``
     Inspect the persistent run ledger (``list``/``show``/``diff``/
-    ``check``/``report``); ``check`` exits nonzero on perf or fidelity
-    drift (see :mod:`repro.obs.drift`).
+    ``check``/``report``); ``check`` exits nonzero on perf, fidelity,
+    or peak-RSS drift (see :mod:`repro.obs.drift`).
 
 Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
 the run records a hierarchical span trace (see :mod:`repro.obs`), prints
@@ -30,7 +35,11 @@ study, or fail loudly.
 
 Independently of ``--trace``, every study-building command appends a run
 record to the ledger (:mod:`repro.obs.ledger`) — silently, so command
-output stays byte-stable — unless ``REPRO_NO_LEDGER`` is set.
+output stays byte-stable — unless ``REPRO_NO_LEDGER`` is set.  The record
+always carries the process peak RSS; with ``--sample MS`` (or
+``REPRO_SAMPLE_MS``) a background sampler (:mod:`repro.obs.sampler`) adds
+a continuous resource timeline and per-worker utilization intervals,
+still without changing a byte of command output.
 """
 
 from __future__ import annotations
@@ -44,7 +53,8 @@ SCALES = ("tiny", "small", "medium", "large")
 
 #: Commands that build a study and therefore record a ledger run.
 _STUDY_COMMANDS = frozenset(
-    {"simulate", "report", "learning", "figures", "validate", "workload"}
+    {"simulate", "report", "learning", "figures", "validate", "workload",
+     "plan"}
 )
 
 #: Default JSON trace path for ``--trace`` runs without ``--trace-out``.
@@ -101,6 +111,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="inject deterministic faults, e.g. "
         "'cache.write:fail@2,pool.spawn:fail' (see repro.faults; "
         "also REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--sample", nargs="?", const=50.0, type=float, default=None,
+        metavar="MS",
+        help="sample RSS/CPU/fds/spill every MS milliseconds into the run "
+        "record's resource timeline (default interval 50; also "
+        "REPRO_SAMPLE_MS; output stays byte-identical)",
     )
 
 
@@ -174,6 +191,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"top-10% of workers do {workload['top10_task_share']:.0%} of tasks; "
         f"{geo['num_countries']} countries, top-5 share {geo['top5_share']:.0%}"
     )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE a representative study query (``repro plan``)."""
+    from repro import build_study
+    from repro.tables import col, profile_hotspots
+
+    study = build_study(
+        args.scale, seed=args.seed, cache=_cache_arg(args), shards=args.shards
+    )
+    # The §4 batch rollup: filter + fused projection + group_by + sort +
+    # head, so every major operator shows up in the profile.
+    frame = (
+        study.enriched.batch_table.lazy()
+        .filter(col("num_instances") > 0)
+        .filter(col("num_words") > 0)
+        .group_by("cluster_id")
+        .agg({
+            "num_batches": ("batch_id", "count"),
+            "num_instances": ("num_instances", "sum"),
+        })
+        .sort_by("num_instances", descending=True)
+        .head(args.rows)
+    )
+    print(frame.explain(analyze=True))
+    hotspots = profile_hotspots(frame.profile(), top=args.top)
+    print()
+    print(f"top {len(hotspots)} operators by wall time:")
+    for prof in hotspots:
+        print(
+            f"  {prof.op:<14} {prof.wall_s * 1e3:>9.3f}ms "
+            f"rows_out={prof.rows_out:,}  {prof.detail}"
+        )
     return 0
 
 
@@ -317,13 +368,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     metrics = doc.get("metrics", {})
     if args.json:
+        by_name = obs.aggregate_by_name(doc)
+        top_ops = sorted(
+            (
+                {"op": name.removeprefix("plan.op."), **agg}
+                for name, agg in by_name.items()
+                if name.startswith("plan.op.")
+            ),
+            key=lambda entry: -entry.get("wall_s", 0.0),
+        )[:args.top]
         print(json.dumps({
             "schema": doc.get("schema"),
             "name": doc.get("name"),
             "created_unix": doc.get("created_unix"),
             "total_wall_s": doc.get("total_wall_s"),
             "num_spans": len(doc.get("spans", [])),
-            "spans_by_name": obs.aggregate_by_name(doc),
+            "spans_by_name": by_name,
+            "top_ops": top_ops,
             "counters": {
                 k: v for k, v in metrics.get("counters", {}).items() if v
             },
@@ -533,6 +594,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(report)
     report.set_defaults(func=_cmd_report)
 
+    plan = sub.add_parser(
+        "plan", help="EXPLAIN ANALYZE a representative study query"
+    )
+    _add_common(plan)
+    plan.add_argument(
+        "--rows", type=int, default=10,
+        help="result rows kept by the query's final head (default: 10)",
+    )
+    plan.add_argument(
+        "--top", type=int, default=5,
+        help="operators in the hotspot listing (default: 5)",
+    )
+    plan.set_defaults(func=_cmd_plan)
+
     abtest = sub.add_parser("abtest", help="run a design A/B experiment")
     abtest.add_argument(
         "--feature", default="num_examples",
@@ -704,6 +779,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     if record_run:
         obs.ledger.begin_collection()
+    # Resource sampling (--sample / REPRO_SAMPLE_MS) rides along silently;
+    # its timeline only lands in the ledger record, never on stdout.
+    obs.sampler.start(getattr(args, "sample", None))
     try:
         with obs.span(
             f"cli.{args.command}",
@@ -712,19 +790,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         ):
             rc = args.func(args)
     finally:
+        timeline = obs.sampler.stop()
         trace = obs.finish()
         fidelity = obs.ledger.end_collection() if record_run else None
     if trace is None:
         return rc
     doc = obs.trace_to_dict(trace)
     if record_run:
+        extra: dict = {"rc": rc}
+        # getrusage peak is free and exact, so every run feeds the RSS
+        # drift guard; a sampler timeline can only sharpen it upward.
+        peak = obs.sampler.peak_rss_mb()
+        util = obs.sampler.utilization_from_trace(doc)
+        if timeline is not None:
+            peak = max(peak, float(timeline.get("peak_rss_mb") or 0.0))
+            if util is None:
+                util = obs.sampler.utilization_from_intervals(
+                    timeline.get("worker_intervals") or []
+                )
+            extra["timeline"] = timeline
+        if peak > 0:
+            extra["peak_rss_mb"] = round(peak, 3)
+        if util is not None:
+            extra["utilization"] = util
         record = obs.ledger.build_record(
             kind="study",
             command=args.command,
             config=_run_config(args, fault_spec),
             trace_doc=doc,
             fidelity=fidelity,
-            extra={"rc": rc},
+            extra=extra,
         )
         obs.ledger.append_record(record)
     if want_trace:

@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    counter_deltas,
     gauge,
     histogram,
     histogram_deltas,
@@ -63,11 +64,12 @@ from repro.obs.trace import (
     worker_collector,
 )
 
-# The run ledger / drift / dashboard layers sit on top of metrics+export and
-# lazily import repro.cache/repro.faults inside functions, so importing them
-# last keeps `import repro.obs` cycle-free while exposing them as
-# obs.ledger / obs.drift / obs.dashboard submodule attributes.
-from repro.obs import dashboard, drift, ledger  # noqa: E402
+# The run ledger / drift / dashboard / sampler layers sit on top of
+# metrics+export and lazily import repro.cache/repro.faults inside
+# functions, so importing them last keeps `import repro.obs` cycle-free
+# while exposing them as obs.ledger / obs.drift / obs.dashboard /
+# obs.sampler submodule attributes.
+from repro.obs import dashboard, drift, ledger, sampler  # noqa: E402
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -83,6 +85,7 @@ __all__ = [
     "Trace",
     "aggregate_by_name",
     "counter",
+    "counter_deltas",
     "current_trace",
     "dashboard",
     "disable",
@@ -103,6 +106,7 @@ __all__ = [
     "nonzero_counters",
     "render_tree",
     "reset_metrics",
+    "sampler",
     "span",
     "summarize_histograms",
     "summarize_trace",

@@ -9,6 +9,10 @@ dashboard needs nothing but a browser.  Sections:
   phase's wall time across runs (regressions are visible as upticks).
 - **Counter trends** — selected counters (cache traffic, serial fallbacks,
   injected faults) across runs.
+- **Utilization timeline** — the latest run's per-worker busy intervals as
+  Gantt lanes (one lane per pid, one bar per shard build / chunk), plus a
+  resource line chart (RSS, spill bytes over time) when the run was
+  sampled with ``--sample`` (see :mod:`repro.obs.sampler`).
 - **Fidelity** — the latest run's paper-vs-measured probe table.
 - **Drift** — the findings of :func:`repro.obs.drift.check_drift`, i.e.
   exactly what ``repro runs check`` would fail on.
@@ -44,7 +48,7 @@ def _esc(value: Any) -> str:
 
 def _chart(
     title: str, series: dict[str, tuple[list[float], list[float]]],
-    *, y_label: str,
+    *, y_label: str, x_label: str = "run #",
 ) -> str:
     from repro.reporting.svg import PALETTE, SvgChart
 
@@ -57,7 +61,7 @@ def _chart(
         title=title, width=560, height=240,
         x_min=min(all_x), x_max=max(all_x),
         y_min=0.0, y_max=(max(all_y) or 1.0) * 1.05,
-        x_label="run #", y_label=y_label,
+        x_label=x_label, y_label=y_label,
     )
     for i, (label, (xs, ys)) in enumerate(sorted(plotted.items())):
         chart.add_line(xs, ys, color=PALETTE[i % len(PALETTE)], label=label)
@@ -135,6 +139,95 @@ def _counter_section(records: list[dict[str, Any]]) -> str:
         "<p class='note'>no counter trends yet (counters chart after two "
         "runs record the same counter).</p>"
     )
+
+
+def _gantt(label: str, util: dict[str, Any]) -> str:
+    """Per-worker busy-interval lanes as one SVG (empty when no intervals)."""
+    from repro.reporting.svg import PALETTE, SvgChart
+
+    lanes = [w for w in (util.get("workers") or []) if w.get("intervals")]
+    if not lanes:
+        return ""
+    span_end = max(
+        float(iv["end_s"]) for w in lanes for iv in w["intervals"]
+    )
+    if span_end <= 0:
+        return ""
+    num = len(lanes)
+    chart = SvgChart(
+        title=f"{label} — utilization {util.get('value', 0.0):.0%}",
+        width=560, height=96 + 26 * num,
+        x_min=0.0, x_max=span_end, y_min=0.0, y_max=float(num),
+        x_label="seconds since first interval", y_label="worker",
+    )
+    f = chart.frame
+    for lane, worker in enumerate(lanes):
+        color = PALETTE[lane % len(PALETTE)]
+        # Lane 0 at the top: band between y = num-lane-0.85 and num-lane-0.15.
+        y_top = f._ty(num - lane - 0.15)
+        y_bottom = f._ty(num - lane - 0.85)
+        for iv in worker["intervals"]:
+            x0 = f._tx(float(iv["start_s"]))
+            x1 = f._tx(float(iv["end_s"]))
+            chart._body.append(
+                f'<rect x="{x0:.1f}" y="{y_top:.1f}" '
+                f'width="{max(x1 - x0, 1.0):.1f}" '
+                f'height="{y_bottom - y_top:.1f}" '
+                f'fill="{color}" fill-opacity="0.8"/>'
+            )
+        if lane < 8:
+            chart._legend.append((
+                f"pid {worker.get('pid')} "
+                f"({worker.get('busy_s', 0.0):.2f}s busy)",
+                color,
+            ))
+    return chart.render()
+
+
+def _resource_chart(record: dict[str, Any]) -> str:
+    """RSS / spill sample series of one run's sampler timeline."""
+    samples = (record.get("timeline") or {}).get("samples") or []
+    if len(samples) < 2:
+        return ""
+    xs = [float(s.get("t_s", 0.0)) for s in samples]
+    series = {
+        "rss_mb": (xs, [float(s.get("rss_mb", 0.0)) for s in samples]),
+        "spill_mb": (xs, [float(s.get("spill_mb", 0.0)) for s in samples]),
+    }
+    return _chart(
+        "resource samples", series, y_label="MB", x_label="seconds",
+    )
+
+
+def _utilization_section(records: list[dict[str, Any]]) -> str:
+    latest = next(
+        (
+            r for r in reversed(records)
+            if (r.get("utilization") or {}).get("workers")
+        ),
+        None,
+    )
+    if latest is None:
+        return (
+            "<p class='note'>no worker intervals recorded yet (run a study "
+            "command; add <code>--sample</code> for resource samples).</p>"
+        )
+    note = (
+        f"<p class='note'>latest run with worker intervals: "
+        f"<code>{_esc(latest.get('run_id'))}</code>"
+    )
+    peak = latest.get("peak_rss_mb")
+    if peak:
+        note += f", peak RSS {float(peak):.0f} MB"
+    note += "</p>"
+    parts = [note]
+    svg = _gantt(drift_mod.group_label(latest), latest["utilization"])
+    if svg:
+        parts.append(f"<div class='chart'>{svg}</div>")
+    resources = _resource_chart(latest)
+    if resources:
+        parts.append(f"<div class='chart'>{resources}</div>")
+    return "".join(parts)
 
 
 def _fidelity_section(records: list[dict[str, Any]]) -> str:
@@ -216,6 +309,7 @@ def render_dashboard(records: list[dict[str, Any]]) -> str:
         f"<h2>Runs</h2>{_runs_table(records)}"
         f"<h2>Phase timings</h2>{_phase_section(groups)}"
         f"<h2>Counter trends</h2>{_counter_section(records)}"
+        f"<h2>Utilization timeline</h2>{_utilization_section(records)}"
         f"<h2>Fidelity (paper vs measured)</h2>{_fidelity_section(records)}"
         "</body></html>\n"
     )

@@ -27,6 +27,12 @@ Tolerances
   recorded by the ledger) must not grow by more than
   ``fidelity_tolerance`` (absolute, default 0.05) over the baseline median
   deviation.  Moving *toward* the paper value is never drift.
+- **Peak RSS**: runs recording ``peak_rss_mb`` (see
+  :mod:`repro.obs.sampler`) face the same two-sided shape as timing — the
+  candidate must exceed the baseline median by more than
+  ``rss_tolerance`` (relative, default 50%) *and* by more than
+  ``rss_floor_mb`` (absolute, default 64 MB), so small-footprint runs
+  cannot flag on allocator noise while a genuine memory blowup fails CI.
 
 ``check_drift`` evaluates only each group's latest record — the CI
 question — while ``compare_records`` diffs two arbitrary runs for the
@@ -47,16 +53,20 @@ TIMING_TOLERANCE = 0.50
 NOISE_FLOOR_S = 0.25
 #: Allowed absolute growth of a probe's deviation-from-paper.
 FIDELITY_TOLERANCE = 0.05
+#: Relative peak-RSS growth beyond which memory drift is flagged.
+RSS_TOLERANCE = 0.50
+#: Absolute growth (MB) the peak RSS must also exceed — allocator noise guard.
+RSS_FLOOR_MB = 64.0
 
 
 @dataclass(frozen=True)
 class DriftFinding:
     """One flagged regression in one run."""
 
-    kind: str  # "timing" | "fidelity"
+    kind: str  # "timing" | "fidelity" | "rss"
     run_id: str
     group: str
-    subject: str  # phase name or probe name
+    subject: str  # phase name, probe name, or "peak_rss_mb"
     baseline: float
     latest: float
 
@@ -67,6 +77,13 @@ class DriftFinding:
                 f"[TIMING]   {self.group}: phase '{self.subject}' "
                 f"{self.latest:.3f}s vs baseline median {self.baseline:.3f}s "
                 f"({ratio:.1f}x) in run {self.run_id}"
+            )
+        if self.kind == "rss":
+            ratio = self.latest / self.baseline if self.baseline > 0 else float("inf")
+            return (
+                f"[RSS]      {self.group}: peak RSS {self.latest:.0f}MB vs "
+                f"baseline median {self.baseline:.0f}MB ({ratio:.1f}x) "
+                f"in run {self.run_id}"
             )
         return (
             f"[FIDELITY] {self.group}: probe '{self.subject}' deviation "
@@ -126,6 +143,15 @@ def _fidelity_devs(record: Mapping[str, Any]) -> dict[str, float]:
     }
 
 
+def _peak_rss(record: Mapping[str, Any]) -> float | None:
+    value = record.get("peak_rss_mb")
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    return value if value > 0 else None
+
+
 def compare_records(
     baseline_records: list[dict[str, Any]],
     candidate: Mapping[str, Any],
@@ -133,11 +159,13 @@ def compare_records(
     timing_tolerance: float = TIMING_TOLERANCE,
     noise_floor_s: float = NOISE_FLOOR_S,
     fidelity_tolerance: float = FIDELITY_TOLERANCE,
+    rss_tolerance: float = RSS_TOLERANCE,
+    rss_floor_mb: float = RSS_FLOOR_MB,
 ) -> list[DriftFinding]:
     """Findings for ``candidate`` against the median of ``baseline_records``.
 
-    Phases or probes absent from either side are skipped — a cached run has
-    no ``release`` phase, and that is not a regression.
+    Phases, probes, or RSS readings absent from either side are skipped —
+    a cached run has no ``release`` phase, and that is not a regression.
     """
     if not baseline_records:
         return []
@@ -168,6 +196,21 @@ def compare_records(
                 kind="fidelity", run_id=run_id, group=label,
                 subject=probe, baseline=base, latest=latest_dev,
             ))
+
+    latest_rss = _peak_rss(candidate)
+    rss_history = [
+        rss for r in baseline_records if (rss := _peak_rss(r)) is not None
+    ]
+    if latest_rss is not None and rss_history:
+        base = median(rss_history)
+        if (
+            latest_rss > base * (1.0 + rss_tolerance)
+            and latest_rss - base > rss_floor_mb
+        ):
+            findings.append(DriftFinding(
+                kind="rss", run_id=run_id, group=label,
+                subject="peak_rss_mb", baseline=base, latest=latest_rss,
+            ))
     return findings
 
 
@@ -178,6 +221,8 @@ def check_drift(
     timing_tolerance: float = TIMING_TOLERANCE,
     noise_floor_s: float = NOISE_FLOOR_S,
     fidelity_tolerance: float = FIDELITY_TOLERANCE,
+    rss_tolerance: float = RSS_TOLERANCE,
+    rss_floor_mb: float = RSS_FLOOR_MB,
 ) -> list[DriftFinding]:
     """Evaluate each group's latest record against its rolling baseline.
 
@@ -194,6 +239,8 @@ def check_drift(
             timing_tolerance=timing_tolerance,
             noise_floor_s=noise_floor_s,
             fidelity_tolerance=fidelity_tolerance,
+            rss_tolerance=rss_tolerance,
+            rss_floor_mb=rss_floor_mb,
         ))
     return findings
 

@@ -246,6 +246,23 @@ class MetricsRegistry:
             inst.reset()
 
 
+def counter_deltas(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Per-counter difference of two :meth:`MetricsRegistry.counter_values`
+    captures, keeping only counters that moved in between.
+
+    The one delta computation behind worker-to-parent counter shipping —
+    both :class:`repro.obs.trace.worker_collector` and the untraced path in
+    ``repro.parallel`` go through here.
+    """
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
+
+
 def histogram_deltas(
     before: Mapping[str, Mapping[str, Any]],
     after: Mapping[str, Mapping[str, Any]],

@@ -1,0 +1,431 @@
+"""Continuous resource telemetry (:mod:`repro.obs.sampler`).
+
+A daemon thread samples the process every ``REPRO_SAMPLE_MS`` (or CLI
+``--sample``) milliseconds into a schema-v1 **resource timeline**:
+
+- **RSS** from ``/proc/self/statm`` (resident pages × page size),
+- **CPU%** from :func:`os.times` deltas between consecutive samples,
+- **open file descriptors** from ``/proc/self/fd``,
+- **spill-store bytes** by sizing the shard spill directory under the
+  active study cache (``<cache>/.shards``).
+
+The sampler never writes to stdout/stderr and touches no shared state the
+pipeline reads, so a sampled run produces byte-identical study output —
+``scripts/reproduce_all.sh`` diffs a sampled medium report against the
+clean one to prove it.  Every reader degrades to ``0`` on non-Linux
+platforms rather than failing.
+
+Alongside the continuous samples, :mod:`repro.parallel` ships each pool
+chunk's ``(pid, start, end)`` busy interval back to the driver (see
+``_ChunkRunner``) and :func:`note_interval` collects them while a sampler
+is active; :func:`utilization_from_trace` folds the equivalent span
+intervals out of a finished trace.  Both feed the per-worker utilization
+(Gantt) timeline on the run dashboard.
+
+Timestamps: worker intervals use ``time.perf_counter()``, which on Linux
+is ``CLOCK_MONOTONIC`` — system-wide and fork-consistent — so values taken
+inside worker processes are directly comparable with the parent's span
+clock.  Timeline ``t_s`` values are relative to sampler start.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.obs import metrics
+
+#: Environment variable: sampling interval in milliseconds (unset/0 = off).
+SAMPLE_MS_ENV = "REPRO_SAMPLE_MS"
+#: Bump when the timeline schema changes incompatibly.
+TIMELINE_SCHEMA_VERSION = 1
+#: Interval used when sampling is requested without an explicit value.
+DEFAULT_INTERVAL_MS = 50.0
+
+#: Hard caps so a runaway run cannot grow unbounded telemetry state.
+_MAX_SAMPLES = 100_000
+_MAX_INTERVALS = 50_000
+
+_SAMPLES = metrics.counter("sampler.samples")
+_ERRORS = metrics.counter("sampler.errors")
+
+_STATM = "/proc/self/statm"
+_FD_DIR = "/proc/self/fd"
+
+try:
+    _PAGE_BYTES = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError):  # pragma: no cover - non-POSIX
+    _PAGE_BYTES = 4096
+
+
+def read_rss_mb() -> float:
+    """Current resident set size in MiB (0.0 where /proc is unavailable)."""
+    try:
+        with open(_STATM) as handle:
+            pages = int(handle.read().split()[1])
+    except (OSError, ValueError, IndexError):
+        return 0.0
+    return pages * _PAGE_BYTES / (1024.0 * 1024.0)
+
+
+def read_cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds of this process."""
+    t = os.times()
+    return t.user + t.system
+
+
+def read_open_fds() -> int:
+    """Open file descriptors (0 where /proc is unavailable)."""
+    try:
+        return len(os.listdir(_FD_DIR))
+    except OSError:
+        return 0
+
+
+def read_spill_mb() -> float:
+    """Total bytes currently in the shard spill store, in MiB.
+
+    Walks ``<cache>/.shards`` — a handful of ``.npz`` files per shard — so
+    one reading costs a few stat calls, well inside the sampling budget.
+    """
+    from repro.cache import cache_dir
+
+    root = cache_dir() / ".shards"
+    total = 0
+    try:
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                try:
+                    total += os.stat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    continue
+    except OSError:
+        return 0.0
+    return total / (1024.0 * 1024.0)
+
+
+def default_reader() -> tuple[float, float, int, float]:
+    """One raw reading: ``(rss_mb, cpu_seconds, open_fds, spill_mb)``."""
+    return (read_rss_mb(), read_cpu_seconds(), read_open_fds(), read_spill_mb())
+
+
+def peak_rss_mb() -> float:
+    """Process high-water RSS in MiB from ``getrusage`` (0.0 if unknown).
+
+    Cheaper than a timeline: the kernel tracks the maximum continuously,
+    so this is exact even between samples — the ledger records it for
+    every run, sampled or not, to feed the RSS drift guard.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    # ru_maxrss is KiB on Linux.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def sample_interval_ms(explicit: float | None = None) -> float | None:
+    """Resolve the sampling interval: explicit value wins, then
+    ``REPRO_SAMPLE_MS``; ``None`` means sampling is off."""
+    if explicit is not None:
+        return float(explicit) if explicit > 0 else None
+    raw = os.environ.get(SAMPLE_MS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+class ResourceSampler:
+    """Background resource sampler producing a schema-v1 timeline.
+
+    ``clock`` and ``reader`` are injectable so tests can drive the sampler
+    deterministically (fake time, scripted readings) via
+    :meth:`sample_once` without starting the thread.
+    """
+
+    def __init__(
+        self,
+        interval_ms: float = DEFAULT_INTERVAL_MS,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        reader: Callable[[], tuple[float, float, int, float]] = default_reader,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError(f"interval_ms must be positive, got {interval_ms}")
+        self.interval_ms = float(interval_ms)
+        self._clock = clock
+        self._reader = reader
+        self._samples: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0: float | None = None
+        self._last_cpu: tuple[float, float] | None = None  # (t_s, cpu_s)
+        self.error: str | None = None
+
+    # Sampling --------------------------------------------------------- #
+
+    def sample_once(self) -> dict[str, Any]:
+        """Take one sample now (thread-safe); returns the sample."""
+        now = self._clock()
+        if self._t0 is None:
+            self._t0 = now
+        t_s = now - self._t0
+        rss_mb, cpu_s, open_fds, spill_mb = self._reader()
+        with self._lock:
+            if self._last_cpu is not None:
+                prev_t, prev_cpu = self._last_cpu
+                dt = t_s - prev_t
+                cpu_pct = 100.0 * (cpu_s - prev_cpu) / dt if dt > 0 else 0.0
+            else:
+                cpu_pct = 0.0
+            self._last_cpu = (t_s, cpu_s)
+            sample = {
+                "t_s": round(t_s, 6),
+                "rss_mb": round(rss_mb, 3),
+                "cpu_pct": round(cpu_pct, 2),
+                "open_fds": int(open_fds),
+                "spill_mb": round(spill_mb, 3),
+            }
+            if len(self._samples) < _MAX_SAMPLES:
+                self._samples.append(sample)
+        _SAMPLES.inc()
+        return sample
+
+    def _guarded_sample(self) -> bool:
+        """One sample; on reader failure, record the error and report
+        ``False`` so the thread shuts down instead of spinning."""
+        try:
+            self.sample_once()
+            return True
+        except Exception as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+            _ERRORS.inc()
+            return False
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval_ms / 1000.0):
+            if not self._guarded_sample():
+                return
+
+    # Lifecycle -------------------------------------------------------- #
+
+    def start(self) -> "ResourceSampler":
+        """Take an initial sample and start the daemon thread."""
+        if self._thread is not None:
+            return self
+        self._guarded_sample()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def stop(self) -> dict[str, Any]:
+        """Stop the thread, take a final sample, and return the timeline."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.error is None:
+            self._guarded_sample()
+        return self.timeline()
+
+    def timeline(self) -> dict[str, Any]:
+        """The schema-v1 timeline document collected so far."""
+        with self._lock:
+            samples = list(self._samples)
+        cpu = [s["cpu_pct"] for s in samples[1:]]  # first sample has no delta
+        return {
+            "schema": TIMELINE_SCHEMA_VERSION,
+            "interval_ms": self.interval_ms,
+            "num_samples": len(samples),
+            "samples": samples,
+            "peak_rss_mb": max((s["rss_mb"] for s in samples), default=0.0),
+            "mean_cpu_pct": round(sum(cpu) / len(cpu), 2) if cpu else 0.0,
+            "max_open_fds": max((s["open_fds"] for s in samples), default=0),
+            "max_spill_mb": max((s["spill_mb"] for s in samples), default=0.0),
+            "error": self.error,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Worker busy intervals (shipped by repro.parallel / repro.shard)
+# --------------------------------------------------------------------- #
+
+_INTERVALS: list[dict[str, Any]] = []
+_INTERVALS_LOCK = threading.Lock()
+_COLLECT_INTERVALS = False
+
+
+def note_interval(pid: int, t0: float, t1: float, label: str = "") -> None:
+    """Record one worker busy interval (``time.perf_counter`` endpoints).
+
+    No-op unless a sampler is active, so steady-state runs carry no cost
+    beyond one boolean check per pool chunk.
+    """
+    if not _COLLECT_INTERVALS:
+        return
+    with _INTERVALS_LOCK:
+        if len(_INTERVALS) < _MAX_INTERVALS:
+            _INTERVALS.append(
+                {"pid": int(pid), "t0": float(t0), "t1": float(t1),
+                 "label": label}
+            )
+
+
+def drain_intervals() -> list[dict[str, Any]]:
+    """Return and clear the collected worker intervals."""
+    with _INTERVALS_LOCK:
+        out = list(_INTERVALS)
+        _INTERVALS.clear()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Utilization timelines
+# --------------------------------------------------------------------- #
+
+#: Span names that delimit worker busy time, in preference order: shard
+#: builds when present (one interval per shard), else raw pool chunks.
+UTILIZATION_SPANS = ("shard.build", "parallel.chunk")
+
+#: At most this many intervals kept per worker lane in ledger records.
+_MAX_LANE_INTERVALS = 400
+
+
+def _summarize_workers(
+    by_pid: Mapping[int, list[dict[str, Any]]]
+) -> dict[str, Any] | None:
+    """Fold per-pid intervals into the utilization document.
+
+    ``utilization`` is busy time over ``workers × elapsed span``: 1.0 means
+    every worker was busy for the whole window the intervals cover.
+    """
+    if not by_pid:
+        return None
+    workers = []
+    busy_total = 0.0
+    lo = min(iv["start_s"] for ivs in by_pid.values() for iv in ivs)
+    hi = max(iv["end_s"] for ivs in by_pid.values() for iv in ivs)
+    for pid in sorted(by_pid):
+        intervals = sorted(by_pid[pid], key=lambda iv: iv["start_s"])
+        busy = sum(iv["end_s"] - iv["start_s"] for iv in intervals)
+        busy_total += busy
+        workers.append(
+            {
+                "pid": pid,
+                "busy_s": round(busy, 6),
+                "intervals": intervals[:_MAX_LANE_INTERVALS],
+            }
+        )
+    span_s = hi - lo
+    value = busy_total / (span_s * len(workers)) if span_s > 0 else 1.0
+    return {
+        "value": round(min(value, 1.0), 4),
+        "busy_s": round(busy_total, 6),
+        "span_s": round(span_s, 6),
+        "num_workers": len(workers),
+        "workers": workers,
+    }
+
+
+def utilization_from_trace(trace_doc: Mapping[str, Any]) -> dict[str, Any] | None:
+    """Per-worker utilization folded from a trace document's span intervals.
+
+    Uses the first name in :data:`UTILIZATION_SPANS` that matched any span;
+    returns ``None`` when the trace has no worker intervals at all.
+    """
+    spans = trace_doc.get("spans") or []
+    chosen: list[Mapping[str, Any]] = []
+    for name in UTILIZATION_SPANS:
+        chosen = [s for s in spans if s.get("name") == name]
+        if chosen:
+            break
+    if not chosen:
+        return None
+    by_pid: dict[int, list[dict[str, Any]]] = {}
+    for s in chosen:
+        start = float(s.get("start_s") or 0.0)
+        attrs = s.get("attrs") or {}
+        label = s.get("name", "")
+        if "shard" in attrs:
+            label = f"shard {attrs['shard']}"
+        by_pid.setdefault(int(s.get("pid") or 0), []).append(
+            {
+                "start_s": start,
+                "end_s": start + float(s.get("wall_s") or 0.0),
+                "label": label,
+            }
+        )
+    return _summarize_workers(by_pid)
+
+
+def utilization_from_intervals(
+    intervals: list[Mapping[str, Any]],
+) -> dict[str, Any] | None:
+    """Utilization from raw :func:`note_interval` records (perf-counter
+    endpoints are rebased so the earliest interval starts at 0)."""
+    if not intervals:
+        return None
+    t0 = min(float(iv["t0"]) for iv in intervals)
+    by_pid: dict[int, list[dict[str, Any]]] = {}
+    for iv in intervals:
+        by_pid.setdefault(int(iv["pid"]), []).append(
+            {
+                "start_s": float(iv["t0"]) - t0,
+                "end_s": float(iv["t1"]) - t0,
+                "label": str(iv.get("label", "")),
+            }
+        )
+    return _summarize_workers(by_pid)
+
+
+# --------------------------------------------------------------------- #
+# Global sampler lifecycle (the CLI entry points)
+# --------------------------------------------------------------------- #
+
+_ACTIVE: ResourceSampler | None = None
+
+
+def start(interval_ms: float | None = None) -> ResourceSampler | None:
+    """Start the global sampler if sampling is enabled; returns it (or
+    ``None`` when off).  Idempotent while one is already running."""
+    global _ACTIVE, _COLLECT_INTERVALS
+    if _ACTIVE is not None:
+        return _ACTIVE
+    resolved = sample_interval_ms(interval_ms)
+    if resolved is None:
+        return None
+    _ACTIVE = ResourceSampler(resolved)
+    _COLLECT_INTERVALS = True
+    _ACTIVE.start()
+    return _ACTIVE
+
+
+def stop() -> dict[str, Any] | None:
+    """Stop the global sampler; returns its timeline (with any worker
+    intervals collected while it ran) or ``None`` if never started."""
+    global _ACTIVE, _COLLECT_INTERVALS
+    if _ACTIVE is None:
+        return None
+    timeline = _ACTIVE.stop()
+    _COLLECT_INTERVALS = False
+    timeline["worker_intervals"] = drain_intervals()
+    _ACTIVE = None
+    return timeline
+
+
+def active() -> ResourceSampler | None:
+    """The global sampler, if one is running."""
+    return _ACTIVE

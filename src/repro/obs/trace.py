@@ -311,12 +311,9 @@ class worker_collector:
 
     def __exit__(self, *exc_info: object) -> bool:
         global _enabled, _trace
-        after = metrics.REGISTRY.counter_values()
-        self.counter_deltas = {
-            name: value - self._counters0.get(name, 0)
-            for name, value in after.items()
-            if value != self._counters0.get(name, 0)
-        }
+        self.counter_deltas = metrics.counter_deltas(
+            self._counters0, metrics.REGISTRY.counter_values()
+        )
         self.histogram_deltas = metrics.histogram_deltas(
             self._hists0, metrics.REGISTRY.histogram_values()
         )

@@ -176,7 +176,7 @@ class _ChunkRunner:
     """Run one chunk of items in a worker, guarding mapped-function errors.
 
     Picklable as long as the mapped function is.  Returns ``(guarded,
-    spans, deltas, hist_deltas)`` where ``guarded`` holds ``(True,
+    spans, deltas, hist_deltas, mark)`` where ``guarded`` holds ``(True,
     result)`` per item — or ``(False, exc)`` if the mapped function
     raised, shipped back as a value so the parent re-raises the *original*
     exception instead of mistaking it for a pool failure.  Injected
@@ -186,7 +186,11 @@ class _ChunkRunner:
     ``spans``/``deltas``/``hist_deltas`` carry the worker's trace spans,
     counter increments, and histogram observations (including the runner's
     own ``parallel.chunk_seconds`` timing) back to the parent (spans only
-    when tracing is on).
+    when tracing is on).  ``mark`` is the chunk's busy interval — ``(pid,
+    start, end)`` in ``time.perf_counter()`` terms, which is
+    ``CLOCK_MONOTONIC`` and therefore comparable across the fork — shipped
+    on *every* chunk so resource timelines can place each worker's work as
+    it happened instead of one opaque block folded at pool completion.
     """
 
     __slots__ = ("func", "traced")
@@ -195,7 +199,9 @@ class _ChunkRunner:
         self.func = func
         self.traced = traced
 
-    def _run(self, chunk: Sequence[_T]) -> list[tuple[bool, object]]:
+    def _run(
+        self, chunk: Sequence[_T]
+    ) -> tuple[list[tuple[bool, object]], tuple[int, float, float]]:
         kind = faults.fire("pool.chunk")
         if kind == "fail":
             raise faults.InjectedFault("injected fault: pool.chunk:fail")
@@ -209,8 +215,9 @@ class _ChunkRunner:
             except Exception as exc:
                 guarded.append((False, _shippable(exc)))
                 break  # the parent raises at the first error anyway
-        _CHUNK_SECONDS.observe(time.perf_counter() - t0)
-        return guarded
+        t1 = time.perf_counter()
+        _CHUNK_SECONDS.observe(t1 - t0)
+        return guarded, (os.getpid(), t0, t1)
 
     def __call__(
         self, chunk: Sequence[_T]
@@ -219,29 +226,27 @@ class _ChunkRunner:
         list[obs.SpanRecord] | None,
         dict[str, int] | None,
         dict[str, dict] | None,
+        tuple[int, float, float],
     ]:
         if self.traced:
             with obs.worker_collector() as collector:
                 with obs.span("parallel.chunk", items=len(chunk)):
-                    guarded = self._run(chunk)
+                    guarded, mark = self._run(chunk)
             return (
                 guarded,
                 collector.spans,
                 collector.counter_deltas,
                 collector.histogram_deltas,
+                mark,
             )
         before = obs.REGISTRY.counter_values()
         hists_before = obs.REGISTRY.histogram_values()
-        guarded = self._run(chunk)
-        deltas = {
-            name: value - before.get(name, 0)
-            for name, value in obs.REGISTRY.counter_values().items()
-            if value != before.get(name, 0)
-        }
+        guarded, mark = self._run(chunk)
+        deltas = obs.counter_deltas(before, obs.REGISTRY.counter_values())
         hist_deltas = obs.histogram_deltas(
             hists_before, obs.REGISTRY.histogram_values()
         )
-        return guarded, None, deltas, hist_deltas or None
+        return guarded, None, deltas, hist_deltas or None, mark
 
 
 def _create_pool(ctx, n: int):
@@ -296,8 +301,10 @@ def _pool_map(
         # Fold spans/deltas only after every chunk arrived: a failure above
         # abandons the whole pool result, so nothing is double-counted when
         # the serial fallback recomputes it.
+        from repro.obs import sampler
+
         guarded: list[tuple[bool, object]] = []
-        for part, spans, deltas, hist_deltas in parts:
+        for part, spans, deltas, hist_deltas, mark in parts:
             guarded.extend(part)
             if spans:
                 obs.fold_spans(spans)
@@ -305,6 +312,8 @@ def _pool_map(
                 obs.merge_counter_deltas(deltas)
             if hist_deltas:
                 obs.merge_histogram_deltas(hist_deltas)
+            pid, t0, t1 = mark
+            sampler.note_interval(pid, t0, t1, "parallel.chunk")
         return guarded
 
 

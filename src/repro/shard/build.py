@@ -22,11 +22,15 @@ The flow for ``K`` shards:
 Observability: ``shard.built`` counts shard builds, ``shard.rebuilt``
 counts merge-time rebuilds after a failed load, and the merge wall time
 lands in the ``shard.merge_seconds`` histogram plus the ``shard.merge``
-span.
+span.  Each shard build also notes its busy interval with
+:mod:`repro.obs.sampler` so a serial (in-process) build still produces a
+per-shard utilization timeline; pooled builds get their intervals from the
+chunk marks :mod:`repro.parallel` ships back instead.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING
 
@@ -56,8 +60,10 @@ def build_shard_partial(
     from repro.enrichment.clustering import shingle_corpus
     from repro.enrichment.design import extract_design_parameters
     from repro.enrichment.metrics import compute_batch_metrics
+    from repro.obs import sampler
     from repro.simulator.engine import simulate_marketplace
 
+    t0 = time.perf_counter()
     with obs.span("shard.build", shard=shard, num_shards=num_shards) as sp:
         state = simulate_marketplace(
             config, shard=shard, num_shards=num_shards
@@ -71,6 +77,9 @@ def build_shard_partial(
         metrics = compute_batch_metrics(released)
         shingle_ids, shingle_arrays = shingle_corpus(released.batch_html)
         sp.set("instances", released.instances.num_rows)
+    sampler.note_interval(
+        os.getpid(), t0, time.perf_counter(), f"shard {shard}"
+    )
     _SHARDS_BUILT.inc()
     return ShardPartial(
         shard=shard,

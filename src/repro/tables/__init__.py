@@ -46,7 +46,7 @@ from repro.tables.io import (
 )
 from repro.tables.join import hash_join
 from repro.tables.pivot import normalize_rows, pivot
-from repro.tables.plan import LazyFrame, optimize
+from repro.tables.plan import LazyFrame, OpProfile, optimize, profile_hotspots
 from repro.tables.table import Table, concat_tables
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "Expr",
     "GroupedTable",
     "LazyFrame",
+    "OpProfile",
     "Table",
     "as_column",
     "col",
@@ -68,6 +69,7 @@ __all__ = [
     "normalize_rows",
     "optimize",
     "pivot",
+    "profile_hotspots",
     "read_csv",
     "read_jsonl",
     "write_csv",

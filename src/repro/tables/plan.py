@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Any, Callable, Mapping, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -53,6 +55,8 @@ _CACHE_HIT = obs.counter("plan.cache_hit")
 _CACHE_MISS = obs.counter("plan.cache_miss")
 _PARALLEL_BRANCHES = obs.counter("plan.parallel_branches")
 _COLLECTS = obs.counter("plan.collects")
+_ANALYZED = obs.counter("plan.analyzed")
+_EXEC_SECONDS = obs.histogram("plan.exec_seconds")
 
 #: Environment variable: execute plans unoptimized, node by node, through
 #: the eager operators (the byte-identity reference).
@@ -293,7 +297,25 @@ def _expr_picklable(expr: Expr) -> bool:
     return all(_expr_picklable(child) for child in expr.children)
 
 
-def _full_length_mask(table: Table, predicate: Any, workers: int) -> np.ndarray:
+class _FilterStats:
+    """Per-operator observations made inside the filter kernel when a
+    profiled execution (``explain(analyze=True)``) is underway."""
+
+    __slots__ = ("survivors", "fanout")
+
+    def __init__(self) -> None:
+        #: Rows surviving after each predicate of the chain, in order.
+        self.survivors: list[int] = []
+        #: Chunks dispatched to the worker pool for the first mask (0 = serial).
+        self.fanout = 0
+
+
+def _full_length_mask(
+    table: Table,
+    predicate: Any,
+    workers: int,
+    stats: _FilterStats | None = None,
+) -> np.ndarray:
     """Evaluate the first predicate of a chain over every row.
 
     Large expression masks partition row ranges across the worker pool —
@@ -319,6 +341,8 @@ def _full_length_mask(table: Table, predicate: Any, workers: int) -> np.ndarray:
                 )
                 items.append((sub, predicate))
         _PARALLEL_BRANCHES.inc()
+        if stats is not None:
+            stats.fanout = len(items)
         masks = parallel.map_chunks(_mask_chunk, items, min_items=1, chunk_size=1)
         return _validate_mask(np.concatenate(masks), n)
     if callable(predicate):
@@ -331,6 +355,7 @@ def _apply_filter(
     predicates: Sequence[Any],
     projection: Sequence[str] | None = None,
     workers: int = 1,
+    stats: _FilterStats | None = None,
 ) -> Table:
     """Apply a predicate chain and optional projection in a single pass.
 
@@ -347,21 +372,23 @@ def _apply_filter(
     idx: np.ndarray | None = None
     for predicate in predicates:
         if idx is None:
-            mask = _full_length_mask(table, predicate, workers)
+            mask = _full_length_mask(table, predicate, workers, stats)
             idx = np.flatnonzero(mask)
-            continue
-        if isinstance(predicate, Expr):
-            cols = predicate.columns()
-            sub = Table(
-                {c: _gather(table.column(c), idx) for c in cols}, copy=False
-            )
-            mask = _validate_mask(predicate.evaluate(sub), len(idx))
-        elif callable(predicate):
-            sub = table.take(idx)
-            mask = _validate_mask(predicate(sub), len(idx))
         else:
-            mask = _validate_mask(predicate, len(idx))
-        idx = idx[mask]
+            if isinstance(predicate, Expr):
+                cols = predicate.columns()
+                sub = Table(
+                    {c: _gather(table.column(c), idx) for c in cols}, copy=False
+                )
+                mask = _validate_mask(predicate.evaluate(sub), len(idx))
+            elif callable(predicate):
+                sub = table.take(idx)
+                mask = _validate_mask(predicate(sub), len(idx))
+            else:
+                mask = _validate_mask(predicate, len(idx))
+            idx = idx[mask]
+        if stats is not None:
+            stats.survivors.append(int(idx.size))
     if idx is None:
         return table if projection is None else table.select(list(projection))
     names = list(projection) if projection is not None else table.column_names
@@ -518,6 +545,87 @@ def _pushdown_join(node: Join, needed: set[str]) -> Join | None:
 # Executor
 # --------------------------------------------------------------------- #
 
+_OP_NAMES: dict[type, str] = {
+    Scan: "scan", Filter: "filter", FusedFilter: "fused_filter",
+    Project: "project", WithColumn: "with_column", Rename: "rename",
+    GroupByAgg: "group_by", Join: "join", Sort: "sort",
+    Distinct: "distinct", Head: "head",
+}
+
+
+@dataclass
+class OpProfile:
+    """Execution profile of one plan operator.
+
+    Built by a profiled run (:meth:`LazyFrame.profile` /
+    ``explain(analyze=True)``).  ``rows_in`` holds one entry per input in
+    child order; shared subplans appear once in the tree per occurrence
+    but are the *same* object, so ``memo_hits`` counts every reuse.
+    """
+
+    op: str
+    detail: str
+    rows_in: tuple[int, ...]
+    rows_out: int
+    wall_s: float
+    cpu_s: float
+    #: Times this operator's memoized result was reused by another parent.
+    memo_hits: int = 0
+    #: Worker-pool tasks dispatched while executing this operator
+    #: (mask chunks for filters, sides for joins; 0 = fully in-process).
+    fanout: int = 0
+    #: Rows surviving after each predicate of a filter chain, in order.
+    survivors: tuple[int, ...] = ()
+    children: list["OpProfile"] = field(default_factory=list)
+
+    @property
+    def selectivity(self) -> tuple[float, ...]:
+        """Fraction of incoming rows surviving each predicate, in order."""
+        out: list[float] = []
+        prev = self.rows_in[0] if self.rows_in else 0
+        for kept in self.survivors:
+            out.append(kept / prev if prev else 1.0)
+            prev = kept
+        return tuple(out)
+
+    def walk(self) -> Iterator["OpProfile"]:
+        """Yield this profile and every descendant, depth-first.
+
+        Shared (memoized) subtrees are yielded once per occurrence;
+        dedupe by ``id()`` when aggregating.
+        """
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op, "detail": self.detail,
+            "rows_in": list(self.rows_in), "rows_out": self.rows_out,
+            "wall_s": self.wall_s, "cpu_s": self.cpu_s,
+            "memo_hits": self.memo_hits, "fanout": self.fanout,
+            "selectivity": list(self.selectivity),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+def profile_hotspots(root: OpProfile, top: int = 5) -> list[OpProfile]:
+    """The ``top`` slowest distinct operators of a profile tree by wall."""
+    seen = {id(p): p for p in root.walk()}
+    return sorted(seen.values(), key=lambda p: -p.wall_s)[:top]
+
+
+class _ProfileSink:
+    """Accumulates :class:`OpProfile` nodes during a profiled execution."""
+
+    __slots__ = ("profiles", "fanout")
+
+    def __init__(self) -> None:
+        self.profiles: dict[int, OpProfile] = {}
+        #: Fanout observed outside the operator's own kernel (join sides),
+        #: keyed by plan-node id and claimed when its profile is built.
+        self.fanout: dict[int, int] = {}
+
 
 def _max_scan_rows(node: PlanNode) -> int:
     if isinstance(node, Scan):
@@ -552,62 +660,101 @@ def _collect_branch(node: PlanNode) -> Table:
     return _execute(node, {}, workers=1)
 
 
-def _execute(node: PlanNode, memo: dict[int, Table], workers: int) -> Table:
+def _apply_node(
+    node: PlanNode,
+    inputs: Sequence[Table],
+    workers: int,
+    stats: _FilterStats | None = None,
+) -> Table:
+    """Run one operator over already-executed inputs (child order)."""
+    if isinstance(node, Scan):
+        return node.table
+    if isinstance(node, Filter):
+        return _apply_filter(inputs[0], (node.predicate,), None, workers, stats)
+    if isinstance(node, FusedFilter):
+        return _apply_filter(
+            inputs[0], node.predicates, node.projection, workers, stats
+        )
+    if isinstance(node, Project):
+        return inputs[0].select(list(node.names))
+    if isinstance(node, WithColumn):
+        values = node.values
+        if isinstance(values, Expr):
+            values = values.evaluate(inputs[0])
+        return inputs[0].with_column(node.name, values)
+    if isinstance(node, Rename):
+        return inputs[0].rename(node.mapping)
+    if isinstance(node, GroupByAgg):
+        return group_by(inputs[0], list(node.keys)).agg(node.spec)
+    if isinstance(node, Join):
+        return hash_join(
+            inputs[0], inputs[1], list(node.on), how=node.how, suffix=node.suffix
+        )
+    if isinstance(node, Sort):
+        return inputs[0].sort_by(list(node.names), descending=node.descending)
+    if isinstance(node, Distinct):
+        return inputs[0].distinct(
+            list(node.names) if node.names is not None else None
+        )
+    if isinstance(node, Head):
+        return inputs[0].head(node.n)
+    raise AssertionError(f"unknown plan node {type(node).__name__}")
+
+
+def _execute(
+    node: PlanNode,
+    memo: dict[int, Table],
+    workers: int,
+    sink: _ProfileSink | None = None,
+) -> Table:
     cached = memo.get(id(node))
     if cached is not None:
         _CACHE_HIT.inc()
+        if sink is not None:
+            prof = sink.profiles.get(id(node))
+            if prof is not None:
+                prof.memo_hits += 1
         return cached
     _CACHE_MISS.inc()
 
-    if isinstance(node, Scan):
-        result = node.table
-    elif isinstance(node, Filter):
-        result = _apply_filter(
-            _execute(node.child, memo, workers), (node.predicate,), None, workers
-        )
-    elif isinstance(node, FusedFilter):
-        result = _apply_filter(
-            _execute(node.child, memo, workers),
-            node.predicates,
-            node.projection,
-            workers,
-        )
-    elif isinstance(node, Project):
-        result = _execute(node.child, memo, workers).select(list(node.names))
-    elif isinstance(node, WithColumn):
-        table = _execute(node.child, memo, workers)
-        values = node.values
-        if isinstance(values, Expr):
-            values = values.evaluate(table)
-        result = table.with_column(node.name, values)
-    elif isinstance(node, Rename):
-        result = _execute(node.child, memo, workers).rename(node.mapping)
-    elif isinstance(node, GroupByAgg):
-        table = _execute(node.child, memo, workers)
-        result = group_by(table, list(node.keys)).agg(node.spec)
-    elif isinstance(node, Join):
-        sides = _execute_join_sides(node, memo, workers)
-        result = hash_join(
-            sides[0], sides[1], list(node.on), how=node.how, suffix=node.suffix
-        )
-    elif isinstance(node, Sort):
-        result = _execute(node.child, memo, workers).sort_by(
-            list(node.names), descending=node.descending
-        )
-    elif isinstance(node, Distinct):
-        table = _execute(node.child, memo, workers)
-        result = table.distinct(list(node.names) if node.names is not None else None)
-    elif isinstance(node, Head):
-        result = _execute(node.child, memo, workers).head(node.n)
+    # Children run before the operator's own clock starts, so wall/CPU
+    # below is attributable to this operator alone.
+    if isinstance(node, Join):
+        inputs = _execute_join_sides(node, memo, workers, sink)
     else:
-        raise AssertionError(f"unknown plan node {type(node).__name__}")
+        inputs = [_execute(c, memo, workers, sink) for c in _children(node)]
+
+    op = _OP_NAMES[type(node)]
+    stats = _FilterStats() if sink is not None else None
+    with obs.span(f"plan.op.{op}"):
+        t0 = time.perf_counter()
+        c0 = time.thread_time()
+        result = _apply_node(node, inputs, workers, stats)
+        wall = time.perf_counter() - t0
+        cpu = time.thread_time() - c0
+    _EXEC_SECONDS.observe(wall)
 
     memo[id(node)] = result
+    if sink is not None:
+        sink.profiles[id(node)] = OpProfile(
+            op=op,
+            detail=_node_label(node),
+            rows_in=tuple(t.num_rows for t in inputs),
+            rows_out=result.num_rows,
+            wall_s=wall,
+            cpu_s=cpu,
+            fanout=stats.fanout or sink.fanout.pop(id(node), 0),
+            survivors=tuple(stats.survivors),
+            children=[sink.profiles[id(c)] for c in _children(node)],
+        )
     return result
 
 
 def _execute_join_sides(
-    node: Join, memo: dict[int, Table], workers: int
+    node: Join,
+    memo: dict[int, Table],
+    workers: int,
+    sink: _ProfileSink | None = None,
 ) -> list[Table]:
     """Execute both join inputs, shipping them to the pool when independent
     and heavy enough that the pickling round-trip pays for itself."""
@@ -620,13 +767,29 @@ def _execute_join_sides(
         and all(_plan_picklable(s) for s in sides)
     ):
         _PARALLEL_BRANCHES.inc()
+        t0 = time.perf_counter()
         results = parallel.map_chunks(
             _collect_branch, list(sides), min_items=1, chunk_size=1
         )
+        wall = time.perf_counter() - t0
         for side, table in zip(sides, results):
             memo[id(side)] = table
+            if sink is not None:
+                # The side ran opaquely in a worker process: profile it as
+                # one leaf (per-operator detail stays in that process).
+                sink.profiles[id(side)] = OpProfile(
+                    op="subplan",
+                    detail=f"{_OP_NAMES[type(side)]} subtree "
+                           "(executed in worker process)",
+                    rows_in=(),
+                    rows_out=table.num_rows,
+                    wall_s=wall,
+                    cpu_s=0.0,
+                )
+        if sink is not None:
+            sink.fanout[id(node)] = len(sides)
         return list(results)
-    return [_execute(side, memo, workers) for side in sides]
+    return [_execute(side, memo, workers, sink) for side in sides]
 
 
 # --------------------------------------------------------------------- #
@@ -650,11 +813,12 @@ class LazyGroupBy:
 class LazyFrame:
     """A deferred chain of table operators; run it with :meth:`collect`."""
 
-    __slots__ = ("_node", "_cached")
+    __slots__ = ("_node", "_cached", "_profiled")
 
     def __init__(self, node: PlanNode):
         self._node = node
         self._cached: Table | None = None
+        self._profiled: tuple[PlanNode, _ProfileSink, Table] | None = None
 
     @classmethod
     def scan(cls, table: Table) -> "LazyFrame":
@@ -739,53 +903,107 @@ class LazyFrame:
         self._cached = _execute(node, {}, workers)
         return self._cached
 
-    def explain(self) -> str:
-        """Render the optimized plan (or the raw plan in eager mode)."""
-        node = self._node if _eager_mode() else optimize(self._node)
+    def _analyze(self) -> tuple[PlanNode, _ProfileSink, Table]:
+        """Execute the plan under per-operator profiling.
+
+        Returns the executed (optimized) plan, the profile sink keyed by
+        plan-node id, and the result table — which is also cached on the
+        frame, so a following :meth:`collect` costs nothing extra.  The
+        profile itself is memoized too: ``explain(analyze=True)`` followed
+        by :meth:`profile` executes the plan once.
+        """
+        if self._profiled is not None:
+            return self._profiled
+        node = self._node
+        workers = 1
+        if not _eager_mode():
+            node = optimize(node)
+            workers = parallel.worker_count()
+        sink = _ProfileSink()
+        _ANALYZED.inc()
+        with obs.span("plan.analyze"):
+            result = _execute(node, {}, workers, sink)
+        if self._cached is None:
+            self._cached = result
+        self._profiled = (node, sink, result)
+        return self._profiled
+
+    def profile(self) -> OpProfile:
+        """Run the plan and return its root :class:`OpProfile` — the same
+        tree ``explain(analyze=True)`` renders, as structured data."""
+        node, sink, _result = self._analyze()
+        return sink.profiles[id(node)]
+
+    def explain(self, analyze: bool = False) -> str:
+        """Render the optimized plan (or the raw plan in eager mode).
+
+        With ``analyze=True`` the plan is *executed* under per-operator
+        profiling and every line gains rows-out, wall/CPU time, per-
+        predicate selectivity, memoization hits, and worker fanout.
+        """
+        profiles: dict[int, OpProfile] = {}
+        if analyze:
+            node, sink, _result = self._analyze()
+            profiles = sink.profiles
+        else:
+            node = self._node if _eager_mode() else optimize(self._node)
         lines: list[str] = []
 
+        def annotate(n: PlanNode) -> str:
+            prof = profiles.get(id(n))
+            if prof is None:
+                return "" if not profiles else "  (ran in worker process)"
+            bits = [
+                f"rows={prof.rows_out}",
+                f"wall={prof.wall_s * 1e3:.2f}ms",
+                f"cpu={prof.cpu_s * 1e3:.2f}ms",
+            ]
+            if prof.survivors:
+                bits.append(
+                    "sel=" + "*".join(f"{s:.3f}" for s in prof.selectivity)
+                )
+            if prof.memo_hits:
+                bits.append(f"memo_hits={prof.memo_hits}")
+            if prof.fanout:
+                bits.append(f"fanout={prof.fanout}")
+            return "  (" + ", ".join(bits) + ")"
+
         def render(n: PlanNode, depth: int) -> None:
-            pad = "  " * depth
-            if isinstance(n, Scan):
-                lines.append(f"{pad}scan[{n.table.num_rows} rows x "
-                             f"{n.table.num_columns} cols]")
-            elif isinstance(n, Filter):
-                lines.append(f"{pad}filter[{_describe(n.predicate)}]")
-                render(n.child, depth + 1)
-            elif isinstance(n, FusedFilter):
-                preds = " & ".join(_describe(p) for p in n.predicates)
-                proj = f" -> {list(n.projection)}" if n.projection else ""
-                lines.append(f"{pad}fused_filter[{preds}]{proj}")
-                render(n.child, depth + 1)
-            elif isinstance(n, Project):
-                lines.append(f"{pad}project{list(n.names)}")
-                render(n.child, depth + 1)
-            elif isinstance(n, WithColumn):
-                lines.append(f"{pad}with_column[{n.name}]")
-                render(n.child, depth + 1)
-            elif isinstance(n, Rename):
-                lines.append(f"{pad}rename{n.mapping}")
-                render(n.child, depth + 1)
-            elif isinstance(n, GroupByAgg):
-                lines.append(f"{pad}group_by{list(n.keys)} -> {list(n.spec)}")
-                render(n.child, depth + 1)
-            elif isinstance(n, Join):
-                lines.append(f"{pad}join[{n.how} on {list(n.on)}]")
-                render(n.left, depth + 1)
-                render(n.right, depth + 1)
-            elif isinstance(n, Sort):
-                arrow = "desc" if n.descending else "asc"
-                lines.append(f"{pad}sort{list(n.names)} {arrow}")
-                render(n.child, depth + 1)
-            elif isinstance(n, Distinct):
-                lines.append(f"{pad}distinct{list(n.names or [])}")
-                render(n.child, depth + 1)
-            elif isinstance(n, Head):
-                lines.append(f"{pad}head[{n.n}]")
-                render(n.child, depth + 1)
+            lines.append("  " * depth + _node_label(n) + annotate(n))
+            for child in _children(n):
+                render(child, depth + 1)
 
         render(node, 0)
         return "\n".join(lines)
+
+
+def _node_label(n: PlanNode) -> str:
+    """The one-line description of a node in ``explain`` output."""
+    if isinstance(n, Scan):
+        return f"scan[{n.table.num_rows} rows x {n.table.num_columns} cols]"
+    if isinstance(n, Filter):
+        return f"filter[{_describe(n.predicate)}]"
+    if isinstance(n, FusedFilter):
+        preds = " & ".join(_describe(p) for p in n.predicates)
+        proj = f" -> {list(n.projection)}" if n.projection else ""
+        return f"fused_filter[{preds}]{proj}"
+    if isinstance(n, Project):
+        return f"project{list(n.names)}"
+    if isinstance(n, WithColumn):
+        return f"with_column[{n.name}]"
+    if isinstance(n, Rename):
+        return f"rename{n.mapping}"
+    if isinstance(n, GroupByAgg):
+        return f"group_by{list(n.keys)} -> {list(n.spec)}"
+    if isinstance(n, Join):
+        return f"join[{n.how} on {list(n.on)}]"
+    if isinstance(n, Sort):
+        return f"sort{list(n.names)} {'desc' if n.descending else 'asc'}"
+    if isinstance(n, Distinct):
+        return f"distinct{list(n.names or [])}"
+    if isinstance(n, Head):
+        return f"head[{n.n}]"
+    raise AssertionError(f"unknown plan node {type(n).__name__}")
 
 
 def _describe(predicate: Any) -> str:

@@ -142,6 +142,68 @@ def test_trace_json_mode(tmp_path, capsys):
     assert all(v is not None for v in doc["gauges"].values())
 
 
+def test_plan_smoke(capsys):
+    """``repro plan`` prints an EXPLAIN ANALYZE tree plus a hotspot list."""
+    rc = cli.main(["plan", "--scale", "tiny", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for marker in ("scan", "group_by", "rows=", "wall=", "sel="):
+        assert marker in out, f"{marker!r} missing from explain output"
+    assert "operators by wall time:" in out
+    assert "rows_out=" in out
+
+
+def test_sampled_report_records_timeline_and_identical_stdout(capsys):
+    from repro.obs import ledger
+
+    rc = cli.main(["report", "--scale", "tiny", "--seed", "7"])
+    clean = capsys.readouterr().out
+    assert rc == 0
+    rc = cli.main(["report", "--scale", "tiny", "--seed", "7",
+                   "--sample", "5"])
+    sampled = capsys.readouterr().out
+    assert rc == 0
+    assert sampled == clean  # telemetry never reaches stdout
+
+    unsampled_rec, sampled_rec = ledger.read_records()[-2:]
+    assert "timeline" not in unsampled_rec
+    assert unsampled_rec["peak_rss_mb"] > 0  # getrusage: recorded always
+
+    timeline = sampled_rec["timeline"]
+    assert timeline["schema"] == 1 and timeline["num_samples"] >= 1
+    assert sampled_rec["peak_rss_mb"] >= timeline["peak_rss_mb"]
+    for sample in timeline["samples"]:
+        assert {"t_s", "rss_mb", "cpu_pct", "open_fds", "spill_mb"} <= set(
+            sample
+        )
+
+
+def test_trace_json_reports_plan_operator_hotspots(tmp_path, capsys):
+    """Every executed plan leaves ``plan.op.*`` spans that ``repro trace
+    --json`` ranks into ``top_ops``."""
+    from repro import build_study
+    from repro.tables import col
+
+    obs.enable(name="unit")
+    study = build_study("tiny", seed=7)
+    frame = study.enriched.batch_table.lazy().filter(
+        col("num_instances") > 0
+    )
+    frame.collect()
+    path = obs.write_trace_json(obs.finish(), tmp_path / "t.json")
+
+    rc = cli.main(["trace", str(path), "--json", "--top", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    doc = json.loads(out)
+    ops = doc["top_ops"]
+    assert 1 <= len(ops) <= 2
+    assert all(not entry["op"].startswith("plan.op.") for entry in ops)
+    assert {"scan", "filter"} >= {entry["op"] for entry in ops}
+    walls = [entry["wall_s"] for entry in ops]
+    assert walls == sorted(walls, reverse=True)
+
+
 def test_trace_command_rejects_missing_and_garbage(tmp_path, capsys):
     rc = cli.main(["trace", str(tmp_path / "missing.json")])
     captured = capsys.readouterr()

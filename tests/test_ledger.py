@@ -52,9 +52,21 @@ def _record(
     faults_spec: str | None = None,
     phases: dict[str, float] | None = None,
     fidelity: dict[str, float] | None = None,
+    peak_rss_mb: float | None = None,
+    utilization: dict | None = None,
+    timeline: dict | None = None,
 ) -> dict:
     """Synthetic schema-v1 record with the given phase walls / probe devs."""
-    return {
+    extras = {
+        key: value
+        for key, value in (
+            ("peak_rss_mb", peak_rss_mb),
+            ("utilization", utilization),
+            ("timeline", timeline),
+        )
+        if value is not None
+    }
+    return extras | {
         "schema": ledger.LEDGER_SCHEMA_VERSION,
         "run_id": run_id,
         "created_unix": 0.0,
@@ -241,6 +253,95 @@ class TestDriftThresholds:
         assert "fidelity drift: 1 probe(s) moved away from the paper" in text
 
 
+class TestRssDrift:
+    """Two-sided peak-RSS guard: relative blowup AND absolute growth."""
+
+    BASE = [_record(f"b{i}", peak_rss_mb=100.0) for i in range(3)]
+
+    def test_regression_is_flagged(self):
+        fat = _record("cand", peak_rss_mb=300.0)
+        findings = drift.check_drift(self.BASE + [fat])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.kind == "rss" and finding.subject == "peak_rss_mb"
+        assert finding.run_id == "cand"
+        assert finding.baseline == pytest.approx(100.0)
+        text = finding.render()
+        assert "[RSS]" in text and "300MB" in text and "cand" in text
+
+    def test_within_relative_tolerance_passes(self):
+        """+40% on a 100 MB baseline clears the floor but not the 50% bar."""
+        ok = _record("cand", peak_rss_mb=140.0)
+        assert drift.check_drift(self.BASE + [ok]) == []
+
+    def test_floor_guards_small_processes(self):
+        """2.2x on a 40 MB baseline is interpreter noise, not drift."""
+        base = [_record(f"b{i}", peak_rss_mb=40.0) for i in range(3)]
+        small = _record("cand", peak_rss_mb=90.0)
+        assert drift.check_drift(base + [small]) == []
+
+    def test_median_baseline_resists_outliers(self):
+        base = [_record("b0", peak_rss_mb=100.0),
+                _record("b1", peak_rss_mb=900.0),
+                _record("b2", peak_rss_mb=100.0)]
+        fat = _record("cand", peak_rss_mb=400.0)
+        findings = drift.check_drift(base + [fat])
+        assert [f.kind for f in findings] == ["rss"]
+        assert findings[0].baseline == pytest.approx(100.0)
+
+    def test_records_without_peak_rss_do_not_participate(self):
+        """Legacy records (no peak_rss_mb) neither alarm nor form a
+        baseline; zero/garbage values are treated as absent."""
+        legacy = _record("cand")
+        assert drift.check_drift(self.BASE + [legacy]) == []
+
+        base = [_record(f"b{i}") for i in range(3)]
+        fat = _record("cand", peak_rss_mb=500.0)
+        assert drift.check_drift(base + [fat]) == []
+
+        zeros = [_record(f"b{i}", peak_rss_mb=0.0) for i in range(3)]
+        assert drift.check_drift(zeros + [fat]) == []
+        assert drift.check_drift(
+            [dict(_record("b0"), peak_rss_mb="nan?")] * 3 + [fat]
+        ) == []
+
+    def test_check_drift_rss_tolerance_is_tunable(self):
+        fat = _record("cand", peak_rss_mb=160.0)
+        assert drift.check_drift(self.BASE + [fat]) == []
+        findings = drift.check_drift(
+            self.BASE + [fat], rss_tolerance=0.25, rss_floor_mb=10.0
+        )
+        assert [f.kind for f in findings] == ["rss"]
+
+
+def _util_doc() -> dict:
+    return {
+        "value": 0.9, "busy_s": 3.6, "span_s": 2.0, "num_workers": 2,
+        "workers": [
+            {"pid": 11, "busy_s": 2.0, "intervals": [
+                {"start_s": 0.0, "end_s": 2.0, "label": "shard 0"}]},
+            {"pid": 12, "busy_s": 1.6, "intervals": [
+                {"start_s": 0.2, "end_s": 1.8, "label": "shard 1"}]},
+        ],
+    }
+
+
+def _timeline_doc() -> dict:
+    return {
+        "schema": 1, "interval_ms": 25.0, "num_samples": 3,
+        "samples": [
+            {"t_s": 0.0, "rss_mb": 50.0, "cpu_pct": 0.0,
+             "open_fds": 8, "spill_mb": 0.0},
+            {"t_s": 0.025, "rss_mb": 80.0, "cpu_pct": 90.0,
+             "open_fds": 9, "spill_mb": 1.5},
+            {"t_s": 0.05, "rss_mb": 70.0, "cpu_pct": 60.0,
+             "open_fds": 8, "spill_mb": 1.5},
+        ],
+        "peak_rss_mb": 80.0, "mean_cpu_pct": 75.0,
+        "max_open_fds": 9, "max_spill_mb": 1.5, "error": None,
+    }
+
+
 class TestRunsCli:
     def _seed_ledger(self, records):
         for record in records:
@@ -301,6 +402,24 @@ class TestRunsCli:
         assert "wrote run dashboard (2 runs)" in capsys.readouterr().out
         html = out_path.read_text()
         assert "<svg" in html and "release" in html
+        # No sampled run yet: the utilization section explains how to get one.
+        assert "Utilization timeline" in html and "--sample" in html
+
+    def test_runs_report_renders_utilization_gantt(self, tmp_path, capsys):
+        self._seed_ledger([
+            _record("plain", phases={"release": 0.1}),
+            _record("sampled", phases={"release": 0.1}, peak_rss_mb=80.0,
+                    utilization=_util_doc(), timeline=_timeline_doc()),
+        ])
+        out_path = tmp_path / "dash.html"
+        assert cli.main(["runs", "report", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        html = out_path.read_text()
+        assert "Utilization timeline" in html
+        assert "sampled" in html and "80" in html      # run id + peak RSS note
+        assert html.count('fill-opacity="0.8"') == 2   # one rect per interval
+        assert "pid 11" in html and "pid 12" in html   # legend lanes
+        assert "rss_mb" in html                        # resource chart series
 
     def test_explicit_ledger_flag(self, tmp_path, capsys):
         alt = tmp_path / "alt.jsonl"

@@ -146,6 +146,33 @@ class TestWarnOnce:
             map_chunks(lambda x: x, items, workers=2)
 
 
+class TestChunkIntervals:
+    def test_pool_chunks_ship_busy_intervals_to_active_sampler(self):
+        from repro.obs import sampler
+
+        items = [f"doc {i} text" for i in range(200)]
+        sampler.start(50.0)
+        try:
+            result = map_chunks(_shout, items, workers=2)
+        finally:
+            timeline = sampler.stop()
+        assert result == [s.upper() for s in items]
+        marks = timeline["worker_intervals"]
+        assert marks and all(m["label"] == "parallel.chunk" for m in marks)
+        for mark in marks:
+            assert isinstance(mark["pid"], int)
+            assert mark["t1"] >= mark["t0"]
+
+    def test_pool_chunks_cost_nothing_when_sampler_is_off(self):
+        from repro.obs import sampler
+
+        items = [f"doc {i} text" for i in range(200)]
+        assert map_chunks(_shout, items, workers=2) == [
+            s.upper() for s in items
+        ]
+        assert sampler.drain_intervals() == []
+
+
 class TestPipelineInvariance:
     def test_cluster_batches_invariant_to_workers(self, released, monkeypatch):
         from repro.enrichment.clustering import cluster_batches

@@ -1,0 +1,270 @@
+"""Tests for :mod:`repro.obs.sampler`: resource timelines and utilization.
+
+The sampler's clock and reader are injectable, so most tests drive
+:meth:`ResourceSampler.sample_once` with a fake clock and scripted
+readings — fully deterministic, no thread, no sleeps.  The thread
+lifecycle tests use a real daemon thread but a scripted reader, so they
+assert behavior (shutdown on error, timeline shape), never timing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics, sampler
+
+
+@pytest.fixture(autouse=True)
+def _sampler_off(monkeypatch):
+    monkeypatch.delenv(sampler.SAMPLE_MS_ENV, raising=False)
+    yield
+    sampler.stop()  # tears down any global sampler a test leaked
+    sampler.drain_intervals()
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _scripted_reader(readings):
+    it = iter(readings)
+
+    def read():
+        return next(it)
+
+    return read
+
+
+# --------------------------------------------------------------------- #
+# Deterministic sampling
+# --------------------------------------------------------------------- #
+
+
+class TestSampleOnce:
+    def test_timeline_from_fake_clock_and_reader(self):
+        clock = _FakeClock()
+        s = sampler.ResourceSampler(
+            interval_ms=100.0,
+            clock=clock,
+            reader=_scripted_reader([
+                (50.0, 1.0, 8, 0.0),
+                (110.0, 1.5, 9, 2.5),
+                (90.0, 2.5, 8, 2.5),
+            ]),
+        )
+        for _ in range(3):
+            s.sample_once()
+            clock.now += 1.0
+        timeline = s.timeline()
+        assert timeline["schema"] == sampler.TIMELINE_SCHEMA_VERSION
+        assert timeline["num_samples"] == 3
+        assert [x["t_s"] for x in timeline["samples"]] == [0.0, 1.0, 2.0]
+        assert timeline["peak_rss_mb"] == 110.0
+        assert timeline["max_open_fds"] == 9
+        assert timeline["max_spill_mb"] == 2.5
+        assert timeline["error"] is None
+
+    def test_cpu_pct_is_delta_based_and_skips_first_sample(self):
+        clock = _FakeClock()
+        s = sampler.ResourceSampler(
+            interval_ms=100.0,
+            clock=clock,
+            reader=_scripted_reader([
+                (10.0, 1.0, 1, 0.0),
+                (10.0, 1.5, 1, 0.0),  # 0.5 cpu-s over 1 s -> 50%
+                (10.0, 2.5, 1, 0.0),  # 1.0 cpu-s over 1 s -> 100%
+            ]),
+        )
+        for _ in range(3):
+            s.sample_once()
+            clock.now += 1.0
+        timeline = s.timeline()
+        cpu = [x["cpu_pct"] for x in timeline["samples"]]
+        assert cpu == [0.0, 50.0, 100.0]
+        # The first sample has no delta, so it never drags the mean down.
+        assert timeline["mean_cpu_pct"] == 75.0
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sampler.ResourceSampler(interval_ms=0.0)
+
+    def test_default_reader_runs_on_this_platform(self):
+        rss_mb, cpu_s, fds, spill_mb = sampler.default_reader()
+        assert rss_mb >= 0.0 and cpu_s >= 0.0
+        assert fds >= 0 and spill_mb >= 0.0
+        assert sampler.peak_rss_mb() >= rss_mb * 0.5  # same units, sane
+
+
+# --------------------------------------------------------------------- #
+# Thread lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestThread:
+    def test_start_stop_produces_timeline(self):
+        s = sampler.ResourceSampler(interval_ms=5.0)
+        s.start()
+        assert s.running
+        threading.Event().wait(0.05)
+        timeline = s.stop()
+        assert not s.running
+        assert timeline["num_samples"] >= 2  # initial + final at minimum
+        assert timeline["error"] is None
+        assert timeline["peak_rss_mb"] > 0.0
+
+    def test_thread_shuts_down_when_reader_raises(self):
+        readings = [(1.0, 1.0, 1, 0.0)] * 3
+
+        def reader():
+            if readings:
+                return readings.pop()
+            raise OSError("proc went away")
+
+        before = metrics.REGISTRY.counter_values().get("sampler.errors", 0)
+        s = sampler.ResourceSampler(interval_ms=2.0, reader=reader)
+        s.start()
+        for _ in range(100):
+            if not s.running:
+                break
+            threading.Event().wait(0.01)
+        assert not s.running  # exited on its own, not via stop()
+        timeline = s.stop()
+        assert "OSError" in timeline["error"]
+        assert timeline["num_samples"] == 3  # the good readings survive
+        assert metrics.REGISTRY.counter_values()["sampler.errors"] == before + 1
+
+    def test_start_is_idempotent(self):
+        s = sampler.ResourceSampler(interval_ms=50.0)
+        assert s.start() is s
+        thread = s._thread
+        assert s.start() is s
+        assert s._thread is thread
+        s.stop()
+
+
+# --------------------------------------------------------------------- #
+# Interval resolution and the global lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestIntervalResolution:
+    def test_explicit_wins_and_gates_on_positive(self, monkeypatch):
+        monkeypatch.setenv(sampler.SAMPLE_MS_ENV, "25")
+        assert sampler.sample_interval_ms(10.0) == 10.0
+        assert sampler.sample_interval_ms(0.0) is None
+        assert sampler.sample_interval_ms(None) == 25.0
+
+    def test_env_parsing(self, monkeypatch):
+        assert sampler.sample_interval_ms(None) is None
+        monkeypatch.setenv(sampler.SAMPLE_MS_ENV, "garbage")
+        assert sampler.sample_interval_ms(None) is None
+        monkeypatch.setenv(sampler.SAMPLE_MS_ENV, "-5")
+        assert sampler.sample_interval_ms(None) is None
+        monkeypatch.setenv(sampler.SAMPLE_MS_ENV, "12.5")
+        assert sampler.sample_interval_ms(None) == 12.5
+
+    def test_global_lifecycle_collects_intervals(self):
+        assert sampler.start(None) is None  # sampling off -> no sampler
+        sampler.note_interval(1, 0.0, 1.0, "dropped")  # off -> no-op
+        assert sampler.drain_intervals() == []
+
+        active = sampler.start(50.0)
+        assert active is not None
+        assert sampler.start(50.0) is active  # idempotent
+        sampler.note_interval(11, 5.0, 6.0, "shard 0")
+        timeline = sampler.stop()
+        assert sampler.active() is None
+        assert [iv["label"] for iv in timeline["worker_intervals"]] == [
+            "shard 0"
+        ]
+        assert sampler.stop() is None
+
+
+# --------------------------------------------------------------------- #
+# Utilization folding
+# --------------------------------------------------------------------- #
+
+
+def _span(name, pid, start_s, wall_s, **attrs):
+    return {
+        "name": name, "pid": pid, "start_s": start_s, "wall_s": wall_s,
+        "attrs": attrs,
+    }
+
+
+class TestUtilization:
+    def test_from_trace_prefers_shard_builds_over_chunks(self):
+        doc = {"spans": [
+            _span("shard.build", 10, 0.0, 2.0, shard=0),
+            _span("shard.build", 11, 0.5, 1.5, shard=1),
+            _span("parallel.chunk", 10, 0.0, 0.1),
+        ]}
+        util = sampler.utilization_from_trace(doc)
+        assert util["num_workers"] == 2
+        assert util["span_s"] == 2.0
+        # 2.0 + 1.5 busy over 2 workers x 2 s.
+        assert util["value"] == pytest.approx(3.5 / 4.0)
+        labels = [
+            iv["label"] for w in util["workers"] for iv in w["intervals"]
+        ]
+        assert labels == ["shard 0", "shard 1"]
+
+    def test_from_trace_without_worker_spans_is_none(self):
+        assert sampler.utilization_from_trace({"spans": []}) is None
+        assert (
+            sampler.utilization_from_trace(
+                {"spans": [_span("simulate", 1, 0.0, 1.0)]}
+            )
+            is None
+        )
+
+    def test_from_intervals_rebases_to_earliest_start(self):
+        util = sampler.utilization_from_intervals([
+            {"pid": 7, "t0": 1000.0, "t1": 1001.0, "label": "a"},
+            {"pid": 8, "t0": 1000.5, "t1": 1002.0, "label": "b"},
+        ])
+        assert util["num_workers"] == 2
+        first = util["workers"][0]["intervals"][0]
+        assert first["start_s"] == 0.0 and first["end_s"] == 1.0
+        assert util["span_s"] == 2.0
+        assert sampler.utilization_from_intervals([]) is None
+
+    def test_value_capped_at_one(self):
+        # Overlapping intervals on one pid cannot report > 100%.
+        util = sampler.utilization_from_intervals([
+            {"pid": 1, "t0": 0.0, "t1": 1.0, "label": ""},
+            {"pid": 1, "t0": 0.0, "t1": 1.0, "label": ""},
+        ])
+        assert util["value"] == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Byte-identity: sampling must not change study bytes
+# --------------------------------------------------------------------- #
+
+
+def test_sampled_study_build_is_byte_identical(tmp_path, monkeypatch):
+    from repro import build_study
+    from repro.tables.io import write_csv
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def snapshot(out):
+        study = build_study("tiny", seed=7, cache=False)
+        write_csv(study.enriched.cluster_table, out)
+        return out.read_bytes()
+
+    clean = snapshot(tmp_path / "clean.csv")
+    sampler.start(5.0)
+    try:
+        sampled = snapshot(tmp_path / "sampled.csv")
+    finally:
+        timeline = sampler.stop()
+    assert sampled == clean
+    assert timeline["num_samples"] >= 2

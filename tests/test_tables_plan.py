@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
-from repro.tables import Table, col, group_by, hash_join
+from repro.tables import Table, col, group_by, hash_join, profile_hotspots
 from repro.tables.plan import EAGER_ENV, LazyFrame, optimize
 from repro.tables.table import SchemaError
 
@@ -248,6 +248,96 @@ def test_explain_renders_plan_nodes():
     )
     assert "scan" in text.lower()
     assert "filter" in text.lower()
+
+
+@given(st.integers(0, 40), st.integers(0, 10**6), st.lists(_OPS, max_size=5))
+@settings(max_examples=80, deadline=None)
+def test_profile_row_counts_are_conservation_consistent(n, seed, ops):
+    """Every operator's rows-in must equal its children's rows-out, and the
+    analyzed execution must produce the byte-identical result."""
+    table = _base_table(n, seed)
+    frame = table.lazy()
+    eager = table
+    for name, lazy_op, eager_op in ops:
+        if name in ("filter_x", "with_col") and "x" not in eager:
+            continue
+        if name == "filter_s" and "s" not in eager:
+            continue
+        if name in ("filter_k", "sort", "distinct", "rename", "select") and (
+            "k" not in eager or (name == "select" and "x" not in eager)
+        ):
+            continue
+        frame = lazy_op(frame)
+        eager = eager_op(eager)
+    root = frame.profile()
+    for prof in root.walk():
+        assert len(prof.rows_in) == len(prof.children)
+        for rows_in, child in zip(prof.rows_in, prof.children):
+            assert child.rows_out == rows_in
+        assert prof.wall_s >= 0.0
+    assert root.rows_out == len(eager)
+    # profile() cached the analyzed result on the frame.
+    assert _tables_equal_bytes(frame.collect(), eager)
+
+
+def test_explain_analyze_annotates_rows_and_selectivity():
+    table = _base_table(500, 21)
+    before = obs.REGISTRY.counter_values().get("plan.analyzed", 0)
+    frame = (
+        table.lazy()
+        .filter(col("x") > 0.0)
+        .filter(col("k") <= 3)
+        .group_by("k")
+        .agg({"m": ("x", "mean")})
+    )
+    text = frame.explain(analyze=True)
+    assert "rows=" in text and "wall=" in text and "cpu=" in text
+    # The fused predicate pair reports one selectivity factor per predicate.
+    assert "sel=" in text
+    assert obs.REGISTRY.counter_values()["plan.analyzed"] == before + 1
+    # The profile is memoized with the explain call: no second execution.
+    root = frame.profile()
+    assert obs.REGISTRY.counter_values()["plan.analyzed"] == before + 1
+    sel = next(p for p in root.walk() if p.survivors).selectivity
+    assert all(0.0 <= s <= 1.0 for s in sel)
+    hot = profile_hotspots(root, top=3)
+    assert 1 <= len(hot) <= 3
+    assert all(
+        hot[i].wall_s >= hot[i + 1].wall_s for i in range(len(hot) - 1)
+    )
+
+
+def test_profile_counts_memo_hits_for_shared_subplan():
+    table = _base_table(400, 22)
+    base = table.lazy().filter(col("x") > 0.0)
+    joined = base.join(
+        LazyFrame(base._node).group_by("k").agg({"m": ("x", "mean")}),
+        on="k",
+    )
+    root = joined.profile()
+    assert sum(p.memo_hits for p in root.walk()) >= 1
+
+
+def test_profile_records_parallel_mask_fanout(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    table = _base_table(300_000, 23)
+    frame = (
+        table.lazy()
+        .filter((col("x") > -0.5) & (col("x") < 0.5))
+        .filter(col("k") > 2)
+    )
+    root = frame.profile()
+    filters = [
+        p for p in root.walk() if p.op in ("filter", "fused_filter")
+    ]
+    assert any(p.fanout >= 2 for p in filters)
+    serial = (
+        table.lazy()
+        .filter((col("x") > -0.5) & (col("x") < 0.5))
+        .filter(col("k") > 2)
+    )
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert _tables_equal_bytes(frame.collect(), serial.collect())
 
 
 def test_select_unknown_column_raises_at_build_time():
