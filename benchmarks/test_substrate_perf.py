@@ -376,6 +376,65 @@ def test_perf_cluster_two_level(benchmark):
     assert max(mapping.values()) < len(corpus)
 
 
+#: Skewed-shard scheduling workload: one straggler shard carrying 8x the
+#: mean work plus 15 unit shards, two workers.  Sleep-based so the bench
+#: measures *scheduler wall time* (sleeps overlap across pool workers even
+#: on a single-CPU box) rather than CPU throughput, and is deterministic.
+_SKEW_UNIT_S = 0.012
+_SKEW_SIZES = (16,) + (1,) * 15
+_SKEW_WORKERS = 2
+
+
+def _skew_sleep(units: int) -> int:
+    time.sleep(units * _SKEW_UNIT_S)
+    return int(units)
+
+
+def _skew_sleep_group(group: tuple) -> list:
+    return [_skew_sleep(units) for units in group]
+
+
+def test_perf_shard_sched_skewed(benchmark):
+    """Work-stealing schedule of the skewed shard set: chunks flow through
+    the as-completed dispatcher (:mod:`repro.parallel`), so the straggler
+    pins one worker while the other drains every small shard — wall time
+    approaches max(straggler, rest) = 16 units instead of 23."""
+    from repro.parallel import map_chunks
+
+    items = list(_SKEW_SIZES)
+
+    def run():
+        return map_chunks(
+            _skew_sleep, items,
+            workers=_SKEW_WORKERS, chunk_size=1, min_items=2,
+        )
+
+    out = benchmark(run)
+    assert out == items
+
+
+def test_perf_shard_sched_skewed_naive(benchmark):
+    """Static placement of the same skewed shard set: shards pinned
+    round-robin to a worker up front (shard ``i`` -> worker ``i % 2``, the
+    ``batch_id % K`` discipline), so the shards stuck behind the straggler
+    wait on it even while the other worker sits idle — wall time is the
+    heaviest pinned group, 16 + 7 = 23 units."""
+    from repro.parallel import map_chunks
+
+    groups = [
+        _SKEW_SIZES[w::_SKEW_WORKERS] for w in range(_SKEW_WORKERS)
+    ]
+
+    def run():
+        return map_chunks(
+            _skew_sleep_group, groups,
+            workers=_SKEW_WORKERS, chunk_size=1, min_items=2,
+        )
+
+    out = benchmark(run)
+    assert sorted(u for g in out for u in g) == sorted(_SKEW_SIZES)
+
+
 def _best_time(fn, repeats: int = 5) -> float:
     best = float("inf")
     for _ in range(repeats):

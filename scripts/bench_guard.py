@@ -54,14 +54,16 @@ REPORT_PATH = REPO_ROOT / "bench_report.txt"
 
 #: Benches whose speedup over the seed implementation the study relies on
 #: (the vectorized minhash + group-by fast paths, the byte-level shingle
-#: tokenizer, and the lazy-plan fused/dictionary kernels); their ratios
-#: must never silently decay.
+#: tokenizer, the lazy-plan fused/dictionary kernels, and the work-stealing
+#: chunk scheduler vs static placement); their ratios must never silently
+#: decay.
 GUARDED_SPEEDUPS = (
     "minhash_batch",
     "group_by_median",
     "shingle_extraction",
     "dict_group_by",
     "fused_filter_project",
+    "shard_sched_skewed",
 )
 
 
@@ -184,46 +186,66 @@ def record_bench_run(current: dict, regressions: list[str]) -> None:
     ledger.append_record(record)
 
 
+def _num(value, default: float = 0.0) -> float:
+    """Best-effort float for ledger fields; legacy garbage becomes ``default``."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _phases_of(record) -> dict:
+    phases = record.get("phases")
+    return phases if isinstance(phases, dict) else {}
+
+
 def _print_op_hotspots(ledger, top: int) -> None:
     """The latest recorded run's ``plan.op.*`` phases, ranked by wall time.
 
     Study runs fold every lazy-plan operator execution into these phases
     (see ``repro.tables.plan``), so the hotspot listing points at the
     operator — group_by, fused_filter, join — not just the pipeline stage.
+    Ledgers span schema generations, so records missing ``top_ops``-style
+    phase aggregates (or carrying malformed ones) are skipped with a note
+    instead of tracebacking.
     """
-    latest = next(
-        (
-            r for r in reversed(ledger.read_records())
-            if any(
-                name.startswith("plan.op.")
-                for name in (r.get("phases") or {})
-            )
-        ),
-        None,
-    )
+    skipped = 0
+    latest = None
+    for r in reversed(ledger.read_records()):
+        phases = _phases_of(r)
+        if not any(
+            name.startswith("plan.op.") and isinstance(agg, dict)
+            for name, agg in phases.items()
+        ):
+            if any(str(name).startswith("plan.op.") for name in phases):
+                skipped += 1  # has the phases, but in an unreadable shape
+            continue
+        latest = r
+        break
     if latest is None:
         print(
             "bench_guard: no recorded run carries plan.op.* operator phases"
+            + (f" ({skipped} legacy record(s) skipped)" if skipped else "")
         )
         return
     ops = sorted(
         (
             (name.removeprefix("plan.op."), agg)
-            for name, agg in latest["phases"].items()
-            if name.startswith("plan.op.")
+            for name, agg in _phases_of(latest).items()
+            if name.startswith("plan.op.") and isinstance(agg, dict)
         ),
-        key=lambda kv: -kv[1].get("wall_s", 0.0),
+        key=lambda kv: -_num(kv[1].get("wall_s", 0.0)),
     )[:top]
     print(
         f"\nbench_guard: top {len(ops)} plan operators by wall time "
-        f"(run {latest['run_id']})"
+        f"(run {latest.get('run_id', '?')})"
     )
     print(f"  {'operator':<20} {'count':>6} {'wall':>12} {'cpu':>12}")
     for name, agg in ops:
         print(
-            f"  {name:<20} {agg.get('count', 0):>6.0f} "
-            f"{agg.get('wall_s', 0.0) * 1e3:>9.2f} ms "
-            f"{agg.get('cpu_s', 0.0) * 1e3:>9.2f} ms"
+            f"  {name:<20} {_num(agg.get('count', 0)):>6.0f} "
+            f"{_num(agg.get('wall_s', 0.0)) * 1e3:>9.2f} ms "
+            f"{_num(agg.get('cpu_s', 0.0)) * 1e3:>9.2f} ms"
         )
 
 
@@ -245,33 +267,49 @@ def history(top: int = 0) -> int:
         f"bench_guard: mean-time trajectory over {len(records)} recorded "
         f"run(s) (showing last {len(shown)}; ms per bench)"
     )
-    header = "".join(
-        f"{r['run_id'][9:15]:>9}" for r in shown
-    )
-    print(f"  {'bench':<28}{header}")
+    # Legacy records (earlier writers, truncated lines) may miss run_id,
+    # phases, or carry non-mapping aggregates; show what is readable and
+    # render '-' for the rest — the history view must never traceback.
+    gaps = 0
+    header_cells = []
+    for r in shown:
+        run_id = str(r.get("run_id") or "")
+        label = run_id[9:15] if len(run_id) > 9 else (run_id or "?")
+        if not run_id:
+            gaps += 1
+        header_cells.append(f"{label:>9.9}")
+    print(f"  {'bench':<28}{''.join(header_cells)}")
     names = sorted({
-        name for record in shown for name in (record.get("phases") or {})
+        name for record in shown for name in _phases_of(record)
     })
     for name in names:
         cells = []
         for record in shown:
-            agg = (record.get("phases") or {}).get(name)
-            cells.append(
-                f"{agg['wall_s'] * 1e3:>9.2f}" if agg else f"{'-':>9}"
-            )
+            agg = _phases_of(record).get(name)
+            wall = _num(agg.get("wall_s"), -1.0) if isinstance(agg, dict) else -1.0
+            if wall < 0 and agg is not None:
+                gaps += 1
+            cells.append(f"{wall * 1e3:>9.2f}" if wall >= 0 else f"{'-':>9}")
         print(f"  {name:<28}{''.join(cells)}")
     print(f"  {'-- speedups vs seed --':<28}")
+    speedups_of = lambda r: (
+        r.get("speedups_vs_seed")
+        if isinstance(r.get("speedups_vs_seed"), dict) else {}
+    )
     speedup_names = sorted({
-        name
-        for record in shown
-        for name in (record.get("speedups_vs_seed") or {})
+        name for record in shown for name in speedups_of(record)
     })
     for name in speedup_names:
         cells = []
         for record in shown:
-            ratio = (record.get("speedups_vs_seed") or {}).get(name)
-            cells.append(f"{ratio:>8.1f}x" if ratio else f"{'-':>9}")
+            ratio = _num(speedups_of(record).get(name), -1.0)
+            cells.append(f"{ratio:>8.1f}x" if ratio > 0 else f"{'-':>9}")
         print(f"  {name:<28}{''.join(cells)}")
+    if gaps:
+        print(
+            f"bench_guard: note — {gaps} legacy field(s) unreadable in the "
+            f"shown records (rendered as '-')"
+        )
     if top:
         _print_op_hotspots(ledger, top)
     return 0

@@ -12,6 +12,10 @@ Gates
 - ``src/repro/obs``: **>= 85%**, enforced always.  The observability
   stack (tracing, metrics, sampler, ledger, drift, dashboard) is what
   every perf/fidelity/RSS guard trusts; untested telemetry lies.
+- ``src/repro/parallel.py``: **>= 85%**, enforced always.  The
+  as-completed chunk dispatcher carries the deadline-from-dispatch and
+  fold-only-on-success invariants every pooled build relies on (a gate
+  may name a single module as well as a package).
 - repo-wide ``src/repro``: **>= 80%**, enforced when the ``coverage``
   package (the engine behind ``pytest-cov``, declared in the ``dev``
   extra) is importable, and *visibly skipped* otherwise — measuring the
@@ -45,11 +49,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-#: Per-package minimum line coverage, enforced in every environment.
+#: Per-package (or per-module) minimum line coverage, enforced in every
+#: environment.  A key names either a package directory under src/repro/
+#: or a single module (resolved as <key>.py).
 PACKAGE_GATES: dict[str, float] = {
     "shard": 85.0,
     "tables": 85.0,
     "obs": 85.0,
+    "parallel": 85.0,
 }
 MIN_REPO_PCT = 80.0
 
@@ -57,6 +64,9 @@ MIN_REPO_PCT = 80.0
 DEFAULT_TESTS = [
     "tests/test_shard_equivalence.py",
     "tests/test_shard_merge_properties.py",
+    "tests/test_shard_scheduler.py",
+    "tests/test_parallel.py",
+    "tests/test_faults.py",
     "tests/test_tables_table.py",
     "tests/test_tables_expr.py",
     "tests/test_tables_groupby.py",
@@ -73,7 +83,13 @@ DEFAULT_TESTS = [
 
 
 def package_files(package: str) -> list[Path]:
-    return sorted((SRC / "repro" / package).glob("*.py"))
+    """Gated files for one key: a package's modules, or the single module
+    ``<key>.py`` when the key names a file rather than a directory."""
+    root = SRC / "repro" / package
+    if root.is_dir():
+        return sorted(root.glob("*.py"))
+    module = root.with_suffix(".py")
+    return [module] if module.is_file() else []
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -137,6 +153,9 @@ def run_with_coverage_package(test_args: list[str]) -> int:
         print(f"coverage gate: pytest failed (rc={rc})", file=sys.stderr)
         return rc
 
+    gate_of = {
+        str(p): name for name in PACKAGE_GATES for p in package_files(name)
+    }
     package_rows: dict[str, list] = {name: [] for name in PACKAGE_GATES}
     repo_rows = []
     for filename in cov.get_data().measured_files():
@@ -151,9 +170,9 @@ def run_with_coverage_package(test_args: list[str]) -> int:
             len(executable) - len(missing),
         )
         repo_rows.append(row)
-        for name in PACKAGE_GATES:
-            if path.is_relative_to(SRC / "repro" / name):
-                package_rows[name].append(row)
+        gate = gate_of.get(str(path))
+        if gate is not None:
+            package_rows[gate].append(row)
 
     package_pcts = {}
     for name in PACKAGE_GATES:

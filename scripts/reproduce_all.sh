@@ -16,6 +16,9 @@
 #   report_clean.txt   - medium-scale report, healthy environment
 #   report_faulted.txt - the same report under injected faults (must diff clean)
 #   report_sharded.txt - the same report built over 4 shards (must diff clean)
+#   report_skewed.txt  - the 4-shard report with an injected straggler shard
+#                        under a live pool: work stealing reschedules, bytes
+#                        must not change (must diff clean)
 #   report_eager.txt   - the same report with the lazy query engine disabled
 #                        via REPRO_TABLES_EAGER=1 (must diff clean)
 #   report_sampled.txt - the same report with --sample resource telemetry
@@ -36,36 +39,36 @@ mkdir -p "$OUT"
 # final drift check compares this pipeline's runs against each other.
 export REPRO_LEDGER_DIR="$OUT/ledger"
 
-echo "== 1/15 tests =="
+echo "== 1/16 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/15 tests again with a live process pool (REPRO_WORKERS=2) =="
+echo "== 2/16 tests again with a live process pool (REPRO_WORKERS=2) =="
 REPRO_WORKERS=2 python -m pytest tests/ 2>&1 | tee "$OUT/test_workers2.txt" | tail -1
 
-echo "== 3/15 coverage gate (src/repro/{shard,tables,obs} >= 85%) =="
+echo "== 3/16 coverage gate (src/repro/{shard,tables,obs} >= 85%) =="
 python scripts/coverage_gate.py 2>&1 | tee "$OUT/coverage_gate.txt" | tail -2
 
-echo "== 4/15 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 4/16 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 5/15 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 5/16 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 6/15 validation checklist =="
+echo "== 6/16 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 7/15 traced medium-scale report (writes trace_medium.json) =="
+echo "== 7/16 traced medium-scale report (writes trace_medium.json) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     --trace --trace-out "$OUT/trace_medium.json" > /dev/null
 python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
 head -7 "$OUT/trace_summary.txt"
 
-echo "== 8/15 failure injection (faulted medium report must match the clean one) =="
+echo "== 8/16 failure injection (faulted medium report must match the clean one) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     > "$OUT/report_clean.txt"
 # REPRO_NO_LEDGER: a deliberately degraded diagnostic run must not become a
-# baseline (or a candidate) for the drift check in step 13.
+# baseline (or a candidate) for the drift check in step 16.
 REPRO_CACHE_DIR="$OUT/fault_cache" REPRO_WORKERS=2 PYTHONWARNINGS=ignore \
     REPRO_NO_LEDGER=1 \
     python -m repro report --scale medium --seed 7 \
@@ -75,7 +78,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_faulted.txt"   # set -e: a diff is fat
 rm -rf "$OUT/fault_cache"
 echo "faulted run identical to clean run"
 
-echo "== 9/15 sharded execution (4-shard medium report must match the monolithic one) =="
+echo "== 9/16 sharded execution (4-shard medium report must match the monolithic one) =="
 # A private cache dir forces a genuine sharded build: the diff must prove
 # byte identity of the pipeline, not a warm hit on the monolithic entry.
 REPRO_CACHE_DIR="$OUT/shard_cache" \
@@ -85,7 +88,19 @@ diff "$OUT/report_clean.txt" "$OUT/report_sharded.txt"   # set -e: a diff is fat
 rm -rf "$OUT/shard_cache"
 echo "sharded run identical to monolithic run"
 
-echo "== 10/15 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
+echo "== 10/16 skewed shards (straggler + work stealing must not change bytes) =="
+# shard.build:sleep@1 makes shard 0 a deterministic straggler; under a live
+# 2-worker pool the as-completed dispatcher reschedules the remaining shards
+# around it.  Scheduling must never leak into the output bytes.
+REPRO_CACHE_DIR="$OUT/skew_cache" REPRO_WORKERS=2 REPRO_NO_LEDGER=1 \
+    python -m repro report --scale medium --seed 7 --shards 4 \
+    --faults 'shard.build:sleep@1' \
+    > "$OUT/report_skewed.txt"
+diff "$OUT/report_clean.txt" "$OUT/report_skewed.txt"   # set -e: a diff is fatal
+rm -rf "$OUT/skew_cache"
+echo "skewed sharded run identical to clean run"
+
+echo "== 11/16 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
 # A private cache dir forces a genuine eager rebuild; the diff proves the
 # plan optimizer and parallel kernel dispatch never change a single byte.
 REPRO_CACHE_DIR="$OUT/eager_cache" REPRO_TABLES_EAGER=1 REPRO_NO_LEDGER=1 \
@@ -95,7 +110,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_eager.txt"   # set -e: a diff is fatal
 rm -rf "$OUT/eager_cache"
 echo "eager-engine run identical to lazy-engine run"
 
-echo "== 11/15 resource telemetry (sampled 4-shard medium report must match the clean one) =="
+echo "== 12/16 resource telemetry (sampled 4-shard medium report must match the clean one) =="
 # The sampler writes only into the run record, never to stdout: a sampled
 # build must stay byte-identical.  A private cache dir forces a genuine
 # sharded build so the record carries per-shard utilization intervals.
@@ -107,20 +122,20 @@ rm -rf "$OUT/sample_cache"
 echo "sampled run identical to clean run"
 python -m repro plan --scale tiny --seed 7 | tail -7
 
-echo "== 12/15 SVG figures =="
+echo "== 13/16 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 13/15 dataset export =="
+echo "== 14/16 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 14/15 workload derivation =="
+echo "== 15/16 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
-echo "== 15/15 run ledger: history, dashboard, drift check =="
+echo "== 16/16 run ledger: history, dashboard, drift check =="
 python -m repro runs list
 python scripts/bench_guard.py --history --top 5
 python -m repro runs report --out "$OUT/runs_report.html"
-# The step-11 sampled run must have landed a utilization timeline panel.
+# The step-12 sampled run must have landed a utilization timeline panel.
 grep -q "Utilization timeline" "$OUT/runs_report.html"
 python -m repro runs check   # set -e: perf/fidelity/RSS drift is fatal
 

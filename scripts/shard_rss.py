@@ -14,6 +14,13 @@ reads (sharded < 60% of monolithic at ``large`` scale).
 Usage::
 
     python scripts/shard_rss.py [--scale large] [--shards 4]
+    python scripts/shard_rss.py --scale xlarge --sweep 8,16
+
+``--sweep K1,K2,...`` skips the monolithic reference and instead builds the
+study sharded at each listed K, asserting the peak RSS stays *flat* as the
+shard count grows (within :data:`SWEEP_FLATNESS`) — the spill discipline's
+contract at scales where a monolithic build would not fit comfortably in
+memory (``xlarge`` is ~27M released instances).
 """
 
 from __future__ import annotations
@@ -26,6 +33,12 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: ``--sweep`` tolerance: peak RSS at the largest K may exceed the peak at
+#: the smallest K by at most this factor.  With per-shard spilling, a
+#: *larger* K means *smaller* shards, so RSS should be flat or falling;
+#: the headroom covers allocator and merge-buffer noise.
+SWEEP_FLATNESS = 1.25
 
 
 def _child(scale: str, shards: int) -> None:
@@ -83,11 +96,59 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", default=None,
         help="REPRO_WORKERS for the sharded run (default: serial)",
     )
+    parser.add_argument(
+        "--sweep", default=None, metavar="K1,K2,...",
+        help="sharded-only mode: build at each shard count and assert the "
+        "peak RSS stays flat (no monolithic reference build)",
+    )
     parser.add_argument("--child", nargs=2, metavar=("SCALE", "SHARDS"))
     args = parser.parse_args(argv)
 
     if args.child:
         _child(args.child[0], int(args.child[1]))
+        return 0
+
+    extra = {"REPRO_WORKERS": args.workers} if args.workers else {}
+
+    if args.sweep:
+        ks = sorted({int(k) for k in args.sweep.split(",")})
+        if len(ks) < 2 or min(ks) < 2:
+            print("FAIL: --sweep needs >= 2 distinct shard counts, all >= 2",
+                  file=sys.stderr)
+            return 2
+        runs = []
+        for k in ks:
+            print(
+                f"measuring sharded {args.scale} build "
+                f"(--shards {k}, fresh process)..."
+            )
+            runs.append((k, _measure(args.scale, k, extra)))
+        print(f"\n{'build':<28} {'wall':>9} {'peak RSS':>10} {'instances':>11}")
+        for k, r in runs:
+            print(
+                f"{f'sharded {args.scale} (K={k})':<28} "
+                f"{r['wall_s']:>8.1f}s {r['peak_rss_mb']:>8.1f}MB "
+                f"{r['instances']:>11,}"
+            )
+        if len({r["instances"] for _, r in runs}) != 1:
+            print("FAIL: instance counts differ across shard counts",
+                  file=sys.stderr)
+            return 1
+        base_k, base = runs[0]
+        worst_k, worst = max(runs, key=lambda kr: kr[1]["peak_rss_mb"])
+        ratio = worst["peak_rss_mb"] / base["peak_rss_mb"]
+        print(
+            f"\npeak RSS ratio (K={worst_k} / K={base_k}): {ratio:.2f} "
+            f"(flatness bound {SWEEP_FLATNESS:.2f})"
+        )
+        if ratio > SWEEP_FLATNESS:
+            print(
+                f"FAIL: peak RSS grows with shard count "
+                f"(K={worst_k} is {ratio:.2f}x K={base_k})",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: peak RSS is flat across shard counts")
         return 0
 
     print(f"measuring monolithic {args.scale} build (fresh process)...")
@@ -96,7 +157,6 @@ def main(argv: list[str] | None = None) -> int:
         f"measuring sharded {args.scale} build "
         f"(--shards {args.shards}, fresh process)..."
     )
-    extra = {"REPRO_WORKERS": args.workers} if args.workers else {}
     sharded = _measure(args.scale, args.shards, extra)
 
     assert sharded["instances"] == mono["instances"]

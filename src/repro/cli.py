@@ -49,7 +49,7 @@ import json
 import sys
 from typing import Sequence
 
-SCALES = ("tiny", "small", "medium", "large")
+SCALES = ("tiny", "small", "medium", "large", "xlarge")
 
 #: Commands that build a study and therefore record a ledger run.
 _STUDY_COMMANDS = frozenset(

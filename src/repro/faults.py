@@ -35,6 +35,9 @@ Sites and kinds
 - ``ledger.append:fail`` — the run-ledger record write raises
 - ``phase.release:sleep`` — the study ``release`` phase stalls for
   :data:`SLOW_PHASE_SLEEP_S` seconds (exercises drift detection)
+- ``shard.build:sleep`` — one shard's build stalls for
+  :data:`SLOW_PHASE_SLEEP_S` seconds (a deterministic straggler shard,
+  for exercising the work-stealing scheduler under skew)
 - ``shard.save:fail`` — spilling a shard partial to disk raises (the
   sharded build keeps the partial in memory instead)
 - ``shard.load:fail`` — reading a spilled shard partial raises
@@ -72,6 +75,7 @@ SITES: dict[str, tuple[str, ...]] = {
     "dataset.save": ("fail",),
     "ledger.append": ("fail",),
     "phase.release": ("sleep",),
+    "shard.build": ("sleep",),
     "shard.save": ("fail",),
     "shard.load": ("fail", "corrupt"),
 }

@@ -129,18 +129,46 @@ def group_records(
     return groups
 
 
+def _coerce_float(value: Any) -> float | None:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def _mapping(value: Any) -> Mapping[str, Any]:
+    return value if isinstance(value, Mapping) else {}
+
+
 def _phase_walls(record: Mapping[str, Any]) -> dict[str, float]:
-    return {
-        name: float(agg.get("wall_s", 0.0))
-        for name, agg in (record.get("phases") or {}).items()
-    }
+    """Per-phase wall seconds, tolerant of legacy/malformed records.
+
+    Ledgers accumulate across schema generations: a phase aggregate may be
+    the current ``{"wall_s": ...}`` mapping, a bare number from an early
+    writer, or garbage from a truncated line.  Unusable entries are
+    skipped — a drift check or diff over old history must degrade to
+    "no data for that phase", never traceback.
+    """
+    walls: dict[str, float] = {}
+    for name, agg in _mapping(record.get("phases")).items():
+        if isinstance(agg, Mapping):
+            wall = _coerce_float(agg.get("wall_s", 0.0))
+        else:
+            wall = _coerce_float(agg)
+        if wall is not None:
+            walls[name] = wall
+    return walls
 
 
 def _fidelity_devs(record: Mapping[str, Any]) -> dict[str, float]:
-    return {
-        name: float(probe.get("deviation", 0.0))
-        for name, probe in (record.get("fidelity") or {}).items()
-    }
+    devs: dict[str, float] = {}
+    for name, probe in _mapping(record.get("fidelity")).items():
+        if not isinstance(probe, Mapping):
+            continue
+        dev = _coerce_float(probe.get("deviation", 0.0))
+        if dev is not None:
+            devs[name] = dev
+    return devs
 
 
 def _peak_rss(record: Mapping[str, Any]) -> float | None:

@@ -33,9 +33,27 @@ Failure semantics — the load-bearing part:
   workload is never re-executed serially just to reproduce a deterministic
   error.
 - **Hung chunks**: with a timeout (``timeout=`` argument or the
-  ``REPRO_POOL_TIMEOUT`` env var, seconds), each chunk result is awaited at
-  most that long; a stall bumps ``parallel.timeout``, tears the pool down,
-  and falls back to the serial loop.
+  ``REPRO_POOL_TIMEOUT`` env var, seconds), every in-flight chunk carries a
+  deadline measured from its *dispatch* — not from its position in an
+  await-in-order queue — so a hung chunk is detected within one timeout of
+  being handed to the pool no matter how many slow chunks precede it.  A
+  stall bumps ``parallel.timeout``, tears the pool down, and falls back to
+  the serial loop.
+
+Scheduling — the as-completed dispatcher:
+
+- Chunks are dispatched through a **bounded in-flight window** and
+  collected as they complete, not in submission order.  With a timeout
+  configured the window is exactly the worker count, so a dispatched chunk
+  starts (almost) immediately and its deadline-from-dispatch is honest;
+  without one the window doubles for pipelining.
+- Whenever any chunk completes, the freed slot immediately dispatches the
+  next pending chunk — whichever worker went idle takes it (counted in
+  ``parallel.steals``), so one straggler chunk never leaves the other
+  workers idle the way a static round-robin placement would.
+- Results are reassembled in input order and spans/counters fold in chunk
+  order after the last chunk arrives, so the schedule never changes a byte
+  of output or a fold.
 
 Fault-injection sites (:mod:`repro.faults`): ``pool.spawn:fail`` makes one
 pool-creation attempt raise, ``pool.chunk:fail`` crashes a worker chunk,
@@ -76,11 +94,23 @@ _POOL_SPAWN_ATTEMPTS = 3
 _POOL_SPAWN_BACKOFF_S = 0.05
 #: How long an injected ``pool.chunk:hang`` fault sleeps.
 _HANG_SLEEP_S = 30.0
+#: How long an abandoned pool's background teardown may take before the
+#: driver stops waiting for it.
+_ABANDON_JOIN_S = 5.0
 
 _FALLBACKS = obs.counter("parallel.serial_fallback")
 _POOL_MAPS = obs.counter("parallel.pool_maps")
 _POOL_RETRIES = obs.counter("parallel.pool_retries")
 _TIMEOUTS = obs.counter("parallel.timeout")
+#: Chunks dispatched by the as-completed loop after the initial window
+#: fill — i.e. chunks an idle worker picked up the moment it freed, where
+#: a static placement would have pinned them to a predetermined worker.
+_STEALS = obs.counter("parallel.steals")
+#: Chunks that completed (and shipped spans/deltas) before a timeout or
+#: worker crash abandoned the whole pool result; their telemetry is
+#: deliberately discarded (see the fold-only-on-success note in _pool_map)
+#: and this counter is the visible record of how many were lost.
+_CHUNKS_DROPPED = obs.counter("parallel.chunks_dropped")
 _WORKERS_GAUGE = obs.gauge("parallel.workers")
 _CHUNK_SECONDS = obs.histogram("parallel.chunk_seconds")
 
@@ -263,6 +293,112 @@ def _create_pool(ctx, n: int):
     raise RuntimeError("unreachable")  # pragma: no cover
 
 
+def _abandon_pool(pool) -> None:
+    """Tear down a pool whose workers may be mid-chunk, without deadlock.
+
+    ``Pool.terminate()`` begins with ``_help_stuff_finish``, which acquires
+    the task queue's shared read-lock — a lock an active worker holds while
+    blocked reading the next task.  Calling it synchronously on a pool that
+    is being abandoned (timeout, crash) can therefore deadlock the driver
+    against a worker that will never release the lock.  Instead: SIGKILL
+    every worker first (a killed worker can never re-acquire anything),
+    then run ``terminate()`` on a daemon thread with a bounded join, so a
+    teardown that still wedges strands one daemon thread instead of the
+    build.
+    """
+    import threading
+
+    for proc in getattr(pool, "_pool", []):
+        try:
+            proc.kill()
+        except Exception:  # already dead / not a real process
+            pass
+    reaper = threading.Thread(
+        target=pool.terminate, name="repro-pool-reaper", daemon=True
+    )
+    reaper.start()
+    reaper.join(timeout=_ABANDON_JOIN_S)
+
+
+def _dispatch_chunks(
+    pool,
+    runner: "_ChunkRunner",
+    chunks: list[Sequence[_T]],
+    window: int,
+    timeout: float | None,
+) -> list:
+    """As-completed dispatcher: bounded in-flight window, deadlines from
+    dispatch, next pending chunk handed to whichever worker frees first.
+
+    Returns the raw chunk results indexed by chunk position.  Raises
+    :class:`PoolTimeoutError` when any dispatched chunk's result is not
+    ready within ``timeout`` seconds of its *dispatch*, and re-raises a
+    worker/runner infrastructure failure as soon as it surfaces — in both
+    cases after counting the already-completed chunks whose results (and
+    shipped telemetry) the abandonment throws away (``parallel.
+    chunks_dropped``).
+    """
+    import queue as queue_mod
+
+    done: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+    parts: list = [None] * len(chunks)
+    dispatched_at: dict[int, float] = {}
+    next_idx = 0
+
+    def _submit(index: int) -> None:
+        def _ok(result, index=index):
+            done.put((index, True, result))
+
+        def _err(exc, index=index):
+            done.put((index, False, exc))
+
+        dispatched_at[index] = time.perf_counter()
+        pool.apply_async(
+            runner, (chunks[index],), callback=_ok, error_callback=_err
+        )
+
+    def _completed() -> int:
+        return sum(1 for part in parts if part is not None)
+
+    while next_idx < len(chunks) and len(dispatched_at) < window:
+        _submit(next_idx)
+        next_idx += 1
+    while dispatched_at:
+        wait_s = None
+        if timeout is not None:
+            earliest = min(dispatched_at.values())
+            wait_s = max(0.0, earliest + timeout - time.perf_counter())
+        try:
+            index, ok, payload = done.get(timeout=wait_s)
+        except queue_mod.Empty:
+            now = time.perf_counter()
+            stale = [
+                i for i, t0 in dispatched_at.items()
+                if now - t0 >= timeout
+            ]
+            if not stale:  # woke a hair early; keep waiting
+                continue
+            _TIMEOUTS.inc()
+            _CHUNKS_DROPPED.inc(_completed())
+            raise PoolTimeoutError(
+                f"worker chunk {min(stale)} result not ready within "
+                f"{timeout:g}s of dispatch"
+            ) from None
+        del dispatched_at[index]
+        if not ok:
+            # Worker crash / injected chunk fault / pickling failure: the
+            # caller degrades to the serial loop, abandoning every chunk
+            # that already completed.
+            _CHUNKS_DROPPED.inc(_completed())
+            raise payload
+        parts[index] = payload
+        if next_idx < len(chunks):
+            _STEALS.inc()
+            _submit(next_idx)
+            next_idx += 1
+    return parts
+
+
 def _pool_map(
     func: Callable[[_T], _R],
     seq: Sequence[_T],
@@ -275,6 +411,12 @@ def _pool_map(
     Raises on any pool-infrastructure problem (spawn failure after retries,
     worker crash, pickling error, chunk timeout) — the caller's cue to fall
     back to the serial loop.
+
+    Chunks flow through :func:`_dispatch_chunks`: at most ``window`` in
+    flight, collected as completed.  With a timeout the window equals the
+    worker count so a dispatched chunk starts essentially immediately and
+    its deadline-from-dispatch is honest; without one the window doubles so
+    pickling of the next chunk overlaps with worker compute.
     """
     import multiprocessing as mp
 
@@ -283,24 +425,33 @@ def _pool_map(
     _WORKERS_GAUGE.set(n)
     chunks = [seq[i:i + chunk_size] for i in range(0, len(seq), chunk_size)]
     runner = _ChunkRunner(func, traced=obs.enabled())
+    window = n if timeout is not None else 2 * n
     with obs.span(
         "parallel.map", items=len(seq), workers=n, chunks=len(chunks)
     ):
-        with _create_pool(ctx, n) as pool:
+        pool = _create_pool(ctx, n)
+        try:
             _POOL_MAPS.inc()
-            pending = [pool.apply_async(runner, (chunk,)) for chunk in chunks]
-            parts = []
-            for res in pending:
-                try:
-                    parts.append(res.get(timeout))
-                except mp.TimeoutError:
-                    _TIMEOUTS.inc()
-                    raise PoolTimeoutError(
-                        f"worker chunk result not ready within {timeout:g}s"
-                    ) from None
-        # Fold spans/deltas only after every chunk arrived: a failure above
-        # abandons the whole pool result, so nothing is double-counted when
-        # the serial fallback recomputes it.
+            parts = _dispatch_chunks(pool, runner, chunks, window, timeout)
+        except BaseException:
+            # Workers may be hung or mid-chunk; a synchronous terminate()
+            # can deadlock on the task queue's read-lock (see
+            # _abandon_pool).  Kill-then-background-terminate instead.
+            _abandon_pool(pool)
+            raise
+        else:
+            # Every chunk completed, so the workers are idle at their
+            # task-queue read: the ordinary synchronous teardown is safe.
+            pool.terminate()
+        # Fold-only-on-success invariant (load-bearing): spans, counter and
+        # histogram deltas, and sampler busy marks fold only after *every*
+        # chunk arrived.  A failure above abandons the whole pool result and
+        # the serial fallback recomputes it, so folding any completed
+        # chunk's telemetry would double-count work; the price is that a
+        # degraded run under-reports parallel.chunk_seconds and worker
+        # utilization by exactly the chunks parallel.chunks_dropped counts.
+        # Folding happens in chunk-index order, not completion order, so a
+        # trace is deterministic under any schedule.
         from repro.obs import sampler
 
         guarded: list[tuple[bool, object]] = []
@@ -334,8 +485,9 @@ def map_chunks(
     raised *by ``func``* is not a degradation: it re-raises with its
     original type, without re-executing the workload.
 
-    ``timeout`` bounds how long each chunk's result may take (seconds;
-    default off, or the ``REPRO_POOL_TIMEOUT`` env var); a stall counts in
+    ``timeout`` bounds how long each chunk's result may take, measured
+    from the moment the chunk is dispatched to the pool (seconds; default
+    off, or the ``REPRO_POOL_TIMEOUT`` env var); a stall counts in
     ``parallel.timeout`` and degrades to the serial loop.
 
     ``min_items`` overrides the built-in "too few items to be worth a pool"

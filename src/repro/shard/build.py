@@ -8,7 +8,13 @@ The flow for ``K`` shards:
    materialization), applies the release lens, computes the per-batch
    enrichment parts (design, metrics, shingles), and **spills** the
    partial to the shard store — returning only a marker, so a serial
-   build's peak memory is one shard's working set.
+   build's peak memory is one shard's working set.  Pooled builds flow
+   through the as-completed dispatcher in :mod:`repro.parallel` (an idle
+   worker takes the next pending shard, so one straggler shard does not
+   serialize the rest); serial builds instead overlap each shard's spill
+   I/O with the next shard's compute through a double-buffered
+   :class:`~repro.shard.store.SpillWriter` (overlap recorded in the
+   ``shard.overlap_seconds`` histogram).
 2. **Merge** loads the partials back *lean* — the per-batch pieces
    eagerly, the instance tables as read-on-demand views over the store
    (an entry that went missing or corrupt is quarantined and rebuilt in
@@ -37,8 +43,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro import cache as study_cache
-from repro import obs
-from repro.parallel import map_chunks
+from repro import faults, obs
+from repro.parallel import map_chunks, worker_count
 from repro.shard import store
 from repro.shard.store import ShardPartial
 
@@ -65,6 +71,10 @@ def build_shard_partial(
 
     t0 = time.perf_counter()
     with obs.span("shard.build", shard=shard, num_shards=num_shards) as sp:
+        if faults.fire("shard.build") == "sleep":
+            # Deterministic straggler: this shard takes SLOW_PHASE_SLEEP_S
+            # longer, so skew-scheduling tests have a shard to steal around.
+            time.sleep(faults.SLOW_PHASE_SLEEP_S)
         state = simulate_marketplace(
             config, shard=shard, num_shards=num_shards
         )
@@ -115,6 +125,49 @@ def _shard_task(
     return ("inline", shard, partial)
 
 
+def _serial_shard_tasks(
+    config: "SimulationConfig", num_shards: int, use_store: bool
+) -> list[tuple[str, int, ShardPartial | None]]:
+    """Serial shard loop with spill I/O overlapped via a background writer.
+
+    Status-for-status equivalent to mapping :func:`_shard_task` over the
+    shards serially; the only difference is *when* the spill I/O runs.
+    Each built partial is handed to a :class:`~repro.shard.store.SpillWriter`
+    which writes it on a background thread while the next shard simulates,
+    so a serial build's wall time tends toward ``max(compute, spill)`` per
+    shard instead of their sum.  The writer keeps at most one spill in
+    flight, so peak memory stays bounded at two shards' working sets (the
+    partial being built plus the one being written) — the same discipline
+    the inline spill had, one buffer wider.
+
+    Spill *outcomes* keep :func:`store_partial`'s posture: a failed spill
+    hands the partial back here and it is carried inline, exactly as the
+    non-overlapped path would.
+    """
+    results: list[tuple[str, int, ShardPartial | None]] = []
+    submitted: list[int] = []
+    with store.SpillWriter(config) as writer:
+        for shard in range(num_shards):
+            if use_store:
+                if store.load_partial(config, num_shards, shard) is not None:
+                    results.append(("reused", shard, None))
+                    continue
+            partial = build_shard_partial(config, num_shards, shard)
+            if use_store:
+                writer.submit(partial)
+                submitted.append(shard)
+            else:
+                results.append(("inline", shard, partial))
+        outcomes = writer.finish()
+    for shard in submitted:
+        entry, partial = outcomes[shard]
+        if entry is not None:
+            results.append(("spilled", shard, None))
+        else:
+            results.append(("inline", shard, partial))
+    return results
+
+
 def build_released_enriched(
     config: "SimulationConfig",
     num_shards: int,
@@ -133,11 +186,21 @@ def build_released_enriched(
     use_store = study_cache.cache_enabled(spill)
 
     with obs.span("shard.pipeline", num_shards=num_shards) as sp:
-        tasks = [
-            (config, num_shards, shard, use_store)
-            for shard in range(num_shards)
-        ]
-        results = map_chunks(_shard_task, tasks, chunk_size=1, min_items=2)
+        if worker_count() > 1 and num_shards >= 2:
+            # Pooled fan-out: one chunk per shard through the as-completed
+            # dispatcher, spill inline inside each worker (a worker cannot
+            # report "spilled" before its own store write finishes anyway).
+            tasks = [
+                (config, num_shards, shard, use_store)
+                for shard in range(num_shards)
+            ]
+            results = map_chunks(
+                _shard_task, tasks, chunk_size=1, min_items=2
+            )
+        else:
+            # Serial build: overlap each shard's spill with the next
+            # shard's compute instead.
+            results = _serial_shard_tasks(config, num_shards, use_store)
 
         t0 = time.perf_counter()
         with obs.span("shard.merge", num_shards=num_shards):

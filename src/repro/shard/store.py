@@ -62,6 +62,10 @@ _STORE_FAILED = obs.counter("shard.store_failed")
 _CORRUPT = obs.counter("shard.corrupt")
 _SPILL_SECONDS = obs.histogram("shard.spill_seconds")
 _LOAD_SECONDS = obs.histogram("shard.load_seconds")
+#: Seconds of spill I/O that ran concurrently with the next shard's
+#: compute (per spill): the spill's wall time minus whatever the driver
+#: actually had to wait for it.  Zero means the build was spill-bound.
+_OVERLAP_SECONDS = obs.histogram("shard.overlap_seconds")
 
 _TABLE_FILES = {
     "instances": "instances.npz",
@@ -213,6 +217,94 @@ def store_partial(
         _SPILLS.inc()
     _SPILL_SECONDS.observe(time.perf_counter() - t0)
     return entry
+
+
+class SpillWriter:
+    """Double-buffered background spill: at most one spill in flight.
+
+    A serial shard build alternates *compute* (simulate + enrich one
+    shard) with *spill I/O* (checksum + write the partial).  This writer
+    overlaps the two: :meth:`submit` hands the just-built partial to a
+    background thread and returns immediately, so shard ``k``'s spill
+    runs while shard ``k+1`` simulates.  Submitting first **drains** any
+    spill still in flight — exactly two buffers ever exist (the partial
+    being built and the one being written), so peak memory is bounded at
+    two shards' working sets regardless of shard count.
+
+    Failure posture is :func:`store_partial`'s own: a failed spill keeps
+    the partial referenced in the outcome (the caller folds it back in
+    memory), warns, and counts ``shard.store_failed`` — the writer never
+    swallows an outcome.  Each drained spill records how much of its wall
+    time ran concurrently with compute in ``shard.overlap_seconds``.
+
+    Single-producer: ``submit``/``finish`` must be called from one
+    thread.  Use as a context manager or call :meth:`finish`; outcomes
+    are ``{shard: (entry_path_or_None, partial)}``.
+    """
+
+    def __init__(self, config: "SimulationConfig") -> None:
+        import threading
+
+        self._config = config
+        self._threading = threading
+        self._thread: "threading.Thread | None" = None
+        self._inflight: ShardPartial | None = None
+        self._inflight_result: list = []
+        self.outcomes: dict[int, tuple[Path | None, ShardPartial]] = {}
+
+    def _drain(self) -> None:
+        """Wait for the in-flight spill (if any) and record its outcome."""
+        if self._thread is None:
+            return
+        wait_start = time.perf_counter()
+        self._thread.join()
+        waited = time.perf_counter() - wait_start
+        entry, spill_wall = self._inflight_result[0]
+        if isinstance(spill_wall, BaseException):
+            # Re-raise on the driver thread, where the inline spill of the
+            # pre-writer code path would have raised it.
+            self._thread = None
+            self._inflight = None
+            raise spill_wall
+        _OVERLAP_SECONDS.observe(max(0.0, spill_wall - waited))
+        partial = self._inflight
+        assert partial is not None
+        self.outcomes[partial.shard] = (entry, partial)
+        self._thread = None
+        self._inflight = None
+        self._inflight_result = []
+
+    def submit(self, partial: ShardPartial) -> None:
+        """Spill ``partial`` in the background (drains the previous one)."""
+        self._drain()
+        result = self._inflight_result = []
+        config = self._config
+
+        def _spill() -> None:
+            t0 = time.perf_counter()
+            try:
+                entry = store_partial(config, partial)
+            except BaseException as exc:  # re-raised by _drain
+                result.append((None, exc))
+                return
+            result.append((entry, time.perf_counter() - t0))
+
+        self._inflight = partial
+        self._thread = self._threading.Thread(
+            target=_spill, name="repro-spill-writer", daemon=True
+        )
+        self._thread.start()
+
+    def finish(self) -> dict[int, tuple[Path | None, ShardPartial]]:
+        """Drain the last spill and return every outcome by shard."""
+        self._drain()
+        return self.outcomes
+
+    def __enter__(self) -> "SpillWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._drain()
 
 
 def _corrupt_entry(entry: Path) -> None:

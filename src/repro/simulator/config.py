@@ -165,12 +165,16 @@ class Calibration:
 #: Scale presets: (distinct tasks, workers, median instances per batch).
 #: ``large`` is ~3x medium by instance volume — big enough that the
 #: monolithic in-memory pipeline becomes uncomfortable and the sharded
-#: executor (:mod:`repro.shard`) pays off.
+#: executor (:mod:`repro.shard`) pays off.  ``xlarge`` is paper scale:
+#: ~27M released instances (the dataset's §2.2 headline), sized for the
+#: sharded executor only — a monolithic build at this scale needs tens of
+#: GB of RAM.
 _PRESETS = {
     "tiny": dict(num_distinct_tasks=70, num_workers=700, instance_scale=0.15),
     "small": dict(num_distinct_tasks=300, num_workers=2800, instance_scale=0.40),
     "medium": dict(num_distinct_tasks=1100, num_workers=11000, instance_scale=0.80),
     "large": dict(num_distinct_tasks=2200, num_workers=22000, instance_scale=1.20),
+    "xlarge": dict(num_distinct_tasks=4400, num_workers=44000, instance_scale=2.20),
 }
 
 

@@ -377,12 +377,12 @@ def _simulate_instances_sharded(
             1.0 + position / cal.pickup_parallelism
         ) ** cal.pickup_sequence_exponent
         del position
-        pickup *= np.exp(
-            timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n)
-        )
-        start_time = np.minimum(
-            batch_start + pickup.astype(np.int64), horizon_sec - 1
-        )
+        noise = timing_rng.normal(0.0, cal.pickup_instance_noise_sd, size=n)
+        np.exp(noise, out=noise)  # in place: one full-length transient fewer
+        pickup *= noise
+        del noise
+        start_time = batch_start + pickup.astype(np.int64)
+        np.minimum(start_time, horizon_sec - 1, out=start_time)
         del batch_start, pickup
 
     # ------------------------------------------------------------------ #
@@ -405,15 +405,14 @@ def _simulate_instances_sharded(
     # within-run ranks are unchanged.
     # ------------------------------------------------------------------ #
     with obs.span("simulate.instances.timing"):
+        noise = timing_rng.normal(
+            0.0, cal.task_time_instance_noise_sd, size=n
+        )[sel]
+        np.exp(noise, out=noise)
         task_time = (
-            tasks.base_task_time[task_sel]
-            * np.exp(
-                timing_rng.normal(
-                    0.0, cal.task_time_instance_noise_sd, size=n
-                )[sel]
-            )
-            * workers.speed[worker_sel]
+            tasks.base_task_time[task_sel] * noise * workers.speed[worker_sel]
         )
+        del noise
         if cal.within_batch_learning_exponent:
             experience = _within_batch_experience(
                 batch_sel, worker_sel, start_sel

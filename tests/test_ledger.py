@@ -434,6 +434,115 @@ class TestRunsCli:
         assert ledger.read_records() == []
 
 
+class TestLegacyRecordHardening:
+    """Ledgers accumulate records from earlier writers: phases as bare
+    numbers, missing ``run_id``/``peak_rss_mb``/``top_ops``-style phase
+    aggregates, or garbage values.  The history/drift views must skip the
+    unreadable parts with a note, never traceback."""
+
+    def _bench_guard(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "scripts" / "bench_guard.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_guard", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _legacy_bench_records(self):
+        v = ledger.LEDGER_SCHEMA_VERSION
+        return [
+            # No run_id, phases as bare floats (earliest writer shape).
+            {"schema": v, "kind": "bench",
+             "phases": {"group_by_median": 0.012}},
+            # Malformed: aggregates and speedups in unreadable shapes.
+            {"schema": v, "kind": "bench", "run_id": "20260101-malformed",
+             "phases": {"group_by_median": "fast",
+                        "plan.op.group_by": 1.5},
+             "speedups_vs_seed": "n/a"},
+            # Current shape, with plan.op.* operator aggregates.
+            {"schema": v, "kind": "bench", "run_id": "20260102-abcdef-good",
+             "phases": {"group_by_median": {"count": 1, "wall_s": 0.011,
+                                            "cpu_s": 0.0},
+                        "plan.op.group_by": {"count": 3, "wall_s": 0.004,
+                                             "cpu_s": 0.003}},
+             "speedups_vs_seed": {"group_by_median": 4.7}},
+        ]
+
+    def test_bench_history_top_skips_legacy_records(self, capsys):
+        for record in self._legacy_bench_records():
+            assert ledger.append_record(record) is not None
+        bench_guard = self._bench_guard()
+        assert bench_guard.history(top=3) == 0
+        out = capsys.readouterr().out
+        assert "mean-time trajectory" in out
+        assert "group_by_median" in out
+        assert "legacy" in out  # the skip is noted, not silent
+        # The hotspot listing found the one readable plan.op.* record.
+        assert "top 1 plan operators" in out
+        assert "20260102-abcdef-good" in out
+
+    def test_bench_history_top_with_no_readable_hotspots(self, capsys):
+        v = ledger.LEDGER_SCHEMA_VERSION
+        assert ledger.append_record(
+            {"schema": v, "kind": "bench", "run_id": "20260101-x",
+             "phases": {"plan.op.join": 2.0}}  # legacy bare-float agg
+        ) is not None
+        bench_guard = self._bench_guard()
+        assert bench_guard.history(top=2) == 0
+        out = capsys.readouterr().out
+        assert "no recorded run carries plan.op.*" in out
+        assert "legacy record(s) skipped" in out
+
+    def test_runs_check_tolerates_legacy_phase_and_rss_shapes(self, capsys):
+        v = ledger.LEDGER_SCHEMA_VERSION
+        base = {
+            "schema": v, "kind": "study", "command": "report",
+            "config": {"scale": "tiny", "seed": 7},
+        }
+        legacy = [
+            # Bare-float phases, no peak_rss_mb at all.
+            base | {"run_id": "r1", "phases": {"release": 0.1}},
+            # Garbage peak_rss_mb, phase aggregate not a mapping.
+            base | {"run_id": "r2", "phases": {"release": [0.1]},
+                    "peak_rss_mb": "lots"},
+            # Current shape.
+            base | {"run_id": "r3",
+                    "phases": {"release": {"count": 1, "wall_s": 0.11,
+                                           "cpu_s": 0.1}},
+                    "peak_rss_mb": 80.0},
+        ]
+        for record in legacy:
+            assert ledger.append_record(record) is not None
+        assert cli.main(["runs", "check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        # A genuine regression is still caught across the legacy baseline.
+        assert ledger.append_record(
+            base | {"run_id": "r4",
+                    "phases": {"release": {"count": 1, "wall_s": 0.9,
+                                           "cpu_s": 0.9}},
+                    "peak_rss_mb": 500.0}
+        ) is not None
+        assert cli.main(["runs", "check"]) == 1
+        out = capsys.readouterr().out
+        assert "[TIMING]" in out and "'release'" in out
+
+    def test_drift_helpers_coerce_legacy_values(self):
+        walls = drift._phase_walls({
+            "phases": {"release": 0.25, "merge": {"wall_s": "0.5"},
+                       "bad": object(), "worse": {"wall_s": None}},
+        })
+        assert walls == {"release": 0.25, "merge": 0.5}
+        assert drift._phase_walls({"phases": ["not", "a", "dict"]}) == {}
+        assert drift._fidelity_devs({"fidelity": {"p": 0.7}}) == {}
+        assert drift._peak_rss({"peak_rss_mb": "garbage"}) is None
+
+
 class TestAcceptance:
     """ISSUE acceptance: clean runs diff drift-free; an injected slow
     phase makes ``repro runs check`` exit nonzero naming that phase."""

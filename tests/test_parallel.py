@@ -201,3 +201,83 @@ class TestPipelineInvariance:
                 assert np.array_equal(a, b, equal_nan=np.issubdtype(
                     a.dtype, np.floating
                 ))
+
+
+def _fail_on_b(s):
+    if s == "b":
+        raise ValueError("no b allowed")
+    return s.upper()
+
+
+class TestChunkRunnerInProcess:
+    """The chunk runner normally executes in forked workers; it is
+    process-agnostic, so its guarded-result protocol, fault hooks, and
+    telemetry capture are unit-tested here by calling it inline."""
+
+    @pytest.fixture(autouse=True)
+    def _no_faults(self):
+        from repro import faults
+
+        faults.configure(None)
+        yield
+        faults.configure(None)
+
+    def test_shippable_passes_picklable_and_wraps_unpicklable(self):
+        plain = ValueError("fine")
+        assert parallel._shippable(plain) is plain
+
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        wrapped = parallel._shippable(Unpicklable("boom"))
+        assert isinstance(wrapped, RuntimeError)
+        assert "unpicklable Unpicklable" in str(wrapped)
+
+    def test_untraced_call_guards_results_and_marks_interval(self):
+        import os
+        import time
+
+        runner = parallel._ChunkRunner(_shout, traced=False)
+        before = time.perf_counter()
+        guarded, spans, deltas, hist_deltas, mark = runner(["a", "b"])
+        after = time.perf_counter()
+        assert guarded == [(True, "A"), (True, "B")]
+        assert spans is None
+        # The runner's own chunk timing rides the histogram deltas.
+        assert hist_deltas and "parallel.chunk_seconds" in hist_deltas
+        pid, t0, t1 = mark
+        assert pid == os.getpid()
+        assert before <= t0 <= t1 <= after
+
+    def test_traced_call_collects_and_still_guards(self):
+        runner = parallel._ChunkRunner(_shout, traced=True)
+        guarded, spans, deltas, hist_deltas, mark = runner(["x"])
+        assert guarded == [(True, "X")]
+        assert spans is not None  # the collector ran (may be empty spans)
+        assert len(mark) == 3
+
+    def test_error_is_guarded_and_stops_the_chunk(self):
+        runner = parallel._ChunkRunner(_fail_on_b, traced=False)
+        guarded, *_ = runner(["a", "b", "c"])
+        assert guarded[0] == (True, "A")
+        ok, exc = guarded[1]
+        assert not ok and isinstance(exc, ValueError)
+        assert len(guarded) == 2  # "c" never ran: parent raises at first error
+
+    def test_injected_chunk_fault_raises_like_a_crash(self):
+        from repro import faults
+
+        faults.configure("pool.chunk:fail")
+        runner = parallel._ChunkRunner(_shout, traced=False)
+        with pytest.raises(faults.InjectedFault):
+            runner(["a"])
+
+    def test_injected_hang_sleeps_then_completes(self, monkeypatch):
+        from repro import faults
+
+        monkeypatch.setattr(parallel, "_HANG_SLEEP_S", 0.01)
+        faults.configure("pool.chunk:hang")
+        runner = parallel._ChunkRunner(_shout, traced=False)
+        guarded, *_ = runner(["a"])
+        assert guarded == [(True, "A")]
