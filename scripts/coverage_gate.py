@@ -78,6 +78,7 @@ DEFAULT_TESTS = [
     "tests/test_obs.py",
     "tests/test_sampler.py",
     "tests/test_ledger.py",
+    "tests/test_live.py",
     "tests/test_cli_smoke.py",
 ]
 

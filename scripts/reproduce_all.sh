@@ -23,6 +23,9 @@
 #                        via REPRO_TABLES_EAGER=1 (must diff clean)
 #   report_sampled.txt - the same report with --sample resource telemetry
 #                        recording a utilization timeline (must diff clean)
+#   report_live.txt    - the 4-shard report built with --live while curls
+#                        hit /metrics, /events, and / (must diff clean)
+#   live_metrics.txt   - a mid-build Prometheus /metrics scrape of that run
 #   figures/           - every paper figure as SVG
 #   dataset/           - an exported released dataset (small scale)
 #   workload.json      - the derived crowdsourcing workload
@@ -39,36 +42,36 @@ mkdir -p "$OUT"
 # final drift check compares this pipeline's runs against each other.
 export REPRO_LEDGER_DIR="$OUT/ledger"
 
-echo "== 1/16 tests =="
+echo "== 1/17 tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
 
-echo "== 2/16 tests again with a live process pool (REPRO_WORKERS=2) =="
+echo "== 2/17 tests again with a live process pool (REPRO_WORKERS=2) =="
 REPRO_WORKERS=2 python -m pytest tests/ 2>&1 | tee "$OUT/test_workers2.txt" | tail -1
 
-echo "== 3/16 coverage gate (src/repro/{shard,tables,obs} >= 85%) =="
+echo "== 3/17 coverage gate (src/repro/{shard,tables,obs} >= 85%) =="
 python scripts/coverage_gate.py 2>&1 | tee "$OUT/coverage_gate.txt" | tail -2
 
-echo "== 4/16 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
+echo "== 4/17 substrate bench guard (fails on >25% regression vs BENCH_substrate.json) =="
 python scripts/bench_guard.py 2>&1 | tee "$OUT/bench_guard.txt" | tail -1
 
-echo "== 5/16 benchmarks (medium scale, regenerates every table & figure) =="
+echo "== 5/17 benchmarks (medium scale, regenerates every table & figure) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt" | tail -1
 cp bench_report.txt "$OUT/bench_report.txt"
 
-echo "== 6/16 validation checklist =="
+echo "== 6/17 validation checklist =="
 python -m repro validate --scale small --seed 7 2>&1 | tee "$OUT/validation.txt" | tail -1
 
-echo "== 7/16 traced medium-scale report (writes trace_medium.json) =="
+echo "== 7/17 traced medium-scale report (writes trace_medium.json) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     --trace --trace-out "$OUT/trace_medium.json" > /dev/null
 python -m repro trace "$OUT/trace_medium.json" --no-tree > "$OUT/trace_summary.txt"
 head -7 "$OUT/trace_summary.txt"
 
-echo "== 8/16 failure injection (faulted medium report must match the clean one) =="
+echo "== 8/17 failure injection (faulted medium report must match the clean one) =="
 python -m repro report --scale medium --seed 7 --no-cache \
     > "$OUT/report_clean.txt"
 # REPRO_NO_LEDGER: a deliberately degraded diagnostic run must not become a
-# baseline (or a candidate) for the drift check in step 16.
+# baseline (or a candidate) for the drift check in step 17.
 REPRO_CACHE_DIR="$OUT/fault_cache" REPRO_WORKERS=2 PYTHONWARNINGS=ignore \
     REPRO_NO_LEDGER=1 \
     python -m repro report --scale medium --seed 7 \
@@ -78,7 +81,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_faulted.txt"   # set -e: a diff is fat
 rm -rf "$OUT/fault_cache"
 echo "faulted run identical to clean run"
 
-echo "== 9/16 sharded execution (4-shard medium report must match the monolithic one) =="
+echo "== 9/17 sharded execution (4-shard medium report must match the monolithic one) =="
 # A private cache dir forces a genuine sharded build: the diff must prove
 # byte identity of the pipeline, not a warm hit on the monolithic entry.
 REPRO_CACHE_DIR="$OUT/shard_cache" \
@@ -88,7 +91,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_sharded.txt"   # set -e: a diff is fat
 rm -rf "$OUT/shard_cache"
 echo "sharded run identical to monolithic run"
 
-echo "== 10/16 skewed shards (straggler + work stealing must not change bytes) =="
+echo "== 10/17 skewed shards (straggler + work stealing must not change bytes) =="
 # shard.build:sleep@1 makes shard 0 a deterministic straggler; under a live
 # 2-worker pool the as-completed dispatcher reschedules the remaining shards
 # around it.  Scheduling must never leak into the output bytes.
@@ -100,7 +103,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_skewed.txt"   # set -e: a diff is fata
 rm -rf "$OUT/skew_cache"
 echo "skewed sharded run identical to clean run"
 
-echo "== 11/16 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
+echo "== 11/17 lazy query engine off (REPRO_TABLES_EAGER=1 report must match the lazy one) =="
 # A private cache dir forces a genuine eager rebuild; the diff proves the
 # plan optimizer and parallel kernel dispatch never change a single byte.
 REPRO_CACHE_DIR="$OUT/eager_cache" REPRO_TABLES_EAGER=1 REPRO_NO_LEDGER=1 \
@@ -110,7 +113,7 @@ diff "$OUT/report_clean.txt" "$OUT/report_eager.txt"   # set -e: a diff is fatal
 rm -rf "$OUT/eager_cache"
 echo "eager-engine run identical to lazy-engine run"
 
-echo "== 12/16 resource telemetry (sampled 4-shard medium report must match the clean one) =="
+echo "== 12/17 resource telemetry (sampled 4-shard medium report must match the clean one) =="
 # The sampler writes only into the run record, never to stdout: a sampled
 # build must stay byte-identical.  A private cache dir forces a genuine
 # sharded build so the record carries per-shard utilization intervals.
@@ -122,16 +125,57 @@ rm -rf "$OUT/sample_cache"
 echo "sampled run identical to clean run"
 python -m repro plan --scale tiny --seed 7 | tail -7
 
-echo "== 13/16 SVG figures =="
+echo "== 13/17 live telemetry (served + probed 4-shard medium report must match the clean one) =="
+# --live serves /metrics (Prometheus), /events (SSE), and the dashboard
+# from inside the build process; the URL goes to stderr and the server
+# never writes stdout, so a build polled and streamed mid-flight must stay
+# byte-identical.  A private cache dir forces a genuine sharded build so
+# shard progress events actually flow while the probes watch.
+REPRO_CACHE_DIR="$OUT/live_cache" REPRO_NO_LEDGER=1 \
+    python -m repro report --scale medium --seed 7 --shards 4 --live 8741 \
+    > "$OUT/report_live.txt" 2> "$OUT/live_stderr.txt" &
+LIVE_PID=$!
+python - "$OUT" <<'EOF'
+import json, sys, time, urllib.request
+
+out, base = sys.argv[1], "http://127.0.0.1:8741"
+deadline = time.monotonic() + 120.0
+while True:  # wait for the in-build server to come up
+    try:
+        with urllib.request.urlopen(base + "/healthz", timeout=1) as resp:
+            assert json.loads(resp.read())["status"] == "ok"
+        break
+    except Exception:
+        if time.monotonic() > deadline:
+            raise SystemExit("live telemetry server never came up")
+        time.sleep(0.1)
+with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+    open(f"{out}/live_metrics.txt", "w").write(resp.read().decode())
+with urllib.request.urlopen(
+    base + "/events?limit=1&heartbeat=0.5", timeout=60
+) as resp:
+    stream = resp.read().decode()
+assert "event: hello" in stream and "data: " in stream, stream
+with urllib.request.urlopen(base + "/", timeout=10) as resp:
+    assert "EventSource('/events')" in resp.read().decode()
+print("live probes ok: /metrics, /events, and / all answered mid-build")
+EOF
+wait "$LIVE_PID"                                         # set -e: build failure is fatal
+diff "$OUT/report_clean.txt" "$OUT/report_live.txt"      # set -e: a diff is fatal
+grep -q '^repro_' "$OUT/live_metrics.txt"                # Prometheus exposition landed
+rm -rf "$OUT/live_cache"
+echo "live-served run identical to clean run"
+
+echo "== 14/17 SVG figures =="
 python -m repro figures --scale small --seed 7 --out "$OUT/figures"
 
-echo "== 14/16 dataset export =="
+echo "== 15/17 dataset export =="
 python -m repro simulate --scale small --seed 7 --out "$OUT/dataset"
 
-echo "== 15/16 workload derivation =="
+echo "== 16/17 workload derivation =="
 python -m repro workload --scale small --seed 7 --out "$OUT/workload.json"
 
-echo "== 16/16 run ledger: history, dashboard, drift check =="
+echo "== 17/17 run ledger: history, dashboard, drift check =="
 python -m repro runs list
 python scripts/bench_guard.py --history --top 5
 python -m repro runs report --out "$OUT/runs_report.html"

@@ -22,6 +22,12 @@ Commands
     Inspect the persistent run ledger (``list``/``show``/``diff``/
     ``check``/``report``); ``check`` exits nonzero on perf, fidelity,
     or peak-RSS drift (see :mod:`repro.obs.drift`).
+``serve``
+    Serve live telemetry over HTTP — ``/metrics`` (Prometheus text),
+    ``/events`` (SSE), ``/runs``, and the auto-refreshing dashboard at
+    ``/`` (see :mod:`repro.obs.live`).  Every study command also accepts
+    ``--live [PORT]`` to serve the same endpoints while it builds,
+    without changing a byte of its stdout.
 
 Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
 the run records a hierarchical span trace (see :mod:`repro.obs`), prints
@@ -118,6 +124,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="sample RSS/CPU/fds/spill every MS milliseconds into the run "
         "record's resource timeline (default interval 50; also "
         "REPRO_SAMPLE_MS; output stays byte-identical)",
+    )
+    parser.add_argument(
+        "--live", nargs="?", const=0, type=int, default=None,
+        metavar="PORT",
+        help="serve live telemetry (/metrics, /events, dashboard) on "
+        "localhost:PORT while the command runs (bare --live picks a free "
+        "port; the URL goes to stderr, stdout stays byte-identical)",
     )
 
 
@@ -559,6 +572,28 @@ def _cmd_runs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve live telemetry until interrupted (``repro serve``)."""
+    import time as time_mod
+
+    from repro import obs
+
+    server = obs.live.TelemetryServer(host=args.host, port=args.port).start()
+    print(f"serving live telemetry on {server.url} (Ctrl-C to stop)")
+    print("endpoints: /  /metrics  /healthz  /runs  /runs/<id>  /events")
+    try:
+        if args.duration is not None:
+            time_mod.sleep(args.duration)
+        else:  # pragma: no cover - interactive foreground loop
+            while True:
+                time_mod.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_learning(args: argparse.Namespace) -> int:
     from repro import build_study
     from repro.analysis.learning import learning_curve
@@ -660,6 +695,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the per-span aggregates and metrics as JSON",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve live telemetry over HTTP (see repro.obs.live)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="port to bind on localhost (default: 8737; 0 picks a free one)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     runs = sub.add_parser(
         "runs", help="inspect the persistent run ledger (see repro.obs.ledger)"
@@ -770,66 +823,80 @@ def main(argv: Sequence[str] | None = None) -> int:
     # without --trace: tracing is enabled internally so the record gets
     # per-phase timings, but nothing is printed or written unless asked.
     record_run = args.command in _STUDY_COMMANDS and obs.ledger.ledger_enabled()
-    if not want_trace and not record_run:
+    live_port = getattr(args, "live", None)
+    if not want_trace and not record_run and live_port is None:
         return args.func(args)
 
-    obs.enable(
-        name=f"repro {args.command}",
-        mem=True if getattr(args, "trace_mem", False) else None,
-    )
-    if record_run:
-        obs.ledger.begin_collection()
-    # Resource sampling (--sample / REPRO_SAMPLE_MS) rides along silently;
-    # its timeline only lands in the ledger record, never on stdout.
-    obs.sampler.start(getattr(args, "sample", None))
+    # --live serves telemetry for the duration of the command.  The URL
+    # goes to stderr only — stdout must stay byte-identical to an unserved
+    # run (reproduce_all.sh diffs exactly that) — and tracing is enabled
+    # below either way, so span open/close events feed the SSE stream.
+    server = None
+    if live_port is not None:
+        server = obs.live.TelemetryServer(port=live_port).start()
+        print(f"live telemetry on {server.url}", file=sys.stderr)
     try:
-        with obs.span(
-            f"cli.{args.command}",
-            scale=getattr(args, "scale", None),
-            seed=getattr(args, "seed", None),
-        ):
-            rc = args.func(args)
-    finally:
-        timeline = obs.sampler.stop()
-        trace = obs.finish()
-        fidelity = obs.ledger.end_collection() if record_run else None
-    if trace is None:
-        return rc
-    doc = obs.trace_to_dict(trace)
-    if record_run:
-        extra: dict = {"rc": rc}
-        # getrusage peak is free and exact, so every run feeds the RSS
-        # drift guard; a sampler timeline can only sharpen it upward.
-        peak = obs.sampler.peak_rss_mb()
-        util = obs.sampler.utilization_from_trace(doc)
-        if timeline is not None:
-            peak = max(peak, float(timeline.get("peak_rss_mb") or 0.0))
-            if util is None:
-                util = obs.sampler.utilization_from_intervals(
-                    timeline.get("worker_intervals") or []
-                )
-            extra["timeline"] = timeline
-        if peak > 0:
-            extra["peak_rss_mb"] = round(peak, 3)
-        if util is not None:
-            extra["utilization"] = util
-        record = obs.ledger.build_record(
-            kind="study",
-            command=args.command,
-            config=_run_config(args, fault_spec),
-            trace_doc=doc,
-            fidelity=fidelity,
-            extra=extra,
+        obs.enable(
+            name=f"repro {args.command}",
+            mem=True if getattr(args, "trace_mem", False) else None,
         )
-        obs.ledger.append_record(record)
-    if want_trace:
-        out = getattr(args, "trace_out", None) or DEFAULT_TRACE_OUT
-        path = obs.write_trace_json(doc, out)
-        print()
-        print("== trace ==")
-        print(obs.render_tree(doc))
-        print(f"trace written to {path}")
-    return rc
+        if record_run:
+            obs.ledger.begin_collection()
+        # Resource sampling (--sample / REPRO_SAMPLE_MS) rides along
+        # silently; its timeline only lands in the ledger record, never on
+        # stdout.
+        obs.sampler.start(getattr(args, "sample", None))
+        try:
+            with obs.span(
+                f"cli.{args.command}",
+                scale=getattr(args, "scale", None),
+                seed=getattr(args, "seed", None),
+            ):
+                rc = args.func(args)
+        finally:
+            timeline = obs.sampler.stop()
+            trace = obs.finish()
+            fidelity = obs.ledger.end_collection() if record_run else None
+        if trace is None:
+            return rc
+        doc = obs.trace_to_dict(trace)
+        if record_run:
+            extra: dict = {"rc": rc}
+            # getrusage peak is free and exact, so every run feeds the RSS
+            # drift guard; a sampler timeline can only sharpen it upward.
+            peak = obs.sampler.peak_rss_mb()
+            util = obs.sampler.utilization_from_trace(doc)
+            if timeline is not None:
+                peak = max(peak, float(timeline.get("peak_rss_mb") or 0.0))
+                if util is None:
+                    util = obs.sampler.utilization_from_intervals(
+                        timeline.get("worker_intervals") or []
+                    )
+                extra["timeline"] = timeline
+            if peak > 0:
+                extra["peak_rss_mb"] = round(peak, 3)
+            if util is not None:
+                extra["utilization"] = util
+            record = obs.ledger.build_record(
+                kind="study",
+                command=args.command,
+                config=_run_config(args, fault_spec),
+                trace_doc=doc,
+                fidelity=fidelity,
+                extra=extra,
+            )
+            obs.ledger.append_record(record)
+        if want_trace:
+            out = getattr(args, "trace_out", None) or DEFAULT_TRACE_OUT
+            path = obs.write_trace_json(doc, out)
+            print()
+            print("== trace ==")
+            print(obs.render_tree(doc))
+            print(f"trace written to {path}")
+        return rc
+    finally:
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

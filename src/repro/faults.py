@@ -43,6 +43,9 @@ Sites and kinds
 - ``shard.load:fail`` — reading a spilled shard partial raises
 - ``shard.load:corrupt`` — a data file of the shard partial is truncated
   on disk (exercises checksum verification + in-process rebuild)
+- ``serve.request:fail`` — a live-telemetry HTTP handler raises; the
+  server answers 500 and counts ``serve.request_failed``, the build being
+  observed never notices
 
 Injected faults raise :class:`InjectedFault` (an :class:`OSError` subclass)
 so they travel the *same* recovery paths a real I/O failure would; the
@@ -78,6 +81,7 @@ SITES: dict[str, tuple[str, ...]] = {
     "shard.build": ("sleep",),
     "shard.save": ("fail",),
     "shard.load": ("fail", "corrupt"),
+    "serve.request": ("fail",),
 }
 
 #: How long an injected ``phase.release:sleep`` fault stalls the phase —

@@ -64,12 +64,19 @@ from repro.obs.trace import (
     worker_collector,
 )
 
-# The run ledger / drift / dashboard / sampler layers sit on top of
+# The run ledger / drift / dashboard / sampler / live layers sit on top of
 # metrics+export and lazily import repro.cache/repro.faults inside
 # functions, so importing them last keeps `import repro.obs` cycle-free
 # while exposing them as obs.ledger / obs.drift / obs.dashboard /
-# obs.sampler submodule attributes.
-from repro.obs import dashboard, drift, ledger, sampler  # noqa: E402
+# obs.sampler / obs.live / obs.promexport submodule attributes.
+from repro.obs import (  # noqa: E402
+    dashboard,
+    drift,
+    ledger,
+    live,
+    promexport,
+    sampler,
+)
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -99,11 +106,13 @@ __all__ = [
     "histogram",
     "histogram_deltas",
     "ledger",
+    "live",
     "load_trace",
     "merge_counter_deltas",
     "merge_histogram_deltas",
     "metrics_snapshot",
     "nonzero_counters",
+    "promexport",
     "render_tree",
     "reset_metrics",
     "sampler",

@@ -278,6 +278,56 @@ def _drift_section(records: list[dict[str, Any]]) -> str:
     return f"<table>{''.join(rows)}</table>"
 
 
+# Injected only when the dashboard is served by repro.obs.live: a live
+# panel that streams /events into a rolling log, polls /metrics into a
+# <pre>, and shows connection state — so a medium/xlarge build can be
+# watched from a browser while it runs.  Static dashboards (repro runs
+# report) carry none of this.
+_LIVE_PANEL = """
+<h2>Live</h2>
+<p class='note'>status: <span id='live-status'>connecting…</span>
+— event log (newest first, capped at 200) and a /metrics scrape every 2s.
+Reload the page to refresh the ledger sections below.</p>
+<ul id='live-events' class='live-events'></ul>
+<pre id='live-metrics' class='live-metrics'>(waiting for /metrics…)</pre>
+<script>
+(function () {
+  var status = document.getElementById('live-status');
+  var list = document.getElementById('live-events');
+  var pre = document.getElementById('live-metrics');
+  var source = new EventSource('/events');
+  source.onopen = function () { status.textContent = 'connected'; };
+  source.onerror = function () { status.textContent = 'disconnected'; };
+  function append(kind, data) {
+    var item = document.createElement('li');
+    item.textContent = kind + ' ' + data;
+    list.insertBefore(item, list.firstChild);
+    while (list.childNodes.length > 200) list.removeChild(list.lastChild);
+  }
+  ['span.open', 'span.close', 'sampler.tick', 'chunk.dispatch',
+   'chunk.complete', 'shard.progress', 'run.recorded'].forEach(
+    function (kind) {
+      source.addEventListener(kind, function (e) { append(kind, e.data); });
+    });
+  function poll() {
+    fetch('/metrics').then(function (r) { return r.text(); })
+      .then(function (text) { pre.textContent = text; })
+      .catch(function () {});
+  }
+  poll();
+  setInterval(poll, 2000);
+})();
+</script>
+"""
+
+_LIVE_STYLE = """
+.live-events { font-family: monospace; font-size: 0.8em; max-height: 16em;
+               overflow-y: auto; border: 1px solid #ddd; padding: 0.5em;
+               list-style: none; margin: 0.5em 0; }
+.live-metrics { font-size: 0.75em; max-height: 16em; overflow-y: auto;
+                border: 1px solid #ddd; padding: 0.5em; }
+"""
+
 _STYLE = """
 body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 70em;
        color: #222; }
@@ -294,17 +344,25 @@ code { font-size: 0.95em; }
 """
 
 
-def render_dashboard(records: list[dict[str, Any]]) -> str:
-    """The full dashboard document for a list of ledger records."""
+def render_dashboard(records: list[dict[str, Any]], *, live: bool = False) -> str:
+    """The full dashboard document for a list of ledger records.
+
+    With ``live=True`` (the ``/`` endpoint of :mod:`repro.obs.live`) the
+    page gains a panel that auto-refreshes from ``/events`` and
+    ``/metrics``; the static file written by ``repro runs report`` never
+    includes it.
+    """
     stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
     groups = drift_mod.group_records(records)
+    style = _STYLE + (_LIVE_STYLE if live else "")
     return (
         "<!doctype html>\n<html><head><meta charset='utf-8'>"
         "<title>repro run ledger</title>"
-        f"<style>{_STYLE}</style></head><body>"
+        f"<style>{style}</style></head><body>"
         f"<h1>repro run ledger</h1>"
         f"<p class='note'>{len(records)} run(s), {len(groups)} group(s); "
         f"generated {stamp}.</p>"
+        f"{_LIVE_PANEL if live else ''}"
         f"<h2>Drift</h2>{_drift_section(records)}"
         f"<h2>Runs</h2>{_runs_table(records)}"
         f"<h2>Phase timings</h2>{_phase_section(groups)}"

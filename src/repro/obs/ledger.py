@@ -250,6 +250,16 @@ def append_record(
         )
         return None
     _APPENDS.inc()
+    # Surface the append on the live event bus (no-op without SSE clients);
+    # lazy import keeps the obs package import order cycle-free.
+    from repro.obs import live
+
+    live.publish(
+        "run.recorded",
+        run_id=record.get("run_id"),
+        run_kind=record.get("kind"),
+        command=record.get("command"),
+    )
     return out
 
 

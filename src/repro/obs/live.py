@@ -1,0 +1,460 @@
+"""Live telemetry service: event bus + threaded HTTP server.
+
+Everything earlier observability layers record post-hoc (spans, metrics,
+ledger records, sampler timelines) becomes inspectable *while a build
+runs*: ``repro serve`` (or ``--live [PORT]`` on any study command) starts a
+stdlib-only :class:`ThreadingHTTPServer` on localhost exposing
+
+- ``/metrics`` — Prometheus text exposition of the full metrics registry
+  (:mod:`repro.obs.promexport`); worker counter/histogram deltas fold into
+  the parent registry as pool chunks complete, so scrapes reflect them.
+- ``/healthz`` — liveness JSON (uptime, pid, event-bus stats).
+- ``/runs`` and ``/runs/<id>`` — run-ledger summaries / full records.
+- ``/events`` — a schema-v1 Server-Sent-Events stream fed by the
+  in-process :class:`EventBus`: span open/close (phase transitions are the
+  top-level spans), sampler ticks, parallel chunk dispatch/steal/complete,
+  per-shard build progress, and ledger appends.
+- ``/`` — the run dashboard (:mod:`repro.obs.dashboard`) in live mode,
+  auto-refreshing itself from ``/events`` and ``/metrics``.
+
+Design constraints, in order:
+
+1. **The observed build must not change.**  The server never writes to
+   stdout/stderr, shares no mutable state with the pipeline (it only
+   *reads* the metrics registry and ledger), and every handler error —
+   including the injected ``serve.request:fail`` fault — is answered with
+   a 500 and counted in ``serve.request_failed``, never propagated.
+   ``scripts/reproduce_all.sh`` proves a served medium build byte-identical
+   to a clean one.
+2. **Near-zero cost when idle.**  Event hooks are module globals installed
+   only while a server runs (one ``is None`` check otherwise), and
+   :meth:`EventBus.publish` returns after one list check when no SSE
+   client is subscribed.  The serve-overhead bound (<3% with a polling
+   client) is guarded by ``benchmarks/test_substrate_perf.py``.
+3. **Fork-safe.**  Pool workers inherit the bus at fork; ``publish``
+   no-ops in any process other than the one that created the bus, so
+   worker-side telemetry travels the existing chunk-result channel (span
+   records + metric deltas) and surfaces as parent-side events at fold.
+
+Import-cycle note: :mod:`repro.faults` imports :mod:`repro.obs` at module
+level, and the ledger/dashboard layers import :mod:`repro.cache` lazily —
+so this module imports ``faults``, ``ledger``, and ``dashboard`` inside
+functions only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import metrics, promexport, sampler, trace
+
+#: Bump when the event envelope changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default bound on each SSE subscriber's queue; a slow client drops
+#: events (counted in ``serve.events_dropped``) instead of blocking
+#: publishers or growing memory.
+SUBSCRIBER_QUEUE_MAX = 1024
+
+#: Seconds between SSE keepalive comments when no events flow.
+SSE_HEARTBEAT_S = 10.0
+
+_REQUESTS = metrics.counter("serve.requests")
+_REQUEST_FAILED = metrics.counter("serve.request_failed")
+_EVENTS_PUBLISHED = metrics.counter("serve.events_published")
+_EVENTS_DROPPED = metrics.counter("serve.events_dropped")
+_SSE_CONNECTS = metrics.counter("serve.sse_connects")
+_SSE_CLIENTS = metrics.gauge("serve.sse_clients")
+_REQUEST_SECONDS = metrics.histogram("serve.request_seconds")
+
+
+# --------------------------------------------------------------------- #
+# Event bus
+# --------------------------------------------------------------------- #
+
+
+class Subscription:
+    """One subscriber's bounded event queue."""
+
+    __slots__ = ("_queue", "_bus")
+
+    def __init__(self, bus: "EventBus", maxsize: int):
+        self._bus = bus
+        self._queue = queue.Queue(maxsize=maxsize)
+
+    def get(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """Next event, or ``None`` if ``timeout`` elapses first."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """In-process pub/sub for telemetry events.
+
+    ``publish`` stamps each event with the schema version, a monotonically
+    increasing sequence number, and a wall-clock timestamp, then fans it
+    out to every subscriber's bounded queue (full queue → drop + count).
+    With no subscribers it returns after a single list check, and in a
+    forked child (whose pid differs from the bus creator's) it is a no-op
+    even if subscriber queues were inherited.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: list[Subscription] = []
+        self._seq = 0
+        self._pid = os.getpid()
+
+    def subscribe(self, maxsize: int = SUBSCRIBER_QUEUE_MAX) -> Subscription:
+        sub = Subscription(self, maxsize)
+        with self._lock:
+            self._subs.append(sub)
+            _SSE_CLIENTS.set(len(self._subs))
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+            _SSE_CLIENTS.set(len(self._subs))
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subs)
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    def publish(self, kind: str, **fields: Any) -> None:
+        if not self._subs or os.getpid() != self._pid:
+            return
+        with self._lock:
+            self._seq += 1
+            event = {
+                "schema": EVENT_SCHEMA_VERSION,
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+                "kind": kind,
+                **fields,
+            }
+            subs = list(self._subs)
+        _EVENTS_PUBLISHED.inc()
+        for sub in subs:
+            try:
+                sub._queue.put_nowait(event)
+            except queue.Full:
+                _EVENTS_DROPPED.inc()
+
+
+#: The process-global bus every telemetry source publishes into.
+BUS = EventBus()
+
+
+def publish(kind: str, **fields: Any) -> None:
+    """Publish one event to the global bus (near-free with no clients).
+
+    The entry point :mod:`repro.parallel`, :mod:`repro.shard.build`, and
+    :mod:`repro.obs.ledger` call directly; ``trace``/``sampler`` go through
+    their listener hooks instead so their modules stay import-order clean.
+    """
+    BUS.publish(kind, **fields)
+
+
+# --------------------------------------------------------------------- #
+# Hook wiring (installed while a server runs)
+# --------------------------------------------------------------------- #
+
+#: Span attribute values of these types pass through to events as-is;
+#: anything else is stringified so json.dumps can never fail mid-stream.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _safe_attrs(attrs: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        key: value if isinstance(value, _JSON_SCALARS) else str(value)
+        for key, value in attrs.items()
+    }
+
+
+def _on_span(phase: str, record: trace.SpanRecord) -> None:
+    try:
+        event: dict[str, Any] = {
+            "name": record.name,
+            "pid": record.pid,
+            "thread": record.thread,
+            "depth": 0 if record.parent < 0 else 1,
+        }
+        if phase == "close":
+            event["wall_s"] = round(record.wall_s, 6)
+            event["cpu_s"] = round(record.cpu_s, 6)
+            if record.attrs:
+                event["attrs"] = _safe_attrs(record.attrs)
+        BUS.publish(f"span.{phase}", **event)
+    except Exception:
+        pass  # a telemetry listener must never break the traced build
+
+
+def _on_tick(sample: Mapping[str, Any]) -> None:
+    try:
+        BUS.publish("sampler.tick", **dict(sample))
+    except Exception:
+        pass
+
+
+def _install_hooks() -> None:
+    trace.set_span_listener(_on_span)
+    sampler.set_tick_listener(_on_tick)
+
+
+def _remove_hooks() -> None:
+    trace.set_span_listener(None)
+    sampler.set_tick_listener(None)
+
+
+# --------------------------------------------------------------------- #
+# HTTP server
+# --------------------------------------------------------------------- #
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    stopping = False
+
+    def handle_error(self, request, client_address):  # noqa: D102
+        # Client disconnects (broken pipes mid-SSE) and handler thread
+        # errors must never reach stderr of the build being observed.
+        pass
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-live/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are counted in serve.requests, never printed
+
+    # Responses -------------------------------------------------------- #
+
+    def _send_body(
+        self, body: bytes, content_type: str, status: int = 200
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, doc: Any, status: int = 200) -> None:
+        body = json.dumps(doc, indent=2, default=str).encode("utf-8")
+        self._send_body(body, "application/json; charset=utf-8", status)
+
+    # Routing ---------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        _REQUESTS.inc()
+        t0 = time.perf_counter()
+        try:
+            from repro import faults
+
+            faults.check("serve.request")
+            self._route()
+        except Exception as exc:
+            _REQUEST_FAILED.inc()
+            try:
+                self._send_json(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+            except Exception:
+                pass  # headers already sent or client gone
+        finally:
+            _REQUEST_SECONDS.observe(time.perf_counter() - t0)
+
+    def _route(self) -> None:
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        if path == "/metrics":
+            body = promexport.render_prometheus().encode("utf-8")
+            self._send_body(body, promexport.PROM_CONTENT_TYPE)
+        elif path == "/healthz":
+            self._send_json(self._healthz())
+        elif path == "/runs":
+            self._send_json(self._run_summaries())
+        elif path.startswith("/runs/"):
+            self._route_run(path[len("/runs/"):])
+        elif path == "/events":
+            self._route_events(query)
+        elif path == "/":
+            self._route_dashboard()
+        else:
+            self._send_json({"error": f"no route for {path!r}"}, status=404)
+
+    def _healthz(self) -> dict[str, Any]:
+        server: _TelemetryHTTPServer = self.server  # type: ignore[assignment]
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - server.started_monotonic, 3),
+            "events_seq": BUS.seq,
+            "sse_clients": BUS.subscribers,
+        }
+
+    def _ledger_records(self) -> list[dict[str, Any]]:
+        from repro.obs import ledger
+
+        return ledger.read_records(ledger.ledger_path())
+
+    def _run_summaries(self) -> list[dict[str, Any]]:
+        summaries = []
+        for record in self._ledger_records():
+            summaries.append(
+                {
+                    "run_id": record.get("run_id"),
+                    "kind": record.get("kind"),
+                    "command": record.get("command"),
+                    "created_unix": record.get("created_unix"),
+                    "total_wall_s": record.get("total_wall_s"),
+                    "config": record.get("config"),
+                }
+            )
+        return summaries
+
+    def _route_run(self, ref: str) -> None:
+        from repro.obs import ledger
+
+        record = ledger.find_record(self._ledger_records(), ref)
+        if record is None:
+            self._send_json({"error": f"no run matching {ref!r}"}, status=404)
+        else:
+            self._send_json(record)
+
+    def _route_dashboard(self) -> None:
+        from repro.obs import dashboard
+
+        html = dashboard.render_dashboard(self._ledger_records(), live=True)
+        self._send_body(html.encode("utf-8"), "text/html; charset=utf-8")
+
+    # SSE -------------------------------------------------------------- #
+
+    def _route_events(self, query: Mapping[str, str]) -> None:
+        server: _TelemetryHTTPServer = self.server  # type: ignore[assignment]
+        limit = int(query.get("limit", "0"))
+        heartbeat = float(query.get("heartbeat", str(SSE_HEARTBEAT_S)))
+        _SSE_CONNECTS.inc()
+        sub = BUS.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.end_headers()
+            hello = {"schema": EVENT_SCHEMA_VERSION, "pid": os.getpid()}
+            self.wfile.write(
+                f"event: hello\ndata: {json.dumps(hello)}\n\n".encode("utf-8")
+            )
+            self.wfile.flush()
+            sent = 0
+            while not server.stopping:
+                event = sub.get(timeout=heartbeat)
+                if event is None:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                frame = (
+                    f"id: {event['seq']}\n"
+                    f"event: {event['kind']}\n"
+                    f"data: {json.dumps(event, default=str)}\n\n"
+                )
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+                sent += 1
+                if limit and sent >= limit:
+                    break
+        except OSError:
+            pass  # client went away; not a handler failure
+        finally:
+            sub.close()
+
+
+class TelemetryServer:
+    """Lifecycle wrapper: bind, serve in a daemon thread, install hooks.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`).  Only one server installs the global hooks at a
+    time; :meth:`stop` removes them, shuts the listener down, and leaves
+    any draining SSE handler threads to exit within one heartbeat.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._httpd: _TelemetryHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryServer":
+        global _SERVER
+        if self._httpd is not None:
+            return self
+        httpd = _TelemetryHTTPServer((self.host, self.port), _Handler)
+        httpd.started_monotonic = time.monotonic()
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-live",
+            daemon=True,
+        )
+        self._thread.start()
+        _install_hooks()
+        _SERVER = self
+        return self
+
+    def stop(self) -> None:
+        global _SERVER
+        if self._httpd is None:
+            return
+        _remove_hooks()
+        self._httpd.stopping = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+        if _SERVER is self:
+            _SERVER = None
+
+
+_SERVER: TelemetryServer | None = None
+
+
+def serve_background(host: str = "127.0.0.1", port: int = 0) -> TelemetryServer:
+    """Start a telemetry server in a daemon thread and return it."""
+    return TelemetryServer(host=host, port=port).start()
+
+
+def active_server() -> TelemetryServer | None:
+    """The running telemetry server, if any."""
+    return _SERVER

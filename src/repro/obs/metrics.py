@@ -41,19 +41,30 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing event count."""
+    """A monotonically increasing event count.
 
-    __slots__ = ("name", "value")
+    Increments take a per-instrument lock: counters are bumped from the main
+    thread, the sampler daemon thread, and live-telemetry handler threads at
+    once, and ``value += n`` is a read-modify-write that loses updates under
+    preemption.  The lock is uncontended in the common case, so the cost
+    stays within the <3% instrumentation bound guarded by
+    ``benchmarks/test_substrate_perf.py``.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> int:
         return self.value
@@ -85,7 +96,7 @@ class Histogram:
     implicit ``+Inf`` bucket catches everything beyond the last bound.
     """
 
-    __slots__ = ("name", "bounds", "_counts", "total", "count")
+    __slots__ = ("name", "bounds", "_counts", "total", "count", "_lock")
 
     def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
         self.name = name
@@ -95,25 +106,34 @@ class Histogram:
         self._counts = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self._counts[bisect_left(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
+        # An observation mutates three fields; the lock keeps a concurrent
+        # snapshot() from seeing count bumped before the bucket/sum landed.
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self.total += value
+            self.count += 1
 
     def reset(self) -> None:
-        self._counts = [0] * (len(self.bounds) + 1)
-        self.total = 0.0
-        self.count = 0
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self.total = 0.0
+            self.count = 0
 
     def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self.total
+            count = self.count
         cumulative = []
         running = 0
-        for bound, n in zip(self.bounds, self._counts):
+        for bound, n in zip(self.bounds, counts):
             running += n
             cumulative.append({"le": bound, "count": running})
-        cumulative.append({"le": "+Inf", "count": running + self._counts[-1]})
-        return {"buckets": cumulative, "sum": self.total, "count": self.count}
+        cumulative.append({"le": "+Inf", "count": running + counts[-1]})
+        return {"buckets": cumulative, "sum": total, "count": count}
 
     def raw(self) -> dict[str, Any]:
         """Non-cumulative state, suitable for diffing and re-merging.
@@ -123,12 +143,13 @@ class Histogram:
         captures can be subtracted and the difference folded into another
         registry (worker-process delta shipping).
         """
-        return {
-            "bounds": list(self.bounds),
-            "counts": list(self._counts),
-            "sum": self.total,
-            "count": self.count,
-        }
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self.total,
+                "count": self.count,
+            }
 
     def merge_raw(self, raw: Mapping[str, Any]) -> None:
         """Fold a :meth:`raw` capture (or delta of two) into this histogram."""
@@ -137,10 +158,11 @@ class Histogram:
                 f"histogram {self.name!r}: cannot merge capture with bounds "
                 f"{raw['bounds']} into bounds {list(self.bounds)}"
             )
-        for i, n in enumerate(raw["counts"]):
-            self._counts[i] += n
-        self.total += raw["sum"]
-        self.count += raw["count"]
+        with self._lock:
+            for i, n in enumerate(raw["counts"]):
+                self._counts[i] += n
+            self.total += raw["sum"]
+            self.count += raw["count"]
 
 
 class MetricsRegistry:
@@ -176,11 +198,22 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(name, Histogram, bounds)
 
+    def _instrument_items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        """A point-in-time copy of the instrument table.
+
+        Readers iterate the copy so a concurrent ``_get_or_create`` (any
+        thread touching a new metric name mutates the dict) can never raise
+        ``RuntimeError: dictionary changed size during iteration`` under
+        them.
+        """
+        with self._lock:
+            return list(self._instruments.items())
+
     def counter_values(self) -> dict[str, int]:
         """Current value of every counter (used for worker deltas)."""
         return {
             name: inst.value
-            for name, inst in self._instruments.items()
+            for name, inst in self._instrument_items()
             if isinstance(inst, Counter)
         }
 
@@ -193,8 +226,8 @@ class MetricsRegistry:
         """
         return {
             name: value
-            for name in sorted(self._instruments)
-            if isinstance((inst := self._instruments[name]), Counter)
+            for name, inst in sorted(self._instrument_items())
+            if isinstance(inst, Counter)
             and (value := inst.value)
             and name.startswith(prefix)
         }
@@ -209,7 +242,7 @@ class MetricsRegistry:
         """Raw (non-cumulative) state of every histogram (for worker deltas)."""
         return {
             name: inst.raw()
-            for name, inst in self._instruments.items()
+            for name, inst in self._instrument_items()
             if isinstance(inst, Histogram)
         }
 
@@ -227,12 +260,18 @@ class MetricsRegistry:
                 self.histogram(name, raw["bounds"]).merge_raw(raw)
 
     def snapshot(self) -> dict[str, Any]:
-        """The whole registry as plain JSON-able dicts."""
+        """The whole registry as plain JSON-able dicts.
+
+        Safe to call from any thread at any time: the instrument table is
+        copied under the registry lock and each instrument renders itself
+        under its own lock, so ``/metrics`` scrapes racing the sampler
+        daemon thread and main-thread increments always see a consistent
+        per-instrument state (a histogram's buckets, sum, and count agree).
+        """
         counters: dict[str, int] = {}
         gauges: dict[str, float | int | None] = {}
         histograms: dict[str, Any] = {}
-        for name in sorted(self._instruments):
-            inst = self._instruments[name]
+        for name, inst in sorted(self._instrument_items()):
             if isinstance(inst, Counter):
                 counters[name] = inst.snapshot()
             elif isinstance(inst, Gauge):
@@ -242,7 +281,7 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def reset(self) -> None:
-        for inst in self._instruments.values():
+        for _, inst in self._instrument_items():
             inst.reset()
 
 

@@ -51,6 +51,19 @@ _MAX_INTERVALS = 50_000
 _SAMPLES = metrics.counter("sampler.samples")
 _ERRORS = metrics.counter("sampler.errors")
 
+# Optional tick listener, installed by repro.obs.live while a telemetry
+# server runs: called with each completed sample dict from whichever thread
+# took it.  One module-global check when absent; listeners must not raise.
+_tick_listener: Callable[[Mapping[str, Any]], None] | None = None
+
+
+def set_tick_listener(
+    listener: Callable[[Mapping[str, Any]], None] | None,
+) -> None:
+    """Install (or with ``None`` remove) the sampler tick event listener."""
+    global _tick_listener
+    _tick_listener = listener
+
 _STATM = "/proc/self/statm"
 _FD_DIR = "/proc/self/fd"
 
@@ -196,6 +209,8 @@ class ResourceSampler:
             if len(self._samples) < _MAX_SAMPLES:
                 self._samples.append(sample)
         _SAMPLES.inc()
+        if _tick_listener is not None:
+            _tick_listener(sample)
         return sample
 
     def _guarded_sample(self) -> bool:

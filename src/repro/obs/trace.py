@@ -119,6 +119,21 @@ _mem_enabled = False
 _trace: Trace | None = None
 _tls = threading.local()
 
+# Optional span listener, installed by repro.obs.live while a telemetry
+# server is running: called as listener("open"|"close", record) from
+# _Span.__enter__/__exit__.  One module-global check when absent, so the
+# no-server path costs nothing.  Listeners must never raise (live.py's
+# listener swallows its own errors); they run on the recording thread.
+_span_listener: Callable[[str, SpanRecord], None] | None = None
+
+
+def set_span_listener(
+    listener: Callable[[str, SpanRecord], None] | None,
+) -> None:
+    """Install (or with ``None`` remove) the global span event listener."""
+    global _span_listener
+    _span_listener = listener
+
 
 def _stack() -> list[int]:
     stack = getattr(_tls, "stack", None)
@@ -214,6 +229,8 @@ class _Span:
         )
         stack.append(trace.add(record))
         self._record = record
+        if _span_listener is not None:
+            _span_listener("open", record)
         if _mem_enabled:
             import tracemalloc
 
@@ -238,6 +255,8 @@ class _Span:
         stack = _stack()
         if stack and stack[-1] == record.index:
             stack.pop()
+        if _span_listener is not None:
+            _span_listener("close", record)
         return False
 
     def set(self, key: str, value: Any) -> None:

@@ -76,6 +76,7 @@ import warnings
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import faults, obs
+from repro.obs import live as obs_live
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -345,7 +346,7 @@ def _dispatch_chunks(
     dispatched_at: dict[int, float] = {}
     next_idx = 0
 
-    def _submit(index: int) -> None:
+    def _submit(index: int, steal: bool = False) -> None:
         def _ok(result, index=index):
             done.put((index, True, result))
 
@@ -353,6 +354,9 @@ def _dispatch_chunks(
             done.put((index, False, exc))
 
         dispatched_at[index] = time.perf_counter()
+        obs_live.publish(
+            "chunk.dispatch", index=index, total=len(chunks), steal=steal
+        )
         pool.apply_async(
             runner, (chunks[index],), callback=_ok, error_callback=_err
         )
@@ -392,9 +396,16 @@ def _dispatch_chunks(
             _CHUNKS_DROPPED.inc(_completed())
             raise payload
         parts[index] = payload
+        obs_live.publish(
+            "chunk.complete",
+            index=index,
+            total=len(chunks),
+            done=_completed(),
+            pending=len(dispatched_at),
+        )
         if next_idx < len(chunks):
             _STEALS.inc()
-            _submit(next_idx)
+            _submit(next_idx, steal=True)
             next_idx += 1
     return parts
 
@@ -455,7 +466,7 @@ def _pool_map(
         from repro.obs import sampler
 
         guarded: list[tuple[bool, object]] = []
-        for part, spans, deltas, hist_deltas, mark in parts:
+        for idx, (part, spans, deltas, hist_deltas, mark) in enumerate(parts):
             guarded.extend(part)
             if spans:
                 obs.fold_spans(spans)
@@ -465,6 +476,16 @@ def _pool_map(
                 obs.merge_histogram_deltas(hist_deltas)
             pid, t0, t1 = mark
             sampler.note_interval(pid, t0, t1, "parallel.chunk")
+            # Worker events ride the chunk-result channel: the worker's
+            # spans/deltas just folded into the parent registry, so surface
+            # one fold event per chunk for live SSE clients.
+            obs_live.publish(
+                "chunk.folded",
+                index=idx,
+                pid=pid,
+                wall_s=round(t1 - t0, 6),
+                spans=len(spans) if spans else 0,
+            )
         return guarded
 
 

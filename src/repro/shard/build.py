@@ -44,6 +44,7 @@ import numpy as np
 
 from repro import cache as study_cache
 from repro import faults, obs
+from repro.obs import live as obs_live
 from repro.parallel import map_chunks, worker_count
 from repro.shard import store
 from repro.shard.store import ShardPartial
@@ -151,8 +152,16 @@ def _serial_shard_tasks(
             if use_store:
                 if store.load_partial(config, num_shards, shard) is not None:
                     results.append(("reused", shard, None))
+                    obs_live.publish(
+                        "shard.progress", shard=shard, total=num_shards,
+                        status="reused",
+                    )
                     continue
             partial = build_shard_partial(config, num_shards, shard)
+            obs_live.publish(
+                "shard.progress", shard=shard, total=num_shards,
+                status="built",
+            )
             if use_store:
                 writer.submit(partial)
                 submitted.append(shard)
@@ -201,6 +210,17 @@ def build_released_enriched(
             # Serial build: overlap each shard's spill with the next
             # shard's compute instead.
             results = _serial_shard_tasks(config, num_shards, use_store)
+
+        # One summary event per shard once every result is in (the pooled
+        # path's live progress comes from the parallel chunk events; this
+        # adds each shard's final status for SSE clients on either path).
+        for done, (status, shard, _partial) in enumerate(
+            sorted(results, key=lambda r: r[1]), start=1
+        ):
+            obs_live.publish(
+                "shard.result", shard=shard, total=num_shards,
+                status=status, done=done,
+            )
 
         t0 = time.perf_counter()
         with obs.span("shard.merge", num_shards=num_shards):

@@ -1,0 +1,601 @@
+"""Tests for :mod:`repro.obs.live` and :mod:`repro.obs.promexport`.
+
+The live telemetry service has three load-bearing guarantees, each pinned
+here: (1) ``/metrics`` is valid Prometheus text exposition rendered from a
+consistent registry snapshot, (2) the ``/events`` SSE stream carries
+schema-v1 events from every hook (spans, sampler ticks, parallel chunks,
+shard progress, ledger appends) over a real socket, and (3) nothing the
+server does — concurrent clients, injected ``serve.request:fail`` faults,
+slow subscribers — can disturb the build it observes or change a byte of
+CLI stdout (the ``--live`` identity test).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults, obs
+from repro.obs import live, promexport
+from repro.parallel import map_chunks
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    """Tracing off, faults clear, and no lingering server after each test."""
+    yield
+    obs.finish()
+    faults.configure(None)
+    server = live.active_server()
+    if server is not None:
+        server.stop()
+
+
+@pytest.fixture
+def server():
+    srv = live.TelemetryServer(port=0).start()
+    yield srv
+    srv.stop()
+
+
+def _get(url: str, timeout: float = 5.0):
+    """GET returning ``(status, headers, body-text)`` without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read().decode()
+
+
+def _double(x):
+    return x * 2
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition
+# --------------------------------------------------------------------- #
+
+
+class TestPromExport:
+    def test_prom_name_sanitization(self):
+        assert promexport.prom_name("cache.hit") == "repro_cache_hit"
+        assert promexport.prom_name("serve.request_failed") == (
+            "repro_serve_request_failed"
+        )
+        assert promexport.prom_name("0weird-name!") == "repro__0weird_name_"
+
+    def test_golden_exposition(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("demo.hits").inc(3)
+        registry.gauge("demo.workers").set(4)
+        hist = registry.histogram("demo.seconds", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = promexport.render_prometheus(registry.snapshot())
+        assert text == (
+            "# TYPE repro_demo_hits_total counter\n"
+            "repro_demo_hits_total 3\n"
+            "# TYPE repro_demo_workers gauge\n"
+            "repro_demo_workers 4\n"
+            "# TYPE repro_demo_seconds histogram\n"
+            'repro_demo_seconds_bucket{le="0.1"} 1\n'
+            'repro_demo_seconds_bucket{le="1"} 2\n'
+            'repro_demo_seconds_bucket{le="+Inf"} 3\n'
+            "repro_demo_seconds_sum 5.55\n"
+            "repro_demo_seconds_count 3\n"
+        )
+
+    def test_unset_gauges_are_omitted(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("demo.never_set")
+        registry.counter("demo.count").inc()
+        text = promexport.render_prometheus(registry.snapshot())
+        assert "never_set" not in text
+        assert "repro_demo_count_total 1" in text
+
+    def test_global_registry_exposition_parses(self):
+        obs.counter("live_test.parse_check").inc(2)
+        text = promexport.render_prometheus()
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9.+eE_inf-]+$'
+        )
+        for line in text.strip().splitlines():
+            assert line.startswith("# TYPE ") or sample.match(line), line
+        assert "repro_live_test_parse_check_total 2" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        obs.REGISTRY.histogram("live_test.cumulative", (0.5, 2.0)).observe(1.0)
+        text = promexport.render_prometheus()
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'repro_live_test_cumulative_bucket\{le="[^"]+"\} (\d+)', text
+            )
+        ]
+        assert counts == sorted(counts)
+        count = int(
+            re.search(r"repro_live_test_cumulative_count (\d+)", text).group(1)
+        )
+        assert counts[-1] == count
+
+
+# --------------------------------------------------------------------- #
+# Event bus
+# --------------------------------------------------------------------- #
+
+
+class TestEventBus:
+    def test_envelope_and_sequencing(self):
+        bus = live.EventBus()
+        sub = bus.subscribe()
+        bus.publish("demo.kind", shard=3)
+        bus.publish("demo.kind", shard=4)
+        first = sub.get(timeout=1.0)
+        second = sub.get(timeout=1.0)
+        assert first["schema"] == live.EVENT_SCHEMA_VERSION
+        assert first["kind"] == "demo.kind"
+        assert first["shard"] == 3
+        assert second["seq"] == first["seq"] + 1
+        assert first["ts"] > 0
+        sub.close()
+
+    def test_publish_without_subscribers_is_noop(self):
+        bus = live.EventBus()
+        bus.publish("demo.kind")
+        assert bus.seq == 0
+
+    def test_slow_subscriber_drops_instead_of_blocking(self):
+        bus = live.EventBus()
+        sub = bus.subscribe(maxsize=2)
+        dropped = obs.counter("serve.events_dropped")
+        before = dropped.value
+        for _ in range(5):
+            bus.publish("demo.kind")
+        assert dropped.value == before + 3
+        assert sub.get(timeout=0.1)["seq"] == 1
+        sub.close()
+
+    def test_forked_child_publish_is_noop(self):
+        bus = live.EventBus()
+        sub = bus.subscribe()
+        bus._pid += 1  # simulate "this is not the creating process"
+        bus.publish("demo.kind")
+        assert sub.get(timeout=0.05) is None
+        sub.close()
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = live.EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("demo.kind")
+        assert sub.get(timeout=0.05) is None
+
+
+# --------------------------------------------------------------------- #
+# HTTP endpoints
+# --------------------------------------------------------------------- #
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = _get(f"{server.url}/healthz")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["uptime_s"] >= 0
+
+    def test_metrics_content_type_and_content(self, server):
+        obs.counter("live_test.endpoint_check").inc()
+        status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == promexport.PROM_CONTENT_TYPE
+        assert "repro_live_test_endpoint_check_total 1" in body
+        # The server's own traffic is metered too.
+        assert "repro_serve_requests_total" in body
+
+    def test_metrics_reflects_worker_deltas(self, server):
+        """Pool-worker counter increments fold into the parent registry and
+        surface on the next scrape (the 'merged across pool workers' leg)."""
+        pool_maps = obs.counter("parallel.pool_maps")
+        before = pool_maps.value
+        result = map_chunks(_double, list(range(64)), workers=2, chunk_size=8)
+        assert result == [x * 2 for x in range(64)]
+        if pool_maps.value == before:
+            pytest.skip("process pool unavailable; no worker deltas to check")
+        _, _, body = _get(f"{server.url}/metrics")
+        chunk_count = int(
+            re.search(r"repro_parallel_chunk_seconds_count (\d+)", body).group(1)
+        )
+        assert chunk_count >= 8  # worker-side observations, post-fold
+
+    def test_runs_endpoints(self, server, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.ledger.LEDGER_DIR_ENV, str(tmp_path))
+        record = obs.ledger.build_record(
+            kind="study", command="report", config={"scale": "tiny", "seed": 7}
+        )
+        assert obs.ledger.append_record(record) is not None
+        status, _, body = _get(f"{server.url}/runs")
+        assert status == 200
+        summaries = json.loads(body)
+        assert summaries[-1]["run_id"] == record["run_id"]
+        assert summaries[-1]["command"] == "report"
+        status, _, body = _get(f"{server.url}/runs/{record['run_id']}")
+        assert status == 200
+        assert json.loads(body)["run_id"] == record["run_id"]
+        status, _, _ = _get(f"{server.url}/runs/nope-no-such-run")
+        assert status == 404
+
+    def test_unknown_path_404s(self, server):
+        status, _, body = _get(f"{server.url}/nope")
+        assert status == 404
+        assert "no route" in body
+
+    def test_dashboard_served_live(self, server):
+        status, headers, body = _get(f"{server.url}/")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert "EventSource('/events')" in body
+        assert "fetch('/metrics')" in body
+
+    def test_static_dashboard_has_no_live_panel(self):
+        from repro.obs import dashboard
+
+        html = dashboard.render_dashboard([])
+        assert "EventSource" not in html
+
+    def test_concurrent_clients_smoke(self, server):
+        """>= 8 parallel clients hammering /metrics and /healthz all get 200s."""
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def client(path: str) -> None:
+            for _ in range(5):
+                status, _, _ = _get(f"{server.url}{path}")
+                with lock:
+                    statuses.append(status)
+
+        threads = [
+            threading.Thread(
+                target=client, args=("/metrics" if i % 2 else "/healthz",)
+            )
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(statuses) == 40
+        assert set(statuses) == {200}
+
+
+# --------------------------------------------------------------------- #
+# SSE over a real socket
+# --------------------------------------------------------------------- #
+
+
+def _sse_frames(raw: str) -> list[dict]:
+    """Parse ``data:`` payloads out of a raw SSE byte stream."""
+    return [
+        json.loads(line[len("data: "):])
+        for line in raw.splitlines()
+        if line.startswith("data: ")
+    ]
+
+
+class TestSSE:
+    def test_stream_over_raw_socket(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        try:
+            sock.sendall(
+                b"GET /events?limit=2&heartbeat=0.2 HTTP/1.1\r\n"
+                b"Host: localhost\r\nAccept: text/event-stream\r\n\r\n"
+            )
+            # Wait for the subscription before publishing, else the events
+            # race the handler's subscribe.
+            deadline = time.monotonic() + 5.0
+            while live.BUS.subscribers == 0:
+                assert time.monotonic() < deadline, "SSE client never subscribed"
+                time.sleep(0.01)
+            live.publish("demo.alpha", shard=1)
+            live.publish("demo.beta", shard=2)
+            raw = b""
+            while b"demo.beta" not in raw:
+                chunk = sock.recv(65536)
+                assert chunk, f"stream closed early: {raw!r}"
+                raw += chunk
+        finally:
+            sock.close()
+        text = raw.decode()
+        assert "HTTP/1.0 200" in text or "HTTP/1.1 200" in text
+        assert "Content-Type: text/event-stream" in text
+        frames = _sse_frames(text)
+        hello, first, second = frames[0], frames[1], frames[2]
+        assert hello["schema"] == live.EVENT_SCHEMA_VERSION
+        assert first["kind"] == "demo.alpha" and first["shard"] == 1
+        assert second["kind"] == "demo.beta"
+        assert second["seq"] == first["seq"] + 1
+        assert f"id: {first['seq']}" in text
+        assert "event: demo.alpha" in text
+
+    def test_keepalive_comments_flow_when_idle(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        try:
+            sock.sendall(
+                b"GET /events?limit=1&heartbeat=0.05 HTTP/1.1\r\n"
+                b"Host: localhost\r\n\r\n"
+            )
+            raw = b""
+            while b": keepalive" not in raw:
+                chunk = sock.recv(65536)
+                assert chunk, f"stream closed before any keepalive: {raw!r}"
+                raw += chunk
+            live.publish("demo.wake")
+            while b"demo.wake" not in raw:
+                chunk = sock.recv(65536)
+                assert chunk, f"stream closed before the event: {raw!r}"
+                raw += chunk
+        finally:
+            sock.close()
+
+    def test_disconnecting_client_unsubscribes(self, server):
+        before = live.BUS.subscribers
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        sock.sendall(
+            b"GET /events?heartbeat=0.05 HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        deadline = time.monotonic() + 5.0
+        while live.BUS.subscribers <= before:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        sock.close()
+        deadline = time.monotonic() + 5.0
+        while live.BUS.subscribers > before:
+            assert time.monotonic() < deadline, "subscriber never cleaned up"
+            time.sleep(0.02)
+
+
+# --------------------------------------------------------------------- #
+# Event hooks
+# --------------------------------------------------------------------- #
+
+
+class TestHooks:
+    def test_span_events_published_while_serving(self, server):
+        obs.enable(name="live-test")
+        sub = live.BUS.subscribe()
+        with obs.span("demo.phase", scale="tiny"):
+            pass
+        obs.finish()
+        kinds = []
+        while (event := sub.get(timeout=0.2)) is not None:
+            kinds.append((event["kind"], event.get("name")))
+        sub.close()
+        assert ("span.open", "demo.phase") in kinds
+        closed = [
+            e for e in kinds if e == ("span.close", "demo.phase")
+        ]
+        assert closed
+
+    def test_span_close_carries_timing_and_attrs(self, server):
+        obs.enable(name="live-test")
+        sub = live.BUS.subscribe()
+        with obs.span("demo.timed", label=object()):
+            time.sleep(0.01)
+        obs.finish()
+        closes = []
+        while (event := sub.get(timeout=0.2)) is not None:
+            if event["kind"] == "span.close":
+                closes.append(event)
+        sub.close()
+        assert closes[0]["wall_s"] >= 0.01
+        # Non-JSON attr values are stringified, never a serialization error.
+        assert isinstance(closes[0]["attrs"]["label"], str)
+
+    def test_no_span_events_without_server(self):
+        assert live.active_server() is None
+        obs.enable(name="live-test")
+        sub = live.BUS.subscribe()
+        with obs.span("demo.unobserved"):
+            pass
+        obs.finish()
+        events = []
+        while (event := sub.get(timeout=0.05)) is not None:
+            events.append(event)
+        sub.close()
+        assert not any(e["kind"].startswith("span.") for e in events)
+
+    def test_sampler_tick_events(self, server):
+        from repro.obs.sampler import ResourceSampler
+
+        clock = iter(float(i) for i in range(10))
+        sampler = ResourceSampler(
+            interval_ms=50,
+            clock=lambda: next(clock),
+            reader=lambda: (100.0, 1.0, 4, 0.0),
+        )
+        sub = live.BUS.subscribe()
+        sampler.sample_once()
+        event = sub.get(timeout=1.0)
+        sub.close()
+        assert event["kind"] == "sampler.tick"
+        assert event["rss_mb"] == 100.0
+        assert "t_s" in event
+
+    def test_ledger_append_publishes_run_recorded(
+        self, server, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(obs.ledger.LEDGER_DIR_ENV, str(tmp_path))
+        sub = live.BUS.subscribe()
+        record = obs.ledger.build_record(
+            kind="study", command="report", config={}
+        )
+        obs.ledger.append_record(record)
+        event = sub.get(timeout=1.0)
+        sub.close()
+        assert event["kind"] == "run.recorded"
+        assert event["run_id"] == record["run_id"]
+        assert event["run_kind"] == "study"
+
+    def test_parallel_chunk_events(self, server):
+        pool_maps = obs.counter("parallel.pool_maps")
+        before = pool_maps.value
+        sub = live.BUS.subscribe()
+        map_chunks(_double, list(range(64)), workers=2, chunk_size=8)
+        pooled = pool_maps.value > before
+        events = []
+        while (event := sub.get(timeout=0.2)) is not None:
+            events.append(event)
+        sub.close()
+        if not pooled:
+            pytest.skip("process pool unavailable; no chunk events expected")
+        kinds = {e["kind"] for e in events}
+        assert {"chunk.dispatch", "chunk.complete", "chunk.folded"} <= kinds
+        dispatches = [e for e in events if e["kind"] == "chunk.dispatch"]
+        assert {d["index"] for d in dispatches} == set(range(8))
+        assert all(d["total"] == 8 for d in dispatches)
+        # Chunks beyond the initial window are dispatched as steals.
+        folded = [e for e in events if e["kind"] == "chunk.folded"]
+        assert len(folded) == 8
+        assert all(f["pid"] for f in folded)
+
+    def test_shard_progress_events(self, server, monkeypatch):
+        from repro.shard.build import build_released_enriched
+        from repro.simulator.config import SimulationConfig
+
+        # Force the serial path so shard.progress events fire in-process.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        sub = live.BUS.subscribe()
+        config = SimulationConfig.preset("tiny", seed=13)
+        build_released_enriched(config, 2, spill=False)
+        events = []
+        while (event := sub.get(timeout=0.2)) is not None:
+            events.append(event)
+        sub.close()
+        progress = [e for e in events if e["kind"] == "shard.progress"]
+        assert [(e["shard"], e["status"]) for e in progress] == [
+            (0, "built"), (1, "built"),
+        ]
+        results = [e for e in events if e["kind"] == "shard.result"]
+        assert [(e["shard"], e["total"]) for e in results] == [(0, 2), (1, 2)]
+
+
+# --------------------------------------------------------------------- #
+# Fault injection
+# --------------------------------------------------------------------- #
+
+
+class TestServeFaults:
+    def test_injected_fault_500s_and_counts(self, server):
+        failed = obs.counter("serve.request_failed")
+        before = failed.value
+        faults.configure("serve.request:fail@1")
+        status, _, body = _get(f"{server.url}/metrics")
+        assert status == 500
+        assert "InjectedFault" in body
+        assert failed.value == before + 1
+        # The fault fired exactly once: the server survives and the next
+        # request succeeds.
+        status, _, _ = _get(f"{server.url}/metrics")
+        assert status == 200
+        status, _, _ = _get(f"{server.url}/healthz")
+        assert status == 200
+
+    def test_every_request_faulted_still_never_kills_server(self, server):
+        faults.configure("serve.request:fail")
+        for _ in range(3):
+            status, _, _ = _get(f"{server.url}/healthz")
+            assert status == 500
+        faults.configure(None)
+        status, _, _ = _get(f"{server.url}/healthz")
+        assert status == 200
+
+    def test_faulted_requests_do_not_disturb_the_observed_build(self, server):
+        from repro import build_study
+
+        faults.configure("serve.request:fail")
+        status, _, _ = _get(f"{server.url}/metrics")
+        assert status == 500
+        study = build_study("tiny", seed=7)
+        assert study.released.instances.num_rows > 0
+        faults.configure(None)
+        status, _, _ = _get(f"{server.url}/healthz")
+        assert status == 200
+
+
+# --------------------------------------------------------------------- #
+# Server lifecycle + CLI
+# --------------------------------------------------------------------- #
+
+
+class TestLifecycleAndCLI:
+    def test_ephemeral_port_and_active_server(self):
+        server = live.serve_background()
+        assert server.port > 0
+        assert live.active_server() is server
+        assert server.running
+        server.stop()
+        assert live.active_server() is None
+        assert not server.running
+
+    def test_stop_is_idempotent(self):
+        server = live.serve_background()
+        server.stop()
+        server.stop()
+
+    def test_serve_command_smoke(self, capsys):
+        from repro import cli
+
+        rc = cli.main(["serve", "--port", "0", "--duration", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving live telemetry on http://127.0.0.1:" in out
+        assert "/metrics" in out
+        assert live.active_server() is None
+
+    def test_live_flag_keeps_stdout_byte_identical(self, capsys):
+        """A --live run's stdout matches an unserved run's exactly, while a
+        client polls /metrics and streams /events mid-build."""
+        from repro import cli
+
+        rc = cli.main(["report", "--scale", "tiny", "--seed", "7"])
+        clean = capsys.readouterr().out
+        assert rc == 0
+
+        polled: list = []
+
+        def poll() -> None:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                server = live.active_server()
+                if server is not None:
+                    try:
+                        polled.append(_get(f"{server.url}/metrics")[0])
+                        polled.append(
+                            _get(
+                                f"{server.url}/events?limit=1&heartbeat=0.1",
+                                timeout=10,
+                            )[0]
+                        )
+                    except Exception as exc:  # pragma: no cover - diagnostics
+                        polled.append(repr(exc))
+                    return
+                time.sleep(0.005)
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        rc = cli.main(["report", "--scale", "tiny", "--seed", "7", "--live", "0"])
+        poller.join()
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == clean  # byte-identical stdout
+        assert "live telemetry on http://127.0.0.1:" in captured.err
+        assert polled == [200, 200]
+        assert live.active_server() is None

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -140,6 +141,94 @@ class TestSpans:
 # --------------------------------------------------------------------- #
 # Metrics registry
 # --------------------------------------------------------------------- #
+
+
+class TestMetricsThreadSafety:
+    """The registry races /metrics scrapes against the sampler daemon
+    thread and main-thread increments; these hammer tests pin the
+    consistent-snapshot guarantees."""
+
+    N_THREADS = 8
+    N_OPS = 4000
+
+    def test_hammer_exact_totals_and_consistent_snapshots(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("hammer.count")
+        hist = registry.histogram("hammer.hist", bounds=(0.5,))
+        stop = threading.Event()
+        bad_snapshots: list[dict] = []
+
+        def snapshotter() -> None:
+            while not stop.is_set():
+                snap = registry.snapshot()
+                h = snap["histograms"]["hammer.hist"]
+                # Internal consistency: the +Inf cumulative bucket must
+                # equal the observation count in *every* mid-flight
+                # snapshot, not just the final one.
+                if h["buckets"][-1]["count"] != h["count"]:
+                    bad_snapshots.append(h)
+
+        def worker(tid: int) -> None:
+            for i in range(self.N_OPS):
+                counter.inc()
+                hist.observe(0.25 if i % 2 else 0.75)
+                if i % 1000 == 0:
+                    # Registering new names mutates the instrument dict
+                    # under the iterating snapshotters.
+                    registry.counter(f"hammer.new.{tid}.{i}").inc()
+
+        snapshotters = [
+            threading.Thread(target=snapshotter) for _ in range(2)
+        ]
+        workers = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(self.N_THREADS)
+        ]
+        for t in snapshotters + workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        for t in snapshotters:
+            t.join()
+
+        assert not bad_snapshots
+        total = self.N_THREADS * self.N_OPS
+        assert counter.value == total  # no lost increments
+        final = hist.snapshot()
+        assert final["count"] == total
+        assert final["buckets"][-1]["count"] == total
+        # Every pair of observations contributes exactly 1.0 to the sum.
+        assert final["sum"] == pytest.approx(total * 0.5)
+
+    def test_snapshot_during_merge_raw_stays_consistent(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("hammer.merge", bounds=(1.0,))
+        delta = {"bounds": [1.0], "counts": [3, 1], "sum": 5.0, "count": 4}
+        stop = threading.Event()
+        bad: list[dict] = []
+
+        def merger() -> None:
+            while not stop.is_set():
+                hist.merge_raw(delta)
+
+        def checker() -> None:
+            while not stop.is_set():
+                snap = hist.snapshot()
+                if snap["buckets"][-1]["count"] != snap["count"]:
+                    bad.append(snap)
+
+        threads = [threading.Thread(target=merger)] + [
+            threading.Thread(target=checker) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not bad
+        assert hist.count % 4 == 0  # whole deltas only, never a torn merge
 
 
 class TestMetrics:
