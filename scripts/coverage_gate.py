@@ -57,6 +57,7 @@ PACKAGE_GATES: dict[str, float] = {
     "tables": 85.0,
     "obs": 85.0,
     "parallel": 85.0,
+    "service": 85.0,
 }
 MIN_REPO_PCT = 80.0
 
@@ -80,6 +81,9 @@ DEFAULT_TESTS = [
     "tests/test_ledger.py",
     "tests/test_live.py",
     "tests/test_cli_smoke.py",
+    "tests/test_service_equivalence.py",
+    "tests/test_service_properties.py",
+    "tests/test_service_faults.py",
 ]
 
 

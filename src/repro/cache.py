@@ -457,6 +457,83 @@ def _load_study(
     return released, enriched
 
 
+# --------------------------------------------------------------------- #
+# Content-addressed response bodies (the service's disk cache tier)
+# --------------------------------------------------------------------- #
+
+#: Hidden subdirectory holding content-addressed HTTP response bodies for
+#: :mod:`repro.service.respcache` (hidden so study-entry listing/clearing
+#: skip it as they do every dot-directory).
+_RESPONSES_DIR = ".responses"
+
+_RESPONSE_WRITES = obs.counter("cache.response_writes")
+_RESPONSE_HITS = obs.counter("cache.response_hits")
+_RESPONSE_CORRUPT = obs.counter("cache.response_corrupt")
+
+
+def response_cache_dir() -> Path:
+    """Where content-addressed response bodies live."""
+    return cache_dir() / _RESPONSES_DIR
+
+
+def response_digest(body: bytes) -> str:
+    """The content address (and HTTP ETag) of a response body."""
+    return hashlib.sha256(body).hexdigest()
+
+
+def store_response(body: bytes) -> str:
+    """Persist a response body under its content address; returns the digest.
+
+    Best-effort and atomic (temp file + rename), following the study-entry
+    conventions: a failed write never raises, it just means the body is
+    only available from memory.  With ``REPRO_NO_CACHE`` set nothing is
+    written, but the digest — the ETag — is still computed and returned.
+    """
+    digest = response_digest(body)
+    if not cache_enabled():
+        return digest
+    root = response_cache_dir()
+    final = root / digest
+    if final.exists():
+        return digest
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=f".{digest[:16]}-", dir=root)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(body)
+        os.replace(tmp, final)
+        _RESPONSE_WRITES.inc()
+        _BYTES_WRITTEN.inc(len(body))
+    except OSError:
+        _WRITE_FAILED.inc()
+    return digest
+
+
+def load_response(digest: str) -> bytes | None:
+    """Read a body back by content address; ``None`` on miss or damage.
+
+    The address *is* the checksum: a body whose sha-256 no longer matches
+    its name (bit rot, truncated write that somehow landed) is deleted and
+    reported as a miss, mirroring the quarantine discipline of study
+    entries.
+    """
+    path = response_cache_dir() / digest
+    try:
+        body = path.read_bytes()
+    except OSError:
+        return None
+    if response_digest(body) != digest:
+        _RESPONSE_CORRUPT.inc()
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    _RESPONSE_HITS.inc()
+    _BYTES_READ.inc(len(body))
+    return body
+
+
 def clear_cache() -> int:
     """Remove every cache entry; returns the number of entries removed.
 

@@ -27,7 +27,11 @@ Commands
     ``/events`` (SSE), ``/runs``, and the auto-refreshing dashboard at
     ``/`` (see :mod:`repro.obs.live`).  Every study command also accepts
     ``--live [PORT]`` to serve the same endpoints while it builds,
-    without changing a byte of its stdout.
+    without changing a byte of its stdout.  ``--ingest`` adds the
+    incremental data plane (:mod:`repro.service`): ``POST /ingest``
+    folds schema-versioned micro-batches into standing aggregates, and
+    ``GET /tables|/figures|/fidelity`` serve the study byte-identically
+    to a one-shot batch build, with ETag-cached responses.
 
 Every study-building command accepts ``--trace`` (or ``REPRO_TRACE=1``):
 the run records a hierarchical span trace (see :mod:`repro.obs`), prints
@@ -573,14 +577,34 @@ def _cmd_runs_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Serve live telemetry until interrupted (``repro serve``)."""
+    """Serve live telemetry until interrupted (``repro serve``).
+
+    With ``--ingest``, the server also hosts the incremental data plane
+    (:mod:`repro.service`): ``POST /ingest`` folds micro-batches into
+    standing aggregates and ``GET /tables|/figures|/fidelity`` serve the
+    study with ETag-cached responses.
+    """
     import time as time_mod
 
     from repro import obs
 
-    server = obs.live.TelemetryServer(host=args.host, port=args.port).start()
+    app = None
+    if args.ingest:
+        from repro.service import ServiceApp
+        from repro.simulator.config import SimulationConfig
+
+        config = SimulationConfig.preset(args.scale, seed=args.seed)
+        app = ServiceApp(config, scale=args.scale)
+    server = obs.live.TelemetryServer(
+        host=args.host, port=args.port, app=app
+    ).start()
     print(f"serving live telemetry on {server.url} (Ctrl-C to stop)")
     print("endpoints: /  /metrics  /healthz  /runs  /runs/<id>  /events")
+    if app is not None:
+        print(
+            "ingest endpoints: POST /ingest  /ingest/status  "
+            "/tables[/<name>]  /figures[/<name>]  /fidelity"
+        )
     try:
         if args.duration is not None:
             time_mod.sleep(args.duration)
@@ -591,6 +615,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        if app is not None and obs.ledger.ledger_enabled():
+            record = obs.ledger.build_record(
+                kind="service",
+                command="serve",
+                config={"scale": args.scale, "seed": args.seed},
+                extra={"service": app.state.status()},
+            )
+            obs.ledger.append_record(record)
     return 0
 
 
@@ -711,6 +743,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=None, metavar="S",
         help="serve for S seconds then exit (default: until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--ingest", action="store_true",
+        help="host the incremental ingest/read data plane (repro.service)",
+    )
+    serve.add_argument(
+        "--scale", choices=SCALES, default="tiny",
+        help="scale preset the ingest service expects (default: tiny)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=7,
+        help="seed the ingest service expects (default: 7)",
     )
     serve.set_defaults(func=_cmd_serve)
 

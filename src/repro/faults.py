@@ -46,6 +46,12 @@ Sites and kinds
 - ``serve.request:fail`` — a live-telemetry HTTP handler raises; the
   server answers 500 and counts ``serve.request_failed``, the build being
   observed never notices
+- ``serve.ingest:fail`` — a ``POST /ingest`` micro-batch raises before any
+  standing state is touched; the server answers 500, counts
+  ``serve.ingest_failed``, and the aggregates stay byte-identical
+- ``serve.ingest:corrupt`` — the micro-batch body is physically truncated
+  before parsing (a half-received upload); the real decode/validation
+  defenses reject it with a 400, same counter, same untouched state
 
 Injected faults raise :class:`InjectedFault` (an :class:`OSError` subclass)
 so they travel the *same* recovery paths a real I/O failure would; the
@@ -82,6 +88,7 @@ SITES: dict[str, tuple[str, ...]] = {
     "shard.save": ("fail",),
     "shard.load": ("fail", "corrupt"),
     "serve.request": ("fail",),
+    "serve.ingest": ("fail", "corrupt"),
 }
 
 #: How long an injected ``phase.release:sleep`` fault stalls the phase —

@@ -17,6 +17,13 @@ stdlib-only :class:`ThreadingHTTPServer` on localhost exposing
 - ``/`` — the run dashboard (:mod:`repro.obs.dashboard`) in live mode,
   auto-refreshing itself from ``/events`` and ``/metrics``.
 
+The server also hosts an optional *data-plane app* (``repro serve
+--ingest`` passes a :class:`repro.service.ServiceApp`): after the routes
+above, GETs and POSTs fall through to ``app.handle_get`` /
+``app.handle_post``, which add ``POST /ingest``, ``/tables``,
+``/figures``, and ``/fidelity``.  With no app installed, POSTs and
+unknown paths 404 exactly as before.
+
 Design constraints, in order:
 
 1. **The observed build must not change.**  The server never writes to
@@ -234,6 +241,9 @@ def _remove_hooks() -> None:
 class _TelemetryHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     stopping = False
+    #: Optional data-plane app (repro.service.ServiceApp): consulted by
+    #: the handler after the telemetry routes, before the 404 fallback.
+    app = None
 
     def handle_error(self, request, client_address):  # noqa: D102
         # Client disconnects (broken pipes mid-SSE) and handler thread
@@ -243,6 +253,15 @@ class _TelemetryHTTPServer(ThreadingHTTPServer):
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-live/1"
+    # Keep-alive: every non-SSE response carries Content-Length, so
+    # clients can reuse the connection instead of paying a fresh TCP
+    # connect + handler thread per request (the load harness sustains
+    # >=1k req/s through this).  SSE responses opt out below.
+    protocol_version = "HTTP/1.1"
+    # Responses are written as two sends (headers, then body); without
+    # TCP_NODELAY, Nagle + delayed ACK turns that into ~40 ms per
+    # keep-alive request.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # requests are counted in serve.requests, never printed
@@ -283,10 +302,38 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             _REQUEST_SECONDS.observe(time.perf_counter() - t0)
 
-    def _route(self) -> None:
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        _REQUESTS.inc()
+        t0 = time.perf_counter()
+        try:
+            from repro import faults
+
+            faults.check("serve.request")
+            path, query = self._split_path()
+            app = getattr(self.server, "app", None)
+            if app is None or not app.handle_post(self, path, query):
+                self._send_json(
+                    {"error": f"no route for {path!r}"}, status=404
+                )
+        except Exception as exc:
+            _REQUEST_FAILED.inc()
+            try:
+                self._send_json(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+            except Exception:
+                pass  # headers already sent or client gone
+        finally:
+            _REQUEST_SECONDS.observe(time.perf_counter() - t0)
+
+    def _split_path(self) -> tuple[str, dict[str, str]]:
         parts = urlsplit(self.path)
         path = parts.path.rstrip("/") or "/"
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        return path, query
+
+    def _route(self) -> None:
+        path, query = self._split_path()
         if path == "/metrics":
             body = promexport.render_prometheus().encode("utf-8")
             self._send_body(body, promexport.PROM_CONTENT_TYPE)
@@ -301,7 +348,11 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/":
             self._route_dashboard()
         else:
-            self._send_json({"error": f"no route for {path!r}"}, status=404)
+            app = getattr(self.server, "app", None)
+            if app is None or not app.handle_get(self, path, query):
+                self._send_json(
+                    {"error": f"no route for {path!r}"}, status=404
+                )
 
     def _healthz(self) -> dict[str, Any]:
         server: _TelemetryHTTPServer = self.server  # type: ignore[assignment]
@@ -360,6 +411,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(200)
             self.send_header("Content-Type", "text/event-stream")
             self.send_header("Cache-Control", "no-cache")
+            # An event stream has no Content-Length; end-of-stream is
+            # signalled by closing, exactly as under HTTP/1.0.
+            self.send_header("Connection", "close")
+            self.close_connection = True
             self.end_headers()
             hello = {"schema": EVENT_SCHEMA_VERSION, "pid": os.getpid()}
             self.wfile.write(
@@ -398,9 +453,11 @@ class TelemetryServer:
     any draining SSE handler threads to exit within one heartbeat.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 app: Any | None = None):
         self.host = host
         self.port = port
+        self.app = app
         self._httpd: _TelemetryHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -418,6 +475,7 @@ class TelemetryServer:
             return self
         httpd = _TelemetryHTTPServer((self.host, self.port), _Handler)
         httpd.started_monotonic = time.monotonic()
+        httpd.app = self.app
         self._httpd = httpd
         self.port = httpd.server_address[1]
         self._thread = threading.Thread(
@@ -450,9 +508,14 @@ class TelemetryServer:
 _SERVER: TelemetryServer | None = None
 
 
-def serve_background(host: str = "127.0.0.1", port: int = 0) -> TelemetryServer:
-    """Start a telemetry server in a daemon thread and return it."""
-    return TelemetryServer(host=host, port=port).start()
+def serve_background(host: str = "127.0.0.1", port: int = 0,
+                     app: Any | None = None) -> TelemetryServer:
+    """Start a telemetry server in a daemon thread and return it.
+
+    ``app`` (a :class:`repro.service.ServiceApp`) adds the incremental
+    ingest/read data plane on top of the telemetry routes.
+    """
+    return TelemetryServer(host=host, port=port, app=app).start()
 
 
 def active_server() -> TelemetryServer | None:

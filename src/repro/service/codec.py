@@ -1,0 +1,209 @@
+"""Dtype-tagged JSON wire format for tables and figure payloads.
+
+The service's byte-identity contract extends over the wire: a table that
+round-trips through ``encode_table`` → JSON → ``decode_table`` must come
+back with identical dtypes and identical bytes.  Two properties make that
+possible with plain JSON:
+
+- Python's ``json`` serializes floats with ``repr``, the shortest string
+  that round-trips the exact IEEE-754 double — so ``float64`` columns
+  survive the wire bit for bit (including ``NaN``/``Infinity``, which the
+  stdlib emits and accepts by default).
+- Dict insertion order is preserved by ``json`` in both directions, so
+  column order — part of a table's identity — needs no side channel.
+
+Only the dtypes the released/enriched layers actually use are legal on
+the wire: ``int64``, ``float64``, ``bool``, and ``object`` columns whose
+every element is ``str``.  Anything else is a loud :class:`CodecError`,
+never a silent coercion.
+
+``dumps_canonical`` renders any encoded document to deterministic bytes
+(no whitespace, no key reordering) — the bytes the response cache hashes
+into ETags, and the bytes the differential harness compares.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tables import Table
+
+#: Bump when the wire format changes incompatibly.
+WIRE_SCHEMA_VERSION = 1
+
+#: Column dtypes legal on the wire, with their decode targets.
+_DTYPES = {
+    "int64": np.int64,
+    "float64": np.float64,
+    "bool": np.bool_,
+}
+
+#: Marker key for non-plain values inside figure payloads.
+_KIND = "__kind__"
+
+
+class CodecError(ValueError):
+    """A value that cannot round-trip the wire exactly."""
+
+
+# --------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------- #
+
+
+def _column_tag(name: str, array: np.ndarray) -> str:
+    tag = str(array.dtype)
+    if tag in _DTYPES:
+        return tag
+    if array.dtype == object:
+        for value in array:
+            if not isinstance(value, str):
+                raise CodecError(
+                    f"column {name!r} has a non-str object element "
+                    f"({type(value).__name__}); only str survives the wire"
+                )
+        return "object"
+    raise CodecError(f"column {name!r} has unsupported dtype {tag!r}")
+
+
+def encode_table(table: "Table") -> dict[str, Any]:
+    """A table as a JSON-ready document (column order preserved)."""
+    columns = []
+    for name in table.column_names:
+        array = np.asarray(table[name])
+        columns.append([name, _column_tag(name, array), array.tolist()])
+    return {"num_rows": table.num_rows, "columns": columns}
+
+
+def decode_table(doc: Any) -> "Table":
+    """Reverse of :func:`encode_table`; validates shape and dtypes."""
+    from repro.tables import Table
+
+    if not isinstance(doc, dict) or "columns" not in doc:
+        raise CodecError("table document must be a dict with 'columns'")
+    num_rows = doc.get("num_rows")
+    columns: dict[str, np.ndarray] = {}
+    for entry in doc["columns"]:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
+            raise CodecError("each column must be [name, dtype, values]")
+        name, tag, values = entry
+        if not isinstance(name, str) or not isinstance(values, list):
+            raise CodecError("column name must be str, values a list")
+        if name in columns:
+            raise CodecError(f"duplicate column {name!r}")
+        if len(values) != num_rows:
+            raise CodecError(
+                f"column {name!r} has {len(values)} values, "
+                f"expected num_rows={num_rows}"
+            )
+        if tag == "object":
+            array = np.empty(len(values), dtype=object)
+            for i, value in enumerate(values):
+                if not isinstance(value, str):
+                    raise CodecError(
+                        f"column {name!r}[{i}] is not a str"
+                    )
+                array[i] = value
+        elif tag in _DTYPES:
+            try:
+                array = np.array(values, dtype=_DTYPES[tag])
+            except (TypeError, ValueError, OverflowError) as exc:
+                raise CodecError(
+                    f"column {name!r} does not decode as {tag}: {exc}"
+                ) from None
+            if array.ndim != 1:
+                raise CodecError(f"column {name!r} is not one-dimensional")
+        else:
+            raise CodecError(f"column {name!r} has unknown dtype tag {tag!r}")
+        columns[name] = array
+    return Table(columns, copy=False)
+
+
+# --------------------------------------------------------------------- #
+# Figure payloads (nested dicts / arrays / scalars / tables)
+# --------------------------------------------------------------------- #
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a figure payload value for the wire, recursively.
+
+    Plain scalars pass through (numpy scalars become Python ones), numpy
+    arrays and tables become ``__kind__``-tagged documents, and sequences
+    become lists.  A dict keeps its shape unless a key is non-``str`` or
+    collides with the marker, in which case it is escaped as an item list
+    so decode can restore it exactly.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return {
+                _KIND: "ndarray",
+                "dtype": "object",
+                "values": [encode_value(v) for v in value.tolist()],
+            }
+        tag = str(value.dtype)
+        if tag not in _DTYPES:
+            raise CodecError(f"ndarray dtype {tag!r} is not wire-safe")
+        return {_KIND: "ndarray", "dtype": tag, "values": value.tolist()}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and _KIND not in value:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            _KIND: "dict",
+            "items": [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ],
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    # A Table inside a payload (fig26 carries one).
+    from repro.tables import Table
+
+    if isinstance(value, Table):
+        return {_KIND: "table", **encode_table(value)}
+    raise CodecError(
+        f"value of type {type(value).__name__} is not wire-safe"
+    )
+
+
+def decode_value(doc: Any) -> Any:
+    """Reverse of :func:`encode_value`."""
+    if doc is None or isinstance(doc, (bool, int, float, str)):
+        return doc
+    if isinstance(doc, list):
+        return [decode_value(v) for v in doc]
+    if isinstance(doc, dict):
+        kind = doc.get(_KIND)
+        if kind is None:
+            return {k: decode_value(v) for k, v in doc.items()}
+        if kind == "ndarray":
+            tag = doc["dtype"]
+            values = [decode_value(v) for v in doc["values"]]
+            if tag == "object":
+                array = np.empty(len(values), dtype=object)
+                for i, v in enumerate(values):
+                    array[i] = v
+                return array
+            if tag not in _DTYPES:
+                raise CodecError(f"unknown ndarray dtype tag {tag!r}")
+            return np.array(values, dtype=_DTYPES[tag])
+        if kind == "dict":
+            return {
+                decode_value(k): decode_value(v) for k, v in doc["items"]
+            }
+        if kind == "table":
+            return decode_table(doc)
+        raise CodecError(f"unknown value kind {kind!r}")
+    raise CodecError(f"cannot decode value of type {type(doc).__name__}")
+
+
+def dumps_canonical(doc: Any) -> bytes:
+    """Deterministic JSON bytes for an already-encoded document."""
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,489 @@
+"""Standing incremental state behind the ingest service.
+
+:class:`ServiceState` is the service's single mutable object.  It holds
+three *layers* of standing state, each with its own version counter:
+
+- ``catalog`` — batch-catalog rows, an
+  :class:`~repro.shard.merge.IncrementalTableFold` keyed by ``batch_id``;
+- ``instances`` — instance-log rows, a fold keyed by ``instance_id``,
+  plus three *streaming* aggregates maintained without any rebuild: a
+  per-batch :class:`~repro.shard.merge.MergeableGroupBy` rollup, the
+  pooled trust :class:`~repro.stats.cdf.EmpiricalCDF` (one part per
+  micro-batch, merged on read), and a fixed-edge duration
+  :class:`~repro.stats.histogram.Histogram`;
+- ``html`` — the ``batch_id -> task HTML`` corpus, a plain dict merge.
+
+Every layer's fold is exactly partition- and order-invariant (the merge
+algebra's laws), so the state after N micro-batches depends only on the
+*set* of rows ingested — the service-layer property suite pins this.
+
+Ingest is **atomic**: a micro-batch is fully decoded and validated —
+schema version, config key, column schemas, duplicate keys (within the
+payload and against everything already ingested) — before a single piece
+of standing state is touched.  Any failure raises :class:`IngestError`
+(the 400 path) or propagates (the 500 path) with the state byte-identical
+to before the request, which is what makes the ``serve.ingest`` fault
+sites testable.
+
+The derived layers (enriched tables, figures, fidelity probes) come from
+:func:`repro.enrichment.pipeline.enrich_dataset` — deterministic in
+``(released, config)`` — run at most once per state version and memoized
+as a :class:`Snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.shard.merge import IncrementalTableFold, MergeableGroupBy
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.histogram import Histogram
+
+from repro.service.codec import (
+    WIRE_SCHEMA_VERSION,
+    CodecError,
+    decode_table,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataset.release import ReleasedDataset
+    from repro.enrichment.pipeline import EnrichedDataset
+    from repro.figures.suite import FigureSuite
+    from repro.simulator.config import SimulationConfig
+    from repro.tables import Table
+
+_INGEST_BATCHES = obs.counter("serve.ingest_batches")
+_INGEST_ROWS = obs.counter("serve.ingest_rows")
+_INGEST_SECONDS = obs.histogram("serve.ingest_seconds")
+_SNAPSHOT_BUILDS = obs.counter("serve.snapshot_builds")
+
+#: Expected wire schema of the two released tables, in column order.
+CATALOG_SCHEMA: tuple[tuple[str, str], ...] = (
+    ("batch_id", "int64"),
+    ("title", "object"),
+    ("created_at", "int64"),
+    ("sampled", "bool"),
+)
+INSTANCE_SCHEMA: tuple[tuple[str, str], ...] = (
+    ("instance_id", "int64"),
+    ("batch_id", "int64"),
+    ("item_id", "int64"),
+    ("worker_id", "int64"),
+    ("source", "object"),
+    ("country", "object"),
+    ("start_time", "int64"),
+    ("end_time", "int64"),
+    ("trust", "float64"),
+    ("response", "object"),
+)
+
+#: The standing per-batch rollup served at ``/tables/batch_rollup`` —
+#: every aggregation is from the mergeable algebra, so the table is a pure
+#: function of the ingested row multiset.
+ROLLUP_SPEC: dict[str, tuple[str, str]] = {
+    "num_instances": ("instance_id", "count"),
+    "num_workers": ("worker_id", "nunique"),
+    "num_items": ("item_id", "nunique"),
+    "trust_mean": ("trust", "mean"),
+    "duration_p50": ("duration_s", "median"),
+    "duration_p95": ("duration_s", "p95"),
+    "first_start": ("start_time", "min"),
+    "last_end": ("end_time", "max"),
+}
+
+#: Fixed bin edges for the streaming duration histogram.  Fixed is what
+#: makes :meth:`Histogram.merge` exact across any partitioning; durations
+#: beyond the last edge fall out of every part identically.
+DURATION_EDGES = np.linspace(0.0, 7200.0, 49)
+
+
+def with_duration(instances: "Table") -> "Table":
+    """The instance table plus a ``duration_s`` float64 column."""
+    from repro.tables import Table
+
+    duration = (
+        np.asarray(instances["end_time"]) - np.asarray(instances["start_time"])
+    ).astype(np.float64)
+    columns = {
+        name: instances.column(name) for name in instances.column_names
+    }
+    columns["duration_s"] = duration
+    return Table(columns, copy=False)
+
+
+def batch_rollup(instances: "Table") -> "Table":
+    """Reference one-shot rollup — what the standing fold must equal."""
+    return (
+        MergeableGroupBy("batch_id", ROLLUP_SPEC)
+        .update(with_duration(instances))
+        .finalize()
+    )
+
+
+def trust_cdf_table(cdf: EmpiricalCDF) -> "Table":
+    """The pooled trust CDF as a two-column table."""
+    from repro.tables import Table
+
+    return Table(
+        {"trust": cdf.support, "p": cdf.probabilities}, copy=False
+    )
+
+
+def duration_histogram(instances: "Table") -> Histogram:
+    """Fixed-edge histogram of one segment's instance durations."""
+    durations = (
+        np.asarray(instances["end_time"]) - np.asarray(instances["start_time"])
+    ).astype(np.float64)
+    counts, _ = np.histogram(durations, bins=DURATION_EDGES)
+    return Histogram(edges=DURATION_EDGES, counts=counts.astype(np.int64))
+
+
+def duration_hist_table(hist: Histogram) -> "Table":
+    """A histogram as a three-column table (lo/hi/count)."""
+    from repro.tables import Table
+
+    return Table(
+        {
+            "lo": hist.edges[:-1],
+            "hi": hist.edges[1:],
+            "count": hist.counts,
+        },
+        copy=False,
+    )
+
+
+class IngestError(ValueError):
+    """A malformed or inconsistent micro-batch (the HTTP 400 path)."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The derived layers at one state version (immutable once built)."""
+
+    versions: tuple[int, int, int]
+    released: "ReleasedDataset"
+    enriched: "EnrichedDataset"
+    figures: "FigureSuite"
+
+
+def _check_schema(
+    table: "Table", schema: tuple[tuple[str, str], ...], label: str
+) -> None:
+    expected = [name for name, _ in schema]
+    if list(table.column_names) != expected:
+        raise IngestError(
+            f"{label} columns {list(table.column_names)} != {expected}"
+        )
+    for name, tag in schema:
+        actual = str(np.asarray(table[name]).dtype)
+        if actual != tag:
+            raise IngestError(
+                f"{label}.{name} has dtype {actual}, expected {tag}"
+            )
+
+
+class ServiceState:
+    """All standing service state for one study configuration."""
+
+    def __init__(self, config: "SimulationConfig"):
+        from repro import cache as study_cache
+
+        self.config = config
+        self.config_key = study_cache.study_key(config)
+        self._lock = threading.RLock()
+        self._catalog = IncrementalTableFold("batch_id")
+        self._instances = IncrementalTableFold("instance_id")
+        self._html: dict[int, str] = {}
+        self._rollup = MergeableGroupBy("batch_id", ROLLUP_SPEC)
+        self._trust_parts: list[EmpiricalCDF] = []
+        self._hist = Histogram(
+            edges=DURATION_EDGES,
+            counts=np.zeros(len(DURATION_EDGES) - 1, dtype=np.int64),
+        )
+        self._seen_batches: set[int] = set()
+        self._seen_instances: set[int] = set()
+        self._versions = {"catalog": 0, "instances": 0, "html": 0}
+        self._ingested_batches = 0
+        self._snapshot: Snapshot | None = None
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+
+    def versions(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._versions)
+
+    def version_of(self, *layers: str) -> tuple[int, ...]:
+        """The dependency key for a route reading the given layers."""
+        with self._lock:
+            return tuple(self._versions[layer] for layer in layers)
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": WIRE_SCHEMA_VERSION,
+                "config_key": self.config_key,
+                "versions": dict(self._versions),
+                "ingested_batches": self._ingested_batches,
+                "catalog_rows": self._catalog.num_rows,
+                "instance_rows": self._instances.num_rows,
+                "html_docs": len(self._html),
+            }
+
+    # ----------------------------------------------------------------- #
+    # Ingest (decode + validate everything, then apply atomically)
+    # ----------------------------------------------------------------- #
+
+    def ingest(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Fold one micro-batch in; returns an acceptance summary.
+
+        Raises :class:`IngestError` (or :class:`CodecError`) *before any
+        state changes* on a malformed payload — a rejected micro-batch
+        leaves every standing aggregate byte-identical.
+        """
+        import time
+
+        t0 = time.perf_counter()
+        catalog, instances, html = self._validate(payload)
+        with self._lock:
+            # Duplicate screening must see the seen-sets under the same
+            # lock that applies the fold, and must all pass before any
+            # state is touched (atomic accept-or-reject).
+            if catalog is not None:
+                self._screen_duplicates(
+                    np.asarray(catalog["batch_id"]),
+                    self._seen_batches, "batch_id",
+                )
+            if instances is not None:
+                self._screen_duplicates(
+                    np.asarray(instances["instance_id"]),
+                    self._seen_instances, "instance_id",
+                )
+            for batch_id in html:
+                if batch_id in self._html:
+                    raise IngestError(
+                        f"duplicate html document for batch {batch_id}"
+                    )
+            accepted = {"catalog_rows": 0, "instance_rows": 0, "html_docs": 0}
+            if catalog is not None:
+                accepted["catalog_rows"] = self._catalog.fold(catalog)
+                self._seen_batches.update(
+                    int(b) for b in np.asarray(catalog["batch_id"])
+                )
+                self._versions["catalog"] += 1
+            if instances is not None:
+                timed = with_duration(instances)
+                accepted["instance_rows"] = self._instances.fold(instances)
+                self._seen_instances.update(
+                    int(i) for i in np.asarray(instances["instance_id"])
+                )
+                self._rollup.update(timed)
+                trust = np.asarray(instances["trust"])
+                if np.count_nonzero(~np.isnan(trust)):
+                    self._trust_parts.append(EmpiricalCDF.from_sample(trust))
+                self._hist = Histogram.merge(
+                    [self._hist, duration_histogram(instances)]
+                )
+                self._versions["instances"] += 1
+            if html:
+                self._html.update(html)
+                accepted["html_docs"] = len(html)
+                self._versions["html"] += 1
+            self._ingested_batches += 1
+            versions = dict(self._versions)
+        _INGEST_BATCHES.inc()
+        _INGEST_ROWS.inc(
+            accepted["catalog_rows"] + accepted["instance_rows"]
+        )
+        _INGEST_SECONDS.observe(time.perf_counter() - t0)
+        from repro.obs import live
+
+        live.publish("ingest.folded", versions=versions, **accepted)
+        return {"accepted": accepted, "versions": versions}
+
+    def _validate(
+        self, payload: Mapping[str, Any]
+    ) -> tuple["Table | None", "Table | None", dict[int, str]]:
+        if not isinstance(payload, Mapping):
+            raise IngestError("micro-batch must be a JSON object")
+        if payload.get("schema") != WIRE_SCHEMA_VERSION:
+            raise IngestError(
+                f"unsupported wire schema {payload.get('schema')!r} "
+                f"(this server speaks {WIRE_SCHEMA_VERSION})"
+            )
+        key = payload.get("config_key")
+        if key != self.config_key:
+            raise IngestError(
+                f"config_key mismatch: payload {str(key)[:16]!r}... is not "
+                f"this server's study ({self.config_key[:16]}...); "
+                f"GET /ingest/status for the expected key"
+            )
+        unknown = set(payload) - {
+            "schema", "config_key", "catalog", "instances", "html"
+        }
+        if unknown:
+            raise IngestError(f"unknown payload keys: {sorted(unknown)}")
+
+        catalog = instances = None
+        if payload.get("catalog") is not None:
+            catalog = decode_table(payload["catalog"])
+            _check_schema(catalog, CATALOG_SCHEMA, "catalog")
+        if payload.get("instances") is not None:
+            instances = decode_table(payload["instances"])
+            _check_schema(instances, INSTANCE_SCHEMA, "instances")
+        html: dict[int, str] = {}
+        raw_html = payload.get("html")
+        if raw_html is not None:
+            if not isinstance(raw_html, Mapping):
+                raise IngestError("html must map batch_id -> document")
+            for raw_id, doc in raw_html.items():
+                try:
+                    batch_id = int(raw_id)
+                except (TypeError, ValueError):
+                    raise IngestError(
+                        f"html key {raw_id!r} is not a batch id"
+                    ) from None
+                if not isinstance(doc, str):
+                    raise IngestError(f"html[{raw_id}] is not a string")
+                if batch_id in html:
+                    raise IngestError(
+                        f"duplicate html document for batch {batch_id}"
+                    )
+                html[batch_id] = doc
+        return catalog, instances, html
+
+    @staticmethod
+    def _screen_duplicates(
+        ids: np.ndarray, seen: set[int], label: str
+    ) -> None:
+        unique = np.unique(ids)
+        if len(unique) != len(ids):
+            raise IngestError(f"micro-batch repeats a {label}")
+        clash = [int(i) for i in unique if int(i) in seen]
+        if clash:
+            raise IngestError(
+                f"{label} {clash[:5]} already ingested "
+                f"(micro-batches must partition the study)"
+            )
+
+    # ----------------------------------------------------------------- #
+    # Streaming reads (no rebuild, pure merge algebra)
+    # ----------------------------------------------------------------- #
+
+    def catalog_table(self) -> "Table":
+        with self._lock:
+            if self._catalog.num_rows == 0:
+                raise IngestError("no catalog rows ingested yet")
+            return self._catalog.finalize()
+
+    def instances_table(self) -> "Table":
+        with self._lock:
+            if self._instances.num_rows == 0:
+                raise IngestError("no instance rows ingested yet")
+            return self._instances.finalize()
+
+    def rollup_table(self) -> "Table":
+        with self._lock:
+            if self._instances.num_rows == 0:
+                raise IngestError("no instance rows ingested yet")
+            return self._rollup.finalize()
+
+    def trust_cdf(self) -> "Table":
+        with self._lock:
+            if not self._trust_parts:
+                raise IngestError("no instance rows ingested yet")
+            return trust_cdf_table(EmpiricalCDF.merge(self._trust_parts))
+
+    def duration_hist(self) -> "Table":
+        with self._lock:
+            if self._instances.num_rows == 0:
+                raise IngestError("no instance rows ingested yet")
+            return duration_hist_table(self._hist)
+
+    # ----------------------------------------------------------------- #
+    # The enriched snapshot (memoized per state version)
+    # ----------------------------------------------------------------- #
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough state exists to derive the enriched layers."""
+        with self._lock:
+            return (
+                self._catalog.num_rows > 0
+                and self._instances.num_rows > 0
+                and len(self._html) > 0
+            )
+
+    def snapshot(self) -> Snapshot:
+        """The derived layers at the current version (built at most once).
+
+        The released layers are captured under the lock (consistent with
+        the version stamp); the deterministic enrichment runs outside it,
+        so ingest is never blocked behind an enrichment pass.
+        """
+        from repro.dataset.release import ReleasedDataset
+        from repro.enrichment.pipeline import enrich_dataset
+        from repro.figures.suite import FigureSuite
+        from repro.study import _LazyState
+
+        with self._lock:
+            versions = (
+                self._versions["catalog"],
+                self._versions["instances"],
+                self._versions["html"],
+            )
+            memo = self._snapshot
+            if memo is not None and memo.versions == versions:
+                return memo
+            if not (
+                self._catalog.num_rows
+                and self._instances.num_rows
+                and self._html
+            ):
+                raise IngestError(
+                    "snapshot needs catalog, instances, and html ingested"
+                )
+            released = ReleasedDataset(
+                batch_catalog=self._catalog.finalize(),
+                batch_html=dict(self._html),
+                instances=self._instances.finalize(),
+            )
+        _SNAPSHOT_BUILDS.inc()
+        with obs.span("service.snapshot"):
+            enriched = enrich_dataset(released, self.config)
+        lazy = _LazyState(self.config)
+        snapshot = Snapshot(
+            versions=versions,
+            released=released,
+            enriched=enriched,
+            figures=FigureSuite(
+                state=lazy, released=released, enriched=enriched
+            ),
+        )
+        with self._lock:
+            # Last writer wins; an interleaved ingest simply invalidates.
+            self._snapshot = snapshot
+        return snapshot
+
+
+__all__ = [
+    "CATALOG_SCHEMA",
+    "DURATION_EDGES",
+    "INSTANCE_SCHEMA",
+    "ROLLUP_SPEC",
+    "CodecError",
+    "IngestError",
+    "ServiceState",
+    "Snapshot",
+    "batch_rollup",
+    "duration_hist_table",
+    "duration_histogram",
+    "trust_cdf_table",
+    "with_duration",
+]

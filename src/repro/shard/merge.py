@@ -31,6 +31,14 @@ are bit-identical.
 The CDF and histogram merge kernels live with their types
 (:meth:`repro.stats.cdf.EmpiricalCDF.merge`,
 :meth:`repro.stats.histogram.Histogram.merge`).
+
+:class:`IncrementalTableFold` extends the same discipline from aggregates
+to whole released tables: segments keyed by a unique column accumulate in
+arrival order and finalize to concat + stable-argsort-by-key — the exact
+construction ``repro.shard.build`` uses to prove sharded row order
+byte-identical to the monolithic build, so any partitioning of the rows,
+arriving in any order, folds to identical bytes.  This is the standing
+state behind the incremental ingest service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -248,6 +256,105 @@ class MergeableGroupBy:
                     for k, s in zip(key_values, states)
                 ])
         return Table(out, copy=False)
+
+
+class IncrementalTableFold:
+    """Standing fold of table segments into one canonically ordered table.
+
+    Segments share a schema and carry a *unique* key column (``instance_id``
+    for the instance log, ``batch_id`` for the catalog).  :meth:`finalize`
+    concatenates every folded segment and stable-sorts the rows by key —
+    because the keys are unique, the result depends only on the row
+    *multiset*, never on how the rows were partitioned into segments or in
+    which order they arrived.  The monolithic build emits these tables
+    sorted ascending by the same key, so the finalized fold is
+    byte-identical to the one-shot batch table (the construction
+    ``repro.shard.build._merge_sorted_by`` already relies on).
+
+    Columns are materialized on fold (:class:`~repro.tables.DictColumn`
+    storage becomes its object array), so finalized bytes are independent
+    of any segment's dictionary code layout.  ``finalize`` is memoized and
+    invalidated by the next :meth:`fold`.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self._segments: list[dict[str, np.ndarray]] = []
+        self._names: list[str] | None = None
+        self._num_rows = 0
+        self._final: "Table | None" = None
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def column_names(self) -> list[str] | None:
+        """Schema seen so far, or ``None`` before the first fold."""
+        return None if self._names is None else list(self._names)
+
+    def fold(self, table: "Table") -> int:
+        """Fold one segment in; returns the number of rows added.
+
+        The first non-empty segment fixes the schema; later segments must
+        match it exactly (names *and* order) — a mismatched segment raises
+        ``ValueError`` and leaves the fold untouched.
+        """
+        names = list(table.column_names)
+        if self.key not in names:
+            raise ValueError(
+                f"segment is missing key column {self.key!r} "
+                f"(has: {names})"
+            )
+        if table.num_rows == 0:
+            return 0
+        if self._names is None:
+            self._names = names
+        elif names != self._names:
+            raise ValueError(
+                f"segment schema {names} does not match the standing "
+                f"schema {self._names}"
+            )
+        # Materialize now: DictColumn code layout depends on arrival order
+        # and must never leak into the finalized bytes.
+        self._segments.append(
+            {name: np.asarray(table[name]) for name in names}
+        )
+        self._num_rows += table.num_rows
+        self._final = None
+        return table.num_rows
+
+    def key_values(self) -> np.ndarray:
+        """Every folded key, in arrival order (for duplicate screening)."""
+        if not self._segments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([seg[self.key] for seg in self._segments])
+
+    def finalize(self) -> "Table":
+        """All folded rows, stable-sorted ascending by the key column."""
+        from repro.tables import Table
+
+        if self._final is not None:
+            return self._final
+        if not self._segments:
+            raise ValueError("cannot finalize an empty fold")
+        assert self._names is not None
+        keys = np.concatenate([seg[self.key] for seg in self._segments])
+        order = np.argsort(keys, kind="stable")
+        merged: dict[str, np.ndarray] = {}
+        for name in self._names:
+            if name == self.key:
+                merged[name] = keys[order]
+            else:
+                merged[name] = np.concatenate(
+                    [seg[name] for seg in self._segments]
+                )[order]
+        self._final = Table(merged, copy=False)
+        return self._final
 
 
 def merge_group_by(
